@@ -1,0 +1,295 @@
+(* ralloc — command-line driver for the rematerialization allocator.
+
+   Sources are given as:
+     - a path ending in [.mf]   : an MF program, compiled by the frontend
+     - any other path           : textual ILOC
+     - [kernel:NAME]            : a routine from the built-in suite
+
+   Subcommands: parse, opt, alloc, run, kernels, report. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_source src =
+  let prefix = "kernel:" in
+  if String.length src > String.length prefix
+     && String.sub src 0 (String.length prefix) = prefix then
+    let name = String.sub src (String.length prefix)
+        (String.length src - String.length prefix) in
+    Suite.Kernels.cfg_of (Suite.Kernels.find name)
+  else if Filename.check_suffix src ".mf" then
+    Frontend.Lower.compile (read_file src)
+  else Iloc.Parser.routine (read_file src)
+
+let or_die f =
+  try f () with
+  | Iloc.Parser.Error { line; msg } ->
+      Fmt.epr "parse error at line %d: %s@." line msg;
+      exit 1
+  | Frontend.Lexer.Error { line; msg } ->
+      Fmt.epr "lex error at line %d: %s@." line msg;
+      exit 1
+  | Frontend.Mf_parser.Error { line; msg } ->
+      Fmt.epr "parse error at line %d: %s@." line msg;
+      exit 1
+  | Frontend.Typecheck.Error msg ->
+      Fmt.epr "type error: %s@." msg;
+      exit 1
+  | Frontend.Lower.Error msg | Failure msg ->
+      Fmt.epr "error: %s@." msg;
+      exit 1
+  | Invalid_argument msg ->
+      Fmt.epr "invalid input: %s@." msg;
+      exit 1
+  | Remat.Allocator.Allocation_error msg ->
+      Fmt.epr "allocation failed: %s@." msg;
+      exit 1
+  | Remat.Spill_code.Pressure_too_high msg ->
+      Fmt.epr "allocation failed: %s@." msg;
+      exit 1
+  | Sim.Interp.Runtime_error msg ->
+      Fmt.epr "runtime error: %s@." msg;
+      exit 1
+
+(* --- common arguments --- *)
+
+let source =
+  let doc = "Input routine: an .mf file, an ILOC file, or kernel:NAME." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SOURCE" ~doc)
+
+let optimize =
+  let doc = "Run the optimization pipeline (LVN, DCE, LICM) first." in
+  Arg.(value & flag & info [ "O"; "optimize" ] ~doc)
+
+let mode =
+  let parse s =
+    match Remat.Mode.of_string s with
+    | Some m -> Ok m
+    | None ->
+        Error
+          (`Msg
+             "expected one of: no-remat, chaitin, briggs, briggs-phi-splits")
+  in
+  let print ppf m = Fmt.string ppf (Remat.Mode.to_string m) in
+  let mode_conv = Arg.conv (parse, print) in
+  let doc = "Allocator variant (no-remat | chaitin | briggs | \
+             briggs-phi-splits)." in
+  Arg.(value & opt mode_conv Remat.Mode.Briggs_remat & info [ "m"; "mode" ] ~doc)
+
+let k_int =
+  let doc = "Number of integer registers." in
+  Arg.(value & opt int 16 & info [ "k-int" ] ~doc)
+
+let k_float =
+  let doc = "Number of floating-point registers." in
+  Arg.(value & opt int 16 & info [ "k-float" ] ~doc)
+
+let prepare src opt_flag =
+  let cfg = load_source src in
+  if opt_flag then Opt.Pipeline.run cfg else cfg
+
+(* --- subcommands --- *)
+
+let parse_cmd =
+  let run src =
+    or_die (fun () ->
+        let cfg = load_source src in
+        (match Iloc.Validate.routine cfg with
+        | Ok () -> ()
+        | Error es ->
+            Fmt.epr "validation errors:@.";
+            List.iter
+              (fun e -> Fmt.epr "  %s@." (Iloc.Validate.error_to_string e))
+              es;
+            exit 1);
+        print_string (Iloc.Printer.routine_to_string cfg))
+  in
+  let doc = "Parse (and for .mf, compile) a routine; print its ILOC." in
+  Cmd.v (Cmd.info "parse" ~doc) Term.(const run $ source)
+
+let opt_cmd =
+  let run src =
+    or_die (fun () ->
+        let cfg = Opt.Pipeline.run (load_source src) in
+        print_string (Iloc.Printer.routine_to_string cfg))
+  in
+  let doc = "Optimize a routine (LVN, DCE, LICM) and print the result." in
+  Cmd.v (Cmd.info "opt" ~doc) Term.(const run $ source)
+
+let alloc_cmd =
+  let run src opt_flag mode k_int k_float verbose =
+    or_die (fun () ->
+        let cfg = prepare src opt_flag in
+        let machine = Remat.Machine.make ~name:"cli" ~k_int ~k_float in
+        let res = Remat.Allocator.run ~mode ~machine cfg in
+        (match Remat.Allocator.check res with
+        | Ok () -> ()
+        | Error es ->
+            Fmt.epr "internal check failed: %s@." (String.concat "; " es);
+            exit 2);
+        print_string (Iloc.Printer.routine_to_string res.Remat.Allocator.cfg);
+        Fmt.pr
+          "; mode=%s machine=%d/%d rounds=%d values=%d live-ranges=%d@.\
+           ; spilled: %d through memory (%d slots), %d rematerialized; \
+           %d copies coalesced@."
+          (Remat.Mode.to_string mode)
+          k_int k_float res.Remat.Allocator.rounds res.Remat.Allocator.n_values
+          res.Remat.Allocator.n_live_ranges res.Remat.Allocator.spilled_memory
+          res.Remat.Allocator.spill_slots res.Remat.Allocator.spilled_remat
+          res.Remat.Allocator.coalesced_copies;
+        if verbose then
+          Fmt.pr "; phase times:@.%a" Remat.Stats.pp res.Remat.Allocator.stats)
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print phase timings.")
+  in
+  let doc = "Allocate registers and print the rewritten routine." in
+  Cmd.v
+    (Cmd.info "alloc" ~doc)
+    Term.(const run $ source $ optimize $ mode $ k_int $ k_float $ verbose)
+
+let run_cmd =
+  let run src opt_flag do_alloc mode k_int k_float =
+    or_die (fun () ->
+        let cfg = prepare src opt_flag in
+        let cfg =
+          if do_alloc then begin
+            let machine = Remat.Machine.make ~name:"cli" ~k_int ~k_float in
+            (Remat.Allocator.run ~mode ~machine cfg).Remat.Allocator.cfg
+          end
+          else cfg
+        in
+        let out = Sim.Interp.run cfg in
+        List.iter (fun v -> Fmt.pr "%a@." Sim.Interp.pp_value v)
+          out.Sim.Interp.prints;
+        (match out.Sim.Interp.return with
+        | Some v -> Fmt.pr "returned %a@." Sim.Interp.pp_value v
+        | None -> ());
+        Fmt.pr "counts: %a@." Sim.Counts.pp out.Sim.Interp.counts)
+  in
+  let do_alloc =
+    Arg.(value & flag & info [ "a"; "alloc" ]
+           ~doc:"Allocate registers before running.")
+  in
+  let doc = "Interpret a routine and print its output and dynamic counts." in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ source $ optimize $ do_alloc $ mode $ k_int $ k_float)
+
+let kernels_cmd =
+  let run () =
+    List.iter
+      (fun k ->
+        Fmt.pr "%-12s %-10s %s@." k.Suite.Kernels.name k.Suite.Kernels.program
+          k.Suite.Kernels.description)
+      Suite.Kernels.all
+  in
+  let doc = "List the built-in workload kernels." in
+  Cmd.v (Cmd.info "kernels" ~doc) Term.(const run $ const ())
+
+let emit_cmd =
+  let run src opt_flag do_alloc mode k_int k_float =
+    or_die (fun () ->
+        let cfg = prepare src opt_flag in
+        let cfg =
+          if do_alloc then begin
+            let machine = Remat.Machine.make ~name:"cli" ~k_int ~k_float in
+            (Remat.Allocator.run ~mode ~machine cfg).Remat.Allocator.cfg
+          end
+          else cfg
+        in
+        print_string (Emit.C_emitter.routine_to_string cfg))
+  in
+  let do_alloc =
+    Arg.(value & flag & info [ "a"; "alloc" ]
+           ~doc:"Allocate registers before emitting.")
+  in
+  let doc =
+    "Translate a routine to instrumented C (the paper's Figure 4 pipeline)."
+  in
+  Cmd.v (Cmd.info "emit" ~doc)
+    Term.(const run $ source $ optimize $ do_alloc $ mode $ k_int $ k_float)
+
+let dot_cmd =
+  let run src opt_flag interference =
+    or_die (fun () ->
+        let cfg = prepare src opt_flag in
+        if interference then begin
+          let rn = Remat.Renumber.run Remat.Mode.Briggs_remat
+              (Iloc.Cfg.split_critical_edges cfg) in
+          let live = Dataflow.Liveness.compute rn.Remat.Renumber.cfg in
+          let g = Remat.Interference.build rn.Remat.Renumber.cfg live in
+          print_string
+            (Remat.Dump.interference_to_string
+               ~split_pairs:rn.Remat.Renumber.split_pairs g)
+        end
+        else print_string (Iloc.Dot.cfg_to_string cfg))
+  in
+  let interference =
+    Arg.(value & flag
+         & info [ "i"; "interference" ]
+             ~doc:"Emit the renumbered routine's interference graph instead \
+                   of the control-flow graph.")
+  in
+  let doc = "Emit a Graphviz rendering of the CFG or interference graph." in
+  Cmd.v (Cmd.info "dot" ~doc) Term.(const run $ source $ optimize $ interference)
+
+let report_cmd =
+  let run what =
+    or_die (fun () ->
+        let std = Format.std_formatter in
+        match what with
+        | "table1" -> Suite.Report.pp_table1 std (Suite.Report.table1 ())
+        | "table2" ->
+            Suite.Report.pp_table2 std
+              (Suite.Report.table2 [ "repvid"; "tomcatv"; "twldrv" ])
+        | "ablation" -> Suite.Report.pp_ablation std (Suite.Report.ablation ())
+        | "baseline" ->
+            List.iter
+              (fun k ->
+                let cfg = Suite.Kernels.cfg_of ~optimize:true k in
+                let cycles c =
+                  Sim.Counts.cycles (Sim.Interp.run c).Sim.Interp.counts
+                in
+                let local =
+                  cycles
+                    (Remat.Local_allocator.run cfg).Remat.Local_allocator.cfg
+                in
+                let global =
+                  cycles
+                    (Remat.Allocator.run ~machine:Remat.Machine.standard cfg)
+                      .Remat.Allocator.cfg
+                in
+                Fmt.pr "%-12s local=%d briggs=%d@." k.Suite.Kernels.name local
+                  global)
+              Suite.Kernels.all
+        | "fig1" -> Suite.Figures.fig1 std
+        | "fig2" -> Suite.Figures.fig2 std
+        | "fig3" -> Suite.Figures.fig3 std
+        | "fig4" -> Suite.Figures.fig4 std
+        | other ->
+            Fmt.epr "unknown report %S@." other;
+            exit 1)
+  in
+  let what =
+    Arg.(value & pos 0 string "table1"
+         & info [] ~docv:"REPORT"
+             ~doc:
+               "table1 | table2 | ablation | baseline | fig1 | fig2 | fig3 | \
+                fig4")
+  in
+  let doc = "Regenerate one of the paper's tables or figures." in
+  Cmd.v (Cmd.info "report" ~doc) Term.(const run $ what)
+
+let () =
+  let doc =
+    "rematerialization in a Chaitin-Briggs graph-coloring register allocator"
+  in
+  let info = Cmd.info "ralloc" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info
+    [ parse_cmd; opt_cmd; alloc_cmd; run_cmd; kernels_cmd; dot_cmd;
+       emit_cmd; report_cmd ]))

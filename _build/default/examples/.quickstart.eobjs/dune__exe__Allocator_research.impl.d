@@ -1,0 +1,1 @@
+examples/allocator_research.ml: Fmt List Remat Sim String Suite

@@ -1,0 +1,1 @@
+examples/compiler_backend.ml: Fmt Frontend Iloc List Opt Printf Remat Sim

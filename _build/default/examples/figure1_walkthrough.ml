@@ -1,0 +1,12 @@
+(* The paper's running example, end to end: Figure 1 (rematerialization
+   versus spilling), Figure 2 (the allocator pipeline), Figure 3 (tags and
+   splits) and Figure 4 (executing ILOC).
+
+     dune exec examples/figure1_walkthrough.exe *)
+
+let () =
+  let std = Format.std_formatter in
+  Suite.Figures.fig1 std;
+  Suite.Figures.fig2 std;
+  Suite.Figures.fig3 std;
+  Suite.Figures.fig4 std

@@ -1,0 +1,1 @@
+lib/core/allocator.ml: Array Coalesce Dataflow Iloc Int Interference List Machine Mode Printf Renumber Select Simplify Spill_code Spill_cost Splitting Stats String

@@ -1,0 +1,1 @@
+lib/core/allocator.mli: Iloc Machine Mode Result Stats

@@ -1,0 +1,1 @@
+lib/core/coalesce.ml: Array Dataflow Hashtbl Iloc Int Interference List Option Tag

@@ -1,0 +1,1 @@
+lib/core/dump.ml: Array Dataflow Format Iloc Interference List

@@ -1,0 +1,1 @@
+lib/core/dump.mli: Format Iloc Interference

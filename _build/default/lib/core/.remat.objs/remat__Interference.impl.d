@@ -1,0 +1,1 @@
+lib/core/interference.ml: Array Dataflow Iloc List Option

@@ -1,0 +1,1 @@
+lib/core/local_allocator.ml: Array Dataflow Iloc List Machine Option Printf String

@@ -1,0 +1,1 @@
+lib/core/local_allocator.mli: Iloc Machine

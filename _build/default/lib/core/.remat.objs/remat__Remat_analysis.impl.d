@@ -1,0 +1,1 @@
+lib/core/remat_analysis.ml: Array Iloc List Queue Ssa Tag

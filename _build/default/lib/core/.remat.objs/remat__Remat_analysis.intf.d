@@ -1,0 +1,1 @@
+lib/core/remat_analysis.mli: Iloc Ssa Tag

@@ -1,0 +1,1 @@
+lib/core/renumber.ml: Array Dataflow Hashtbl Iloc List Mode Option Remat_analysis Ssa Tag

@@ -1,0 +1,1 @@
+lib/core/renumber.mli: Iloc Mode Tag

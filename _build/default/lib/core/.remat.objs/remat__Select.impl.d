@@ -1,0 +1,1 @@
+lib/core/select.ml: Array Iloc Interference List Option

@@ -1,0 +1,1 @@
+lib/core/simplify.ml: Array Iloc Interference List Queue

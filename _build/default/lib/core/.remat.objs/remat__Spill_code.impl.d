@@ -1,0 +1,1 @@
+lib/core/spill_code.ml: Array Iloc List Option Printf Tag

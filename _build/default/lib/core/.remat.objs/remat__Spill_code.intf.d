@@ -1,0 +1,1 @@
+lib/core/spill_code.mli: Iloc Tag

@@ -1,0 +1,1 @@
+lib/core/spill_cost.ml: Array Dataflow Iloc Interference List Option Tag

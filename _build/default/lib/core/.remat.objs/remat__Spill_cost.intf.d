@@ -1,0 +1,1 @@
+lib/core/spill_cost.mli: Dataflow Iloc Interference Tag

@@ -1,0 +1,1 @@
+lib/core/splitting.ml: Array Dataflow Iloc Int List Option Tag

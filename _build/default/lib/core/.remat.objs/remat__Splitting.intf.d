@@ -1,0 +1,1 @@
+lib/core/splitting.mli: Iloc Tag

@@ -1,0 +1,1 @@
+lib/core/tag.ml: Format Iloc

@@ -1,0 +1,1 @@
+lib/core/tag.mli: Format Iloc

@@ -1,0 +1,235 @@
+module Cfg = Iloc.Cfg
+module Reg = Iloc.Reg
+module Instr = Iloc.Instr
+
+exception Allocation_error of string
+
+type result = {
+  cfg : Iloc.Cfg.t;
+  mode : Mode.t;
+  machine : Machine.t;
+  rounds : int;
+  spilled_memory : int;
+  spilled_remat : int;
+  spill_slots : int;
+  n_values : int;
+  n_live_ranges : int;
+  coalesced_copies : int;
+  stats : Stats.t;
+}
+
+(* The build–coalesce loop: rebuild liveness and the graph after every
+   pass that changed the code; unrestricted copies first, then
+   conservative coalescing of splits (§4.2). *)
+let build_coalesce mode cfg ~k ~tags ~infinite ~split_pairs ~coalesced =
+  let split_pairs = ref split_pairs in
+  let phase = ref Coalesce.Unrestricted in
+  let rec loop () =
+    let live = Dataflow.Liveness.compute cfg in
+    let g = Interference.build cfg live in
+    let outcome =
+      Coalesce.pass !phase cfg g ~k ~tags ~infinite ~split_pairs:!split_pairs
+    in
+    split_pairs := outcome.Coalesce.split_pairs;
+    coalesced := !coalesced + outcome.Coalesce.coalesced;
+    if outcome.Coalesce.changed then loop ()
+    else
+      match !phase with
+      | Coalesce.Unrestricted when Mode.splits mode ->
+          phase := Coalesce.Conservative;
+          loop ()
+      | Coalesce.Unrestricted | Coalesce.Conservative ->
+          (live, g, !split_pairs)
+  in
+  loop ()
+
+let rewrite_physical (cfg : Cfg.t) (g : Interference.t)
+    (colors : int option array) =
+  let rename r =
+    match Dataflow.Reg_index.index_opt g.Interference.regs r with
+    | None -> r
+    | Some i -> (
+        match colors.(i) with
+        | Some c -> Reg.make c (Reg.cls r)
+        | None -> assert false)
+  in
+  Cfg.iter_blocks
+    (fun b ->
+      (* Identity copies — split or ordinary copies whose two live ranges
+         received the same color, the situation biased coloring sets up —
+         are deleted at rewrite time (§3.4). *)
+      b.Iloc.Block.body <-
+        List.filter_map
+          (fun i ->
+            let i = Instr.map_regs rename i in
+            match (i.Instr.op, i.Instr.dst) with
+            | Instr.Copy, Some d when Reg.equal d i.Instr.srcs.(0) -> None
+            | _ -> Some i)
+          b.Iloc.Block.body;
+      b.Iloc.Block.term <- Instr.map_regs rename b.Iloc.Block.term)
+    cfg
+
+let run ?(mode = Mode.Briggs_remat) ?(machine = Machine.standard)
+    ?(max_rounds = 64) (input : Cfg.t) =
+  (match Iloc.Validate.routine input with
+  | Ok () -> ()
+  | Error es ->
+      raise
+        (Allocation_error
+           (Printf.sprintf "invalid input routine: %s"
+              (String.concat "; "
+                 (List.map Iloc.Validate.error_to_string es)))));
+  let stats = Stats.create () in
+  let k = Machine.k_for machine in
+  let cfg0 = Cfg.split_critical_edges input in
+  (* Control-flow analysis: dominators and loop structure.  Renumber does
+     not add or remove blocks, so loop depths computed here remain valid
+     for the renumbered routine. *)
+  let loops =
+    Stats.time stats ~round:0 Stats.Cfa (fun () ->
+        let dom = Dataflow.Dominance.compute cfg0 in
+        Dataflow.Loops.compute cfg0 dom)
+  in
+  let rn =
+    Stats.time stats ~round:0 Stats.Renum (fun () -> Renumber.run mode cfg0)
+  in
+  let cfg = rn.Renumber.cfg in
+  let tags = rn.Renumber.tags in
+  let infinite : unit Reg.Tbl.t = Reg.Tbl.create 16 in
+  let slot_counter = ref 0 in
+  let spilled_memory = ref 0 and spilled_remat = ref 0 in
+  let coalesced = ref 0 in
+  let split_pairs = ref rn.Renumber.split_pairs in
+  (* §6 loop-boundary splitting schemes, layered after renumber. *)
+  (match Mode.loop_scheme mode with
+  | Some scheme ->
+      Stats.time stats ~round:0 Stats.Renum (fun () ->
+          split_pairs := !split_pairs @ Splitting.run scheme cfg ~tags)
+  | None -> ());
+  let rec round r =
+    if r > max_rounds then
+      raise
+        (Allocation_error
+           (Printf.sprintf "%s: no coloring after %d rounds"
+              input.Cfg.name max_rounds));
+    let live, g, sp =
+      Stats.time stats ~round:r Stats.Build (fun () ->
+          build_coalesce mode cfg ~k ~tags ~infinite ~split_pairs:!split_pairs
+            ~coalesced)
+    in
+    split_pairs := sp;
+    let costs =
+      Stats.time stats ~round:r Stats.Costs (fun () ->
+          Spill_cost.compute cfg loops g ~live ~tags ~infinite)
+    in
+    let selection =
+      Stats.time stats ~round:r Stats.Color (fun () ->
+          let order = Simplify.run g ~k ~costs in
+          let partners = Array.make (Interference.n_nodes g) [] in
+          List.iter
+            (fun (a, b) ->
+              match
+                ( Dataflow.Reg_index.index_opt g.Interference.regs a,
+                  Dataflow.Reg_index.index_opt g.Interference.regs b )
+              with
+              | Some ia, Some ib ->
+                  partners.(ia) <- ib :: partners.(ia);
+                  partners.(ib) <- ia :: partners.(ib)
+              | _ -> ())
+            !split_pairs;
+          Select.run g ~k ~order ~partners)
+    in
+    match selection.Select.spilled with
+    | [] ->
+        rewrite_physical cfg g selection.Select.colors;
+        r
+    | spilled_nodes ->
+        (* Select's uncolored set can include spill temporaries from an
+           earlier round when it colored optimistically-pushed candidates
+           in an unlucky order.  Spilling a temporary is never useful —
+           its live range is already minimal — so defer temporaries
+           whenever real live ranges are also uncolored; the real spills
+           lower the pressure that pinched the temporary.  If only
+           temporaries remain uncolored, pressure genuinely exceeds the
+           machine and Spill_code raises. *)
+        let spilled_nodes =
+          let temps, real =
+            List.partition
+              (fun i -> Reg.Tbl.mem infinite (Interference.reg g i))
+              spilled_nodes
+          in
+          match (real, temps) with
+          | _ :: _, _ -> real
+          | [], temps ->
+              (* Only temporaries are uncolored: every color at their
+                 program points is held by some longer live range.  Evict
+                 the cheapest finite-cost neighbor of each stuck
+                 temporary instead — that frees a color where it is
+                 needed, and the temporary colors next round. *)
+              let victims =
+                List.filter_map
+                  (fun t ->
+                    Interference.neighbors g t
+                    |> List.filter (fun nb -> costs.(nb) < infinity)
+                    |> function
+                    | [] -> None
+                    | nb :: nbs ->
+                        Some
+                          (List.fold_left
+                             (fun best c ->
+                               if costs.(c) < costs.(best) then c else best)
+                             nb nbs))
+                  temps
+                |> List.sort_uniq Int.compare
+              in
+              if victims = [] then
+                raise
+                  (Allocation_error
+                     (Printf.sprintf
+                        "%s: register pressure irreducible at k=%d/%d"
+                        input.Cfg.name machine.Machine.k_int
+                        machine.Machine.k_float));
+              victims
+        in
+        Stats.time stats ~round:r Stats.Spill (fun () ->
+            let spilled = List.map (Interference.reg g) spilled_nodes in
+            let st =
+              Spill_code.insert cfg ~tags ~infinite ~spilled ~slot_counter
+            in
+            spilled_memory := !spilled_memory + st.Spill_code.memory_lrs;
+            spilled_remat := !spilled_remat + st.Spill_code.remat_lrs);
+        round (r + 1)
+  in
+  let rounds = round 1 in
+  {
+    cfg;
+    mode;
+    machine;
+    rounds;
+    spilled_memory = !spilled_memory;
+    spilled_remat = !spilled_remat;
+    spill_slots = !slot_counter;
+    n_values = rn.Renumber.n_values;
+    n_live_ranges = rn.Renumber.n_live_ranges;
+    coalesced_copies = !coalesced;
+    stats;
+  }
+
+let check (res : result) =
+  let errs = ref [] in
+  (match Iloc.Validate.routine res.cfg with
+  | Ok () -> ()
+  | Error es -> errs := List.map Iloc.Validate.error_to_string es);
+  let k = Machine.k_for res.machine in
+  Cfg.iter_instrs
+    (fun b i ->
+      List.iter
+        (fun r ->
+          if Reg.id r >= k (Reg.cls r) then
+            errs :=
+              Printf.sprintf "%s/%s: %s exceeds machine registers"
+                res.cfg.Cfg.name b.Iloc.Block.label (Reg.to_string r)
+              :: !errs)
+        (Instr.defs i @ Instr.uses i))
+    res.cfg;
+  match !errs with [] -> Ok () | es -> Error es

@@ -1,0 +1,45 @@
+(** The optimistic register allocator with rematerialization — the
+    paper's Figure 2 pipeline:
+
+    {v renumber -> build -> coalesce -> spill costs -> simplify -> select
+                 ^                                              |
+                 +------------------ spill code <---------------+ v}
+
+    [run] drives the whole loop for a chosen {!Mode} and {!Machine},
+    recording per-phase wall times (Table 2) in a {!Stats.t}.  On success
+    the routine's registers have been rewritten to physical registers
+    [r0 .. r(k_int-1)] / [f0 .. f(k_float-1)]. *)
+
+exception Allocation_error of string
+
+type result = {
+  cfg : Iloc.Cfg.t;  (** allocated code, physical registers *)
+  mode : Mode.t;
+  machine : Machine.t;
+  rounds : int;  (** color–spill rounds executed (≥ 1) *)
+  spilled_memory : int;  (** live ranges spilled through memory, total *)
+  spilled_remat : int;  (** live ranges rematerialized, total *)
+  spill_slots : int;  (** frame slots used *)
+  n_values : int;  (** SSA values found by renumber *)
+  n_live_ranges : int;  (** live ranges after renumber *)
+  coalesced_copies : int;  (** copies removed by coalescing, total *)
+  stats : Stats.t;
+}
+
+val run :
+  ?mode:Mode.t ->
+  ?machine:Machine.t ->
+  ?max_rounds:int ->
+  Iloc.Cfg.t ->
+  result
+(** [mode] defaults to {!Mode.Briggs_remat}, [machine] to
+    {!Machine.standard}, [max_rounds] to 64.  The input routine must pass
+    {!Iloc.Validate.routine}; it is not mutated (allocation works on a
+    critical-edge-split copy).  Raises {!Allocation_error} when the input
+    is invalid or the round limit is hit, and
+    {!Spill_code.Pressure_too_high} when the register set is too small for
+    the routine. *)
+
+val check : result -> (unit, string list) Result.t
+(** Post-allocation sanity check: the code is valid ILOC and every
+    register id is below the machine's [k] for its class. *)

@@ -1,0 +1,40 @@
+(** Coalescing (§2 and §4.2).
+
+    Two regimes, run as the paper prescribes: first {e unrestricted}
+    coalescing of ordinary copies to a fixpoint, then {e conservative}
+    coalescing of split copies.  A split [l_i <- l_j] may only be
+    coalesced when the combined live range has fewer than [k] neighbors of
+    {e significant degree} (degree ≥ k) — Briggs' criterion, which
+    guarantees the merged node is removable by simplify and therefore will
+    never be spilled.
+
+    Each pass works on the current interference graph; when it changes
+    anything, the caller must rewrite and rebuild before the next pass
+    (the paper's build–coalesce loop).  Unrestricted passes may perform
+    many unions per sweep — interference between merged classes is checked
+    member-by-member so stale-graph merges stay sound; conservative passes
+    perform at most one union per sweep so the Briggs test always runs
+    against a fresh graph. *)
+
+type phase = Unrestricted | Conservative
+
+type outcome = {
+  changed : bool;
+  split_pairs : (Iloc.Reg.t * Iloc.Reg.t) list;  (** remapped *)
+  coalesced : int;  (** copies removed this pass *)
+}
+
+val pass :
+  phase ->
+  Iloc.Cfg.t ->
+  Interference.t ->
+  k:(Iloc.Reg.cls -> int) ->
+  tags:Tag.t Iloc.Reg.Tbl.t ->
+  infinite:unit Iloc.Reg.Tbl.t ->
+  split_pairs:(Iloc.Reg.t * Iloc.Reg.t) list ->
+  outcome
+(** Mutates the routine (renaming coalesced registers and deleting the
+    now-trivial copies), the tag table (meeting merged tags), and the
+    infinite-cost table: a merged live range stays infinite only when
+    {e every} constituent was infinite — coalescing a spill temporary
+    into an ordinary live range yields an ordinary live range. *)

@@ -1,0 +1,56 @@
+(** Graphviz output for interference graphs.
+
+    Nodes are live ranges (solid for integer, dashed boxes for float);
+    interference edges are solid, split-partner relations dotted.  When a
+    coloring is supplied, same-colored nodes share a fill color (cycling
+    through a small palette).
+
+    {v dune exec bin/ralloc.exe -- dot kernel:fehl --interference \
+         | dot -Tsvg > ig.svg v} *)
+
+module Reg = Iloc.Reg
+
+let palette =
+  [|
+    "#8dd3c7"; "#ffffb3"; "#bebada"; "#fb8072"; "#80b1d3"; "#fdb462";
+    "#b3de69"; "#fccde5"; "#d9d9d9"; "#bc80bd"; "#ccebc5"; "#ffed6f";
+  |]
+
+let interference ?colors ?(split_pairs = []) ppf (g : Interference.t) =
+  Format.fprintf ppf "graph interference {@.";
+  Format.fprintf ppf "  node [fontname=\"monospace\", style=filled];@.";
+  for i = 0 to Interference.n_nodes g - 1 do
+    let r = Interference.reg g i in
+    let fill =
+      match colors with
+      | Some cs -> (
+          match cs.(i) with
+          | Some c -> palette.(c mod Array.length palette)
+          | None -> "#ff4444" (* spilled *))
+      | None -> "#ffffff"
+    in
+    Format.fprintf ppf "  n%d [label=\"%s (%d)\", shape=%s, fillcolor=\"%s\"];@."
+      i (Reg.to_string r)
+      (Interference.degree g i)
+      (if Reg.is_int r then "ellipse" else "box")
+      fill
+  done;
+  for i = 0 to Interference.n_nodes g - 1 do
+    List.iter
+      (fun j -> if j > i then Format.fprintf ppf "  n%d -- n%d;@." i j)
+      (Interference.neighbors g i)
+  done;
+  List.iter
+    (fun (a, b) ->
+      match
+        ( Dataflow.Reg_index.index_opt g.Interference.regs a,
+          Dataflow.Reg_index.index_opt g.Interference.regs b )
+      with
+      | Some ia, Some ib ->
+          Format.fprintf ppf "  n%d -- n%d [style=dotted];@." ia ib
+      | _ -> ())
+    split_pairs;
+  Format.fprintf ppf "}@."
+
+let interference_to_string ?colors ?split_pairs g =
+  Format.asprintf "%a" (interference ?colors ?split_pairs) g

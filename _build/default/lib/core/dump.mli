@@ -1,0 +1,22 @@
+(** Graphviz output for interference graphs.
+
+    Nodes are live ranges (ellipses for integer, boxes for float, degree
+    in the label); interference edges are solid, split-partner relations
+    dotted.  With a coloring, same-colored nodes share a fill color and
+    uncolored (spilled) nodes are red:
+
+    {v dune exec bin/ralloc.exe -- dot kernel:fehl --interference \
+         | dot -Tsvg > ig.svg v} *)
+
+val interference :
+  ?colors:int option array ->
+  ?split_pairs:(Iloc.Reg.t * Iloc.Reg.t) list ->
+  Format.formatter ->
+  Interference.t ->
+  unit
+
+val interference_to_string :
+  ?colors:int option array ->
+  ?split_pairs:(Iloc.Reg.t * Iloc.Reg.t) list ->
+  Interference.t ->
+  string

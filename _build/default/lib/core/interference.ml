@@ -1,0 +1,76 @@
+module Bitset = Dataflow.Bitset
+module Reg_index = Dataflow.Reg_index
+module Reg = Iloc.Reg
+module Instr = Iloc.Instr
+
+type t = {
+  regs : Reg_index.t;
+  n : int;
+  matrix : Bitset.t;
+  adj : int list array;
+  degree : int array;
+}
+
+(* Triangular index for an unordered pair (i <> j). *)
+let tri i j =
+  let hi, lo = if i > j then (i, j) else (j, i) in
+  (hi * (hi - 1) / 2) + lo
+
+let interfere t i j = i <> j && Bitset.mem t.matrix (tri i j)
+let neighbors t i = t.adj.(i)
+let degree t i = t.degree.(i)
+let reg t i = Reg_index.reg t.regs i
+let index t r = Reg_index.index t.regs r
+let n_nodes t = t.n
+
+let n_edges t = Array.fold_left ( + ) 0 t.degree / 2
+
+let build (cfg : Iloc.Cfg.t) (live : Dataflow.Liveness.t) =
+  let regs = live.Dataflow.Liveness.regs in
+  let n = Reg_index.count regs in
+  let matrix = Bitset.create (n * (n - 1) / 2) in
+  let adj = Array.make n [] in
+  let degree = Array.make n 0 in
+  let add_edge i j =
+    if i <> j && not (Bitset.mem matrix (tri i j)) then begin
+      Bitset.add matrix (tri i j);
+      adj.(i) <- j :: adj.(i);
+      adj.(j) <- i :: adj.(j);
+      degree.(i) <- degree.(i) + 1;
+      degree.(j) <- degree.(j) + 1
+    end
+  in
+  Iloc.Cfg.iter_blocks
+    (fun b ->
+      let live_now = Bitset.copy live.Dataflow.Liveness.live_out.(b.id) in
+      let step (i : Instr.t) =
+        (match i.Instr.dst with
+        | Some d ->
+            let di = Reg_index.index regs d in
+            let skip =
+              (* Copies: the new value and the copied value may share a
+                 register, so no edge between them (enables coalescing). *)
+              if Instr.is_copy i then
+                Some (Reg_index.index regs i.Instr.srcs.(0))
+              else None
+            in
+            Bitset.iter
+              (fun l ->
+                if
+                  l <> di
+                  && Option.fold ~none:true ~some:(fun s -> l <> s) skip
+                  && Reg.cls_equal
+                       (Reg.cls (Reg_index.reg regs l))
+                       (Reg.cls d)
+                then add_edge di l)
+              live_now;
+            Bitset.remove live_now di
+        | None -> ());
+        List.iter
+          (fun u -> Bitset.add live_now (Reg_index.index regs u))
+          (Instr.uses i)
+      in
+      step b.term;
+      List.iter step (List.rev b.body))
+    cfg;
+  { regs; n; matrix; adj; degree }

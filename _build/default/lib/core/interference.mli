@@ -1,0 +1,30 @@
+(** The interference graph, in Chaitin's dual representation (§2):
+    a triangular bit matrix for O(1) membership tests and adjacency
+    vectors for iteration.
+
+    Nodes are the live ranges of a renumbered routine (one per register
+    name).  An edge joins two live ranges that are simultaneously live at
+    some definition point {e and belong to the same register class} — the
+    paper's machine colors integer and floating registers from disjoint
+    palettes, so cross-class edges would only waste matrix bits.
+    Following Chaitin, the destination of a copy does not interfere with
+    the copy's source. *)
+
+type t = {
+  regs : Dataflow.Reg_index.t;
+  n : int;
+  matrix : Dataflow.Bitset.t;  (** triangular; see {!interfere} *)
+  adj : int list array;
+  degree : int array;
+}
+
+val build : Iloc.Cfg.t -> Dataflow.Liveness.t -> t
+(** One backward pass per block, seeded with the block's live-out set. *)
+
+val interfere : t -> int -> int -> bool
+val neighbors : t -> int -> int list
+val degree : t -> int -> int
+val reg : t -> int -> Iloc.Reg.t
+val index : t -> Iloc.Reg.t -> int
+val n_nodes : t -> int
+val n_edges : t -> int

@@ -1,0 +1,30 @@
+(** A fast, local (per-basic-block) register allocator.
+
+    §5.4 contrasts the global allocators' speed with "the fast, local
+    techniques used in non-optimizing compilers [Fraser-Hanson]" and
+    concludes that "global optimizations require global register
+    allocation".  This module provides that reference point: a classic
+    bottom-up allocator that keeps every live range's home in memory,
+    loads values into registers on demand within a block (evicting the
+    register whose value is needed furthest in the future — dirty values
+    are stored back), and flushes all dirty, live-out values at block
+    boundaries.
+
+    It is simple and fast, touches memory at every block boundary, and
+    never rematerializes anything — exactly the behaviour the global
+    allocators are measured against in the benchmark harness's baseline
+    comparisons. *)
+
+exception Too_few_registers of string
+(** An instruction's operands alone exceed the register class (needs at
+    least 4 integer and 2 floating registers). *)
+
+type result = {
+  cfg : Iloc.Cfg.t;  (** rewritten with physical registers *)
+  slots_used : int;
+  loads_inserted : int;
+  stores_inserted : int;
+}
+
+val run : ?machine:Machine.t -> Iloc.Cfg.t -> result
+(** The input is validated and left unmodified. *)

@@ -1,0 +1,48 @@
+module Values = Ssa.Values
+
+let run (_cfg : Iloc.Cfg.t) (vals : Values.t) =
+  let n = Values.count vals in
+  let tags = Array.make n Tag.Top in
+  (* Initial tags from the defining instruction. *)
+  for v = 0 to n - 1 do
+    match Values.def vals v with
+    | Values.Def_instr { instr; _ } -> tags.(v) <- Tag.initial instr.op
+    | Values.Def_phi _ -> tags.(v) <- Tag.Top
+  done;
+  (* Sparse edges: consumers.(v) lists the values whose tag depends
+     directly on v's tag — copy destinations and φ results. *)
+  let consumers = Array.make n [] in
+  let inputs v =
+    match Values.def vals v with
+    | Values.Def_instr { instr = { op = Iloc.Instr.Copy; srcs; _ }; _ } ->
+        [ Values.index vals srcs.(0) ]
+    | Values.Def_instr _ -> []
+    | Values.Def_phi { phi; _ } ->
+        List.map (fun (_, a) -> Values.index vals a) phi.args
+  in
+  for v = 0 to n - 1 do
+    List.iter
+      (fun src -> consumers.(src) <- v :: consumers.(src))
+      (inputs v)
+  done;
+  let evaluate v =
+    match inputs v with
+    | [] -> tags.(v)
+    | ins -> List.fold_left (fun acc a -> Tag.meet acc tags.(a)) Tag.Top ins
+  in
+  let work = Queue.create () in
+  for v = 0 to n - 1 do
+    Queue.add v work
+  done;
+  while not (Queue.is_empty work) do
+    let v = Queue.pop work in
+    let nv = evaluate v in
+    if not (Tag.equal nv tags.(v)) then begin
+      (* The lattice has height 2, so each value enters the queue O(1)
+         times and propagation is linear in the number of SSA edges. *)
+      assert (Tag.leq nv tags.(v));
+      tags.(v) <- nv;
+      List.iter (fun c -> Queue.add c work) consumers.(v)
+    end
+  done;
+  Array.map (function Tag.Top -> Tag.Bottom | t -> t) tags

@@ -1,0 +1,42 @@
+(** Renumber: from virtual registers to live ranges (§4.1).
+
+    The six steps of the paper's modified renumber:
+
+    + liveness at each basic block;
+    + φ-node insertion on dominance frontiers, pruned by liveness;
+    + renaming of every operand to refer to values;
+    + rematerialization-tag propagation (see {!Remat_analysis});
+    + for each copy whose source and destination values carry identical
+      [inst] tags: union the values and delete the copy;
+    + for each φ-node operand: union it with the result when their tags
+      are identical, otherwise insert a {e split} — a distinguished copy —
+      in the corresponding predecessor block.
+
+    Under [Mode.No_remat] and [Mode.Chaitin_remat], steps 5–6 degrade to
+    Chaitin's original renumber: all values reaching a φ-node are unioned
+    and no splits are introduced.  Under
+    [Mode.Briggs_remat_phi_splits], step 6 only unions values with equal
+    [inst] tags, splitting every other φ edge (§6).
+
+    The output routine has no φ-nodes, and every register in it names a
+    live range.  When several splits land on one predecessor edge they
+    form a parallel copy and are sequentialized (see
+    {!Ssa.Parallel_copy}); scratch registers introduced there are reported
+    as ordinary live ranges carrying their source's tag.
+
+    Requires critical edges to have been split
+    ({!Iloc.Cfg.split_critical_edges}) — split copies go at the end of
+    predecessor blocks, which is only correct when no conditional branch
+    can read a live range the copies overwrite. *)
+
+type result = {
+  cfg : Iloc.Cfg.t;  (** live-range-named code, φ-free *)
+  tags : Tag.t Iloc.Reg.Tbl.t;  (** rematerialization tag per live range *)
+  split_pairs : (Iloc.Reg.t * Iloc.Reg.t) list;
+      (** (destination, source) of every split copy inserted; conservative
+          coalescing and biased coloring treat these as partners *)
+  n_values : int;  (** SSA values found (before unioning) *)
+  n_live_ranges : int;  (** live ranges after steps 5–6 *)
+}
+
+val run : Mode.t -> Iloc.Cfg.t -> result

@@ -1,0 +1,65 @@
+module Reg = Iloc.Reg
+
+type t = {
+  colors : int option array;
+  spilled : int list;
+}
+
+let run (g : Interference.t) ~k ~order ~partners =
+  let n = Interference.n_nodes g in
+  let colors = Array.make n None in
+  let forbidden i =
+    List.fold_left
+      (fun acc nb ->
+        match colors.(nb) with Some c -> c :: acc | None -> acc)
+      [] (Interference.neighbors g i)
+  in
+  let pick i =
+    let ki = k (Reg.cls (Interference.reg g i)) in
+    let bad = forbidden i in
+    let avail = Array.make ki true in
+    List.iter (fun c -> if c < ki then avail.(c) <- false) bad;
+    let available c = c >= 0 && c < ki && avail.(c) in
+    (* 1. a color one of my colored partners already holds *)
+    let partner_color =
+      List.find_opt
+        (fun p ->
+          match colors.(p) with Some c -> available c | None -> false)
+        partners.(i)
+      |> Option.map (fun p -> Option.get colors.(p))
+    in
+    match partner_color with
+    | Some c -> Some c
+    | None ->
+        (* 2. lookahead: prefer a color an uncolored partner could still
+           receive, so later biasing can match us *)
+        let lookahead =
+          List.find_map
+            (fun p ->
+              if colors.(p) <> None then None
+              else begin
+                let pbad = forbidden p in
+                let rec first c =
+                  if c >= ki then None
+                  else if avail.(c) && not (List.mem c pbad) then Some c
+                  else first (c + 1)
+                in
+                first 0
+              end)
+            partners.(i)
+        in
+        (match lookahead with
+        | Some c -> Some c
+        | None ->
+            (* 3. lowest available color *)
+            let rec first c =
+              if c >= ki then None else if avail.(c) then Some c else first (c + 1)
+            in
+            first 0)
+  in
+  List.iter (fun i -> colors.(i) <- pick i) order;
+  let spilled = ref [] in
+  for i = n - 1 downto 0 do
+    if colors.(i) = None then spilled := i :: !spilled
+  done;
+  { colors; spilled = !spilled }

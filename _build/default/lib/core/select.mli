@@ -1,0 +1,25 @@
+(** Select: color assignment with biased coloring (§2, §4.3).
+
+    Nodes are colored in the order simplify produced.  Colors are small
+    integers, drawn per register class ([0 .. k(cls)-1]); integer and
+    floating palettes are disjoint.
+
+    Biased coloring: before picking the lowest available color, select
+    first tries colors already assigned to the node's {e partners} — live
+    ranges connected to it by split copies.  With limited lookahead, when
+    a node has an uncolored partner, select prefers an available color
+    that the partner could still take, raising the chance the pair ends up
+    sharing a register so the split copy becomes removable dead work
+    (§4.3). *)
+
+type t = {
+  colors : int option array;  (** [None] marks a node select left uncolored *)
+  spilled : int list;  (** indices of uncolored nodes *)
+}
+
+val run :
+  Interference.t ->
+  k:(Iloc.Reg.cls -> int) ->
+  order:int list ->
+  partners:int list array ->
+  t

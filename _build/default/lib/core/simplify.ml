@@ -1,0 +1,64 @@
+module Reg = Iloc.Reg
+
+let run (g : Interference.t) ~k ~costs =
+  let n = Interference.n_nodes g in
+  let deg = Array.init n (Interference.degree g) in
+  let removed = Array.make n false in
+  let queued = Array.make n false in
+  let k_of i = k (Reg.cls (Interference.reg g i)) in
+  let trivial = Queue.create () in
+  for i = 0 to n - 1 do
+    if deg.(i) < k_of i then begin
+      Queue.add i trivial;
+      queued.(i) <- true
+    end
+  done;
+  let stack = ref [] in
+  let remaining = ref n in
+  let remove i =
+    removed.(i) <- true;
+    decr remaining;
+    stack := i :: !stack;
+    List.iter
+      (fun nb ->
+        if not removed.(nb) then begin
+          deg.(nb) <- deg.(nb) - 1;
+          if deg.(nb) < k_of nb && not queued.(nb) then begin
+            Queue.add nb trivial;
+            queued.(nb) <- true
+          end
+        end)
+      (Interference.neighbors g i)
+  in
+  while !remaining > 0 do
+    if not (Queue.is_empty trivial) then begin
+      let i = Queue.pop trivial in
+      if not removed.(i) then remove i
+    end
+    else begin
+      (* All remaining nodes are constrained: pick the spill candidate
+         minimizing cost/degree and push it optimistically. *)
+      let best = ref (-1) in
+      let best_metric = ref infinity in
+      for i = 0 to n - 1 do
+        if not removed.(i) then begin
+          let metric =
+            if deg.(i) = 0 then 0. else costs.(i) /. float_of_int deg.(i)
+          in
+          (* Prefer finite candidates; among infinities fall back to the
+             highest degree so a forced choice at least unblocks most
+             neighbors. *)
+          if
+            metric < !best_metric
+            || (!best = -1)
+            || (metric = !best_metric && deg.(i) > deg.(!best))
+          then begin
+            best := i;
+            best_metric := metric
+          end
+        end
+      done;
+      remove !best
+    end
+  done;
+  !stack

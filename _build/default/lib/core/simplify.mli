@@ -1,0 +1,13 @@
+(** Simplify: ordering the nodes for coloring (§2).
+
+    Repeatedly removes nodes of degree < k and pushes them on a stack;
+    when only high-degree nodes remain it picks the spill candidate
+    minimizing Chaitin's metric (spill cost divided by current degree) and
+    — this is Briggs' {e optimistic} twist — pushes the candidate on the
+    stack as well instead of spilling immediately.  Select later discovers
+    whether the candidate actually receives a color. *)
+
+val run :
+  Interference.t -> k:(Iloc.Reg.cls -> int) -> costs:float array -> int list
+(** The returned list is the coloring order: its head is the node select
+    must color first (the last node removed from the graph). *)

@@ -1,0 +1,139 @@
+module Reg = Iloc.Reg
+module Instr = Iloc.Instr
+
+exception Pressure_too_high of string
+
+type stats = {
+  remat_lrs : int;
+  memory_lrs : int;
+  new_slots : int;
+}
+
+let insert (cfg : Iloc.Cfg.t) ~tags ~infinite ~spilled ~slot_counter =
+  List.iter
+    (fun r ->
+      if Reg.Tbl.mem infinite r then
+        raise
+          (Pressure_too_high
+             (Printf.sprintf
+                "spill temporary %s selected for spilling; %s has too few registers"
+                (Reg.to_string r) cfg.Iloc.Cfg.name)))
+    spilled;
+  let spilled_set =
+    List.fold_left (fun acc r -> Reg.Set.add r acc) Reg.Set.empty spilled
+  in
+  let tag_of r = Option.value (Reg.Tbl.find_opt tags r) ~default:Tag.Bottom in
+  let slots = Reg.Tbl.create 8 in
+  let new_slots = ref 0 in
+  let slot_of r =
+    match Reg.Tbl.find_opt slots r with
+    | Some s -> s
+    | None ->
+        let s = !slot_counter in
+        incr slot_counter;
+        incr new_slots;
+        Reg.Tbl.replace slots r s;
+        s
+  in
+  let fresh_temp src_reg tag =
+    let t = Iloc.Cfg.fresh_reg cfg (Reg.cls src_reg) in
+    Reg.Tbl.replace tags t tag;
+    Reg.Tbl.replace infinite t ();
+    t
+  in
+  let remat_lrs = ref Reg.Set.empty and memory_lrs = ref Reg.Set.empty in
+  (* Rewrite one instruction into the sequence replacing it. *)
+  let rewrite (i : Instr.t) =
+    let dead_remat_def =
+      match i.Instr.dst with
+      | Some d when Reg.Set.mem d spilled_set && Tag.is_inst (tag_of d) ->
+          (* The whole definition is recomputable at each use; by tag
+             soundness it must be a never-killed instruction or a copy,
+             both side-effect free, so it is simply deleted. *)
+          assert (Instr.never_killed i.Instr.op || Instr.is_copy i);
+          remat_lrs := Reg.Set.add d !remat_lrs;
+          true
+      | _ -> false
+    in
+    if dead_remat_def then []
+    else begin
+      match (i.Instr.op, i.Instr.dst) with
+      | Instr.Copy, Some d
+        when Reg.Set.mem i.Instr.srcs.(0) spilled_set
+             && Tag.is_inst (tag_of i.Instr.srcs.(0)) -> (
+          (* Chaitin's refinement (§3): an uncoalesced copy of a
+             never-killed value is eliminated by recomputing directly
+             into the desired register. *)
+          let s = i.Instr.srcs.(0) in
+          remat_lrs := Reg.Set.add s !remat_lrs;
+          let op =
+            match tag_of s with Tag.Inst op -> op | _ -> assert false
+          in
+          match Reg.Set.mem d spilled_set with
+          | false -> [ Instr.make op ~dst:d [] ]
+          | true ->
+              memory_lrs := Reg.Set.add d !memory_lrs;
+              let t = fresh_temp d Tag.Bottom in
+              [ Instr.make op ~dst:t []; Instr.spill t (slot_of d) ])
+      | _ ->
+      let pre = ref [] in
+      let substs = ref [] in
+      let used_spilled =
+        List.sort_uniq Reg.compare (Instr.uses i)
+        |> List.filter (fun u -> Reg.Set.mem u spilled_set)
+      in
+      List.iter
+        (fun u ->
+          match tag_of u with
+          | Tag.Inst op ->
+              remat_lrs := Reg.Set.add u !remat_lrs;
+              let t = fresh_temp u (Tag.Inst op) in
+              pre := Instr.make op ~dst:t [] :: !pre;
+              substs := (u, t) :: !substs
+          | Tag.Bottom | Tag.Top ->
+              memory_lrs := Reg.Set.add u !memory_lrs;
+              let t = fresh_temp u Tag.Bottom in
+              pre := Instr.reload t (slot_of u) :: !pre;
+              substs := (u, t) :: !substs)
+        used_spilled;
+      let subst r =
+        match List.assoc_opt r !substs with Some t -> t | None -> r
+      in
+      let i =
+        { i with Instr.srcs = Array.map subst i.Instr.srcs }
+      in
+      let i, post =
+        match i.Instr.dst with
+        | Some d when Reg.Set.mem d spilled_set ->
+            memory_lrs := Reg.Set.add d !memory_lrs;
+            let t = fresh_temp d Tag.Bottom in
+            ( { i with Instr.dst = Some t },
+              [ Instr.spill t (slot_of d) ] )
+        | _ -> (i, [])
+      in
+      List.rev !pre @ [ i ] @ post
+    end
+  in
+  Iloc.Cfg.iter_blocks
+    (fun b ->
+      let body = List.concat_map rewrite b.Iloc.Block.body in
+      (* The terminator only uses registers; reloads go before it. *)
+      match rewrite b.Iloc.Block.term with
+      | [] -> b.Iloc.Block.body <- body (* unreachable: terminators survive *)
+      | parts ->
+          let rec split_last = function
+            | [ t ] -> ([], t)
+            | x :: rest ->
+                let init, t = split_last rest in
+                (x :: init, t)
+            | [] -> assert false
+          in
+          let pre, term = split_last parts in
+          b.Iloc.Block.body <- body @ pre;
+          b.Iloc.Block.term <- term)
+    cfg;
+  {
+    remat_lrs = Reg.Set.cardinal !remat_lrs;
+    memory_lrs = Reg.Set.cardinal !memory_lrs;
+    new_slots = !new_slots;
+  }

@@ -1,0 +1,38 @@
+(** Spill-code insertion, tag-directed (§3.2).
+
+    Every live range select left uncolored is converted into a collection
+    of tiny live ranges:
+
+    - [Inst op] tag: the value is {e rematerialized} — a fresh temporary
+      is defined by [op] immediately before each use, and every original
+      definition of the live range is deleted (never-killed values are
+      side-effect free and recomputable, so their defining instructions
+      and connecting copies are dead once no use reads the register);
+    - [Bottom] tag: the classic heavyweight spill — a frame slot is
+      assigned, every definition is followed by a [spill] of a fresh
+      temporary and every use is preceded by a [reload].
+
+    Fresh temporaries are registered in the tag table (reload temporaries
+    as [Bottom], rematerialization temporaries keep the [Inst] tag) and
+    marked infinite-cost so later rounds never try to spill them — this is
+    what makes the iterated color–spill process terminate. *)
+
+exception Pressure_too_high of string
+(** Raised when a previous round's spill temporary is itself selected for
+    spilling: register pressure exceeds what the target's [k] can express
+    (only reachable with pathologically small register sets). *)
+
+type stats = {
+  remat_lrs : int;  (** live ranges spilled by rematerialization *)
+  memory_lrs : int;  (** live ranges spilled through memory *)
+  new_slots : int;
+}
+
+val insert :
+  Iloc.Cfg.t ->
+  tags:Tag.t Iloc.Reg.Tbl.t ->
+  infinite:unit Iloc.Reg.Tbl.t ->
+  spilled:Iloc.Reg.t list ->
+  slot_counter:int ref ->
+  stats
+(** Mutates the routine in place. *)

@@ -1,0 +1,33 @@
+(** Spill-cost estimation (§2, refined by §3.2).
+
+    The classic Chaitin estimate: the cost of the memory operations that
+    spilling would insert, each weighted by [10^d] for loop-nesting depth
+    [d].  The rematerialization tags refine it — an [Inst]-tagged live
+    range needs no stores at definitions and only a one-cycle
+    rematerialization instruction before each use, so its estimate is
+    correspondingly smaller and simplify prefers to spill it first ("spill
+    costs uses the tags to compute more accurate spill costs", §3.2).
+
+    Live ranges created by earlier spill rounds are marked infinite so the
+    iterative color–spill process terminates. *)
+
+val compute :
+  Iloc.Cfg.t ->
+  Dataflow.Loops.t ->
+  Interference.t ->
+  live:Dataflow.Liveness.t ->
+  tags:Tag.t Iloc.Reg.Tbl.t ->
+  infinite:unit Iloc.Reg.Tbl.t ->
+  float array
+(** Cost per interference-graph node.  Two kinds of live range are marked
+    [infinity]: spill temporaries from earlier rounds (the [infinite]
+    table), and {e tiny} ranges — confined to one block with all
+    occurrences within two instructions of each other — whose spilling
+    would insert a load or store adjacent to every occurrence without
+    shortening the range (Chaitin's classic futile-spill guard). *)
+
+val load_store_cycles : int
+(** Cycles charged per inserted load or store (2, matching §5.1). *)
+
+val remat_cycles : int
+(** Cycles charged per rematerialization instruction (1). *)

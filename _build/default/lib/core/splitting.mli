@@ -1,0 +1,36 @@
+(** Loop-based live-range splitting — the §6 extensions.
+
+    "A natural extension to the scheme described in Section 3 is to split
+    at all φ-nodes ... This suggests adding extra splits at the top of the
+    loop."  The paper experimented with several schemes; this module
+    implements the loop-boundary family on the renumbered routine:
+
+    - [`All_loops]: split every live range that is live into a loop's
+      header around that loop, for every loop (scheme 1);
+    - [`Outer_loops]: only around outermost loops (scheme 2);
+    - [`Unreferenced]: split a live range only around the outermost loop
+      in which it is neither used nor defined (scheme 3) — the case the
+      paper singles out with the value p₀ of Figure 3, a value that a
+      φ-driven splitter can never isolate because no φ-node exists for
+      it.
+
+    For each chosen (live range, loop) pair the pass renames the live
+    range inside the loop to a fresh name connected by split copies: one
+    on every loop-entry edge, and — when the loop redefines the value and
+    it is live afterwards — one on every exit edge.  The new names carry
+    the original tag and are recorded as split partners, so conservative
+    coalescing and biased coloring treat them exactly like renumber's own
+    splits; in regions of low pressure everything coalesces back and the
+    routine is unchanged.
+
+    Requires critical edges to have been split.  Mutates the routine and
+    the tag table in place and returns the new split pairs. *)
+
+type scheme = [ `All_loops | `Outer_loops | `Unreferenced ]
+
+val run :
+  scheme ->
+  Iloc.Cfg.t ->
+  tags:Tag.t Iloc.Reg.Tbl.t ->
+  (Iloc.Reg.t * Iloc.Reg.t) list
+(** Returns the split pairs inserted (to be appended to renumber's). *)

@@ -1,0 +1,54 @@
+type phase = Cfa | Renum | Build | Costs | Color | Spill
+
+type row = { round : int; phase : phase; seconds : float }
+
+type t = { mutable rows_rev : row list }
+
+let create () = { rows_rev = [] }
+
+let time t ~round phase f =
+  let start = Unix.gettimeofday () in
+  let finish () =
+    let seconds = Unix.gettimeofday () -. start in
+    t.rows_rev <- { round; phase; seconds } :: t.rows_rev
+  in
+  match f () with
+  | v ->
+      finish ();
+      v
+  | exception e ->
+      finish ();
+      raise e
+
+let rows t = List.rev t.rows_rev
+
+let total t = List.fold_left (fun acc r -> acc +. r.seconds) 0. t.rows_rev
+
+let phase_to_string = function
+  | Cfa -> "cfa"
+  | Renum -> "renum"
+  | Build -> "build"
+  | Costs -> "costs"
+  | Color -> "color"
+  | Spill -> "spill"
+
+let by_phase t =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun r ->
+      let key = (r.round, r.phase) in
+      match Hashtbl.find_opt tbl key with
+      | Some s -> Hashtbl.replace tbl key (s +. r.seconds)
+      | None ->
+          Hashtbl.add tbl key r.seconds;
+          order := key :: !order)
+    (rows t);
+  List.rev_map (fun (round, phase) -> (round, phase, Hashtbl.find tbl (round, phase))) !order
+
+let pp ppf t =
+  List.iter
+    (fun (round, phase, s) ->
+      Format.fprintf ppf "round %d %-6s %8.5fs@." round (phase_to_string phase) s)
+    (by_phase t);
+  Format.fprintf ppf "total %14.5fs@." (total t)

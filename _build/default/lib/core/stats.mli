@@ -1,0 +1,22 @@
+(** Per-phase wall-clock accounting, the instrument behind Table 2.
+
+    The allocator records one row per (round, phase); [rows] returns them
+    in execution order.  Phase names match the paper's table: [cfa]
+    (control-flow analysis: dominators, frontiers, loops), [renum],
+    [build] (the build–coalesce loop), [costs], [color] (simplify and
+    select), [spill] (spill-code insertion). *)
+
+type phase = Cfa | Renum | Build | Costs | Color | Spill
+
+type row = { round : int; phase : phase; seconds : float }
+type t
+
+val create : unit -> t
+val time : t -> round:int -> phase -> (unit -> 'a) -> 'a
+val rows : t -> row list
+val total : t -> float
+val phase_to_string : phase -> string
+val by_phase : t -> (int * phase * float) list
+(** Same as {!rows} but summed per (round, phase) pair, ordered. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,41 @@
+type t = Top | Inst of Iloc.Instr.op | Bottom
+
+let initial (op : Iloc.Instr.op) =
+  if Iloc.Instr.never_killed op then Inst op
+  else if op = Iloc.Instr.Copy then Top
+  else Bottom
+
+let meet a b =
+  match (a, b) with
+  | Top, x | x, Top -> x
+  | Bottom, _ | _, Bottom -> Bottom
+  | Inst i, Inst j -> if Iloc.Instr.remat_equal i j then Inst i else Bottom
+
+let equal a b =
+  match (a, b) with
+  | Top, Top | Bottom, Bottom -> true
+  | Inst i, Inst j -> Iloc.Instr.remat_equal i j
+  | _ -> false
+
+let is_inst = function Inst _ -> true | Top | Bottom -> false
+
+let leq a b =
+  match (a, b) with
+  | Bottom, _ -> true
+  | _, Top -> true
+  | Inst i, Inst j -> Iloc.Instr.remat_equal i j
+  | _ -> false
+
+let pp ppf = function
+  | Top -> Format.pp_print_string ppf "T"
+  | Bottom -> Format.pp_print_string ppf "_|_"
+  | Inst (Iloc.Instr.Ldi n) -> Format.fprintf ppf "inst(ldi %d)" n
+  | Inst (Iloc.Instr.Lfi x) -> Format.fprintf ppf "inst(lfi %h)" x
+  | Inst (Iloc.Instr.Laddr (s, off)) ->
+      Format.fprintf ppf "inst(laddr @%s+%d)" s off
+  | Inst (Iloc.Instr.Lfp off) -> Format.fprintf ppf "inst(lfp %d)" off
+  | Inst (Iloc.Instr.Ldro (s, off)) ->
+      Format.fprintf ppf "inst(ldro @%s %d)" s off
+  | Inst _ -> Format.pp_print_string ppf "inst(?)"
+
+let to_string t = Format.asprintf "%a" pp t

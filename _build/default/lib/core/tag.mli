@@ -1,0 +1,27 @@
+(** The rematerialization tag lattice (§3.2).
+
+    Each SSA value carries one of three kinds of tags:
+
+    - [Top]: no information yet (the initial tag of copies and φ-nodes);
+    - [Inst op]: the value is never-killed and can be rematerialized by
+      issuing [op];
+    - [Bottom]: the value needs a normal, heavyweight spill.
+
+    The meet operation is the paper's: [Top] is the identity, [Bottom]
+    absorbs, and two [Inst] tags meet to themselves when the instructions
+    are equal operand-by-operand, to [Bottom] otherwise. *)
+
+type t = Top | Inst of Iloc.Instr.op | Bottom
+
+val initial : Iloc.Instr.op -> t
+(** [Inst op] for never-killed instructions, [Top] for copies (φ-nodes are
+    handled by the caller, they are not [Instr.op]s), [Bottom] otherwise. *)
+
+val meet : t -> t -> t
+val equal : t -> t -> bool
+val is_inst : t -> bool
+val leq : t -> t -> bool
+(** Lattice order with [Bottom] ≤ [Inst _] ≤ [Top]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/dataflow/bitset.ml: Array Bytes Format List Printf String

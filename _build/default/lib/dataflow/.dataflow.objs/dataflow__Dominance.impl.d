@@ -1,0 +1,1 @@
+lib/dataflow/dominance.ml: Array Bitset Iloc List Order Queue

@@ -1,0 +1,1 @@
+lib/dataflow/liveness.ml: Array Bitset Iloc List Order Reg_index

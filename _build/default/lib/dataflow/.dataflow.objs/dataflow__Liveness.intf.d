@@ -1,0 +1,1 @@
+lib/dataflow/liveness.mli: Bitset Iloc Reg_index

@@ -1,0 +1,1 @@
+lib/dataflow/loops.ml: Array Bitset Dominance Hashtbl Iloc Int List

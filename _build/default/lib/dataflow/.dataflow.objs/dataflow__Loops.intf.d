@@ -1,0 +1,1 @@
+lib/dataflow/loops.mli: Bitset Dominance Iloc

@@ -1,0 +1,1 @@
+lib/dataflow/order.ml: Array Iloc List

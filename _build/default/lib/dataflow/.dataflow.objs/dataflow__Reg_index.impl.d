@@ -1,0 +1,1 @@
+lib/dataflow/reg_index.ml: Array Iloc List

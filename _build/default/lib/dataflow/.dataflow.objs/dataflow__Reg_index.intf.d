@@ -1,0 +1,1 @@
+lib/dataflow/reg_index.mli: Iloc

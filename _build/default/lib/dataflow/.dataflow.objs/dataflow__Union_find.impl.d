@@ -1,0 +1,1 @@
+lib/dataflow/union_find.ml: Array Hashtbl Int List Option

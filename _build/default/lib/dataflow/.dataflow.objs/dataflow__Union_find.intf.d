@@ -1,0 +1,1 @@
+lib/dataflow/union_find.mli:

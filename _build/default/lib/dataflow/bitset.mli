@@ -1,0 +1,33 @@
+(** Dense mutable bitsets over [0 .. n-1].
+
+    Used for block-level live sets and for the upper-triangular interference
+    bit matrix (via {!Bitmatrix} in the allocator).  All operations are
+    bounds-checked; [union_into]/[inter_into]/[diff_into] require equal
+    capacities. *)
+
+type t
+
+val create : int -> t
+(** All bits clear. *)
+
+val capacity : t -> int
+val add : t -> int -> unit
+val remove : t -> int -> unit
+val mem : t -> int -> bool
+val is_empty : t -> bool
+val cardinal : t -> int
+val clear : t -> unit
+val copy : t -> t
+val equal : t -> t -> bool
+
+val union_into : dst:t -> t -> bool
+(** [union_into ~dst src] sets [dst := dst ∪ src]; returns [true] if [dst]
+    changed. *)
+
+val inter_into : dst:t -> t -> bool
+val diff_into : dst:t -> t -> bool
+val iter : (int -> unit) -> t -> unit
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val elements : t -> int list
+val of_list : int -> int list -> t
+val pp : Format.formatter -> t -> unit

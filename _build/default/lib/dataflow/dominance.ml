@@ -1,0 +1,145 @@
+type t = {
+  idom : int array;
+  children : int list array;
+  order : int array;
+  tin : int array;
+  tout : int array;
+}
+
+let compute_generic ~n ~entry ~succs ~preds =
+  let po, _seen = Order.dfs_postorder ~n ~entry ~succs in
+  let rpo = Array.init (Array.length po) (fun i -> po.(Array.length po - 1 - i)) in
+  let rpo_number = Array.make n (-1) in
+  Array.iteri (fun i b -> rpo_number.(b) <- i) rpo;
+  let idom = Array.make n (-1) in
+  idom.(entry) <- entry;
+  let intersect a b =
+    (* Walk the two candidate dominators up the current tree until they
+       meet; comparisons are on reverse-postorder numbers. *)
+    let a = ref a and b = ref b in
+    while !a <> !b do
+      while rpo_number.(!a) > rpo_number.(!b) do
+        a := idom.(!a)
+      done;
+      while rpo_number.(!b) > rpo_number.(!a) do
+        b := idom.(!b)
+      done
+    done;
+    !a
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun b ->
+        if b <> entry then begin
+          let processed =
+            List.filter (fun p -> idom.(p) <> -1 && rpo_number.(p) <> -1)
+              (preds b)
+          in
+          match processed with
+          | [] -> ()
+          | first :: rest ->
+              let new_idom = List.fold_left intersect first rest in
+              if idom.(b) <> new_idom then begin
+                idom.(b) <- new_idom;
+                changed := true
+              end
+        end)
+      rpo
+  done;
+  let children = Array.make n [] in
+  Array.iter
+    (fun b ->
+      if b <> entry && idom.(b) <> -1 then
+        children.(idom.(b)) <- b :: children.(idom.(b)))
+    rpo;
+  Array.iteri (fun i l -> children.(i) <- List.rev l) children;
+  (* Preorder intervals for O(1) dominance queries. *)
+  let tin = Array.make n (-1) and tout = Array.make n (-1) in
+  let clock = ref 0 in
+  let rec walk b =
+    tin.(b) <- !clock;
+    incr clock;
+    List.iter walk children.(b);
+    tout.(b) <- !clock;
+    incr clock
+  in
+  if idom.(entry) <> -1 then walk entry;
+  { idom; children; order = rpo; tin; tout }
+
+let compute (cfg : Iloc.Cfg.t) =
+  compute_generic ~n:(Iloc.Cfg.n_blocks cfg) ~entry:cfg.entry
+    ~succs:(Iloc.Cfg.succs cfg) ~preds:(Iloc.Cfg.preds cfg)
+
+let postdominators (cfg : Iloc.Cfg.t) =
+  let n = Iloc.Cfg.n_blocks cfg in
+  let exit = n in
+  let rets = ref [] in
+  Iloc.Cfg.iter_blocks
+    (fun b -> if b.term.op = Iloc.Instr.Ret then rets := b.id :: !rets)
+    cfg;
+  let rets = !rets in
+  let succs b = if b = exit then [] else
+    match (Iloc.Cfg.block cfg b).term.op with
+    | Iloc.Instr.Ret -> [ exit ]
+    | _ -> Iloc.Cfg.succs cfg b
+  in
+  let preds b = if b = exit then rets else Iloc.Cfg.preds cfg b in
+  (* The reverse graph flows from the virtual exit along predecessors. *)
+  let t =
+    compute_generic ~n:(n + 1) ~entry:exit ~succs:preds ~preds:succs
+  in
+  (t, exit)
+
+let dominates t a b =
+  t.tin.(a) >= 0 && t.tin.(b) >= 0
+  && t.tin.(a) <= t.tin.(b)
+  && t.tout.(b) <= t.tout.(a)
+
+let strictly_dominates t a b = a <> b && dominates t a b
+
+let frontiers (cfg : Iloc.Cfg.t) t =
+  let n = Iloc.Cfg.n_blocks cfg in
+  let df = Array.init n (fun _ -> Bitset.create n) in
+  for b = 0 to n - 1 do
+    let preds = Iloc.Cfg.preds cfg b in
+    if List.length preds >= 2 && t.idom.(b) <> -1 then
+      List.iter
+        (fun p ->
+          if t.idom.(p) <> -1 then begin
+            let runner = ref p in
+            while !runner <> t.idom.(b) do
+              Bitset.add df.(!runner) b;
+              runner := t.idom.(!runner)
+            done
+          end)
+        preds
+  done;
+  df
+
+let iterated_frontier ~n df seeds =
+  let result = Bitset.create n in
+  let worklist = Queue.create () in
+  let enqueued = Bitset.create n in
+  List.iter
+    (fun b ->
+      if not (Bitset.mem enqueued b) then begin
+        Bitset.add enqueued b;
+        Queue.add b worklist
+      end)
+    seeds;
+  while not (Queue.is_empty worklist) do
+    let b = Queue.pop worklist in
+    Bitset.iter
+      (fun d ->
+        if not (Bitset.mem result d) then begin
+          Bitset.add result d;
+          if not (Bitset.mem enqueued d) then begin
+            Bitset.add enqueued d;
+            Queue.add d worklist
+          end
+        end)
+      df.(b)
+  done;
+  result

@@ -1,0 +1,41 @@
+(** Dominators, dominator tree, and dominance frontiers.
+
+    Implements the Cooper-Harvey-Kennedy iterative algorithm ("A Simple,
+    Fast Dominance Algorithm"), which is also the engine behind the very
+    low [cfa] times the paper reports in Table 2.  Dominance frontiers are
+    computed with the Cytron et al. two-level walk. *)
+
+type t = {
+  idom : int array;
+      (** immediate dominator per block; the entry is its own idom and
+          unreachable blocks hold [-1] *)
+  children : int list array;  (** dominator-tree children *)
+  order : int array;  (** reverse postorder of the reachable blocks *)
+  tin : int array;
+  tout : int array;
+      (** preorder intervals over the dominator tree for O(1)
+          {!dominates} *)
+}
+
+val compute : Iloc.Cfg.t -> t
+
+val compute_generic :
+  n:int -> entry:int -> succs:(int -> int list) -> preds:(int -> int list) -> t
+(** Shared core, also used for postdominators on the reversed graph. *)
+
+val postdominators : Iloc.Cfg.t -> t * int
+(** Postdominators computed against a virtual exit node (returned as the
+    second component, numbered [n_blocks cfg]) whose predecessors are all
+    [ret] blocks. *)
+
+val dominates : t -> int -> int -> bool
+(** [dominates t a b] — does [a] dominate [b]?  Reflexive. *)
+
+val strictly_dominates : t -> int -> int -> bool
+
+val frontiers : Iloc.Cfg.t -> t -> Bitset.t array
+
+val iterated_frontier : n:int -> Bitset.t array -> int list -> Bitset.t
+(** DF+ of a set of seed blocks: the fixpoint of the frontier map, the set
+    of blocks where φ-nodes are required for a variable defined in the
+    seeds (before pruning). *)

@@ -1,0 +1,72 @@
+type t = {
+  regs : Reg_index.t;
+  live_in : Bitset.t array;
+  live_out : Bitset.t array;
+  ue : Bitset.t array;
+  kill : Bitset.t array;
+}
+
+let compute (cfg : Iloc.Cfg.t) =
+  if Iloc.Cfg.in_ssa cfg then
+    invalid_arg "Liveness.compute: routine is in SSA form";
+  let regs = Reg_index.of_cfg cfg in
+  let nr = Reg_index.count regs in
+  let nb = Iloc.Cfg.n_blocks cfg in
+  let ue = Array.init nb (fun _ -> Bitset.create nr) in
+  let kill = Array.init nb (fun _ -> Bitset.create nr) in
+  Iloc.Cfg.iter_blocks
+    (fun b ->
+      Iloc.Block.iter_instrs
+        (fun i ->
+          List.iter
+            (fun u ->
+              let ui = Reg_index.index regs u in
+              if not (Bitset.mem kill.(b.id) ui) then Bitset.add ue.(b.id) ui)
+            (Iloc.Instr.uses i);
+          List.iter
+            (fun d -> Bitset.add kill.(b.id) (Reg_index.index regs d))
+            (Iloc.Instr.defs i))
+        b)
+    cfg;
+  let live_in = Array.init nb (fun _ -> Bitset.create nr) in
+  let live_out = Array.init nb (fun _ -> Bitset.create nr) in
+  (* Iterate in postorder: for a backward problem this converges in a
+     couple of sweeps on reducible graphs. *)
+  let po = Order.postorder cfg in
+  let changed = ref true in
+  let tmp = Bitset.create nr in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun b ->
+        let out_changed =
+          List.fold_left
+            (fun acc s -> Bitset.union_into ~dst:live_out.(b) live_in.(s) || acc)
+            false (Iloc.Cfg.succs cfg b)
+        in
+        if out_changed || Bitset.is_empty live_in.(b) then begin
+          Bitset.clear tmp;
+          ignore (Bitset.union_into ~dst:tmp live_out.(b));
+          ignore (Bitset.diff_into ~dst:tmp kill.(b));
+          ignore (Bitset.union_into ~dst:tmp ue.(b));
+          if Bitset.union_into ~dst:live_in.(b) tmp then changed := true
+        end)
+      po
+  done;
+  { regs; live_in; live_out; ue; kill }
+
+let to_regs t set =
+  Bitset.fold (fun i acc -> Reg_index.reg t.regs i :: acc) set [] |> List.rev
+
+let live_in t b = to_regs t t.live_in.(b)
+let live_out t b = to_regs t t.live_out.(b)
+
+let live_in_mem t b r =
+  match Reg_index.index_opt t.regs r with
+  | Some i -> Bitset.mem t.live_in.(b) i
+  | None -> false
+
+let live_out_mem t b r =
+  match Reg_index.index_opt t.regs r with
+  | Some i -> Bitset.mem t.live_out.(b) i
+  | None -> false

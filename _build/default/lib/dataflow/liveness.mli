@@ -1,0 +1,27 @@
+(** Global liveness analysis.
+
+    Backward iterative data-flow over basic blocks using upward-exposed
+    uses and kill sets:
+
+    {v live_out(b) = U_{s in succ(b)} live_in(s)
+       live_in(b)  = ue(b) U (live_out(b) \ kill(b)) v}
+
+    Registers are mapped to a dense index space so sets are bitsets.  The
+    routine must not be in SSA form (the allocator needs liveness before
+    φ-insertion, to prune dead φ-nodes, and after renumber, to build the
+    interference graph — φ-nodes are absent both times). *)
+
+type t = {
+  regs : Reg_index.t;
+  live_in : Bitset.t array;
+  live_out : Bitset.t array;
+  ue : Bitset.t array;  (** upward-exposed uses per block *)
+  kill : Bitset.t array;  (** registers defined per block *)
+}
+
+val compute : Iloc.Cfg.t -> t
+
+val live_in : t -> int -> Iloc.Reg.t list
+val live_out : t -> int -> Iloc.Reg.t list
+val live_in_mem : t -> int -> Iloc.Reg.t -> bool
+val live_out_mem : t -> int -> Iloc.Reg.t -> bool

@@ -1,0 +1,101 @@
+type loop = {
+  header : int;
+  body : Bitset.t;
+  parent : int option;
+  depth : int;
+}
+
+type t = {
+  loops : loop array;
+  depth : int array;
+  innermost : int array;
+}
+
+(* Blocks that reach [t] without passing through [h], walked backwards
+   over predecessor edges, plus [h] itself. *)
+let natural_loop (cfg : Iloc.Cfg.t) ~h ~t:tail =
+  let n = Iloc.Cfg.n_blocks cfg in
+  let body = Bitset.create n in
+  Bitset.add body h;
+  let stack = ref [] in
+  let push b =
+    if not (Bitset.mem body b) then begin
+      Bitset.add body b;
+      stack := b :: !stack
+    end
+  in
+  push tail;
+  let rec drain () =
+    match !stack with
+    | [] -> ()
+    | b :: rest ->
+        stack := rest;
+        List.iter push (Iloc.Cfg.preds cfg b);
+        drain ()
+  in
+  drain ();
+  body
+
+let compute (cfg : Iloc.Cfg.t) (dom : Dominance.t) =
+  let n = Iloc.Cfg.n_blocks cfg in
+  (* Collect back edges and merge natural loops sharing a header. *)
+  let by_header = Hashtbl.create 8 in
+  for b = 0 to n - 1 do
+    List.iter
+      (fun s ->
+        if Dominance.dominates dom s b then begin
+          let body = natural_loop cfg ~h:s ~t:b in
+          match Hashtbl.find_opt by_header s with
+          | None -> Hashtbl.add by_header s body
+          | Some acc -> ignore (Bitset.union_into ~dst:acc body)
+        end)
+      (Iloc.Cfg.succs cfg b)
+  done;
+  let raw =
+    Hashtbl.fold (fun header body acc -> (header, body) :: acc) by_header []
+    (* Sort outermost-first so parents precede children below: a loop with
+       a larger body can never be nested inside a smaller one. *)
+    |> List.sort (fun (_, a) (_, b) ->
+           Int.compare (Bitset.cardinal b) (Bitset.cardinal a))
+    |> Array.of_list
+  in
+  let contains i j =
+    (* does loop i contain loop j? (i <> j) *)
+    let _, bi = raw.(i) and hj, bj = raw.(j) in
+    Bitset.mem bi hj
+    && Bitset.fold (fun b acc -> acc && Bitset.mem bi b) bj true
+  in
+  let parents = Array.make (Array.length raw) None in
+  let depths = Array.make (Array.length raw) 1 in
+  Array.iteri
+    (fun j _ ->
+      (* innermost enclosing loop = smallest containing loop; since raw is
+         sorted by decreasing size, the last i < j that contains j works. *)
+      for i = 0 to j - 1 do
+        if contains i j then parents.(j) <- Some i
+      done;
+      match parents.(j) with
+      | Some p -> depths.(j) <- depths.(p) + 1
+      | None -> depths.(j) <- 1)
+    raw;
+  let loops =
+    Array.mapi
+      (fun i (header, body) ->
+        { header; body; parent = parents.(i); depth = depths.(i) })
+      raw
+  in
+  let depth = Array.make n 0 in
+  let innermost = Array.make n (-1) in
+  Array.iteri
+    (fun i (l : loop) ->
+      Bitset.iter
+        (fun b ->
+          if l.depth > depth.(b) then begin
+            depth.(b) <- l.depth;
+            innermost.(b) <- i
+          end)
+        l.body)
+    loops;
+  { loops; depth; innermost }
+
+let weight ?(base = 10.) t b = base ** float_of_int t.depth.(b)

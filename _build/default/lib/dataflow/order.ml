@@ -1,0 +1,33 @@
+(** Depth-first orders over a {!Iloc.Cfg.t}.
+
+    Only blocks reachable from the entry appear in the returned arrays;
+    [reachable] exposes the visited set so clients can skip dead blocks. *)
+
+let dfs_postorder ~n ~entry ~succs =
+  let seen = Array.make n false in
+  let order = ref [] in
+  let rec go b =
+    if not seen.(b) then begin
+      seen.(b) <- true;
+      List.iter go (succs b);
+      order := b :: !order
+    end
+  in
+  go entry;
+  (* [order] currently holds reverse postorder. *)
+  (Array.of_list (List.rev !order), seen)
+
+let postorder (cfg : Iloc.Cfg.t) =
+  fst
+    (dfs_postorder ~n:(Iloc.Cfg.n_blocks cfg) ~entry:cfg.entry
+       ~succs:(Iloc.Cfg.succs cfg))
+
+let reverse_postorder (cfg : Iloc.Cfg.t) =
+  let po = postorder cfg in
+  let n = Array.length po in
+  Array.init n (fun i -> po.(n - 1 - i))
+
+let reachable (cfg : Iloc.Cfg.t) =
+  snd
+    (dfs_postorder ~n:(Iloc.Cfg.n_blocks cfg) ~entry:cfg.entry
+       ~succs:(Iloc.Cfg.succs cfg))

@@ -1,0 +1,14 @@
+(** Depth-first orders over a {!Iloc.Cfg.t}.
+
+    Only blocks reachable from the entry appear in the returned arrays;
+    {!reachable} exposes the visited set so clients can skip dead
+    blocks. *)
+
+val postorder : Iloc.Cfg.t -> int array
+val reverse_postorder : Iloc.Cfg.t -> int array
+val reachable : Iloc.Cfg.t -> bool array
+
+val dfs_postorder :
+  n:int -> entry:int -> succs:(int -> int list) -> int array * bool array
+(** Generic core over any graph shape (used for postdominators on the
+    reversed graph): the postorder sequence and the visited set. *)

@@ -1,0 +1,16 @@
+type t = { tbl : int Iloc.Reg.Tbl.t; arr : Iloc.Reg.t array }
+
+let of_regs regs =
+  let tbl = Iloc.Reg.Tbl.create (List.length regs) in
+  let arr = Array.of_list regs in
+  Array.iteri (fun i r -> Iloc.Reg.Tbl.replace tbl r i) arr;
+  { tbl; arr }
+
+let of_cfg cfg = of_regs (Iloc.Reg.Set.elements (Iloc.Cfg.all_regs cfg))
+
+let count t = Array.length t.arr
+let index t r = Iloc.Reg.Tbl.find t.tbl r
+let index_opt t r = Iloc.Reg.Tbl.find_opt t.tbl r
+let reg t i = t.arr.(i)
+let mem t r = Iloc.Reg.Tbl.mem t.tbl r
+let iter f t = Array.iteri f t.arr

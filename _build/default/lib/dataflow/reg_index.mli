@@ -1,0 +1,17 @@
+(** Dense numbering of the registers appearing in a routine.
+
+    Several analyses (liveness, interference, live-range naming) need
+    registers as small dense integers; this module owns the mapping. *)
+
+type t
+
+val of_cfg : Iloc.Cfg.t -> t
+val of_regs : Iloc.Reg.t list -> t
+val count : t -> int
+val index : t -> Iloc.Reg.t -> int
+(** Raises [Not_found] for a register outside the routine. *)
+
+val index_opt : t -> Iloc.Reg.t -> int option
+val reg : t -> int -> Iloc.Reg.t
+val mem : t -> Iloc.Reg.t -> bool
+val iter : (int -> Iloc.Reg.t -> unit) -> t -> unit

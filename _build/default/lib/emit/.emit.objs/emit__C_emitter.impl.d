@@ -1,0 +1,1 @@
+lib/emit/c_emitter.ml: Array Format Iloc List Option Printf String

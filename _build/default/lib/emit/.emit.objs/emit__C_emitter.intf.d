@@ -1,0 +1,1 @@
+lib/emit/c_emitter.mli: Format Iloc

@@ -1,0 +1,199 @@
+module Cfg = Iloc.Cfg
+module Block = Iloc.Block
+module Instr = Iloc.Instr
+module Reg = Iloc.Reg
+module Symbol = Iloc.Symbol
+
+(* Layout mirrors Sim.Interp: symbols packed from base 16, one word per
+   element; frame-pointer addresses live in a far-away range. *)
+let layout (cfg : Cfg.t) =
+  let next = ref 16 in
+  let bases =
+    List.map
+      (fun (s : Symbol.t) ->
+        let base = !next in
+        next := !next + s.size;
+        (s.name, base))
+      cfg.symbols
+  in
+  (bases, !next)
+
+let creg r =
+  match Reg.cls r with
+  | Reg.Int -> Printf.sprintf "r%d" (Reg.id r)
+  | Reg.Float -> Printf.sprintf "f%d" (Reg.id r)
+
+let counter (op : Instr.op) =
+  match Instr.category op with
+  | Instr.Cat_load -> "n_load"
+  | Instr.Cat_store -> "n_store"
+  | Instr.Cat_copy -> "n_copy"
+  | Instr.Cat_ldi -> "n_ldi"
+  | Instr.Cat_addi -> "n_addi"
+  | Instr.Cat_other -> "n_other"
+
+let rel_op = function
+  | Instr.Eq -> "=="
+  | Instr.Ne -> "!="
+  | Instr.Lt -> "<"
+  | Instr.Le -> "<="
+  | Instr.Gt -> ">"
+  | Instr.Ge -> ">="
+
+(* A C label must not contain dots; block labels may (".split3.loop"). *)
+let clabel l =
+  "BB_" ^ String.map (fun c -> if c = '.' || c = '-' then '_' else c) l
+
+let cfun name =
+  "routine_" ^ String.map (fun c -> if c = '.' || c = '-' then '_' else c) name
+
+let emit_instr ppf base_of (i : Instr.t) =
+  let pr fmt = Format.fprintf ppf fmt in
+  let d () = creg (Option.get i.Instr.dst) in
+  let s k = creg i.Instr.srcs.(k) in
+  let stmt fmt =
+    Format.kasprintf
+      (fun body -> pr "  %s %s++;@." body (counter i.Instr.op))
+      fmt
+  in
+  match i.Instr.op with
+  | Instr.Ldi n -> stmt "%s = %dL;" (d ()) n
+  | Instr.Lfi x -> stmt "%s = %h;" (d ()) x
+  | Instr.Laddr (sym, off) -> stmt "%s = %d;" (d ()) (base_of sym + off)
+  | Instr.Lfp off -> stmt "%s = FP_BASE + %d;" (d ()) off
+  | Instr.Ldro (sym, off) ->
+      let cell = if Reg.is_int (Option.get i.Instr.dst) then "i" else "f" in
+      stmt "%s = mem[%d].%s;" (d ()) (base_of sym + off) cell
+  | Instr.Add -> stmt "%s = %s + %s;" (d ()) (s 0) (s 1)
+  | Instr.Sub -> stmt "%s = %s - %s;" (d ()) (s 0) (s 1)
+  | Instr.Mul -> stmt "%s = %s * %s;" (d ()) (s 0) (s 1)
+  | Instr.Div -> stmt "%s = %s / %s;" (d ()) (s 0) (s 1)
+  | Instr.Rem -> stmt "%s = %s %% %s;" (d ()) (s 0) (s 1)
+  | Instr.Cmp r -> stmt "%s = %s %s %s;" (d ()) (s 0) (rel_op r) (s 1)
+  | Instr.Addi n -> stmt "%s = %s + %dL;" (d ()) (s 0) n
+  | Instr.Subi n -> stmt "%s = %s - %dL;" (d ()) (s 0) n
+  | Instr.Muli n -> stmt "%s = %s * %dL;" (d ()) (s 0) n
+  | Instr.Fadd -> stmt "%s = %s + %s;" (d ()) (s 0) (s 1)
+  | Instr.Fsub -> stmt "%s = %s - %s;" (d ()) (s 0) (s 1)
+  | Instr.Fmul -> stmt "%s = %s * %s;" (d ()) (s 0) (s 1)
+  | Instr.Fdiv -> stmt "%s = %s / %s;" (d ()) (s 0) (s 1)
+  | Instr.Fcmp r -> stmt "%s = %s %s %s;" (d ()) (s 0) (rel_op r) (s 1)
+  | Instr.Fneg -> stmt "%s = -%s;" (d ()) (s 0)
+  | Instr.Fabs -> stmt "%s = fabs(%s);" (d ()) (s 0)
+  | Instr.Itof -> stmt "%s = (double) %s;" (d ()) (s 0)
+  | Instr.Ftoi -> stmt "%s = (long) %s;" (d ()) (s 0)
+  | Instr.Copy -> stmt "%s = %s;" (d ()) (s 0)
+  | Instr.Load | Instr.Loadx | Instr.Loadi _ ->
+      let addr =
+        match i.Instr.op with
+        | Instr.Load -> s 0
+        | Instr.Loadx -> Printf.sprintf "%s + %s" (s 0) (s 1)
+        | Instr.Loadi off -> Printf.sprintf "%s + %d" (s 0) off
+        | _ -> assert false
+      in
+      let cell = if Reg.is_int (Option.get i.Instr.dst) then "i" else "f" in
+      stmt "%s = mem[%s].%s;" (d ()) addr cell
+  | Instr.Store | Instr.Storex | Instr.Storei _ ->
+      let addr =
+        match i.Instr.op with
+        | Instr.Store -> s 1
+        | Instr.Storex -> Printf.sprintf "%s + %s" (s 1) (creg i.Instr.srcs.(2))
+        | Instr.Storei off -> Printf.sprintf "%s + %d" (s 1) off
+        | _ -> assert false
+      in
+      let cell = if Reg.is_int i.Instr.srcs.(0) then "i" else "f" in
+      stmt "mem[%s].%s = %s;" addr cell (s 0)
+  | Instr.Spill slot ->
+      let cell = if Reg.is_int i.Instr.srcs.(0) then "i" else "f" in
+      stmt "frame[%d].%s = %s;" slot cell (s 0)
+  | Instr.Reload slot ->
+      let cell = if Reg.is_int (Option.get i.Instr.dst) then "i" else "f" in
+      stmt "%s = frame[%d].%s;" (d ()) slot cell
+  | Instr.Jmp l ->
+      (* control transfers: count first, the transfer never returns *)
+      pr "  %s++; goto %s;@." (counter i.Instr.op) (clabel l)
+  | Instr.Cbr (l1, l2) ->
+      pr "  %s++; if (%s) goto %s; else goto %s;@." (counter i.Instr.op)
+        (s 0) (clabel l1) (clabel l2)
+  | Instr.Ret ->
+      pr "  %s++;" (counter i.Instr.op);
+      if Array.length i.Instr.srcs = 1 then
+        if Reg.is_int i.Instr.srcs.(0) then
+          pr " printf(\"returned %%ld\\n\", %s);" (s 0)
+        else pr " printf(\"returned %%.17g\\n\", %s);" (s 0);
+      pr " goto L_done;@."
+  | Instr.Print ->
+      if Reg.is_int i.Instr.srcs.(0) then
+        stmt "printf(\"%%ld\\n\", %s);" (s 0)
+      else stmt "printf(\"%%.17g\\n\", %s);" (s 0)
+  | Instr.Nop -> stmt "/* nop */"
+
+let max_slot (cfg : Cfg.t) =
+  let m = ref 0 in
+  Cfg.iter_instrs
+    (fun _ i ->
+      match i.Instr.op with
+      | Instr.Spill s | Instr.Reload s -> if s + 1 > !m then m := s + 1
+      | _ -> ())
+    cfg;
+  !m
+
+let routine ppf (cfg : Cfg.t) =
+  if Cfg.in_ssa cfg then
+    invalid_arg "C_emitter.routine: cannot emit SSA form";
+  let bases, mem_size = layout cfg in
+  let base_of s = List.assoc s bases in
+  let pr fmt = Format.fprintf ppf fmt in
+  pr "/* generated from ILOC routine %s */@." cfg.Cfg.name;
+  pr "#include <stdio.h>@.#include <math.h>@.@.";
+  pr "typedef union { long i; double f; } cell;@.";
+  pr "#define FP_BASE (-1000000)@.@.";
+  pr "static cell mem[%d];@." (max mem_size 17);
+  pr "static cell frame[%d];@." (max (max_slot cfg) 1);
+  pr
+    "static long n_load, n_store, n_copy, n_ldi, n_addi, n_other;@.@.";
+  (* register declarations *)
+  let regs = Iloc.Reg.Set.elements (Cfg.all_regs cfg) in
+  let ints = List.filter Reg.is_int regs in
+  let floats = List.filter Reg.is_float regs in
+  let declare kw rs =
+    if rs <> [] then
+      pr "  %s %s;@." kw (String.concat ", " (List.map creg rs))
+  in
+  pr "static void %s(void) {@." (cfun cfg.Cfg.name);
+  declare "long" ints;
+  declare "double" floats;
+  pr "  goto %s;@." (clabel (Cfg.entry_block cfg).Block.label);
+  Cfg.iter_blocks
+    (fun b ->
+      pr "%s:@." (clabel b.Block.label);
+      List.iter (emit_instr ppf base_of) b.Block.body;
+      emit_instr ppf base_of b.Block.term)
+    cfg;
+  pr "L_done: return;@.}@.@.";
+  pr "static void init_mem(void) {@.";
+  List.iter
+    (fun (s : Symbol.t) ->
+      let base = base_of s.name in
+      match s.init with
+      | Symbol.Uninit -> ()
+      | Symbol.Int_elts l ->
+          List.iteri
+            (fun i n -> pr "  mem[%d].i = %dL;@." (base + i) n)
+            l
+      | Symbol.Float_elts l ->
+          List.iteri
+            (fun i x -> pr "  mem[%d].f = %h;@." (base + i) x)
+            l)
+    cfg.Cfg.symbols;
+  pr "}@.@.";
+  pr "int main(void) {@.";
+  pr "  init_mem();@.";
+  pr "  %s();@." (cfun cfg.Cfg.name);
+  pr
+    "  fprintf(stderr, \"counts: loads=%%ld stores=%%ld copies=%%ld \
+     ldi=%%ld addi=%%ld other=%%ld\\n\",@.";
+  pr "          n_load, n_store, n_copy, n_ldi, n_addi, n_other);@.";
+  pr "  return 0;@.}@."
+
+let routine_to_string cfg = Format.asprintf "%a" routine cfg

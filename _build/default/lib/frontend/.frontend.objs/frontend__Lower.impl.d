@@ -1,0 +1,1 @@
+lib/frontend/lower.ml: Ast Hashtbl Iloc List Mf_parser Printf String Typecheck

@@ -1,0 +1,1 @@
+lib/frontend/mf_parser.ml: Ast Lexer List Printf

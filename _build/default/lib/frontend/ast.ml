@@ -1,0 +1,106 @@
+(** Abstract syntax of MF, the mini-FORTRAN workload language.
+
+    MF exists to produce realistic ILOC: numerical kernels with scalar
+    variables, static arrays, counted loops and mixed int/real
+    arithmetic — the same shape as the FORTRAN routines of the paper's
+    test suite (§5.3).  A program is a single routine: declarations
+    followed by statements.
+
+    Concrete syntax example:
+
+    {v program dot
+       const n = 8
+       real a[8] = { 1.0 2.0 3.0 4.0 5.0 6.0 7.0 8.0 }
+       real b[8] = { 8.0 7.0 6.0 5.0 4.0 3.0 2.0 1.0 }
+       int i
+       real s
+       s = 0.0
+       for i = 0 to n - 1 do
+         s = s + a[i] * b[i]
+       end
+       print s
+       return v} *)
+
+type ty = Tint | Treal
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem  (** integers only *)
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or  (** non-short-circuit logical operators on integer operands *)
+
+type unop =
+  | Neg
+  | Abs
+  | To_int  (** truncation of a real *)
+  | To_real  (** conversion of an integer *)
+
+type expr =
+  | Int_lit of int
+  | Real_lit of float
+  | Var of string
+  | Index of string * expr  (** array element *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+
+type stmt =
+  | Assign of string * expr
+  | Store of string * expr * expr  (** [a\[e1\] = e2] *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of {
+      var : string;
+      from_ : expr;
+      to_ : expr;  (** inclusive bound, evaluated once *)
+      step : int;  (** non-zero compile-time constant *)
+      body : stmt list;
+    }
+  | Print of expr
+  | Return of expr option
+
+type lit = L_int of int | L_real of float
+
+type decl =
+  | Scalar of ty * string list
+  | Array of {
+      ty : ty;
+      name : string;
+      size : int;
+      init : lit list option;
+      readonly : bool;
+    }
+  | Const of string * int  (** named compile-time integer constant *)
+
+type program = { name : string; decls : decl list; body : stmt list }
+
+let ty_to_string = function Tint -> "int" | Treal -> "real"
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Rem -> "%"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "and"
+  | Or -> "or"
+
+let unop_to_string = function
+  | Neg -> "-"
+  | Abs -> "abs"
+  | To_int -> "int"
+  | To_real -> "real"

@@ -1,0 +1,111 @@
+(** Hand-rolled lexer for MF.  Comments run from [--] to end of line. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | REAL of float
+  | KW of string  (** keywords: program const int real if then else ... *)
+  | SYM of string  (** punctuation and operators *)
+  | EOF
+
+type t = { tok : token; line : int }
+
+exception Error of { line : int; msg : string }
+
+let keywords =
+  [
+    "program"; "const"; "int"; "real"; "if"; "then"; "else"; "end"; "while";
+    "do"; "for"; "to"; "step"; "print"; "return"; "and"; "or"; "abs"; "not";
+  ]
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_alpha c || is_digit c
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let push tok = toks := { tok; line = !line } :: !toks in
+  let fail msg = raise (Error { line = !line; msg }) in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '-' && !i + 1 < n && src.[!i + 1] = '-' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do
+        incr i
+      done;
+      if
+        !i < n
+        && (src.[!i] = '.' || src.[!i] = 'e' || src.[!i] = 'E')
+        && not (!i + 1 < n && src.[!i] = '.' && src.[!i + 1] = '.')
+      then begin
+        (* real literal: digits [. digits] [e[+-]digits] *)
+        if src.[!i] = '.' then begin
+          incr i;
+          while !i < n && is_digit src.[!i] do
+            incr i
+          done
+        end;
+        if !i < n && (src.[!i] = 'e' || src.[!i] = 'E') then begin
+          incr i;
+          if !i < n && (src.[!i] = '+' || src.[!i] = '-') then incr i;
+          while !i < n && is_digit src.[!i] do
+            incr i
+          done
+        end;
+        match float_of_string_opt (String.sub src start (!i - start)) with
+        | Some x -> push (REAL x)
+        | None -> fail "malformed real literal"
+      end
+      else
+        match int_of_string_opt (String.sub src start (!i - start)) with
+        | Some v -> push (INT v)
+        | None -> fail "malformed integer literal"
+    end
+    else if is_alpha c then begin
+      let start = !i in
+      while !i < n && is_alnum src.[!i] do
+        incr i
+      done;
+      let word = String.sub src start (!i - start) in
+      if List.mem word keywords then push (KW word) else push (IDENT word)
+    end
+    else begin
+      let two =
+        if !i + 1 < n then String.sub src !i 2 else ""
+      in
+      match two with
+      | "==" | "!=" | "<=" | ">=" ->
+          push (SYM two);
+          i := !i + 2
+      | _ -> (
+          match c with
+          | '+' | '-' | '*' | '/' | '%' | '<' | '>' | '=' | '(' | ')' | '['
+          | ']' | '{' | '}' | ',' | ';' ->
+              push (SYM (String.make 1 c));
+              incr i
+          | _ -> fail (Printf.sprintf "unexpected character %C" c))
+    end
+  done;
+  push EOF;
+  List.rev !toks
+
+let token_to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT n -> Printf.sprintf "integer %d" n
+  | REAL x -> Printf.sprintf "real %g" x
+  | KW k -> Printf.sprintf "keyword %S" k
+  | SYM s -> Printf.sprintf "%S" s
+  | EOF -> "end of input"

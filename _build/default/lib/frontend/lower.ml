@@ -1,0 +1,573 @@
+(** Lowering MF to ILOC.
+
+    The translation is the naive one an optimizing FORTRAN front end
+    would produce just before register allocation:
+
+    - every scalar variable lives in a dedicated virtual register for the
+      whole routine (multi-valued live ranges arise exactly as in the
+      paper: constant initializations, loop updates and merges);
+    - each array's base address is materialized once in the entry block
+      with [laddr] — a long-lived never-killed value, the classic
+      rematerialization candidate;
+    - reads of read-only arrays at constant subscripts become [ldro]
+      (loads from known constant locations, §3);
+    - expression evaluation uses fresh temporaries, [for] bounds are
+      evaluated once, and logical operators are non-short-circuit. *)
+
+module Instr = Iloc.Instr
+module Reg = Iloc.Reg
+module Builder = Iloc.Builder
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+(* One active strength-reduced loop: for every array subscript affine in
+   the loop variable (coeff * var + inv, with inv invariant in the loop),
+   a pointer register walks the array and the access becomes a plain
+   [load]/[store] — the post-strength-reduction shape of the paper's
+   Figure 1.  [key] identifies an access pattern structurally. *)
+type sr_key = { sr_array : string; sr_coeff : int; sr_inv : Ast.expr option }
+
+type sr_ctx = {
+  sr_var : string;
+  sr_assigned : (string, unit) Hashtbl.t;  (** vars written in the body *)
+  sr_ptrs : (sr_key, Reg.t) Hashtbl.t;
+  sr_step : int;
+}
+
+type state = {
+  b : Builder.t;
+  env : Typecheck.env;
+  vars : (string, Reg.t) Hashtbl.t;
+  bases : (string, Reg.t) Hashtbl.t;
+  mutable label : string;
+  mutable body_rev : Instr.t list;
+  mutable next_label : int;
+  mutable sr_stack : sr_ctx list;
+}
+
+let emit st i = st.body_rev <- i :: st.body_rev
+
+let close st term next =
+  Builder.block st.b st.label (List.rev st.body_rev) ~term;
+  st.label <- next;
+  st.body_rev <- []
+
+let fresh_label st prefix =
+  st.next_label <- st.next_label + 1;
+  Printf.sprintf ".%s%d" prefix st.next_label
+
+let reg_ty = function Ast.Tint -> Reg.Int | Ast.Treal -> Reg.Float
+
+(* ----- strength-reduction helpers (pure AST analysis) ----- *)
+
+(* Replace named compile-time constants by literals so affine
+   decomposition sees through them. *)
+let rec resolve_consts (env : Typecheck.env) (e : Ast.expr) : Ast.expr =
+  match e with
+  | Ast.Var x -> (
+      match Hashtbl.find_opt env.Typecheck.consts x with
+      | Some v -> Ast.Int_lit v
+      | None -> e)
+  | Ast.Binop (op, a, b) ->
+      Ast.Binop (op, resolve_consts env a, resolve_consts env b)
+  | Ast.Unop (op, a) -> Ast.Unop (op, resolve_consts env a)
+  | Ast.Index (a, i) -> Ast.Index (a, resolve_consts env i)
+  | Ast.Int_lit _ | Ast.Real_lit _ -> e
+
+let rec collect_assigned (stmts : Ast.stmt list) tbl =
+  List.iter
+    (fun (s : Ast.stmt) ->
+      match s with
+      | Ast.Assign (x, _) -> Hashtbl.replace tbl x ()
+      | Ast.Store _ | Ast.Print _ | Ast.Return _ -> ()
+      | Ast.If (_, th, el) ->
+          collect_assigned th tbl;
+          collect_assigned el tbl
+      | Ast.While (_, body) -> collect_assigned body tbl
+      | Ast.For { var; body; _ } ->
+          Hashtbl.replace tbl var ();
+          collect_assigned body tbl)
+    stmts
+
+(* Does [e] only read values that are loop-invariant (no assigned
+   variables, no loop variable, no memory)? *)
+let rec invariant_expr ~var assigned (e : Ast.expr) =
+  match e with
+  | Ast.Int_lit _ -> true
+  | Ast.Real_lit _ | Ast.Index _ -> false
+  | Ast.Var x -> (not (String.equal x var)) && not (Hashtbl.mem assigned x)
+  | Ast.Binop ((Ast.Add | Ast.Sub | Ast.Mul), a, b) ->
+      invariant_expr ~var assigned a && invariant_expr ~var assigned b
+  | Ast.Binop _ | Ast.Unop _ -> false
+
+(* Decompose an integer subscript as coeff*var + inv.  Returns the
+   coefficient and the invariant remainder ([None] = zero). *)
+let affine ~var assigned (e : Ast.expr) : (int * Ast.expr option) option =
+  let add_inv a b =
+    match (a, b) with
+    | None, x | x, None -> x
+    | Some a, Some b -> Some (Ast.Binop (Ast.Add, a, b))
+  in
+  let sub_inv a b =
+    match (a, b) with
+    | x, None -> x
+    | None, Some b -> Some (Ast.Binop (Ast.Sub, Ast.Int_lit 0, b))
+    | Some a, Some b -> Some (Ast.Binop (Ast.Sub, a, b))
+  in
+  let rec go e =
+    match e with
+    | Ast.Var x when String.equal x var -> Some (1, None)
+    | _ when invariant_expr ~var assigned e ->
+        Some (0, Some e)
+    | Ast.Binop (Ast.Add, a, b) -> (
+        match (go a, go b) with
+        | Some (ka, ia), Some (kb, ib) -> Some (ka + kb, add_inv ia ib)
+        | _ -> None)
+    | Ast.Binop (Ast.Sub, a, b) -> (
+        match (go a, go b) with
+        | Some (ka, ia), Some (kb, ib) -> Some (ka - kb, sub_inv ia ib)
+        | _ -> None)
+    | Ast.Binop (Ast.Mul, Ast.Int_lit c, a) | Ast.Binop (Ast.Mul, a, Ast.Int_lit c)
+      -> (
+        match go a with
+        | Some (k, None) -> Some (c * k, None)
+        | Some (k, Some i) ->
+            Some (c * k, Some (Ast.Binop (Ast.Mul, Ast.Int_lit c, i)))
+        | None -> None)
+    | _ -> None
+  in
+  match go e with
+  | Some (k, inv) when k <> 0 -> Some (k, inv)
+  | _ -> None
+
+(* All strength-reducible access patterns in a loop body (entered nested
+   statements included — an inner loop may read arrays indexed by the
+   outer variable). *)
+let scan_sr_keys env ~var assigned (body : Ast.stmt list) : sr_key list =
+  let found = ref [] in
+  let note a e =
+    match affine ~var assigned (resolve_consts env e) with
+    | Some (k, inv) ->
+        let key = { sr_array = a; sr_coeff = k; sr_inv = inv } in
+        if not (List.mem key !found) then found := key :: !found
+    | None -> ()
+  in
+  let rec expr (e : Ast.expr) =
+    match e with
+    | Ast.Index (a, i) ->
+        note a i;
+        expr i
+    | Ast.Binop (_, a, b) ->
+        expr a;
+        expr b
+    | Ast.Unop (_, a) -> expr a
+    | Ast.Int_lit _ | Ast.Real_lit _ | Ast.Var _ -> ()
+  in
+  let rec stmt (s : Ast.stmt) =
+    match s with
+    | Ast.Assign (_, e) | Ast.Print e | Ast.Return (Some e) -> expr e
+    | Ast.Return None -> ()
+    | Ast.Store (a, i, v) ->
+        note a i;
+        expr i;
+        expr v
+    | Ast.If (c, th, el) ->
+        expr c;
+        List.iter stmt th;
+        List.iter stmt el
+    | Ast.While (c, body) ->
+        expr c;
+        List.iter stmt body
+    | Ast.For { from_; to_; body; _ } ->
+        expr from_;
+        expr to_;
+        List.iter stmt body
+  in
+  List.iter stmt body;
+  List.rev !found
+
+(* Find an active walking pointer for this access, innermost loop
+   first. *)
+let sr_lookup st a idx =
+  let rec go = function
+    | [] -> None
+    | ctx :: rest -> (
+        match
+          affine ~var:ctx.sr_var ctx.sr_assigned (resolve_consts st.env idx)
+        with
+        | Some (k, inv) -> (
+            match
+              Hashtbl.find_opt ctx.sr_ptrs
+                { sr_array = a; sr_coeff = k; sr_inv = inv }
+            with
+            | Some p -> Some p
+            | None -> go rest)
+        | None -> go rest)
+  in
+  go st.sr_stack
+
+let var_reg st x =
+  match Hashtbl.find_opt st.vars x with
+  | Some r -> r
+  | None -> fail "lower: unbound variable %s" x
+
+let base_reg st a =
+  match Hashtbl.find_opt st.bases a with
+  | Some r -> r
+  | None -> fail "lower: unbound array %s" a
+
+let temp st ty = Builder.reg st.b (reg_ty ty)
+
+(* Evaluate [e] into a register.  Constant folding is left to the reader:
+   the allocator is the subject under study and naive code stresses it
+   the way the paper's ILOC does. *)
+let rec expr st (e : Ast.expr) : Reg.t =
+  match e with
+  | Ast.Int_lit n ->
+      let r = temp st Ast.Tint in
+      emit st (Instr.ldi r n);
+      r
+  | Ast.Real_lit x ->
+      let r = temp st Ast.Treal in
+      emit st (Instr.lfi r x);
+      r
+  | Ast.Var x -> (
+      match Hashtbl.find_opt st.env.Typecheck.consts x with
+      | Some v ->
+          let r = temp st Ast.Tint in
+          emit st (Instr.ldi r v);
+          r
+      | None -> var_reg st x)
+  | Ast.Index (a, idx) -> (
+      let ty, _, readonly =
+        match Hashtbl.find_opt st.env.Typecheck.arrays a with
+        | Some info -> info
+        | None -> fail "lower: unknown array %s" a
+      in
+      let dst = temp st ty in
+      match const_index st idx with
+      | Some c when readonly ->
+          emit st (Instr.ldro dst a c);
+          dst
+      | Some c ->
+          emit st (Instr.loadi dst (base_reg st a) c);
+          dst
+      | None -> (
+          match sr_lookup st a idx with
+          | Some p ->
+              emit st (Instr.load dst p);
+              dst
+          | None ->
+              let i = expr st idx in
+              emit st (Instr.loadx dst (base_reg st a) i);
+              dst))
+  | Ast.Unop (op, e1) -> (
+      let r1 = expr st e1 in
+      match op with
+      | Ast.Neg when Reg.is_int r1 ->
+          let z = temp st Ast.Tint in
+          emit st (Instr.ldi z 0);
+          let d = temp st Ast.Tint in
+          emit st (Instr.sub d z r1);
+          d
+      | Ast.Neg ->
+          let d = temp st Ast.Treal in
+          emit st (Instr.fneg d r1);
+          d
+      | Ast.Abs ->
+          let d = temp st Ast.Treal in
+          emit st (Instr.fabs d r1);
+          d
+      | Ast.To_int ->
+          let d = temp st Ast.Tint in
+          emit st (Instr.ftoi d r1);
+          d
+      | Ast.To_real ->
+          let d = temp st Ast.Treal in
+          emit st (Instr.itof d r1);
+          d)
+  | Ast.Binop (op, e1, e2) -> (
+      let r1 = expr st e1 in
+      let r2 = expr st e2 in
+      let int_result () = temp st Ast.Tint in
+      match (op, Reg.is_int r1) with
+      | Ast.Add, true ->
+          let d = int_result () in
+          emit st (Instr.add d r1 r2);
+          d
+      | Ast.Sub, true ->
+          let d = int_result () in
+          emit st (Instr.sub d r1 r2);
+          d
+      | Ast.Mul, true ->
+          let d = int_result () in
+          emit st (Instr.mul d r1 r2);
+          d
+      | Ast.Div, true ->
+          let d = int_result () in
+          emit st (Instr.div d r1 r2);
+          d
+      | Ast.Rem, _ ->
+          let d = int_result () in
+          emit st (Instr.rem d r1 r2);
+          d
+      | Ast.Add, false ->
+          let d = temp st Ast.Treal in
+          emit st (Instr.fadd d r1 r2);
+          d
+      | Ast.Sub, false ->
+          let d = temp st Ast.Treal in
+          emit st (Instr.fsub d r1 r2);
+          d
+      | Ast.Mul, false ->
+          let d = temp st Ast.Treal in
+          emit st (Instr.fmul d r1 r2);
+          d
+      | Ast.Div, false ->
+          let d = temp st Ast.Treal in
+          emit st (Instr.fdiv d r1 r2);
+          d
+      | (Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge), is_int ->
+          let rel =
+            match op with
+            | Ast.Eq -> Instr.Eq
+            | Ast.Ne -> Instr.Ne
+            | Ast.Lt -> Instr.Lt
+            | Ast.Le -> Instr.Le
+            | Ast.Gt -> Instr.Gt
+            | Ast.Ge -> Instr.Ge
+            | _ -> assert false
+          in
+          let d = int_result () in
+          if is_int then emit st (Instr.cmp rel d r1 r2)
+          else emit st (Instr.fcmp rel d r1 r2);
+          d
+      | Ast.And, _ ->
+          (* (r1 <> 0) * (r2 <> 0) *)
+          let z = int_result () in
+          emit st (Instr.ldi z 0);
+          let b1 = int_result () and b2 = int_result () in
+          emit st (Instr.cmp Instr.Ne b1 r1 z);
+          emit st (Instr.cmp Instr.Ne b2 r2 z);
+          let d = int_result () in
+          emit st (Instr.mul d b1 b2);
+          d
+      | Ast.Or, _ ->
+          (* (r1 + r2 rendered boolean): (r1 <> 0) + (r2 <> 0) >= 1 *)
+          let z = int_result () in
+          emit st (Instr.ldi z 0);
+          let b1 = int_result () and b2 = int_result () in
+          emit st (Instr.cmp Instr.Ne b1 r1 z);
+          emit st (Instr.cmp Instr.Ne b2 r2 z);
+          let s = int_result () in
+          emit st (Instr.add s b1 b2);
+          let one = int_result () in
+          emit st (Instr.ldi one 1);
+          let d = int_result () in
+          emit st (Instr.cmp Instr.Ge d s one);
+          d)
+
+and const_index st (e : Ast.expr) =
+  match e with
+  | Ast.Int_lit n when n >= 0 -> Some n
+  | Ast.Var x -> (
+      match Hashtbl.find_opt st.env.Typecheck.consts x with
+      | Some v when v >= 0 -> Some v
+      | _ -> None)
+  | _ -> None
+
+let rec stmt st (s : Ast.stmt) =
+  match s with
+  | Ast.Assign (x, e) ->
+      let r = expr st e in
+      emit st (Instr.copy (var_reg st x) r)
+  | Ast.Store (a, idx, e) -> (
+      let v = expr st e in
+      match const_index st idx with
+      | Some c -> emit st (Instr.storei ~value:v ~base:(base_reg st a) ~off:c)
+      | None -> (
+          match sr_lookup st a idx with
+          | Some p -> emit st (Instr.store ~value:v ~addr:p)
+          | None ->
+              let i = expr st idx in
+              emit st (Instr.storex ~value:v ~base:(base_reg st a) ~idx:i)))
+  | Ast.If (c, th, el) ->
+      let lt = fresh_label st "then"
+      and le = fresh_label st "else"
+      and lj = fresh_label st "fi" in
+      let r = expr st c in
+      close st (Instr.cbr r lt le) lt;
+      List.iter (stmt st) th;
+      close st (Instr.jmp lj) le;
+      List.iter (stmt st) el;
+      close st (Instr.jmp lj) lj
+  | Ast.While (c, body) ->
+      let lh = fresh_label st "whead"
+      and lb = fresh_label st "wbody"
+      and lx = fresh_label st "wexit" in
+      close st (Instr.jmp lh) lh;
+      let r = expr st c in
+      close st (Instr.cbr r lb lx) lb;
+      List.iter (stmt st) body;
+      close st (Instr.jmp lh) lx
+  | Ast.For { var; from_; to_; step; body } ->
+      let lh = fresh_label st "fhead"
+      and lb = fresh_label st "fbody"
+      and lx = fresh_label st "fexit" in
+      let iv = var_reg st var in
+      let init = expr st from_ in
+      emit st (Instr.copy iv init);
+      (* FORTRAN semantics: the bound is evaluated once. *)
+      let bound_val = expr st to_ in
+      let bound = temp st Ast.Tint in
+      emit st (Instr.copy bound bound_val);
+      (* Strength reduction: set up a walking pointer for every array
+         subscript affine in [var] (unless the body itself writes the
+         loop variable, which defeats the induction analysis). *)
+      let assigned = Hashtbl.create 8 in
+      collect_assigned body assigned;
+      let ctx_opt =
+        if Hashtbl.mem assigned var then None
+        else begin
+          let keys = scan_sr_keys st.env ~var assigned body in
+          let ctx =
+            {
+              sr_var = var;
+              sr_assigned = assigned;
+              sr_ptrs = Hashtbl.create 8;
+              sr_step = step;
+            }
+          in
+          List.iter
+            (fun key ->
+              (* p = base + coeff*iv + inv, evaluated in the preamble *)
+              let p = Builder.ireg st.b in
+              let scaled =
+                if key.sr_coeff = 1 then iv
+                else begin
+                  let t = temp st Ast.Tint in
+                  emit st (Instr.muli t iv key.sr_coeff);
+                  t
+                end
+              in
+              let idx =
+                match key.sr_inv with
+                | None -> scaled
+                | Some inv ->
+                    let ri = expr st inv in
+                    let t = temp st Ast.Tint in
+                    emit st (Instr.add t scaled ri);
+                    t
+              in
+              let addr = temp st Ast.Tint in
+              emit st (Instr.add addr (base_reg st key.sr_array) idx);
+              emit st (Instr.copy p addr);
+              Hashtbl.replace ctx.sr_ptrs key p)
+            keys;
+          if Hashtbl.length ctx.sr_ptrs = 0 then None else Some ctx
+        end
+      in
+      (match ctx_opt with
+      | Some ctx -> st.sr_stack <- ctx :: st.sr_stack
+      | None -> ());
+      close st (Instr.jmp lh) lh;
+      let t = temp st Ast.Tint in
+      emit st
+        (Instr.cmp (if step > 0 then Instr.Le else Instr.Ge) t iv bound);
+      close st (Instr.cbr t lb lx) lb;
+      List.iter (stmt st) body;
+      emit st (Instr.addi iv iv step);
+      (match ctx_opt with
+      | Some ctx ->
+          Hashtbl.iter
+            (fun (key : sr_key) p ->
+              emit st (Instr.addi p p (key.sr_coeff * ctx.sr_step)))
+            ctx.sr_ptrs;
+          st.sr_stack <- List.tl st.sr_stack
+      | None -> ());
+      close st (Instr.jmp lh) lx
+  | Ast.Print e ->
+      let r = expr st e in
+      emit st (Instr.print_ r)
+  | Ast.Return None ->
+      (* Close the current block and continue in an unreachable stub so
+         statements after 'return' (if any) still form valid blocks. *)
+      let dead = fresh_label st "dead" in
+      close st (Instr.ret None) dead
+  | Ast.Return (Some e) ->
+      let r = expr st e in
+      let dead = fresh_label st "dead" in
+      close st (Instr.ret (Some r)) dead
+
+let program (p : Ast.program) : Iloc.Cfg.t =
+  let env = Typecheck.program p in
+  let b = Builder.create p.Ast.name in
+  let st =
+    {
+      b;
+      env;
+      vars = Hashtbl.create 16;
+      bases = Hashtbl.create 16;
+      label = "entry";
+      body_rev = [];
+      next_label = 0;
+      sr_stack = [];
+    }
+  in
+  (* Declare static data and create variable registers. *)
+  List.iter
+    (fun (d : Ast.decl) ->
+      match d with
+      | Ast.Scalar (ty, names) ->
+          List.iter
+            (fun n -> Hashtbl.replace st.vars n (Builder.reg b (reg_ty ty)))
+            names
+      | Ast.Array { ty; name; size; init; readonly } ->
+          let sym_init =
+            match (init, ty) with
+            | None, _ -> Iloc.Symbol.Uninit
+            | Some lits, Ast.Tint ->
+                Iloc.Symbol.Int_elts
+                  (List.map
+                     (function Ast.L_int n -> n | Ast.L_real _ -> 0)
+                     lits)
+            | Some lits, Ast.Treal ->
+                Iloc.Symbol.Float_elts
+                  (List.map
+                     (function Ast.L_real x -> x | Ast.L_int _ -> 0.)
+                     lits)
+          in
+          Builder.data b ~readonly ~init:sym_init name size
+      | Ast.Const _ -> ())
+    p.Ast.decls;
+  (* Hoisted base addresses: one laddr per array in the entry block, as
+     loop-invariant code motion would leave them. *)
+  List.iter
+    (fun (d : Ast.decl) ->
+      match d with
+      | Ast.Array { name; _ } ->
+          let r = Builder.ireg b in
+          Hashtbl.replace st.bases name r;
+          emit st (Instr.laddr r name)
+      | Ast.Scalar _ | Ast.Const _ -> ())
+    p.Ast.decls;
+  (* Scalars start at zero, as the paper's FORTRAN environment
+     initializes SAVE storage; this also keeps every use defined. *)
+  Hashtbl.iter
+    (fun _ r ->
+      if Reg.is_int r then emit st (Instr.ldi r 0)
+      else emit st (Instr.lfi r 0.0))
+    st.vars;
+  List.iter (stmt st) p.Ast.body;
+  close st (Instr.ret None) ".trailer";
+  let cfg = Builder.finish b in
+  (match Iloc.Validate.routine cfg with
+  | Ok () -> ()
+  | Error es ->
+      fail "lowered code invalid: %s"
+        (String.concat "; " (List.map Iloc.Validate.error_to_string es)));
+  cfg
+
+let compile src = program (Mf_parser.program src)

@@ -1,0 +1,349 @@
+(** Recursive-descent parser for MF. *)
+
+exception Error of { line : int; msg : string }
+
+type state = { mutable toks : Lexer.t list }
+
+let fail (st : state) fmt =
+  let line = match st.toks with t :: _ -> t.Lexer.line | [] -> 0 in
+  Printf.ksprintf (fun msg -> raise (Error { line; msg })) fmt
+
+let peek st =
+  match st.toks with t :: _ -> t.Lexer.tok | [] -> Lexer.EOF
+
+let advance st =
+  match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let expect_sym st s =
+  match peek st with
+  | Lexer.SYM s' when s' = s -> advance st
+  | t -> fail st "expected %S, found %s" s (Lexer.token_to_string t)
+
+let expect_kw st k =
+  match peek st with
+  | Lexer.KW k' when k' = k -> advance st
+  | t -> fail st "expected %S, found %s" k (Lexer.token_to_string t)
+
+let expect_ident st =
+  match peek st with
+  | Lexer.IDENT x ->
+      advance st;
+      x
+  | t -> fail st "expected identifier, found %s" (Lexer.token_to_string t)
+
+let expect_int st =
+  match peek st with
+  | Lexer.INT n ->
+      advance st;
+      n
+  | Lexer.SYM "-" -> (
+      advance st;
+      match peek st with
+      | Lexer.INT n ->
+          advance st;
+          -n
+      | t -> fail st "expected integer, found %s" (Lexer.token_to_string t))
+  | t -> fail st "expected integer, found %s" (Lexer.token_to_string t)
+
+(* --- expressions, by descending precedence --- *)
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let lhs = parse_and st in
+  match peek st with
+  | Lexer.KW "or" ->
+      advance st;
+      Ast.Binop (Ast.Or, lhs, parse_or st)
+  | _ -> lhs
+
+and parse_and st =
+  let lhs = parse_cmp st in
+  match peek st with
+  | Lexer.KW "and" ->
+      advance st;
+      Ast.Binop (Ast.And, lhs, parse_and st)
+  | _ -> lhs
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  let op =
+    match peek st with
+    | Lexer.SYM "==" -> Some Ast.Eq
+    | Lexer.SYM "!=" -> Some Ast.Ne
+    | Lexer.SYM "<" -> Some Ast.Lt
+    | Lexer.SYM "<=" -> Some Ast.Le
+    | Lexer.SYM ">" -> Some Ast.Gt
+    | Lexer.SYM ">=" -> Some Ast.Ge
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+      advance st;
+      Ast.Binop (op, lhs, parse_add st)
+
+and parse_add st =
+  let rec loop lhs =
+    match peek st with
+    | Lexer.SYM "+" ->
+        advance st;
+        loop (Ast.Binop (Ast.Add, lhs, parse_mul st))
+    | Lexer.SYM "-" ->
+        advance st;
+        loop (Ast.Binop (Ast.Sub, lhs, parse_mul st))
+    | _ -> lhs
+  in
+  loop (parse_mul st)
+
+and parse_mul st =
+  let rec loop lhs =
+    match peek st with
+    | Lexer.SYM "*" ->
+        advance st;
+        loop (Ast.Binop (Ast.Mul, lhs, parse_unary st))
+    | Lexer.SYM "/" ->
+        advance st;
+        loop (Ast.Binop (Ast.Div, lhs, parse_unary st))
+    | Lexer.SYM "%" ->
+        advance st;
+        loop (Ast.Binop (Ast.Rem, lhs, parse_unary st))
+    | _ -> lhs
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | Lexer.SYM "-" ->
+      advance st;
+      Ast.Unop (Ast.Neg, parse_unary st)
+  | Lexer.KW "abs" ->
+      advance st;
+      expect_sym st "(";
+      let e = parse_expr st in
+      expect_sym st ")";
+      Ast.Unop (Ast.Abs, e)
+  | Lexer.KW "int" ->
+      advance st;
+      expect_sym st "(";
+      let e = parse_expr st in
+      expect_sym st ")";
+      Ast.Unop (Ast.To_int, e)
+  | Lexer.KW "real" ->
+      advance st;
+      expect_sym st "(";
+      let e = parse_expr st in
+      expect_sym st ")";
+      Ast.Unop (Ast.To_real, e)
+  | _ -> parse_atom st
+
+and parse_atom st =
+  match peek st with
+  | Lexer.INT n ->
+      advance st;
+      Ast.Int_lit n
+  | Lexer.REAL x ->
+      advance st;
+      Ast.Real_lit x
+  | Lexer.SYM "(" ->
+      advance st;
+      let e = parse_expr st in
+      expect_sym st ")";
+      e
+  | Lexer.IDENT x -> (
+      advance st;
+      match peek st with
+      | Lexer.SYM "[" ->
+          advance st;
+          let idx = parse_expr st in
+          expect_sym st "]";
+          Ast.Index (x, idx)
+      | _ -> Ast.Var x)
+  | t -> fail st "expected expression, found %s" (Lexer.token_to_string t)
+
+(* --- statements --- *)
+
+let rec parse_stmts st ~stop =
+  let stops = stop in
+  let rec loop acc =
+    match peek st with
+    | Lexer.KW k when List.mem k stops -> List.rev acc
+    | Lexer.EOF when List.mem "" stops -> List.rev acc
+    | Lexer.EOF -> fail st "unexpected end of input (missing 'end'?)"
+    | _ -> loop (parse_stmt st :: acc)
+  in
+  loop []
+
+and parse_stmt st =
+  match peek st with
+  | Lexer.KW "if" ->
+      advance st;
+      let cond = parse_expr st in
+      expect_kw st "then";
+      let then_ = parse_stmts st ~stop:[ "else"; "end" ] in
+      let else_ =
+        match peek st with
+        | Lexer.KW "else" ->
+            advance st;
+            parse_stmts st ~stop:[ "end" ]
+        | _ -> []
+      in
+      expect_kw st "end";
+      Ast.If (cond, then_, else_)
+  | Lexer.KW "while" ->
+      advance st;
+      let cond = parse_expr st in
+      expect_kw st "do";
+      let body = parse_stmts st ~stop:[ "end" ] in
+      expect_kw st "end";
+      Ast.While (cond, body)
+  | Lexer.KW "for" ->
+      advance st;
+      let var = expect_ident st in
+      expect_sym st "=";
+      let from_ = parse_expr st in
+      expect_kw st "to";
+      let to_ = parse_expr st in
+      let step =
+        match peek st with
+        | Lexer.KW "step" ->
+            advance st;
+            let s = expect_int st in
+            if s = 0 then fail st "for step must be non-zero";
+            s
+        | _ -> 1
+      in
+      expect_kw st "do";
+      let body = parse_stmts st ~stop:[ "end" ] in
+      expect_kw st "end";
+      Ast.For { var; from_; to_; step; body }
+  | Lexer.KW "print" ->
+      advance st;
+      Ast.Print (parse_expr st)
+  | Lexer.KW "return" -> (
+      advance st;
+      (* 'return' is bare when followed by a statement keyword, 'end',
+         'else' or EOF; otherwise it returns an expression. *)
+      match peek st with
+      | Lexer.KW ("abs" | "int" | "real") ->
+          Ast.Return (Some (parse_expr st))
+      | Lexer.EOF | Lexer.KW _ -> Ast.Return None
+      | _ -> Ast.Return (Some (parse_expr st)))
+  | Lexer.IDENT x -> (
+      advance st;
+      match peek st with
+      | Lexer.SYM "=" ->
+          advance st;
+          Ast.Assign (x, parse_expr st)
+      | Lexer.SYM "[" ->
+          advance st;
+          let idx = parse_expr st in
+          expect_sym st "]";
+          expect_sym st "=";
+          Ast.Store (x, idx, parse_expr st)
+      | t ->
+          fail st "expected '=' or '[' after %s, found %s" x
+            (Lexer.token_to_string t))
+  | t -> fail st "expected statement, found %s" (Lexer.token_to_string t)
+
+(* --- declarations --- *)
+
+let parse_lit st =
+  match peek st with
+  | Lexer.INT n ->
+      advance st;
+      Ast.L_int n
+  | Lexer.REAL x ->
+      advance st;
+      Ast.L_real x
+  | Lexer.SYM "-" -> (
+      advance st;
+      match peek st with
+      | Lexer.INT n ->
+          advance st;
+          Ast.L_int (-n)
+      | Lexer.REAL x ->
+          advance st;
+          Ast.L_real (-.x)
+      | t -> fail st "expected literal, found %s" (Lexer.token_to_string t))
+  | t -> fail st "expected literal, found %s" (Lexer.token_to_string t)
+
+let parse_array_tail st ~ty ~readonly name =
+  let size = expect_int st in
+  expect_sym st "]";
+  let init =
+    match peek st with
+    | Lexer.SYM "=" ->
+        advance st;
+        expect_sym st "{";
+        let rec lits acc =
+          match peek st with
+          | Lexer.SYM "}" ->
+              advance st;
+              List.rev acc
+          | Lexer.SYM "," ->
+              advance st;
+              lits acc
+          | _ -> lits (parse_lit st :: acc)
+        in
+        Some (lits [])
+    | _ -> None
+  in
+  Ast.Array { ty; name; size; init; readonly }
+
+let parse_typed_decl st ~readonly ty =
+  let name = expect_ident st in
+  match peek st with
+  | Lexer.SYM "[" ->
+      advance st;
+      parse_array_tail st ~ty ~readonly name
+  | Lexer.SYM "," ->
+      if readonly then fail st "const scalars take the form 'const name = n'";
+      let rec names acc =
+        match peek st with
+        | Lexer.SYM "," ->
+            advance st;
+            names (expect_ident st :: acc)
+        | _ -> List.rev acc
+      in
+      Ast.Scalar (ty, names [ name ])
+  | _ ->
+      if readonly then fail st "const scalars take the form 'const name = n'";
+      Ast.Scalar (ty, [ name ])
+
+let parse_decl st =
+  match peek st with
+  | Lexer.KW "int" ->
+      advance st;
+      Some (parse_typed_decl st ~readonly:false Ast.Tint)
+  | Lexer.KW "real" ->
+      advance st;
+      Some (parse_typed_decl st ~readonly:false Ast.Treal)
+  | Lexer.KW "const" -> (
+      advance st;
+      match peek st with
+      | Lexer.KW "int" ->
+          advance st;
+          Some (parse_typed_decl st ~readonly:true Ast.Tint)
+      | Lexer.KW "real" ->
+          advance st;
+          Some (parse_typed_decl st ~readonly:true Ast.Treal)
+      | Lexer.IDENT name ->
+          advance st;
+          expect_sym st "=";
+          Some (Ast.Const (name, expect_int st))
+      | t ->
+          fail st "expected type or identifier after 'const', found %s"
+            (Lexer.token_to_string t))
+  | _ -> None
+
+let program src =
+  let st = { toks = Lexer.tokenize src } in
+  expect_kw st "program";
+  let name = expect_ident st in
+  let rec decls acc =
+    match parse_decl st with Some d -> decls (d :: acc) | None -> List.rev acc
+  in
+  let decls = decls [] in
+  let body = parse_stmts st ~stop:[ "" ] in
+  { Ast.name; decls; body }

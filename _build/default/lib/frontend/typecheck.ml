@@ -1,0 +1,173 @@
+(** Static checks for MF programs.
+
+    MF is deliberately rigid: no implicit conversions (use [int(e)] /
+    [real(e)]), comparisons and logical operators work on matching types
+    and yield integers, conditions must be integers, loop variables must
+    be integer scalars, and array initializers must match the element type
+    and fit the declared size. *)
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+type env = {
+  scalars : (string, Ast.ty) Hashtbl.t;
+  arrays : (string, Ast.ty * int * bool) Hashtbl.t;  (** ty, size, readonly *)
+  consts : (string, int) Hashtbl.t;
+}
+
+let build_env (p : Ast.program) =
+  let env =
+    {
+      scalars = Hashtbl.create 16;
+      arrays = Hashtbl.create 16;
+      consts = Hashtbl.create 16;
+    }
+  in
+  let declare name =
+    if
+      Hashtbl.mem env.scalars name || Hashtbl.mem env.arrays name
+      || Hashtbl.mem env.consts name
+    then fail "duplicate declaration of %s" name
+  in
+  List.iter
+    (fun (d : Ast.decl) ->
+      match d with
+      | Ast.Scalar (ty, names) ->
+          List.iter
+            (fun n ->
+              declare n;
+              Hashtbl.replace env.scalars n ty)
+            names
+      | Ast.Array { ty; name; size; init; readonly } ->
+          declare name;
+          if size <= 0 then fail "array %s must have positive size" name;
+          (match init with
+          | None ->
+              if readonly then
+                fail "const array %s needs an initializer" name
+          | Some lits ->
+              if List.length lits > size then
+                fail "array %s initializer too long" name;
+              List.iter
+                (fun (l : Ast.lit) ->
+                  match (l, ty) with
+                  | Ast.L_int _, Ast.Tint | Ast.L_real _, Ast.Treal -> ()
+                  | Ast.L_int _, Ast.Treal ->
+                      fail "array %s: integer literal in real array" name
+                  | Ast.L_real _, Ast.Tint ->
+                      fail "array %s: real literal in int array" name)
+                lits);
+          Hashtbl.replace env.arrays name (ty, size, readonly)
+      | Ast.Const (name, v) ->
+          declare name;
+          Hashtbl.replace env.consts name v)
+    p.Ast.decls;
+  env
+
+let rec type_of env (e : Ast.expr) : Ast.ty =
+  match e with
+  | Ast.Int_lit _ -> Ast.Tint
+  | Ast.Real_lit _ -> Ast.Treal
+  | Ast.Var x -> (
+      match Hashtbl.find_opt env.scalars x with
+      | Some ty -> ty
+      | None -> (
+          match Hashtbl.find_opt env.consts x with
+          | Some _ -> Ast.Tint
+          | None ->
+              if Hashtbl.mem env.arrays x then
+                fail "array %s used without a subscript" x
+              else fail "undeclared variable %s" x))
+  | Ast.Index (a, idx) -> (
+      match Hashtbl.find_opt env.arrays a with
+      | None -> fail "undeclared array %s" a
+      | Some (ty, _, _) ->
+          (match type_of env idx with
+          | Ast.Tint -> ()
+          | Ast.Treal -> fail "subscript of %s must be an integer" a);
+          ty)
+  | Ast.Unop (op, e1) -> (
+      let t1 = type_of env e1 in
+      match (op, t1) with
+      | Ast.Neg, t -> t
+      | Ast.Abs, Ast.Treal -> Ast.Treal
+      | Ast.Abs, Ast.Tint -> fail "abs applies to reals (use conditionals)"
+      | Ast.To_int, Ast.Treal -> Ast.Tint
+      | Ast.To_int, Ast.Tint -> fail "int() applies to reals"
+      | Ast.To_real, Ast.Tint -> Ast.Treal
+      | Ast.To_real, Ast.Treal -> fail "real() applies to integers")
+  | Ast.Binop (op, e1, e2) -> (
+      let t1 = type_of env e1 and t2 = type_of env e2 in
+      if t1 <> t2 then
+        fail "operator %s applied to %s and %s" (Ast.binop_to_string op)
+          (Ast.ty_to_string t1) (Ast.ty_to_string t2);
+      match op with
+      | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div -> t1
+      | Ast.Rem ->
+          if t1 <> Ast.Tint then fail "%% applies to integers";
+          Ast.Tint
+      | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> Ast.Tint
+      | Ast.And | Ast.Or ->
+          if t1 <> Ast.Tint then
+            fail "%s applies to integers" (Ast.binop_to_string op);
+          Ast.Tint)
+
+let check_cond env e what =
+  match type_of env e with
+  | Ast.Tint -> ()
+  | Ast.Treal -> fail "%s condition must be an integer" what
+
+let rec check_stmt env (s : Ast.stmt) =
+  match s with
+  | Ast.Assign (x, e) -> (
+      match Hashtbl.find_opt env.scalars x with
+      | None ->
+          if Hashtbl.mem env.consts x then fail "cannot assign constant %s" x
+          else if Hashtbl.mem env.arrays x then
+            fail "cannot assign whole array %s" x
+          else fail "undeclared variable %s" x
+      | Some ty ->
+          let te = type_of env e in
+          if te <> ty then
+            fail "assigning %s to %s variable %s" (Ast.ty_to_string te)
+              (Ast.ty_to_string ty) x)
+  | Ast.Store (a, idx, e) -> (
+      match Hashtbl.find_opt env.arrays a with
+      | None -> fail "undeclared array %s" a
+      | Some (ty, _, readonly) ->
+          if readonly then fail "cannot store into const array %s" a;
+          (match type_of env idx with
+          | Ast.Tint -> ()
+          | Ast.Treal -> fail "subscript of %s must be an integer" a);
+          let te = type_of env e in
+          if te <> ty then
+            fail "storing %s into %s array %s" (Ast.ty_to_string te)
+              (Ast.ty_to_string ty) a)
+  | Ast.If (c, th, el) ->
+      check_cond env c "if";
+      List.iter (check_stmt env) th;
+      List.iter (check_stmt env) el
+  | Ast.While (c, body) ->
+      check_cond env c "while";
+      List.iter (check_stmt env) body
+  | Ast.For { var; from_; to_; step = _; body } ->
+      (match Hashtbl.find_opt env.scalars var with
+      | Some Ast.Tint -> ()
+      | Some Ast.Treal -> fail "loop variable %s must be an integer" var
+      | None -> fail "undeclared loop variable %s" var);
+      (match type_of env from_ with
+      | Ast.Tint -> ()
+      | Ast.Treal -> fail "loop bounds must be integers");
+      (match type_of env to_ with
+      | Ast.Tint -> ()
+      | Ast.Treal -> fail "loop bounds must be integers");
+      List.iter (check_stmt env) body
+  | Ast.Print e -> ignore (type_of env e)
+  | Ast.Return None -> ()
+  | Ast.Return (Some e) -> ignore (type_of env e)
+
+let program (p : Ast.program) =
+  let env = build_env p in
+  List.iter (check_stmt env) p.Ast.body;
+  env

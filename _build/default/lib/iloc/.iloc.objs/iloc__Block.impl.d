@@ -1,0 +1,1 @@
+lib/iloc/block.ml: Format Instr List Phi

@@ -1,0 +1,1 @@
+lib/iloc/block.mli: Format Instr Phi

@@ -1,0 +1,1 @@
+lib/iloc/builder.ml: Block Cfg Instr List Printf Reg String Symbol

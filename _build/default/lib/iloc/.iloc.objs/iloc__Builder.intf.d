@@ -1,0 +1,1 @@
+lib/iloc/builder.mli: Cfg Instr Reg Symbol

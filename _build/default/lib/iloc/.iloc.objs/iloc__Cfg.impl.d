@@ -1,0 +1,1 @@
+lib/iloc/cfg.ml: Array Block Format Fun Hashtbl Instr Int List Phi Printf Reg String Symbol

@@ -1,0 +1,1 @@
+lib/iloc/cfg.mli: Block Format Instr Reg Symbol

@@ -1,0 +1,1 @@
+lib/iloc/dot.ml: Block Buffer Cfg Format Instr List Phi String

@@ -1,0 +1,1 @@
+lib/iloc/dot.mli: Cfg Format

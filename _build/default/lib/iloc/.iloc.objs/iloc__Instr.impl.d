@@ -1,0 +1,1 @@
+lib/iloc/instr.ml: Array Float Format List Option Printf Reg String

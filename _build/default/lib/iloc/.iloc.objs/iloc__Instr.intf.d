@@ -1,0 +1,1 @@
+lib/iloc/instr.mli: Format Reg

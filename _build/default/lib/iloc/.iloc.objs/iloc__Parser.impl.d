@@ -1,0 +1,1 @@
+lib/iloc/parser.ml: Block Cfg Instr List Printf Reg String Symbol

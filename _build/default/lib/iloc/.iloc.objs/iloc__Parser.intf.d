@@ -1,0 +1,1 @@
+lib/iloc/parser.mli: Cfg Instr

@@ -1,0 +1,1 @@
+lib/iloc/phi.ml: Format List Reg

@@ -1,0 +1,1 @@
+lib/iloc/phi.mli: Format Reg

@@ -1,0 +1,1 @@
+lib/iloc/printer.ml: Cfg Format Instr List Printf String Symbol

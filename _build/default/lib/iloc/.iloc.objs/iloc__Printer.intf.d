@@ -1,0 +1,1 @@
+lib/iloc/printer.mli: Cfg Format Symbol

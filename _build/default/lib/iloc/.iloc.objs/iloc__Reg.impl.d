@@ -1,0 +1,1 @@
+lib/iloc/reg.ml: Format Hashtbl Int Map Printf Set Stdlib

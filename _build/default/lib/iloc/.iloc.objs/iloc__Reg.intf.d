@@ -1,0 +1,1 @@
+lib/iloc/reg.mli: Format Hashtbl Map Set

@@ -1,0 +1,1 @@
+lib/iloc/symbol.ml: Format List

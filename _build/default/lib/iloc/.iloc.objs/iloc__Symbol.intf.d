@@ -1,0 +1,1 @@
+lib/iloc/symbol.mli: Format

@@ -1,0 +1,1 @@
+lib/iloc/validate.ml: Array Block Cfg Format Instr Int List Phi Printf Reg String Symbol

@@ -1,0 +1,1 @@
+lib/iloc/validate.mli: Cfg Format

@@ -1,0 +1,51 @@
+(** Basic blocks.
+
+    A block is a label, an optional list of φ-nodes (non-empty only while
+    the routine is in SSA form), a straight-line body, and a terminator
+    ([Jmp], [Cbr] or [Ret]).  Blocks are mutable: the allocator rewrites
+    bodies in place when it inserts spill code and split copies. *)
+
+type t = {
+  id : int;
+  label : string;
+  mutable phis : Phi.t list;
+  mutable body : Instr.t list;
+  mutable term : Instr.t;
+}
+
+let make ~id ~label ?(phis = []) ~body ~term () =
+  if not (Instr.is_terminator term) then
+    invalid_arg "Block.make: terminator required";
+  List.iter
+    (fun i ->
+      if Instr.is_terminator i then
+        invalid_arg "Block.make: terminator in block body")
+    body;
+  { id; label; phis; body; term }
+
+(** All instructions including the terminator, excluding φ-nodes. *)
+let instrs t = t.body @ [ t.term ]
+
+let iter_instrs f t =
+  List.iter f t.body;
+  f t.term
+
+(** Rewrite every instruction (body and terminator) with [f]; [f] must map
+    terminators to terminators. *)
+let map_instrs f t =
+  t.body <- List.map f t.body;
+  let term = f t.term in
+  if not (Instr.is_terminator term) then
+    invalid_arg "Block.map_instrs: terminator lost";
+  t.term <- term
+
+(** Insert instructions at the end of the body, just before the
+    terminator.  This is where φ-removal places split copies in the
+    predecessor block (§4.1 step 6). *)
+let append_before_term t instrs = t.body <- t.body @ instrs
+
+let pp ppf t =
+  Format.fprintf ppf "%s:  @[<v>" t.label;
+  List.iter (fun p -> Format.fprintf ppf "%a@," Phi.pp p) t.phis;
+  List.iter (fun i -> Format.fprintf ppf "%a@," Instr.pp i) t.body;
+  Format.fprintf ppf "%a@]" Instr.pp t.term

@@ -1,0 +1,41 @@
+(** Basic blocks.
+
+    A block is a label, an optional list of φ-nodes (non-empty only while
+    the routine is in SSA form), a straight-line body, and a terminator
+    ([jmp], [cbr] or [ret]).  Blocks are mutable: the allocator rewrites
+    bodies in place when it inserts spill code and split copies. *)
+
+type t = {
+  id : int;
+  label : string;
+  mutable phis : Phi.t list;
+  mutable body : Instr.t list;
+  mutable term : Instr.t;
+}
+
+val make :
+  id:int ->
+  label:string ->
+  ?phis:Phi.t list ->
+  body:Instr.t list ->
+  term:Instr.t ->
+  unit ->
+  t
+(** Raises [Invalid_argument] if [term] is not a terminator or the body
+    contains one. *)
+
+val instrs : t -> Instr.t list
+(** Body plus terminator, in order; φ-nodes excluded. *)
+
+val iter_instrs : (Instr.t -> unit) -> t -> unit
+
+val map_instrs : (Instr.t -> Instr.t) -> t -> unit
+(** Rewrite every instruction in place; [f] must map terminators to
+    terminators. *)
+
+val append_before_term : t -> Instr.t list -> unit
+(** Insert instructions at the end of the body, just before the
+    terminator — where φ-removal and split insertion place their copies
+    in predecessor blocks (§4.1 step 6). *)
+
+val pp : Format.formatter -> t -> unit

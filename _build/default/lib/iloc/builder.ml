@@ -1,0 +1,37 @@
+(** Programmatic construction of ILOC routines.
+
+    The builder hands out fresh virtual registers and accumulates labeled
+    blocks; {!finish} numbers the blocks in declaration order (the first
+    block is the entry) and produces a checked {!Cfg.t}. *)
+
+type t = {
+  name : string;
+  mutable symbols : Symbol.t list;
+  mutable blocks_rev : (string * Instr.t list * Instr.t) list;
+  supply : Reg.Supply.t;
+}
+
+let create name =
+  { name; symbols = []; blocks_rev = []; supply = Reg.Supply.create () }
+
+let symbol t s = t.symbols <- t.symbols @ [ s ]
+
+let data t ?readonly ?init name size =
+  symbol t (Symbol.make ?readonly ?init name size)
+
+let reg t cls = Reg.Supply.fresh t.supply cls
+let ireg t = reg t Reg.Int
+let freg t = reg t Reg.Float
+
+let block t label body ~term =
+  if List.exists (fun (l, _, _) -> String.equal l label) t.blocks_rev then
+    invalid_arg (Printf.sprintf "Builder.block: duplicate label %s" label);
+  t.blocks_rev <- (label, body, term) :: t.blocks_rev
+
+let finish t =
+  let blocks =
+    List.rev t.blocks_rev
+    |> List.mapi (fun id (label, body, term) ->
+           Block.make ~id ~label ~body ~term ())
+  in
+  Cfg.make ~name:t.name ~symbols:t.symbols blocks

@@ -1,0 +1,225 @@
+type t = {
+  name : string;
+  mutable blocks : Block.t array;
+  entry : int;
+  symbols : Symbol.t list;
+  supply : Reg.Supply.t;
+  mutable succs : int list array;
+  mutable preds : int list array;
+}
+
+let n_blocks t = Array.length t.blocks
+let block t i = t.blocks.(i)
+let entry_block t = t.blocks.(t.entry)
+let succs t i = t.succs.(i)
+let preds t i = t.preds.(i)
+
+let label_table blocks =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun (b : Block.t) ->
+      if Hashtbl.mem tbl b.label then
+        invalid_arg (Printf.sprintf "Cfg: duplicate label %s" b.label);
+      Hashtbl.add tbl b.label b.id)
+    blocks;
+  tbl
+
+let find_label t l =
+  match
+    Array.find_opt (fun (b : Block.t) -> String.equal b.label l) t.blocks
+  with
+  | Some b -> b.id
+  | None -> invalid_arg (Printf.sprintf "Cfg.find_label: %s" l)
+
+let compute_edges blocks =
+  let tbl = label_table blocks in
+  let n = Array.length blocks in
+  let succs = Array.make n [] and preds = Array.make n [] in
+  Array.iter
+    (fun (b : Block.t) ->
+      let ts =
+        List.map
+          (fun l ->
+            match Hashtbl.find_opt tbl l with
+            | Some i -> i
+            | None ->
+                invalid_arg (Printf.sprintf "Cfg: dangling label %s" l))
+          (Instr.targets b.term)
+      in
+      (* A cbr with both arms equal yields a single CFG edge. *)
+      let ts = List.sort_uniq Int.compare ts in
+      succs.(b.id) <- ts;
+      List.iter (fun s -> preds.(s) <- b.id :: preds.(s)) ts)
+    blocks;
+  Array.iteri (fun i l -> preds.(i) <- List.rev l) preds;
+  (succs, preds)
+
+let rebuild_edges t =
+  let succs, preds = compute_edges t.blocks in
+  t.succs <- succs;
+  t.preds <- preds
+
+let iter_blocks f t = Array.iter f t.blocks
+let fold_blocks f init t = Array.fold_left f init t.blocks
+
+let iter_instrs f t =
+  Array.iter (fun b -> Block.iter_instrs (f b) b) t.blocks
+
+let max_reg_id t =
+  let m = ref 0 in
+  let see (r : Reg.t) = if Reg.id r > !m then m := Reg.id r in
+  iter_instrs
+    (fun _ i ->
+      List.iter see (Instr.defs i);
+      List.iter see (Instr.uses i))
+    t;
+  Array.iter
+    (fun (b : Block.t) ->
+      List.iter
+        (fun (p : Phi.t) ->
+          see p.dst;
+          List.iter (fun (_, r) -> see r) p.args)
+        b.phis)
+    t.blocks;
+  !m
+
+let fresh_reg t cls = Reg.Supply.fresh t.supply cls
+
+let all_regs t =
+  let acc = ref Reg.Set.empty in
+  let see r = acc := Reg.Set.add r !acc in
+  iter_instrs
+    (fun _ i ->
+      List.iter see (Instr.defs i);
+      List.iter see (Instr.uses i))
+    t;
+  Array.iter
+    (fun (b : Block.t) ->
+      List.iter
+        (fun (p : Phi.t) ->
+          see p.dst;
+          List.iter (fun (_, r) -> see r) p.args)
+        b.phis)
+    t.blocks;
+  !acc
+
+let make ~name ?(symbols = []) blocks =
+  let blocks = Array.of_list blocks in
+  Array.iteri
+    (fun i (b : Block.t) ->
+      if b.id <> i then invalid_arg "Cfg.make: blocks must be numbered densely")
+    blocks;
+  if Array.length blocks = 0 then invalid_arg "Cfg.make: empty routine";
+  let succs, preds = compute_edges blocks in
+  let t =
+    {
+      name;
+      blocks;
+      entry = 0;
+      symbols;
+      supply = Reg.Supply.create ();
+      succs;
+      preds;
+    }
+  in
+  let seed = max_reg_id t in
+  let supply = Reg.Supply.create ~start:seed () in
+  { t with supply }
+
+let in_ssa t = Array.exists (fun (b : Block.t) -> b.phis <> []) t.blocks
+
+let copy t =
+  let blocks =
+    Array.map
+      (fun (b : Block.t) ->
+        {
+          b with
+          phis = List.map (fun (p : Phi.t) -> { p with Phi.args = p.args }) b.phis;
+          body = b.body;
+        })
+      t.blocks
+  in
+  {
+    t with
+    blocks;
+    succs = Array.map (fun l -> l) t.succs;
+    preds = Array.map (fun l -> l) t.preds;
+    supply = Reg.Supply.create ~start:(Reg.Supply.last t.supply) ();
+  }
+
+let drop_unreachable t =
+  let n = n_blocks t in
+  let reachable = Array.make n false in
+  let rec visit b =
+    if not reachable.(b) then begin
+      reachable.(b) <- true;
+      List.iter visit t.succs.(b)
+    end
+  in
+  visit t.entry;
+  if Array.for_all Fun.id reachable then t
+  else begin
+    let kept = ref [] in
+    Array.iter
+      (fun (b : Block.t) -> if reachable.(b.id) then kept := b :: !kept)
+      t.blocks;
+    let blocks =
+      List.rev !kept
+      |> List.mapi (fun id (b : Block.t) ->
+             Block.make ~id ~label:b.label ~phis:b.phis ~body:b.body
+               ~term:b.term ())
+    in
+    make ~name:t.name ~symbols:t.symbols blocks
+  end
+
+let split_critical_edges t =
+  if in_ssa t then invalid_arg "Cfg.split_critical_edges: routine is in SSA";
+  let t = drop_unreachable t in
+  let n = n_blocks t in
+  let next_id = ref n in
+  let extra = ref [] in
+  let blocks =
+    Array.map
+      (fun (b : Block.t) ->
+        { b with body = b.body }
+        (* fresh record so mutation below stays local *))
+      t.blocks
+  in
+  Array.iter
+    (fun (b : Block.t) ->
+      match b.term.op with
+      | Instr.Cbr (l1, l2) when String.equal l1 l2 ->
+          (* Degenerate conditional: normalize to an unconditional jump so
+             no terminator with register operands can have a predecessor
+             edge that later receives φ-removal or split copies. *)
+          blocks.(b.id) <- { (blocks.(b.id)) with term = Instr.jmp l1 }
+      | Instr.Cbr (l1, l2) ->
+          let maybe_split l =
+            let target = find_label t l in
+            if List.length t.preds.(target) > 1 then (
+              let id = !next_id in
+              incr next_id;
+              let label = Printf.sprintf ".split%d.%s" id l in
+              let nb =
+                Block.make ~id ~label ~body:[] ~term:(Instr.jmp l) ()
+              in
+              extra := nb :: !extra;
+              label)
+            else l
+          in
+          let l1' = maybe_split l1 and l2' = maybe_split l2 in
+          blocks.(b.id) <-
+            { (blocks.(b.id)) with term = Instr.cbr b.term.srcs.(0) l1' l2' }
+      | _ -> ())
+    t.blocks;
+  let all = Array.to_list blocks @ List.rev !extra in
+  let cfg = make ~name:t.name ~symbols:t.symbols all in
+  cfg
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>routine %s@," t.name;
+  List.iter (fun s -> Format.fprintf ppf "  data %a@," Symbol.pp s) t.symbols;
+  Array.iter (fun b -> Format.fprintf ppf "%a@," Block.pp b) t.blocks;
+  Format.fprintf ppf "@]"
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,44 @@
+(** Graphviz output for control-flow graphs.
+
+    [cfg ppf routine] writes a `dot` digraph with one record-shaped node
+    per basic block (label, φ-nodes, body, terminator) and an edge per
+    control transfer.  Intended for debugging:
+
+    {v dune exec bin/ralloc.exe -- dot kernel:tomcatv | dot -Tpdf > cfg.pdf v} *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' | '\\' | '{' | '}' | '<' | '>' | '|' ->
+          Buffer.add_char buf '\\';
+          Buffer.add_char buf c
+      | '\n' -> Buffer.add_string buf "\\l"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let cfg ppf (t : Cfg.t) =
+  Format.fprintf ppf "digraph %S {@." t.Cfg.name;
+  Format.fprintf ppf "  node [shape=record, fontname=\"monospace\"];@.";
+  Cfg.iter_blocks
+    (fun b ->
+      let lines = Buffer.create 128 in
+      List.iter
+        (fun p -> Buffer.add_string lines (Format.asprintf "%a\n" Phi.pp p))
+        b.Block.phis;
+      List.iter
+        (fun i -> Buffer.add_string lines (Instr.to_string i ^ "\n"))
+        b.Block.body;
+      Buffer.add_string lines (Instr.to_string b.Block.term);
+      Format.fprintf ppf "  b%d [label=\"{%s:\\l|%s\\l}\"];@." b.Block.id
+        (escape b.Block.label)
+        (escape (Buffer.contents lines));
+      List.iter
+        (fun s -> Format.fprintf ppf "  b%d -> b%d;@." b.Block.id s)
+        (Cfg.succs t b.Block.id))
+    t;
+  Format.fprintf ppf "}@."
+
+let cfg_to_string t = Format.asprintf "%a" cfg t

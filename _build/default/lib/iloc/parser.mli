@@ -1,0 +1,17 @@
+(** Parser for the textual ILOC concrete syntax emitted by {!Printer}.
+
+    The format is line based.  Comments run from [;] or [#] to end of line.
+    A routine is a [routine <name>] header, zero or more [data]
+    declarations, and one or more labeled blocks whose last instruction is
+    a terminator.  See the project README for a grammar and examples. *)
+
+exception Error of { line : int; msg : string }
+
+val routine : string -> Cfg.t
+(** Parse exactly one routine. *)
+
+val program : string -> Cfg.t list
+(** Parse a sequence of routines. *)
+
+val instr : string -> Instr.t
+(** Parse a single instruction line (used by tests). *)

@@ -1,0 +1,31 @@
+(** SSA φ-nodes.
+
+    A φ-node merges one value per predecessor edge.  Outside SSA form a
+    block's φ list is empty.  Arguments are keyed by predecessor block id so
+    that edge order changes (e.g. critical-edge splitting, which runs before
+    SSA construction) cannot desynchronize them. *)
+
+type t = { mutable dst : Reg.t; mutable args : (int * Reg.t) list }
+
+let make dst args =
+  List.iter
+    (fun (_, r) ->
+      if not (Reg.cls_equal (Reg.cls r) (Reg.cls dst)) then
+        invalid_arg "Phi.make: argument class mismatch")
+    args;
+  { dst; args }
+
+let arg_for t ~pred =
+  match List.assoc_opt pred t.args with
+  | Some r -> r
+  | None -> invalid_arg "Phi.arg_for: no argument for predecessor"
+
+let set_arg t ~pred r =
+  t.args <- (pred, r) :: List.remove_assoc pred t.args
+
+let pp ppf t =
+  Format.fprintf ppf "%a <- phi(%a)" Reg.pp t.dst
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (fun ppf (b, r) -> Format.fprintf ppf "B%d:%a" b Reg.pp r))
+    t.args

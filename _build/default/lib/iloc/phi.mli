@@ -1,0 +1,17 @@
+(** SSA φ-nodes.
+
+    A φ-node merges one value per predecessor edge; outside SSA form a
+    block's φ list is empty.  Arguments are keyed by predecessor block id
+    so edge-order changes cannot desynchronize them.  Both fields are
+    mutable because SSA renaming rewrites φ-nodes in place. *)
+
+type t = { mutable dst : Reg.t; mutable args : (int * Reg.t) list }
+
+val make : Reg.t -> (int * Reg.t) list -> t
+(** Checks that every argument is in the destination's register class. *)
+
+val arg_for : t -> pred:int -> Reg.t
+(** Raises [Invalid_argument] when the edge has no argument. *)
+
+val set_arg : t -> pred:int -> Reg.t -> unit
+val pp : Format.formatter -> t -> unit

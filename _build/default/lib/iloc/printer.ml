@@ -1,0 +1,33 @@
+(** Textual ILOC output.
+
+    Emits the concrete syntax accepted by {!Parser}; [Parser.routine
+    (Printer.routine_to_string cfg)] round-trips any routine that is not in
+    SSA form (φ-nodes have no concrete syntax; they exist only inside the
+    allocator). *)
+
+let pp_symbol ppf (s : Symbol.t) =
+  let const = if s.readonly then "const " else "" in
+  match s.init with
+  | Symbol.Uninit -> Format.fprintf ppf "data %s%s[%d]" const s.name s.size
+  | Symbol.Int_elts l ->
+      Format.fprintf ppf "data %s%s[%d] = {%s }" const s.name s.size
+        (String.concat ""
+           (List.map (fun n -> Printf.sprintf " %d" n) l))
+  | Symbol.Float_elts l ->
+      Format.fprintf ppf "data %s%s[%d] = f{%s }" const s.name s.size
+        (String.concat ""
+           (List.map (fun x -> Printf.sprintf " %h" x) l))
+
+let pp_routine ppf (cfg : Cfg.t) =
+  Format.fprintf ppf "routine %s@." cfg.name;
+  List.iter (fun s -> Format.fprintf ppf "%a@." pp_symbol s) cfg.symbols;
+  Cfg.iter_blocks
+    (fun b ->
+      Format.fprintf ppf "%s:@." b.label;
+      if b.phis <> [] then
+        invalid_arg "Printer.pp_routine: SSA form has no concrete syntax";
+      List.iter (fun i -> Format.fprintf ppf "  %a@." Instr.pp i) b.body;
+      Format.fprintf ppf "  %a@." Instr.pp b.term)
+    cfg
+
+let routine_to_string cfg = Format.asprintf "%a" pp_routine cfg

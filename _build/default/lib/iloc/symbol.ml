@@ -1,0 +1,28 @@
+(** Static data symbols.
+
+    A routine references named static areas (FORTRAN arrays and scalars in
+    the paper's test suite).  Read-only symbols are the "known constant
+    locations" of §3: loads from them ([Instr.Ldro]) are never-killed. *)
+
+type init = Uninit | Int_elts of int list | Float_elts of float list
+
+type t = {
+  name : string;
+  size : int;  (** in words; every element occupies one word *)
+  init : init;
+  readonly : bool;
+}
+
+let make ?(readonly = false) ?(init = Uninit) name size =
+  if size <= 0 then invalid_arg "Symbol.make: size must be positive";
+  (match init with
+  | Uninit -> ()
+  | Int_elts l ->
+      if List.length l > size then invalid_arg "Symbol.make: too many elements"
+  | Float_elts l ->
+      if List.length l > size then invalid_arg "Symbol.make: too many elements");
+  { name; size; init; readonly }
+
+let pp ppf t =
+  Format.fprintf ppf "%s%s[%d]" (if t.readonly then "const " else "") t.name
+    t.size

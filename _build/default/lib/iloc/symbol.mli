@@ -1,0 +1,22 @@
+(** Static data symbols.
+
+    A routine references named static areas (the FORTRAN arrays and
+    scalars of the paper's test suite).  Every element occupies one
+    addressable word; integer and floating elements are distinguished at
+    run time by the simulator.  Read-only symbols are the "known constant
+    locations" of §3: loads from them ([Instr.Ldro]) are never-killed. *)
+
+type init = Uninit | Int_elts of int list | Float_elts of float list
+
+type t = {
+  name : string;
+  size : int;  (** in words *)
+  init : init;
+  readonly : bool;
+}
+
+val make : ?readonly:bool -> ?init:init -> string -> int -> t
+(** Raises [Invalid_argument] on a non-positive size or an initializer
+    longer than the symbol. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,22 @@
+(** IR well-formedness checks.
+
+    [routine] re-checks every invariant the constructors enforce (operand
+    arity and register classes, terminator placement, label resolution)
+    so that code mutated in place by the allocator can be re-validated,
+    and adds whole-routine checks no constructor can see:
+
+    - symbol references resolve, and [ldro] only reads read-only symbols
+      (otherwise its never-killed tag would be unsound);
+    - every use is definitely assigned on all paths from the entry
+      (unreachable blocks are ignored);
+    - with [~ssa:true]: each register has a unique definition and every
+      φ-node has exactly one argument per predecessor. *)
+
+type error = { where : string; what : string }
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+val routine : ?ssa:bool -> Cfg.t -> (unit, error list) result
+val routine_exn : ?ssa:bool -> Cfg.t -> unit
+(** Raises [Failure] with all messages concatenated. *)

@@ -1,0 +1,1 @@
+lib/opt/dce.ml: Array Dataflow Iloc List

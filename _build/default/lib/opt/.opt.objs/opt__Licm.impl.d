@@ -1,0 +1,1 @@
+lib/opt/licm.ml: Array Dataflow Iloc List Option Printf String

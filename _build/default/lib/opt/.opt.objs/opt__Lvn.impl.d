@@ -1,0 +1,1 @@
+lib/opt/lvn.ml: Array Float Hashtbl Iloc Int List

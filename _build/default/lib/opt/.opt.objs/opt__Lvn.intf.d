@@ -1,0 +1,1 @@
+lib/opt/lvn.mli: Iloc

@@ -1,0 +1,1 @@
+lib/opt/pipeline.ml: Dce Iloc Licm List Lvn Printf String Svn

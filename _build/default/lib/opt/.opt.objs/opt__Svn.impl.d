@@ -1,0 +1,1 @@
+lib/opt/svn.ml: Array Dataflow Iloc Int List Lvn Map Option Stdlib

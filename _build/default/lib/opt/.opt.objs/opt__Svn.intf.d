@@ -1,0 +1,1 @@
+lib/opt/svn.mli: Iloc

@@ -1,0 +1,9 @@
+(** Dead-code elimination.
+
+    Deletes pure instructions whose results are dead, iterating with
+    liveness until nothing changes (deleting one dead definition can kill
+    the instructions feeding it).  Stores, spills, prints and control
+    transfers are never deleted. *)
+
+val routine : Iloc.Cfg.t -> bool
+(** Rewrite in place; returns true if anything was removed. *)

@@ -1,0 +1,183 @@
+module Instr = Iloc.Instr
+module Reg = Iloc.Reg
+module Cfg = Iloc.Cfg
+module Block = Iloc.Block
+
+let movable (op : Instr.op) =
+  match op with
+  | Instr.Ldi _ | Instr.Lfi _ | Instr.Laddr _ | Instr.Lfp _ | Instr.Ldro _
+  | Instr.Add | Instr.Sub | Instr.Mul | Instr.Cmp _ | Instr.Addi _
+  | Instr.Subi _ | Instr.Muli _ | Instr.Fadd | Instr.Fsub | Instr.Fmul
+  | Instr.Fdiv | Instr.Fcmp _ | Instr.Fneg | Instr.Fabs | Instr.Itof
+  | Instr.Ftoi ->
+      true
+  | Instr.Div | Instr.Rem (* may fault *)
+  | Instr.Copy | Instr.Load | Instr.Loadx | Instr.Loadi _ | Instr.Store
+  | Instr.Storex | Instr.Storei _ | Instr.Spill _ | Instr.Reload _
+  | Instr.Jmp _ | Instr.Cbr _ | Instr.Ret | Instr.Print | Instr.Nop ->
+      false
+
+(* Count definitions of every register over the whole routine. *)
+let def_counts (cfg : Cfg.t) =
+  let tbl = Reg.Tbl.create 64 in
+  Cfg.iter_instrs
+    (fun _ i ->
+      List.iter
+        (fun d ->
+          Reg.Tbl.replace tbl d
+            (1 + Option.value (Reg.Tbl.find_opt tbl d) ~default:0))
+        (Instr.defs i))
+    cfg;
+  tbl
+
+(* Hoist every currently-invariant instruction of [loop]; returns the new
+   CFG and whether anything moved. *)
+let hoist_loop (cfg : Cfg.t) (loop : Dataflow.Loops.loop) =
+  let defs = def_counts cfg in
+  let in_loop b = Dataflow.Bitset.mem loop.Dataflow.Loops.body b in
+  let outside_preds_exist =
+    List.exists (fun p -> not (in_loop p))
+      (Cfg.preds cfg loop.Dataflow.Loops.header)
+  in
+  if not outside_preds_exist then (cfg, false)
+  else
+  (* Registers defined anywhere inside the loop. *)
+  let defined_in_loop = Reg.Tbl.create 32 in
+  Cfg.iter_blocks
+    (fun b ->
+      if in_loop b.Block.id then
+        Block.iter_instrs
+          (fun i ->
+            List.iter (fun d -> Reg.Tbl.replace defined_in_loop d ()) (Instr.defs i))
+          b)
+    cfg;
+  (* Fixpoint: an instruction is invariant if movable, its destination has
+     a single routine-wide definition, and every source is either never
+     defined in the loop or defined only by instructions already deemed
+     invariant. *)
+  let invariant : unit Reg.Tbl.t = Reg.Tbl.create 16 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Cfg.iter_blocks
+      (fun b ->
+        if in_loop b.Block.id then
+          List.iter
+            (fun (i : Instr.t) ->
+              match i.Instr.dst with
+              | Some d
+                when movable i.Instr.op
+                     && (not (Reg.Tbl.mem invariant d))
+                     && Option.value (Reg.Tbl.find_opt defs d) ~default:0 = 1
+                     && List.for_all
+                          (fun u ->
+                            (not (Reg.Tbl.mem defined_in_loop u))
+                            || Reg.Tbl.mem invariant u)
+                          (Instr.uses i) ->
+                  Reg.Tbl.replace invariant d ();
+                  changed := true
+              | _ -> ())
+            b.Block.body)
+      cfg
+  done;
+  if Reg.Tbl.length invariant = 0 then (cfg, false)
+  else begin
+    (* Collect the hoisted instructions in program order (blocks in id
+       order, then position): the invariance fixpoint guarantees inputs
+       of an invariant instruction defined in the loop are themselves
+       hoisted; emitting header-block instructions first preserves
+       dependence order because sources must dominate uses. *)
+    let hoisted = ref [] in
+    let order = ref [] in
+    (* dominator order walk so defs precede uses among hoisted instrs *)
+    let dom = Dataflow.Dominance.compute cfg in
+    let rec walk b =
+      order := b :: !order;
+      List.iter walk dom.Dataflow.Dominance.children.(b)
+    in
+    walk cfg.Cfg.entry;
+    List.iter
+      (fun bid ->
+        if in_loop bid then begin
+          let b = Cfg.block cfg bid in
+          let kept =
+            List.filter
+              (fun (i : Instr.t) ->
+                match i.Instr.dst with
+                | Some d when Reg.Tbl.mem invariant d ->
+                    hoisted := i :: !hoisted;
+                    false
+                | _ -> true)
+              b.Block.body
+          in
+          b.Block.body <- kept
+        end)
+      (List.rev !order);
+    let hoisted = List.rev !hoisted in
+    (* Build the new block list with a preheader before the header. *)
+    let header = Cfg.block cfg loop.Dataflow.Loops.header in
+    let ph_label = Printf.sprintf ".ph%d.%s" loop.Dataflow.Loops.header header.Block.label in
+    let outside_preds =
+      List.filter (fun p -> not (in_loop p)) (Cfg.preds cfg loop.Dataflow.Loops.header)
+    in
+    let retarget (b : Block.t) =
+      if List.mem b.Block.id outside_preds then
+        b.Block.term <-
+          Instr.map_targets
+            (fun l -> if String.equal l header.Block.label then ph_label else l)
+            b.Block.term
+    in
+    Cfg.iter_blocks retarget cfg;
+    let blocks =
+      Cfg.fold_blocks (fun acc b -> b :: acc) [] cfg |> List.rev
+    in
+    let with_ph =
+      (* insert the preheader right before the header so program order
+         stays readable *)
+      List.concat_map
+        (fun (b : Block.t) ->
+          if b.Block.id = loop.Dataflow.Loops.header then
+            [
+              Block.make ~id:0 ~label:ph_label ~body:hoisted
+                ~term:(Instr.jmp header.Block.label) ();
+              b;
+            ]
+          else [ b ])
+        blocks
+    in
+    let renumbered =
+      List.mapi
+        (fun id (b : Block.t) ->
+          Block.make ~id ~label:b.Block.label ~body:b.Block.body
+            ~term:b.Block.term ())
+        with_ph
+    in
+    (Cfg.make ~name:cfg.Cfg.name ~symbols:cfg.Cfg.symbols renumbered, true)
+  end
+
+let routine (cfg : Cfg.t) =
+  (* Repeat until no loop can hoist anything; each iteration recomputes
+     loop structure on the current CFG. *)
+  let changed = ref false in
+  let rec go cfg budget =
+    if budget = 0 then cfg
+    else begin
+      let dom = Dataflow.Dominance.compute cfg in
+      let loops = Dataflow.Loops.compute cfg dom in
+      let rec try_loops i cfg =
+        if i >= Array.length loops.Dataflow.Loops.loops then None
+        else
+          let cfg', moved = hoist_loop cfg loops.Dataflow.Loops.loops.(i) in
+          if moved then Some cfg' else try_loops (i + 1) cfg
+      in
+      match try_loops 0 cfg with
+      | Some cfg' ->
+          changed := true;
+          go cfg' (budget - 1)
+      | None -> cfg
+    end
+  in
+  (* The first hoist mutates block bodies before rebuilding, so work on a
+     copy and leave the caller's routine untouched. *)
+  let result = go (Cfg.copy cfg) 64 in
+  (result, !changed)

@@ -1,0 +1,24 @@
+(** Loop-invariant code motion.
+
+    Pure, single-definition computations whose inputs are defined only
+    outside a loop are moved to a freshly created preheader block.  The
+    pass is deliberately conservative:
+
+    - only side-effect-free, non-faulting operations move (no integer
+      division, no loads from writable memory — [ldro] does move);
+    - the destination must have exactly one definition in the whole
+      routine (true for every expression temporary the MF front end
+      emits), which makes speculation safe: on a zero-trip loop the
+      hoisted definition writes a register nothing can read, because
+      definite-assignment validation rules out uses reached only through
+      the loop body.
+
+    Hoisting repeats until no loop changes, so invariant expression
+    chains and nests of loops are handled.  This pass exists because the
+    paper's ILOC comes from an optimizing compiler: code motion is what
+    stretches constants and address arithmetic across loops, creating
+    the register pressure rematerialization is designed to relieve. *)
+
+val routine : Iloc.Cfg.t -> Iloc.Cfg.t * bool
+(** Returns a new CFG (preheader insertion renumbers blocks) and whether
+    anything moved. *)

@@ -1,0 +1,221 @@
+module Instr = Iloc.Instr
+module Reg = Iloc.Reg
+
+(* A value is identified by its defining expression over the value
+   numbers of its inputs.  Immediates and symbols live inside the opcode
+   constructor, so the key is simply the opcode plus input numbers. *)
+type key = { op : Instr.op; args : int list }
+
+type const =
+  | Cint of int
+  | Cfloat of float
+  | Caddr of string * int  (* &sym + off: folds back to a laddr *)
+  | Cfp of int  (* frame pointer + off: folds back to an lfp *)
+
+type state = {
+  mutable next_vn : int;
+  reg_vn : (Reg.t, int) Hashtbl.t;  (** current value held by a register *)
+  vn_home : (int, Reg.t) Hashtbl.t;  (** a register currently holding a vn *)
+  exprs : (key, int) Hashtbl.t;
+  consts : (int, const) Hashtbl.t;
+}
+
+let create () =
+  {
+    next_vn = 0;
+    reg_vn = Hashtbl.create 32;
+    vn_home = Hashtbl.create 32;
+    exprs = Hashtbl.create 32;
+    consts = Hashtbl.create 32;
+  }
+
+let fresh st =
+  st.next_vn <- st.next_vn + 1;
+  st.next_vn
+
+let vn_of st r =
+  match Hashtbl.find_opt st.reg_vn r with
+  | Some v -> v
+  | None ->
+      (* unknown incoming value: give it a number *)
+      let v = fresh st in
+      Hashtbl.replace st.reg_vn r v;
+      Hashtbl.replace st.vn_home v r;
+      v
+
+(* A register is redefined: any "home" pointing at it is stale. *)
+let invalidate_homes st d =
+  let stale =
+    Hashtbl.fold
+      (fun vn r acc -> if Reg.equal r d then vn :: acc else acc)
+      st.vn_home []
+  in
+  List.iter (Hashtbl.remove st.vn_home) stale
+
+let set st d vn =
+  invalidate_homes st d;
+  Hashtbl.replace st.reg_vn d vn;
+  Hashtbl.replace st.vn_home vn d
+
+(* Operators we may number: pure, deterministic, no memory or control
+   effects.  Int division is excluded from folding with a zero divisor
+   but may still be numbered (re-executing it is what we avoid). *)
+let numberable (op : Instr.op) =
+  match op with
+  | Instr.Ldi _ | Instr.Lfi _ | Instr.Laddr _ | Instr.Lfp _ | Instr.Ldro _
+  | Instr.Add | Instr.Sub | Instr.Mul | Instr.Div | Instr.Rem | Instr.Cmp _
+  | Instr.Addi _ | Instr.Subi _ | Instr.Muli _ | Instr.Fadd | Instr.Fsub
+  | Instr.Fmul | Instr.Fdiv | Instr.Fcmp _ | Instr.Fneg | Instr.Fabs
+  | Instr.Itof | Instr.Ftoi ->
+      true
+  | Instr.Copy | Instr.Load | Instr.Loadx | Instr.Loadi _ | Instr.Store
+  | Instr.Storex | Instr.Storei _ | Instr.Spill _ | Instr.Reload _
+  | Instr.Jmp _ | Instr.Cbr _ | Instr.Ret | Instr.Print | Instr.Nop ->
+      false
+
+let commutative (op : Instr.op) =
+  match op with
+  | Instr.Add | Instr.Mul | Instr.Fadd | Instr.Fmul
+  | Instr.Cmp (Instr.Eq | Instr.Ne)
+  | Instr.Fcmp (Instr.Eq | Instr.Ne) ->
+      true
+  | _ -> false
+
+let bool_int b = if b then 1 else 0
+
+(* Constant folding; [None] when inputs are not constant or folding would
+   change behaviour (division by a zero constant must still trap at run
+   time). *)
+let fold (op : Instr.op) (cs : const option list) : const option =
+  match (op, cs) with
+  | Instr.Ldi n, [] -> Some (Cint n)
+  | Instr.Lfi x, [] -> Some (Cfloat x)
+  | Instr.Laddr (s, o), [] -> Some (Caddr (s, o))
+  | Instr.Lfp o, [] -> Some (Cfp o)
+  (* address arithmetic: the paper's "constant offset from the frame
+     pointer or the static data area pointer" stays a single
+     never-killed instruction *)
+  | Instr.Add, [ Some (Caddr (s, o)); Some (Cint c) ]
+  | Instr.Add, [ Some (Cint c); Some (Caddr (s, o)) ] ->
+      Some (Caddr (s, o + c))
+  | Instr.Sub, [ Some (Caddr (s, o)); Some (Cint c) ] -> Some (Caddr (s, o - c))
+  | Instr.Addi c, [ Some (Caddr (s, o)) ] -> Some (Caddr (s, o + c))
+  | Instr.Subi c, [ Some (Caddr (s, o)) ] -> Some (Caddr (s, o - c))
+  | Instr.Add, [ Some (Cfp o); Some (Cint c) ]
+  | Instr.Add, [ Some (Cint c); Some (Cfp o) ] ->
+      Some (Cfp (o + c))
+  | Instr.Sub, [ Some (Cfp o); Some (Cint c) ] -> Some (Cfp (o - c))
+  | Instr.Addi c, [ Some (Cfp o) ] -> Some (Cfp (o + c))
+  | Instr.Subi c, [ Some (Cfp o) ] -> Some (Cfp (o - c))
+  | Instr.Add, [ Some (Cint a); Some (Cint b) ] -> Some (Cint (a + b))
+  | Instr.Sub, [ Some (Cint a); Some (Cint b) ] -> Some (Cint (a - b))
+  | Instr.Mul, [ Some (Cint a); Some (Cint b) ] -> Some (Cint (a * b))
+  | Instr.Div, [ Some (Cint a); Some (Cint b) ] when b <> 0 ->
+      Some (Cint (a / b))
+  | Instr.Rem, [ Some (Cint a); Some (Cint b) ] when b <> 0 ->
+      Some (Cint (a mod b))
+  | Instr.Cmp r, [ Some (Cint a); Some (Cint b) ] ->
+      Some (Cint (bool_int (Instr.eval_rel_int r a b)))
+  | Instr.Addi n, [ Some (Cint a) ] -> Some (Cint (a + n))
+  | Instr.Subi n, [ Some (Cint a) ] -> Some (Cint (a - n))
+  | Instr.Muli n, [ Some (Cint a) ] -> Some (Cint (a * n))
+  | Instr.Fadd, [ Some (Cfloat a); Some (Cfloat b) ] -> Some (Cfloat (a +. b))
+  | Instr.Fsub, [ Some (Cfloat a); Some (Cfloat b) ] -> Some (Cfloat (a -. b))
+  | Instr.Fmul, [ Some (Cfloat a); Some (Cfloat b) ] -> Some (Cfloat (a *. b))
+  | Instr.Fdiv, [ Some (Cfloat a); Some (Cfloat b) ] -> Some (Cfloat (a /. b))
+  | Instr.Fcmp r, [ Some (Cfloat a); Some (Cfloat b) ] ->
+      Some (Cint (bool_int (Instr.eval_rel_float r a b)))
+  | Instr.Fneg, [ Some (Cfloat a) ] -> Some (Cfloat (-.a))
+  | Instr.Fabs, [ Some (Cfloat a) ] -> Some (Cfloat (Float.abs a))
+  | Instr.Itof, [ Some (Cint a) ] -> Some (Cfloat (float_of_int a))
+  | Instr.Ftoi, [ Some (Cfloat a) ] -> Some (Cint (int_of_float a))
+  | _ -> None
+
+let block (b : Iloc.Block.t) =
+  let st = create () in
+  let changed = ref false in
+  let rewrite (i : Instr.t) =
+    match (i.Instr.op, i.Instr.dst) with
+    | Instr.Copy, Some d ->
+        (* copy propagation: destination shares the source's number *)
+        let v = vn_of st i.Instr.srcs.(0) in
+        set st d v;
+        i
+    | op, Some d when numberable op ->
+        let arg_vns = List.map (vn_of st) (Array.to_list i.Instr.srcs) in
+        let arg_consts = List.map (fun v -> Hashtbl.find_opt st.consts v) arg_vns in
+        let folded = fold op arg_consts in
+        let key_args =
+          if commutative op then List.sort Int.compare arg_vns else arg_vns
+        in
+        (* [ldro] can load either an int or a float cell; the destination
+           class is part of the value's identity. *)
+        let key_args =
+          match op with
+          | Instr.Ldro _ ->
+              (match Reg.cls d with Reg.Int -> 0 | Reg.Float -> 1) :: key_args
+          | _ -> key_args
+        in
+        let key = { op; args = key_args } in
+        (* A folded constant is keyed by the constant itself so that
+           every way of computing it shares one number. *)
+        let key =
+          match folded with
+          | Some (Cint n) -> { op = Instr.Ldi n; args = [] }
+          | Some (Cfloat x) -> { op = Instr.Lfi x; args = [] }
+          | Some (Caddr (s, o)) -> { op = Instr.Laddr (s, o); args = [] }
+          | Some (Cfp o) -> { op = Instr.Lfp o; args = [] }
+          | None -> key
+        in
+        let vn =
+          match Hashtbl.find_opt st.exprs key with
+          | Some v -> v
+          | None ->
+              let v = fresh st in
+              Hashtbl.replace st.exprs key v;
+              (match folded with
+              | Some c -> Hashtbl.replace st.consts v c
+              | None -> ());
+              v
+        in
+        let redundant_home =
+          match Hashtbl.find_opt st.vn_home vn with
+          | Some r when not (Reg.equal r d) -> Some r
+          | _ -> None
+        in
+        let i' =
+          match redundant_home with
+          | Some r ->
+              changed := true;
+              Instr.copy d r
+          | None -> (
+              (* not available in a register: fold to an immediate load
+                 when possible, else keep the computation *)
+              match folded with
+              | Some (Cint n) when op <> Instr.Ldi n ->
+                  changed := true;
+                  Instr.ldi d n
+              | Some (Cfloat x) when op <> Instr.Lfi x ->
+                  changed := true;
+                  Instr.lfi d x
+              | Some (Caddr (s, o)) when op <> Instr.Laddr (s, o) ->
+                  changed := true;
+                  Instr.laddr d ~off:o s
+              | Some (Cfp o) when op <> Instr.Lfp o ->
+                  changed := true;
+                  Instr.lfp d o
+              | _ -> i)
+        in
+        set st d vn;
+        i'
+    | _, Some d ->
+        (* unnumbered definition (memory load, reload): fresh value *)
+        set st d (fresh st);
+        i
+    | _, None -> i
+  in
+  b.Iloc.Block.body <- List.map rewrite b.Iloc.Block.body;
+  !changed
+
+let routine (cfg : Iloc.Cfg.t) =
+  Iloc.Cfg.fold_blocks (fun acc b -> block b || acc) false cfg

@@ -1,0 +1,11 @@
+(** The standard optimization pipeline applied before register
+    allocation, mirroring "an ILOC routine ... rewritten in terms of a
+    particular target register set" after extensive optimization (§5):
+
+    local value numbering → dominator-scoped value numbering →
+    dead-code elimination → loop-invariant code motion → (repeat until
+    stable).
+
+    The input routine is not modified. *)
+
+val run : ?max_iters:int -> Iloc.Cfg.t -> Iloc.Cfg.t

@@ -1,0 +1,185 @@
+module Instr = Iloc.Instr
+module Reg = Iloc.Reg
+module Cfg = Iloc.Cfg
+module Block = Iloc.Block
+
+type key = { op : Instr.op; args : int list }
+
+module Key_map = Map.Make (struct
+  type t = key
+
+  let compare = Stdlib.compare
+end)
+
+module Int_map = Map.Make (Int)
+
+type state = {
+  reg_vn : int Reg.Map.t;
+  vn_home : Reg.t Int_map.t;
+  exprs : int Key_map.t;
+  consts : Lvn.const Int_map.t;
+}
+
+let empty =
+  {
+    reg_vn = Reg.Map.empty;
+    vn_home = Int_map.empty;
+    exprs = Key_map.empty;
+    consts = Int_map.empty;
+  }
+
+let routine (cfg : Cfg.t) =
+  let changed = ref false in
+  let next_vn = ref 0 in
+  let fresh () =
+    incr next_vn;
+    !next_vn
+  in
+  (* Registers safe to carry across blocks: single static definition. *)
+  let def_counts = Reg.Tbl.create 64 in
+  Cfg.iter_instrs
+    (fun _ i ->
+      List.iter
+        (fun d ->
+          Reg.Tbl.replace def_counts d
+            (1 + Option.value (Reg.Tbl.find_opt def_counts d) ~default:0))
+        (Instr.defs i))
+    cfg;
+  let single_def r =
+    Option.value (Reg.Tbl.find_opt def_counts r) ~default:0 = 1
+  in
+  let dom = Dataflow.Dominance.compute cfg in
+  let vn_of st r =
+    match Reg.Map.find_opt r st.reg_vn with
+    | Some v -> (v, st)
+    | None ->
+        let v = fresh () in
+        ( v,
+          {
+            st with
+            reg_vn = Reg.Map.add r v st.reg_vn;
+            vn_home = Int_map.add v r st.vn_home;
+          } )
+  in
+  let invalidate_homes st d =
+    {
+      st with
+      vn_home = Int_map.filter (fun _ r -> not (Reg.equal r d)) st.vn_home;
+    }
+  in
+  let set st d vn =
+    let st = invalidate_homes st d in
+    {
+      st with
+      reg_vn = Reg.Map.add d vn st.reg_vn;
+      vn_home = Int_map.add vn d st.vn_home;
+    }
+  in
+  let rewrite_instr st (i : Instr.t) =
+    match (i.Instr.op, i.Instr.dst) with
+    | Instr.Copy, Some d ->
+        let v, st = vn_of st i.Instr.srcs.(0) in
+        (set st d v, i)
+    | op, Some d when Lvn.numberable op ->
+        let (arg_vns_rev, st) =
+          Array.fold_left
+            (fun (acc, st) u ->
+              let v, st = vn_of st u in
+              (v :: acc, st))
+            ([], st) i.Instr.srcs
+        in
+        let arg_vns = List.rev arg_vns_rev in
+        let arg_consts =
+          List.map (fun v -> Int_map.find_opt v st.consts) arg_vns
+        in
+        let folded = Lvn.fold op arg_consts in
+        let key_args =
+          if Lvn.commutative op then List.sort Int.compare arg_vns
+          else arg_vns
+        in
+        let key_args =
+          match op with
+          | Instr.Ldro _ ->
+              (match Reg.cls d with Reg.Int -> 0 | Reg.Float -> 1) :: key_args
+          | _ -> key_args
+        in
+        let key =
+          match folded with
+          | Some (Lvn.Cint n) -> { op = Instr.Ldi n; args = [] }
+          | Some (Lvn.Cfloat x) -> { op = Instr.Lfi x; args = [] }
+          | Some (Lvn.Caddr (sym, o)) -> { op = Instr.Laddr (sym, o); args = [] }
+          | Some (Lvn.Cfp o) -> { op = Instr.Lfp o; args = [] }
+          | None -> { op; args = key_args }
+        in
+        let vn, st =
+          match Key_map.find_opt key st.exprs with
+          | Some v -> (v, st)
+          | None ->
+              let v = fresh () in
+              let st = { st with exprs = Key_map.add key v st.exprs } in
+              let st =
+                match folded with
+                | Some c -> { st with consts = Int_map.add v c st.consts }
+                | None -> st
+              in
+              (v, st)
+        in
+        let redundant_home =
+          match Int_map.find_opt vn st.vn_home with
+          | Some r
+            when (not (Reg.equal r d))
+                 && Reg.cls_equal (Reg.cls r) (Reg.cls d) ->
+              Some r
+          | _ -> None
+        in
+        let i' =
+          match redundant_home with
+          | Some r ->
+              changed := true;
+              Instr.copy d r
+          | None -> (
+              match folded with
+              | Some (Lvn.Cint n) when op <> Instr.Ldi n ->
+                  changed := true;
+                  Instr.ldi d n
+              | Some (Lvn.Cfloat x) when op <> Instr.Lfi x ->
+                  changed := true;
+                  Instr.lfi d x
+              | Some (Lvn.Caddr (sym, o)) when op <> Instr.Laddr (sym, o) ->
+                  changed := true;
+                  Instr.laddr d ~off:o sym
+              | Some (Lvn.Cfp o) when op <> Instr.Lfp o ->
+                  changed := true;
+                  Instr.lfp d o
+              | _ -> i)
+        in
+        (set st d vn, i')
+    | _, Some d ->
+        (set st d (fresh ()), i)
+    | _, None -> (st, i)
+  in
+  let rec walk b st =
+    let blk = Cfg.block cfg b in
+    let st = ref st in
+    blk.Block.body <-
+      List.map
+        (fun i ->
+          let st', i' = rewrite_instr !st i in
+          st := st';
+          i')
+        blk.Block.body;
+    (* Children inherit value-number facts unconditionally, register
+       availability only for single-definition registers. *)
+    let inherited =
+      {
+        !st with
+        reg_vn = Reg.Map.filter (fun r _ -> single_def r) !st.reg_vn;
+        vn_home = Int_map.filter (fun _ r -> single_def r) !st.vn_home;
+      }
+    in
+    List.iter
+      (fun c -> walk c inherited)
+      dom.Dataflow.Dominance.children.(b)
+  in
+  walk cfg.Cfg.entry empty;
+  !changed

@@ -1,0 +1,18 @@
+(** Dominator-scoped value numbering (DVNT).
+
+    Extends {!Lvn} across block boundaries by walking the dominator tree
+    with inherited value tables, in the style of Briggs, Cooper &
+    Simpson's "Value Numbering" — an expression computed in a dominating
+    block is available in every dominated block.
+
+    The routine is not in SSA form here, so a register holding an
+    available value could be overwritten on a non-dominating path between
+    its definition and a dominated reuse.  Inherited availability is
+    therefore restricted to registers with a {e single static definition}
+    in the whole routine (true of every expression temporary the MF
+    frontend creates): such a register can never be clobbered on a side
+    path.  Facts about value {e numbers} (expression identities, constant
+    values) are path-insensitive and inherit unconditionally. *)
+
+val routine : Iloc.Cfg.t -> bool
+(** Rewrite in place; returns true if anything changed. *)

@@ -1,0 +1,1 @@
+lib/sim/counts.ml: Format Iloc

@@ -1,0 +1,1 @@
+lib/sim/interp.ml: Array Counts Float Format Hashtbl Iloc List Option Printf String

@@ -1,0 +1,1 @@
+lib/ssa/construct.ml: Array Dataflow Iloc List Option Printf

@@ -1,0 +1,1 @@
+lib/ssa/destruct.ml: Hashtbl Iloc List Option Parallel_copy Printf

@@ -1,0 +1,1 @@
+lib/ssa/values.ml: Array Dataflow Iloc List Printf

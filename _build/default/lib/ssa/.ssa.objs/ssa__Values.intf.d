@@ -1,0 +1,1 @@
+lib/ssa/values.mli: Dataflow Iloc

@@ -1,0 +1,111 @@
+module Cfg = Iloc.Cfg
+module Block = Iloc.Block
+module Instr = Iloc.Instr
+module Phi = Iloc.Phi
+module Reg = Iloc.Reg
+
+let run (cfg : Cfg.t) =
+  if Cfg.in_ssa cfg then invalid_arg "Ssa.Construct.run: already in SSA";
+  let cfg = Cfg.copy cfg in
+  let nb = Cfg.n_blocks cfg in
+  let live = Dataflow.Liveness.compute cfg in
+  let dom = Dataflow.Dominance.compute cfg in
+  let df = Dataflow.Dominance.frontiers cfg dom in
+  (* Definition blocks per register. *)
+  let def_blocks : int list Reg.Tbl.t = Reg.Tbl.create 64 in
+  Cfg.iter_instrs
+    (fun b i ->
+      List.iter
+        (fun d ->
+          let old = Option.value (Reg.Tbl.find_opt def_blocks d) ~default:[] in
+          Reg.Tbl.replace def_blocks d (b.id :: old))
+        (Instr.defs i))
+    cfg;
+  (* φ insertion: DF+ of the def blocks, pruned by liveness.  The φ is
+     created with the original register as a placeholder destination and
+     arguments; renaming rewrites both. *)
+  Reg.Tbl.iter
+    (fun v blocks ->
+      let idf = Dataflow.Dominance.iterated_frontier ~n:nb df blocks in
+      Dataflow.Bitset.iter
+        (fun b ->
+          if Dataflow.Liveness.live_in_mem live b v then begin
+            let blk = Cfg.block cfg b in
+            let args = List.map (fun p -> (p, v)) (Cfg.preds cfg b) in
+            blk.phis <- Phi.make v args :: blk.phis
+          end)
+        idf)
+    def_blocks;
+  (* Renaming: one walk over the dominator tree with a stack of current
+     names per original register. *)
+  let stacks : Reg.t list ref Reg.Tbl.t = Reg.Tbl.create 64 in
+  let stack_of v =
+    match Reg.Tbl.find_opt stacks v with
+    | Some s -> s
+    | None ->
+        let s = ref [] in
+        Reg.Tbl.replace stacks v s;
+        s
+  in
+  let top ~where v =
+    match !(stack_of v) with
+    | n :: _ -> n
+    | [] ->
+        invalid_arg
+          (Printf.sprintf "Ssa.Construct: %s used before definition (%s)"
+             (Reg.to_string v) where)
+  in
+  let fresh v = Cfg.fresh_reg cfg (Reg.cls v) in
+  (* Remember which original register each φ stands for, keyed by the
+     renamed φ so the successor-argument pass can find it. *)
+  let phi_orig : Reg.t Reg.Tbl.t = Reg.Tbl.create 16 in
+  let rec rename b =
+    let blk = Cfg.block cfg b in
+    let pushed = ref [] in
+    let push v n =
+      let s = stack_of v in
+      s := n :: !s;
+      pushed := v :: !pushed
+    in
+    List.iter
+      (fun (p : Phi.t) ->
+        let orig = p.dst in
+        let n = fresh orig in
+        Reg.Tbl.replace phi_orig n orig;
+        p.dst <- n;
+        push orig n)
+      blk.phis;
+    Block.map_instrs
+      (fun i ->
+        let i =
+          {
+            i with
+            Instr.srcs =
+              Array.map (fun u -> top ~where:blk.label u) i.Instr.srcs;
+          }
+        in
+        match i.Instr.dst with
+        | None -> i
+        | Some d ->
+            let n = fresh d in
+            push d n;
+            { i with Instr.dst = Some n })
+      blk;
+    List.iter
+      (fun s ->
+        let sblk = Cfg.block cfg s in
+        List.iter
+          (fun (p : Phi.t) ->
+            let orig =
+              match Reg.Tbl.find_opt phi_orig p.dst with
+              | Some o -> o
+              | None -> p.dst (* successor not renamed yet: dst is original *)
+            in
+            Phi.set_arg p ~pred:b (top ~where:sblk.label orig))
+          sblk.phis)
+      (Cfg.succs cfg b);
+    List.iter rename dom.children.(b);
+    List.iter (fun v -> let s = stack_of v in s := List.tl !s) !pushed
+  in
+  rename cfg.entry;
+  cfg

@@ -1,0 +1,13 @@
+(** Pruned SSA construction (§3.1, §4.1 steps 1–3 of the paper).
+
+    φ-nodes are placed on the iterated dominance frontier of each
+    register's definition blocks, but only where the register is live-in —
+    the {e pruned} SSA of Choi, Cytron and Ferrante, which the paper uses
+    to avoid dead φ-nodes.  Renaming is a single walk over the dominator
+    tree.  The input must be validated (every use definitely assigned) and
+    must not already be in SSA form. *)
+
+val run : Iloc.Cfg.t -> Iloc.Cfg.t
+(** Returns a fresh CFG in pruned SSA form; the input is not mutated.
+    Every register in the result is a {e value}: it has exactly one
+    definition (an instruction or a φ-node). *)

@@ -1,0 +1,37 @@
+module Cfg = Iloc.Cfg
+module Block = Iloc.Block
+module Instr = Iloc.Instr
+module Phi = Iloc.Phi
+
+let run (cfg : Cfg.t) =
+  let cfg = Cfg.copy cfg in
+  (* Gather the parallel copy required on each incoming edge. *)
+  let moves_per_pred = Hashtbl.create 16 in
+  Cfg.iter_blocks
+    (fun b ->
+      List.iter
+        (fun (p : Phi.t) ->
+          List.iter
+            (fun (pred, arg) ->
+              if List.length (Cfg.succs cfg pred) > 1 then
+                invalid_arg
+                  (Printf.sprintf
+                     "Ssa.Destruct.run: critical edge B%d -> B%d" pred b.id);
+              let old =
+                Option.value (Hashtbl.find_opt moves_per_pred pred) ~default:[]
+              in
+              Hashtbl.replace moves_per_pred pred ((p.dst, arg) :: old))
+            p.args)
+        b.phis;
+      b.phis <- [])
+    cfg;
+  Hashtbl.iter
+    (fun pred moves ->
+      let seq =
+        Parallel_copy.sequentialize (List.rev moves)
+          ~temp:(Cfg.fresh_reg cfg)
+      in
+      Block.append_before_term (Cfg.block cfg pred)
+        (List.map (fun (d, s) -> Instr.copy d s) seq))
+    moves_per_pred;
+  cfg

@@ -1,0 +1,12 @@
+(** Naive SSA destruction.
+
+    Replaces every φ-node with copies at the end of each predecessor
+    block, sequentialized as a parallel copy (see {!Parallel_copy}).
+    Requires critical edges to have been split so every predecessor has a
+    unique successor; raises [Invalid_argument] otherwise.
+
+    The allocator itself does {e not} use this module — its renumber phase
+    removes φ-nodes while forming live ranges (§4.1 steps 5–6) — but the
+    splitting-scheme extensions of §6 and the test-suite round-trips do. *)
+
+val run : Iloc.Cfg.t -> Iloc.Cfg.t

@@ -1,0 +1,29 @@
+module Reg = Iloc.Reg
+
+let sequentialize moves ~temp =
+  let moves = List.filter (fun (d, s) -> not (Reg.equal d s)) moves in
+  let dsts = List.map fst moves in
+  if List.length (List.sort_uniq Reg.compare dsts) <> List.length dsts then
+    invalid_arg "Parallel_copy.sequentialize: duplicate destination";
+  (* Worklist algorithm: emit any move whose destination is not pending as
+     a source; when none exists the pending moves form disjoint cycles, so
+     save one source into a scratch register and redirect its readers. *)
+  let rec go pending acc =
+    match pending with
+    | [] -> List.rev acc
+    | _ -> (
+        let is_source r = List.exists (fun (_, s) -> Reg.equal s r) pending in
+        match List.partition (fun (d, _) -> not (is_source d)) pending with
+        | ready :: more_ready, blocked ->
+            go (more_ready @ blocked) (ready :: acc)
+        | [], (d, s) :: rest ->
+            let t = temp (Reg.cls d) in
+            let rest =
+              List.map
+                (fun (d', s') -> if Reg.equal s' d then (d', t) else (d', s'))
+                rest
+            in
+            go ((d, s) :: rest) ((t, d) :: acc)
+        | [], [] -> List.rev acc)
+  in
+  go moves []

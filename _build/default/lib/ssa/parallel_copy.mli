@@ -1,0 +1,17 @@
+(** Sequentialization of parallel copies.
+
+    φ-removal and split insertion both place a {e parallel} set of copies
+    [dst_i <- src_i] on a CFG edge: conceptually all sources are read
+    before any destination is written.  Emitting them naively as a
+    sequence is wrong when some [dst_i] is another move's source (the
+    "swap problem").  [sequentialize] orders the moves, breaking cycles
+    with a scratch register obtained from [temp]. *)
+
+val sequentialize :
+  (Iloc.Reg.t * Iloc.Reg.t) list ->
+  temp:(Iloc.Reg.cls -> Iloc.Reg.t) ->
+  (Iloc.Reg.t * Iloc.Reg.t) list
+(** Input and output moves are [(dst, src)] pairs.  Self-moves are
+    dropped.  Duplicate destinations are rejected with
+    [Invalid_argument].  The output, executed top to bottom as ordinary
+    copies, has the same effect as the parallel copy. *)

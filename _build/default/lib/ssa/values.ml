@@ -1,0 +1,53 @@
+type def =
+  | Def_instr of { block : int; instr : Iloc.Instr.t }
+  | Def_phi of { block : int; phi : Iloc.Phi.t }
+
+type t = {
+  index : Dataflow.Reg_index.t;
+  defs : def array;
+}
+
+let analyze (cfg : Iloc.Cfg.t) =
+  let index = Dataflow.Reg_index.of_cfg cfg in
+  let n = Dataflow.Reg_index.count index in
+  let defs : def option array = Array.make n None in
+  let record r d =
+    let i = Dataflow.Reg_index.index index r in
+    match defs.(i) with
+    | Some _ ->
+        invalid_arg
+          (Printf.sprintf "Ssa.Values.analyze: %s defined twice"
+             (Iloc.Reg.to_string r))
+    | None -> defs.(i) <- Some d
+  in
+  Iloc.Cfg.iter_blocks
+    (fun b ->
+      List.iter
+        (fun (p : Iloc.Phi.t) ->
+          record p.dst (Def_phi { block = b.id; phi = p }))
+        b.phis;
+      Iloc.Block.iter_instrs
+        (fun i ->
+          List.iter
+            (fun d -> record d (Def_instr { block = b.id; instr = i }))
+            (Iloc.Instr.defs i))
+        b)
+    cfg;
+  let defs =
+    Array.mapi
+      (fun i d ->
+        match d with
+        | Some d -> d
+        | None ->
+            invalid_arg
+              (Printf.sprintf "Ssa.Values.analyze: %s has no definition"
+                 (Iloc.Reg.to_string (Dataflow.Reg_index.reg index i))))
+      defs
+  in
+  { index; defs }
+
+let count t = Array.length t.defs
+let def t i = t.defs.(i)
+let def_of_reg t r = t.defs.(Dataflow.Reg_index.index t.index r)
+let reg t i = Dataflow.Reg_index.reg t.index i
+let index t r = Dataflow.Reg_index.index t.index r

@@ -1,0 +1,25 @@
+(** The value table of an SSA-form routine.
+
+    "A natural way to view the SSA graph for a procedure is as a collection
+    of values, each composed of a single definition and one or more uses"
+    (§3.1).  [analyze] indexes every register of an SSA routine and records
+    its unique definition; the rematerialization tagger walks this table. *)
+
+type def =
+  | Def_instr of { block : int; instr : Iloc.Instr.t }
+  | Def_phi of { block : int; phi : Iloc.Phi.t }
+
+type t = {
+  index : Dataflow.Reg_index.t;
+  defs : def array;  (** indexed like [index] *)
+}
+
+val analyze : Iloc.Cfg.t -> t
+(** Raises [Invalid_argument] if some register has zero or several
+    definitions (i.e. the routine is not in SSA form). *)
+
+val count : t -> int
+val def : t -> int -> def
+val def_of_reg : t -> Iloc.Reg.t -> def
+val reg : t -> int -> Iloc.Reg.t
+val index : t -> Iloc.Reg.t -> int

@@ -1,0 +1,1 @@
+lib/suite/figures.ml: Array Format Iloc Kernels List Printf Remat Sim Ssa String

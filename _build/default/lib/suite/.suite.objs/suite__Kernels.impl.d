@@ -1,0 +1,1 @@
+lib/suite/kernels.ml: Buffer Frontend Iloc List Opt Printf String

@@ -1,0 +1,1 @@
+lib/suite/report.ml: Float Format Hashtbl Iloc Kernels List Printf Remat Sim String

@@ -1,0 +1,1 @@
+lib/suite/report.mli: Format Iloc Kernels Remat Sim

@@ -1,0 +1,28 @@
+(** Reproductions of the paper's illustrative figures, printed to a
+    formatter so the bench harness, the CLI and the examples can all
+    render them. *)
+
+val fig1_source : unit -> Iloc.Cfg.t
+(** The Source column of Figure 1: a pointer that is constant in the
+    first loop and walks its array in the second, under enough competing
+    register demand to force a spill on {!fig1_machine}. *)
+
+val fig1_machine : Remat.Machine.t
+(** Deliberately small (5 int / 2 float) so the Figure 1 spill actually
+    happens. *)
+
+val fig1 : Format.formatter -> unit
+(** Rematerialization versus spilling: source, Chaitin allocation and
+    Briggs allocation side by side with their dynamic counts. *)
+
+val fig2 : Format.formatter -> unit
+(** The optimistic allocator pipeline, plus a live phase trace. *)
+
+val fig3 : Format.formatter -> unit
+(** Introducing splits: SSA form, rematerialization tags per value, and
+    the renumbered routine with its minimal split copies. *)
+
+val fig4 : Format.formatter -> unit
+(** ILOC and its execution: allocated code and dynamic instruction
+    counts (the interpreter plays the role of the paper's instrumented C
+    translation). *)

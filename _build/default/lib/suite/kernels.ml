@@ -1,0 +1,1977 @@
+(** The workload suite.
+
+    The paper evaluates on seventy FORTRAN routines from Forsythe, Malcolm
+    & Moler's book and the SPEC'89 suite (§5.3).  Those sources cannot be
+    shipped, so this module provides kernels {e modeled on} the same
+    routines: the numerical structure (loop nests, array addressing,
+    constant tables, mixed int/real scalar traffic) is preserved, which is
+    what register allocation — and rematerialization in particular —
+    responds to.  Most kernels are written in MF and compiled by
+    {!Frontend.Lower}; a few are hand-written ILOC in the walking-pointer
+    style an optimizing FORTRAN back end produces after strength
+    reduction, the paper's Figure 1 shape. *)
+
+type kernel = {
+  name : string;
+  program : string;  (** suite grouping, mirroring Table 1's program column *)
+  description : string;
+  source : [ `Mf of string | `Iloc of string ];
+}
+
+let cfg_of ?(optimize = false) k =
+  let cfg =
+    match k.source with
+    | `Mf src -> Frontend.Lower.compile src
+    | `Iloc src -> Iloc.Parser.routine src
+  in
+  if optimize then Opt.Pipeline.run cfg else cfg
+
+(* ------------------------------------------------------------------ *)
+(* FMM: kernels modeled on Forsythe, Malcolm & Moler routines           *)
+(* ------------------------------------------------------------------ *)
+
+let fehl =
+  {
+    name = "fehl";
+    program = "rkf45";
+    description =
+      "Runge-Kutta-Fehlberg stage evaluation: five weighted \
+       array combinations with many real constants";
+    source =
+      `Mf
+        {|
+program fehl
+const n = 10
+real y[10]  = { 1.0 2.0 3.0 4.0 5.0 6.0 7.0 8.0 9.0 10.0 }
+real f1[10] = { 0.1 0.2 0.3 0.4 0.5 0.6 0.7 0.8 0.9 1.0 }
+real f2[10] = { 1.1 1.2 1.3 1.4 1.5 1.6 1.7 1.8 1.9 2.0 }
+real f3[10] = { 0.5 0.4 0.3 0.2 0.1 0.6 0.7 0.8 0.9 1.1 }
+real f4[10] = { 2.0 1.9 1.8 1.7 1.6 1.5 1.4 1.3 1.2 1.1 }
+real f5[10] = { 0.9 0.8 0.7 0.6 0.5 0.4 0.3 0.2 0.1 0.0 }
+real s[10]
+int k
+real h, a1, a2, a3, a4, a5, t
+h = 0.05
+a1 = 0.11574074074
+a2 = 0.24489795918
+a3 = 0.10217
+a4 = 0.38004
+a5 = 0.18077
+t = 0.0
+for k = 0 to n - 1 do
+  s[k] = y[k] + h * (a1 * f1[k] + a2 * f2[k] + a3 * f3[k]
+                     + a4 * f4[k] + a5 * f5[k])
+  t = t + s[k]
+end
+print t
+return
+|};
+  }
+
+let spline =
+  {
+    name = "spline";
+    program = "seval";
+    description =
+      "cubic-spline coefficient setup: tridiagonal system formed in one \
+       sweep, then evaluation at a point";
+    source =
+      `Mf
+        {|
+program spline
+const n = 12
+real x[12] = { 0.0 0.5 1.1 1.6 2.2 2.9 3.3 4.1 4.7 5.2 5.9 6.4 }
+real y[12] = { 1.0 1.4 0.9 1.7 2.1 1.3 0.8 1.9 2.4 2.0 1.1 0.7 }
+real b[12]
+real c[12]
+real d[12]
+int i
+real t, u, seval, dx
+-- forward sweep
+for i = 0 to n - 2 do
+  d[i] = x[i + 1] - x[i]
+  b[i] = (y[i + 1] - y[i]) / d[i]
+end
+c[0] = 0.0
+for i = 1 to n - 2 do
+  t = 2.0 * (d[i - 1] + d[i]) - d[i - 1] * c[i - 1]
+  c[i] = d[i] / t
+  b[i] = (6.0 * (b[i] - b[i - 1]) - d[i - 1] * b[i - 1]) / t
+end
+-- back substitution
+for i = n - 3 to 1 step -1 do
+  b[i] = b[i] - c[i] * b[i + 1]
+end
+-- evaluate at u
+u = 3.05
+seval = 0.0
+for i = 0 to n - 2 do
+  if (u >= x[i]) and (u <= x[i + 1]) then
+    dx = u - x[i]
+    seval = y[i] + dx * (b[i] + dx * (c[i] + dx * d[i]))
+  end
+end
+print seval
+return
+|};
+  }
+
+let decomp =
+  {
+    name = "decomp";
+    program = "solve";
+    description = "LU decomposition without pivoting on a small dense matrix";
+    source =
+      `Mf
+        {|
+program decomp
+const n = 6
+real a[36] = { 4.0 1.2 0.7 0.3 0.1 0.5
+               1.1 5.0 1.3 0.8 0.2 0.4
+               0.6 1.4 6.0 1.5 0.9 0.3
+               0.2 0.7 1.6 7.0 1.7 1.0
+               0.8 0.3 0.9 1.8 8.0 1.9
+               0.4 0.6 0.2 1.1 2.0 9.0 }
+int i, j, k
+real pivot, factor, acc
+acc = 0.0
+for k = 0 to n - 1 do
+  pivot = a[k * n + k]
+  for i = k + 1 to n - 1 do
+    factor = a[i * n + k] / pivot
+    a[i * n + k] = factor
+    for j = k + 1 to n - 1 do
+      a[i * n + j] = a[i * n + j] - factor * a[k * n + j]
+    end
+  end
+end
+for i = 0 to n * n - 1 do
+  acc = acc + a[i]
+end
+print acc
+return
+|};
+  }
+
+let solve =
+  {
+    name = "solve";
+    program = "solve";
+    description = "forward/back substitution against a factored matrix";
+    source =
+      `Mf
+        {|
+program solve
+const n = 6
+real lu[36] = { 4.0 0.3 0.2 0.1 0.0 0.1
+                0.2 5.0 0.3 0.2 0.1 0.0
+                0.1 0.2 6.0 0.3 0.2 0.1
+                0.0 0.1 0.2 7.0 0.3 0.2
+                0.1 0.0 0.1 0.2 8.0 0.3
+                0.2 0.1 0.0 0.1 0.2 9.0 }
+real b[6] = { 1.0 2.0 3.0 4.0 5.0 6.0 }
+int i, j
+real sum
+-- forward substitution (unit lower triangle)
+for i = 1 to n - 1 do
+  sum = b[i]
+  for j = 0 to i - 1 do
+    sum = sum - lu[i * n + j] * b[j]
+  end
+  b[i] = sum
+end
+-- back substitution
+for i = n - 1 to 0 step -1 do
+  sum = b[i]
+  for j = i + 1 to n - 1 do
+    sum = sum - lu[i * n + j] * b[j]
+  end
+  b[i] = sum / lu[i * n + i]
+end
+for i = 0 to n - 1 do
+  print b[i]
+end
+return
+|};
+  }
+
+let svd_sweep =
+  {
+    name = "svd";
+    program = "svd";
+    description =
+      "one Jacobi-style rotation sweep over a small matrix (the rotation \
+       kernel at the heart of FMM's svd)";
+    source =
+      `Mf
+        {|
+program svd
+const n = 5
+real a[25] = { 3.0 0.4 0.2 0.1 0.6
+               0.4 4.0 0.5 0.3 0.2
+               0.2 0.5 5.0 0.7 0.1
+               0.1 0.3 0.7 6.0 0.8
+               0.6 0.2 0.1 0.8 7.0 }
+int p, q, k
+real apq, app, aqq, theta, t, c, s, tmp1, tmp2, off
+off = 0.0
+for p = 0 to n - 2 do
+  for q = p + 1 to n - 1 do
+    apq = a[p * n + q]
+    app = a[p * n + p]
+    aqq = a[q * n + q]
+    theta = (aqq - app) / (2.0 * apq)
+    -- crude rotation parameter (avoids sqrt): t = 1 / (2*theta)
+    t = 1.0 / (2.0 * theta + 0.5)
+    c = 1.0 - 0.5 * t * t
+    s = t * c
+    for k = 0 to n - 1 do
+      tmp1 = c * a[p * n + k] - s * a[q * n + k]
+      tmp2 = s * a[p * n + k] + c * a[q * n + k]
+      a[p * n + k] = tmp1
+      a[q * n + k] = tmp2
+    end
+    off = off + apq * apq
+  end
+end
+print off
+return
+|};
+  }
+
+let zeroin =
+  {
+    name = "zeroin";
+    program = "zeroin";
+    description =
+      "root finding by bisection with a secant-style refinement branch \
+       (f(x) = x^3 - 2x - 5, Dekker's test function)";
+    source =
+      `Mf
+        {|
+program zeroin
+int iter
+real a, b, fa, fb, m, fm, tol
+a = 2.0
+b = 3.0
+fa = a * a * a - 2.0 * a - 5.0
+fb = b * b * b - 2.0 * b - 5.0
+tol = 0.000001
+iter = 0
+while (abs(b - a) > tol) and (iter < 60) do
+  m = 0.5 * (a + b)
+  fm = m * m * m - 2.0 * m - 5.0
+  if fa * fm <= 0.0 then
+    b = m
+    fb = fm
+  else
+    a = m
+    fa = fm
+  end
+  iter = iter + 1
+end
+print b
+print iter
+return
+|};
+  }
+
+let quanc8 =
+  {
+    name = "quanc8";
+    program = "quanc8";
+    description =
+      "Newton-Cotes 8-panel quadrature of 1/(1+x^2): a weight table of \
+       real constants applied per panel";
+    source =
+      `Mf
+        {|
+program quanc8
+const panels = 16
+-- closed Newton-Cotes n=8 coefficients: (4d/14175) * sum c_k f_k
+real w[9] = { 989.0 5888.0 -928.0 10496.0 -4540.0 10496.0 -928.0 5888.0
+              989.0 }
+int p, k
+real x0, h, x, fx, area, sub
+x0 = 0.0
+h = 0.125
+area = 0.0
+for p = 0 to panels - 1 do
+  sub = 0.0
+  for k = 0 to 8 do
+    x = x0 + (real(p) + real(k) / 8.0) * h
+    fx = 1.0 / (1.0 + x * x)
+    sub = sub + w[k] * fx
+  end
+  area = area + sub * h / 28350.0
+end
+print area
+return
+|};
+  }
+
+let rkf45_step =
+  {
+    name = "rkf45";
+    program = "rkf45";
+    description =
+      "one full Runge-Kutta-Fehlberg 4(5) step on a scalar ODE, all six \
+       stage coefficients live simultaneously";
+    source =
+      `Mf
+        {|
+program rkf45
+int stp
+real t, y, h, k1, k2, k3, k4, k5, k6, y4, y5, err, total
+y = 1.0
+t = 0.0
+h = 0.1
+total = 0.0
+for stp = 1 to 20 do
+  k1 = h * (y - t * t + 1.0)
+  k2 = h * ((y + 0.5 * k1) - (t + 0.5 * h) * (t + 0.5 * h) + 1.0)
+  k3 = h * ((y + 0.25 * k1 + 0.25 * k2)
+            - (t + 0.5 * h) * (t + 0.5 * h) + 1.0)
+  k4 = h * ((y - k2 + 2.0 * k3) - (t + h) * (t + h) + 1.0)
+  k5 = h * ((y + 0.3 * k1 + 0.7 * k4) - (t + h) * (t + h) + 1.0)
+  k6 = h * ((y + 0.2 * k1 - 0.1 * k3 + 0.4 * k5)
+            - (t + 0.5 * h) * (t + 0.5 * h) + 1.0)
+  y4 = y + (k1 + 4.0 * k3 + k4) / 6.0
+  y5 = y + (7.0 * k1 + 32.0 * k3 + 12.0 * k4 + 32.0 * k5 + 7.0 * k6) / 90.0
+  err = abs(y5 - y4)
+  y = y5
+  t = t + h
+  total = total + err
+end
+print y
+print total
+return
+|};
+  }
+
+(* ------------------------------------------------------------------ *)
+(* SPEC-inspired kernels                                               *)
+(* ------------------------------------------------------------------ *)
+
+let sgemm =
+  {
+    name = "sgemm";
+    program = "matrix300";
+    description = "dense matrix multiply, the matrix300 kernel";
+    source =
+      `Mf
+        {|
+program sgemm
+const n = 8
+real a[64] = { 1.0 2.0 3.0 4.0 5.0 6.0 7.0 8.0
+               2.0 3.0 4.0 5.0 6.0 7.0 8.0 1.0
+               3.0 4.0 5.0 6.0 7.0 8.0 1.0 2.0
+               4.0 5.0 6.0 7.0 8.0 1.0 2.0 3.0
+               5.0 6.0 7.0 8.0 1.0 2.0 3.0 4.0
+               6.0 7.0 8.0 1.0 2.0 3.0 4.0 5.0
+               7.0 8.0 1.0 2.0 3.0 4.0 5.0 6.0
+               8.0 1.0 2.0 3.0 4.0 5.0 6.0 7.0 }
+real b[64] = { 0.5 0.1 0.2 0.3 0.4 0.5 0.6 0.7
+               0.1 0.5 0.1 0.2 0.3 0.4 0.5 0.6
+               0.2 0.1 0.5 0.1 0.2 0.3 0.4 0.5
+               0.3 0.2 0.1 0.5 0.1 0.2 0.3 0.4
+               0.4 0.3 0.2 0.1 0.5 0.1 0.2 0.3
+               0.5 0.4 0.3 0.2 0.1 0.5 0.1 0.2
+               0.6 0.5 0.4 0.3 0.2 0.1 0.5 0.1
+               0.7 0.6 0.5 0.4 0.3 0.2 0.1 0.5 }
+real c[64]
+int i, j, k
+real sum, trace
+for i = 0 to n - 1 do
+  for j = 0 to n - 1 do
+    sum = 0.0
+    for k = 0 to n - 1 do
+      sum = sum + a[i * n + k] * b[k * n + j]
+    end
+    c[i * n + j] = sum
+  end
+end
+trace = 0.0
+for i = 0 to n - 1 do
+  trace = trace + c[i * n + i]
+end
+print trace
+return
+|};
+  }
+
+let saxpy =
+  {
+    name = "saxpy";
+    program = "matrix300";
+    description = "saxpy inner loop with unrolled accumulation";
+    source =
+      `Mf
+        {|
+program saxpy
+const n = 16
+real x[16] = { 1.0 2.0 3.0 4.0 5.0 6.0 7.0 8.0
+               9.0 10.0 11.0 12.0 13.0 14.0 15.0 16.0 }
+real y[16] = { 0.1 0.2 0.3 0.4 0.5 0.6 0.7 0.8
+               0.9 1.0 1.1 1.2 1.3 1.4 1.5 1.6 }
+int i
+real alpha, acc
+alpha = 2.5
+acc = 0.0
+for i = 0 to n - 1 do
+  y[i] = y[i] + alpha * x[i]
+  acc = acc + y[i]
+end
+print acc
+return
+|};
+  }
+
+let tomcatv_relax =
+  {
+    name = "tomcatv";
+    program = "tomcatv";
+    description =
+      "tomcatv-style mesh relaxation: a 9-point stencil over two grids \
+       with several coefficient arrays live at once";
+    source =
+      `Mf
+        {|
+program tomcatv
+const n = 6
+real x[36]  = { 0.0 1.0 2.0 3.0 4.0 5.0
+                0.1 1.1 2.1 3.1 4.1 5.1
+                0.2 1.2 2.2 3.2 4.2 5.2
+                0.3 1.3 2.3 3.3 4.3 5.3
+                0.4 1.4 2.4 3.4 4.4 5.4
+                0.5 1.5 2.5 3.5 4.5 5.5 }
+real yy[36] = { 0.0 0.1 0.2 0.3 0.4 0.5
+                1.0 1.1 1.2 1.3 1.4 1.5
+                2.0 2.1 2.2 2.3 2.4 2.5
+                3.0 3.1 3.2 3.3 3.4 3.5
+                4.0 4.1 4.2 4.3 4.4 4.5
+                5.0 5.1 5.2 5.3 5.4 5.5 }
+real rx[36]
+real ry[36]
+int i, j, it
+real xx, yx, xy2, yy2, a, b, c, rxm, rym
+rxm = 0.0
+rym = 0.0
+for it = 1 to 3 do
+  for i = 1 to n - 2 do
+    for j = 1 to n - 2 do
+      xx = 0.5 * (x[i * n + j + 1] - x[i * n + j - 1])
+      yx = 0.5 * (yy[i * n + j + 1] - yy[i * n + j - 1])
+      xy2 = 0.5 * (x[(i + 1) * n + j] - x[(i - 1) * n + j])
+      yy2 = 0.5 * (yy[(i + 1) * n + j] - yy[(i - 1) * n + j])
+      a = 0.25 * (xy2 * xy2 + yy2 * yy2)
+      b = 0.25 * (xx * xx + yx * yx)
+      c = 0.125 * (xx * xy2 + yx * yy2)
+      rx[i * n + j] = a * (x[i * n + j + 1] - 2.0 * x[i * n + j]
+                           + x[i * n + j - 1])
+                      + b * (x[(i + 1) * n + j] - 2.0 * x[i * n + j]
+                             + x[(i - 1) * n + j])
+                      - 2.0 * c * (x[(i + 1) * n + j + 1]
+                                   - x[(i + 1) * n + j - 1]
+                                   - x[(i - 1) * n + j + 1]
+                                   + x[(i - 1) * n + j - 1])
+      ry[i * n + j] = a * (yy[i * n + j + 1] - 2.0 * yy[i * n + j]
+                           + yy[i * n + j - 1])
+                      + b * (yy[(i + 1) * n + j] - 2.0 * yy[i * n + j]
+                             + yy[(i - 1) * n + j])
+                      - 2.0 * c * (yy[(i + 1) * n + j + 1]
+                                   - yy[(i + 1) * n + j - 1]
+                                   - yy[(i - 1) * n + j + 1]
+                                   + yy[(i - 1) * n + j - 1])
+      rxm = rxm + abs(rx[i * n + j])
+      rym = rym + abs(ry[i * n + j])
+    end
+  end
+  for i = 1 to n - 2 do
+    for j = 1 to n - 2 do
+      x[i * n + j] = x[i * n + j] + 0.3 * rx[i * n + j]
+      yy[i * n + j] = yy[i * n + j] + 0.3 * ry[i * n + j]
+    end
+  end
+end
+print rxm
+print rym
+return
+|};
+  }
+
+let fpppp_block =
+  {
+    name = "twldrv";
+    program = "fpppp";
+    description =
+      "fpppp-style huge straight-line block: dozens of simultaneously \
+       live real subexpressions (the register-pressure shape of twldrv)";
+    source =
+      `Mf
+        {|
+program twldrv
+const n = 4
+real g[16] = { 1.1 0.3 0.7 0.2 0.3 1.3 0.4 0.6 0.7 0.4 1.7 0.5 0.2 0.6 0.5 1.9 }
+int it
+real f0, f1, f2, f3, f4, f5, f6, f7, f8, f9
+real t0, t1, t2, t3, t4, t5, t6, t7, t8, t9
+real acc
+acc = 0.0
+for it = 1 to 8 do
+  f0 = g[0] * 0.5 + real(it)
+  f1 = g[1] * 1.5 + f0 * 0.25
+  f2 = g[2] * 2.5 + f1 * 0.125 - f0
+  f3 = g[3] * 3.5 + f2 * 0.0625 + f1
+  f4 = g[4] + f3 * f0 - f2 * f1
+  f5 = g[5] + f4 * f1 - f3 * f2
+  f6 = g[6] + f5 * f2 - f4 * f3
+  f7 = g[7] + f6 * f3 - f5 * f4
+  f8 = g[8] + f7 * f4 - f6 * f5
+  f9 = g[9] + f8 * f5 - f7 * f6
+  t0 = f0 * f9 + g[10]
+  t1 = f1 * f8 + g[11] + t0 * 0.5
+  t2 = f2 * f7 + g[12] + t1 * 0.25
+  t3 = f3 * f6 + g[13] + t2 * 0.125
+  t4 = f4 * f5 + g[14] + t3 * 0.0625
+  t5 = t0 + t1 * f0 - t2 * f1
+  t6 = t1 + t2 * f2 - t3 * f3
+  t7 = t2 + t3 * f4 - t4 * f5
+  t8 = t3 + t4 * f6 - t0 * f7
+  t9 = t4 + t0 * f8 - t1 * f9
+  acc = acc + t5 + t6 + t7 + t8 + t9
+       + f0 * t0 + f1 * t1 + f2 * t2 + f3 * t3 + f4 * t4
+       + f5 * t5 + f6 * t6 + f7 * t7 + f8 * t8 + f9 * t9
+end
+print acc
+return
+|};
+  }
+
+let bilan =
+  {
+    name = "bilan";
+    program = "doduc";
+    description =
+      "doduc-style energy balance: branchy scalar update loop with many \
+       coefficients";
+    source =
+      `Mf
+        {|
+program bilan
+const n = 24
+real u[24] = { 1.0 1.1 1.2 1.3 1.4 1.5 1.6 1.7 1.8 1.9 2.0 2.1
+               2.2 2.3 2.4 2.5 2.6 2.7 2.8 2.9 3.0 3.1 3.2 3.3 }
+int i
+real e, p, v, q, w, total
+total = 0.0
+for i = 0 to n - 1 do
+  v = u[i]
+  e = v * 2.5 + 0.3
+  if v > 2.0 then
+    p = (v - 2.0) * (v - 2.0) * 4.1
+    q = e / (v + 0.1)
+  else
+    p = v * 0.7
+    q = e * 0.9 - v * 0.01
+  end
+  w = p + q - e * 0.125
+  if w < 0.0 then
+    w = 0.0 - w
+  end
+  total = total + w
+end
+print total
+return
+|};
+  }
+
+let drepvi =
+  {
+    name = "drepvi";
+    program = "doduc";
+    description = "doduc-style table interpolation with clamped indices";
+    source =
+      `Mf
+        {|
+program drepvi
+const n = 16
+const real tab[16] = { 0.0 0.3 0.9 1.8 3.0 4.5 6.3 8.4
+                       10.8 13.5 16.5 19.8 23.4 27.3 31.5 36.0 }
+int i, j
+real x, frac, v, total
+total = 0.0
+x = 0.0
+for i = 1 to 40 do
+  x = x + 0.37
+  j = int(x)
+  if j > 14 then
+    j = 14
+  end
+  if j < 0 then
+    j = 0
+  end
+  frac = x - real(j)
+  if frac > 1.0 then
+    frac = 1.0
+  end
+  v = tab[j] + frac * (tab[j + 1] - tab[j])
+  total = total + v
+end
+print total
+return
+|};
+  }
+
+let pastem =
+  {
+    name = "pastem";
+    program = "doduc";
+    description =
+      "doduc-style time stepping with nested conditionals and re-used \
+       scalar state";
+    source =
+      `Mf
+        {|
+program pastem
+int stp, mode
+real t, dt, s1, s2, s3, flux, total
+t = 0.0
+dt = 0.01
+s1 = 1.0
+s2 = 0.5
+s3 = 0.25
+mode = 0
+total = 0.0
+for stp = 1 to 50 do
+  flux = s1 * 0.3 - s2 * 0.2 + s3 * 0.1
+  if flux > 0.4 then
+    mode = 1
+    dt = 0.005
+  else
+    if flux < 0.1 then
+      mode = 2
+      dt = 0.02
+    else
+      mode = 0
+      dt = 0.01
+    end
+  end
+  s1 = s1 + dt * (s2 - flux)
+  s2 = s2 + dt * (s3 * flux - s2 * 0.05)
+  s3 = s3 + dt * (flux - s3 * 0.125)
+  t = t + dt
+  total = total + flux + real(mode)
+end
+print total
+print t
+return
+|};
+  }
+
+let ihbtr =
+  {
+    name = "ihbtr";
+    program = "doduc";
+    description = "doduc-style histogram/binning of real samples";
+    source =
+      `Mf
+        {|
+program ihbtr
+const n = 32
+real samples[32] = { 0.1 0.9 1.7 2.4 3.3 0.2 1.1 2.9
+                     3.8 0.4 1.5 2.2 3.1 0.6 1.9 2.7
+                     0.3 1.3 2.1 3.6 0.8 1.6 2.5 3.4
+                     0.5 1.4 2.8 3.9 0.7 1.2 2.3 3.2 }
+int hist[4] = { 0 0 0 0 }
+int i, bin
+real v
+for i = 0 to n - 1 do
+  v = samples[i]
+  bin = int(v)
+  if bin > 3 then
+    bin = 3
+  end
+  if bin < 0 then
+    bin = 0
+  end
+  hist[bin] = hist[bin] + 1
+end
+for i = 0 to 3 do
+  print hist[i]
+end
+return
+|};
+  }
+
+let integr =
+  {
+    name = "integr";
+    program = "doduc";
+    description = "doduc-style composite integration with boundary terms";
+    source =
+      `Mf
+        {|
+program integr
+const n = 64
+int i
+real h, x, fx, sum
+h = 0.015625
+sum = 0.0
+for i = 1 to n - 1 do
+  x = real(i) * h
+  fx = x * x * (1.0 - x) + 0.5 * x
+  sum = sum + fx
+end
+sum = h * (sum + 0.25)
+print sum
+return
+|};
+  }
+
+let repvid =
+  {
+    name = "repvid";
+    program = "doduc";
+    description =
+      "repvid-style two-pass smoothing: three-point stencils over four \
+       arrays keep a dozen walking pointers live at once";
+    source =
+      `Mf
+        {|
+program repvid
+const n = 32
+real a[32] = { 1.0 2.0 3.0 4.0 5.0 6.0 7.0 8.0
+               1.5 2.5 3.5 4.5 5.5 6.5 7.5 8.5
+               2.0 3.0 4.0 5.0 6.0 7.0 8.0 9.0
+               2.5 3.5 4.5 5.5 6.5 7.5 8.5 9.5 }
+real bb[32] = { 0.5 0.4 0.3 0.2 0.1 0.2 0.3 0.4
+                0.5 0.6 0.7 0.8 0.9 0.8 0.7 0.6
+                0.5 0.4 0.3 0.2 0.1 0.2 0.3 0.4
+                0.5 0.6 0.7 0.8 0.9 0.8 0.7 0.6 }
+real cc[32]
+real dd[32]
+int i, pass
+real s1, s2, s3, w1, w2, w3, total
+w1 = 0.25
+w2 = 0.5
+w3 = 0.25
+total = 0.0
+for pass = 1 to 3 do
+  for i = 1 to n - 2 do
+    s1 = w1 * a[i - 1] + w2 * a[i] + w3 * a[i + 1]
+    s2 = w1 * bb[i - 1] + w2 * bb[i] + w3 * bb[i + 1]
+    s3 = s1 * s2
+    cc[i] = s1 + 0.125 * s2
+    dd[i] = s3 - 0.0625 * s1
+    total = total + s3
+  end
+  for i = 1 to n - 2 do
+    a[i] = a[i] + 0.5 * (cc[i] - a[i])
+    bb[i] = bb[i] + 0.5 * (dd[i] - bb[i])
+  end
+end
+print total
+return
+|};
+  }
+
+let ddeflu =
+  {
+    name = "ddeflu";
+    program = "doduc";
+    description =
+      "ddeflu-style flux differencing: five arrays read at two offsets \
+       each (ten walking pointers) plus live scalar state";
+    source =
+      `Mf
+        {|
+program ddeflu
+const n = 24
+real r1[24] = { 1.0 1.1 1.2 1.3 1.4 1.5 1.6 1.7 1.8 1.9 2.0 2.1
+                2.2 2.3 2.4 2.5 2.6 2.7 2.8 2.9 3.0 3.1 3.2 3.3 }
+real r2[24] = { 0.1 0.2 0.3 0.4 0.5 0.6 0.7 0.8 0.9 1.0 1.1 1.2
+                1.3 1.4 1.5 1.6 1.7 1.8 1.9 2.0 2.1 2.2 2.3 2.4 }
+real r3[24] = { 2.0 1.9 1.8 1.7 1.6 1.5 1.4 1.3 1.2 1.1 1.0 0.9
+                0.8 0.7 0.6 0.5 0.4 0.3 0.2 0.1 0.2 0.3 0.4 0.5 }
+real r4[24] = { 0.5 0.5 0.6 0.6 0.7 0.7 0.8 0.8 0.9 0.9 1.0 1.0
+                1.1 1.1 1.2 1.2 1.3 1.3 1.4 1.4 1.5 1.5 1.6 1.6 }
+real flux[24]
+int j
+real du, dv, dw, dx2, gamma, total
+gamma = 1.4
+total = 0.0
+for j = 0 to n - 2 do
+  du = r1[j + 1] - r1[j]
+  dv = r2[j + 1] - r2[j]
+  dw = r3[j + 1] - r3[j]
+  dx2 = r4[j + 1] + r4[j]
+  flux[j] = gamma * (du * dv - dw) / (dx2 + 0.01)
+            + 0.5 * (du + dv + dw)
+  total = total + flux[j]
+end
+print total
+return
+|};
+  }
+
+let deseco =
+  {
+    name = "deseco";
+    program = "doduc";
+    description =
+      "deseco-style thermodynamic update: a wide network of live real \
+       scalars with reused subexpressions";
+    source =
+      `Mf
+        {|
+program deseco
+int it
+real p1, p2, p3, p4, p5, p6, p7, p8, p9, p10
+real q1, q2, q3, q4, q5, q6, q7, q8, q9, q10
+real e1, e2, e3, e4, total
+p1 = 1.1
+p2 = 1.2
+p3 = 1.3
+p4 = 1.4
+p5 = 1.5
+p6 = 1.6
+p7 = 1.7
+p8 = 1.8
+p9 = 1.9
+p10 = 2.0
+total = 0.0
+for it = 1 to 12 do
+  q1 = p1 * 0.99 + p2 * 0.01
+  q2 = p2 * 0.98 + p3 * 0.02
+  q3 = p3 * 0.97 + p4 * 0.03
+  q4 = p4 * 0.96 + p5 * 0.04
+  q5 = p5 * 0.95 + p6 * 0.05
+  q6 = p6 * 0.94 + p7 * 0.06
+  q7 = p7 * 0.93 + p8 * 0.07
+  q8 = p8 * 0.92 + p9 * 0.08
+  q9 = p9 * 0.91 + p10 * 0.09
+  q10 = p10 * 0.90 + p1 * 0.10
+  e1 = q1 * q10 - q2 * q9
+  e2 = q3 * q8 - q4 * q7
+  e3 = q5 * q6 - q1 * q2
+  e4 = e1 + e2 * e3
+  p1 = q1 + 0.001 * e4
+  p2 = q2 - 0.001 * e1
+  p3 = q3 + 0.002 * e2
+  p4 = q4 - 0.002 * e3
+  p5 = q5 + 0.003 * e4
+  p6 = q6 - 0.003 * e1
+  p7 = q7 + 0.004 * e2
+  p8 = q8 - 0.004 * e3
+  p9 = q9 + 0.005 * e4
+  p10 = q10 - 0.005 * e1
+  total = total + e4
+end
+print total
+print p1
+print p10
+return
+|};
+  }
+
+let inithx =
+  {
+    name = "inithx";
+    program = "doduc";
+    description =
+      "inithx-style initialization: one loop writes ten arrays through \
+       walking pointers with interrelated values";
+    source =
+      `Mf
+        {|
+program inithx
+const n = 16
+real t1[16]
+real t2[16]
+real t3[16]
+real t4[16]
+real t5[16]
+real t6[16]
+real t7[16]
+real t8[16]
+real t9[16]
+real t10[16]
+int i
+real x, y, check
+check = 0.0
+for i = 0 to n - 1 do
+  x = real(i) * 0.5
+  y = x * x - 1.0
+  t1[i] = x
+  t2[i] = y
+  t3[i] = x + y
+  t4[i] = x - y
+  t5[i] = x * y
+  t6[i] = x * 2.0 + 1.0
+  t7[i] = y * 2.0 - 1.0
+  t8[i] = x * 0.5 + y * 0.25
+  t9[i] = y * 0.5 - x * 0.25
+  t10[i] = x + y * 0.125
+end
+for i = 0 to n - 1 step 3 do
+  check = check + t1[i] + t2[i] + t3[i] + t4[i] + t5[i]
+        + t6[i] + t7[i] + t8[i] + t9[i] + t10[i]
+end
+print check
+return
+|};
+  }
+
+let lectur =
+  {
+    name = "lectur";
+    program = "doduc";
+    description =
+      "lectur-style table scan: eight integer tables read with stencil \
+       offsets and cross-referenced";
+    source =
+      `Mf
+        {|
+program lectur
+const n = 20
+int u1[20] = { 3 7 2 9 4 8 1 6 5 0 3 7 2 9 4 8 1 6 5 0 }
+int u2[20] = { 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 }
+int u3[20] = { 9 8 7 6 5 4 3 2 1 0 9 8 7 6 5 4 3 2 1 0 }
+int u4[20] = { 2 4 6 8 0 1 3 5 7 9 2 4 6 8 0 1 3 5 7 9 }
+int v1[20]
+int v2[20]
+int i, s, t1, t2, t3, t4, total
+total = 0
+for i = 1 to n - 2 do
+  t1 = u1[i - 1] + u1[i + 1]
+  t2 = u2[i - 1] * u2[i + 1]
+  t3 = u3[i] - u4[i]
+  t4 = u4[i - 1] + u4[i + 1]
+  s = t1 * 2 + t2 - t3 + t4 * 3
+  v1[i] = s
+  v2[i] = t1 + t2 + t3 + t4
+  total = total + s
+end
+print total
+return
+|};
+  }
+
+let debico =
+  {
+    name = "debico";
+    program = "doduc";
+    description =
+      "debico-style bicubic-flavored interpolation from constant tables";
+    source =
+      `Mf
+        {|
+program debico
+const n = 12
+const real k1[12] = { 0.0 0.1 0.4 0.9 1.6 2.5 3.6 4.9 6.4 8.1 10.0 12.1 }
+const real k2[12] = { 1.0 0.9 0.7 0.4 0.0 -0.5 -1.1 -1.8 -2.6 -3.5 -4.5 -5.6 }
+real outv[12]
+int i
+real x, a0, a1, a2, a3, y, total
+total = 0.0
+for i = 1 to n - 3 do
+  x = 0.37
+  a0 = k1[i]
+  a1 = k1[i + 1] - k2[i - 1] * 0.5
+  a2 = k2[i - 1] - 2.5 * k1[i] + 2.0 * k1[i + 1] - 0.5 * k2[i + 2]
+  a3 = 1.5 * (k1[i] - k1[i + 1]) + 0.5 * (k2[i + 2] + k2[i - 1])
+  y = a0 + x * (a1 + x * (a2 + x * a3))
+  outv[i] = y
+  total = total + y
+end
+print total
+return
+|};
+  }
+
+let orgpar =
+  {
+    name = "orgpar";
+    program = "doduc";
+    description =
+      "orgpar-style parameter setup: branchy scalar initialization with \
+       constants that want rematerialization";
+    source =
+      `Mf
+        {|
+program orgpar
+int mode, it
+real alpha, beta, delta, rho, total
+total = 0.0
+for it = 1 to 30 do
+  mode = it % 3
+  if mode == 0 then
+    alpha = 1.25
+    beta = 0.75
+  else
+    if mode == 1 then
+      alpha = 2.5
+      beta = 0.5
+    else
+      alpha = 0.125
+      beta = 1.5
+    end
+  end
+  delta = alpha * beta - 0.25
+  rho = alpha / (beta + 0.5)
+  total = total + delta + rho
+end
+print total
+return
+|};
+  }
+
+let colbur =
+  {
+    name = "colbur";
+    program = "doduc";
+    description =
+      "colbur-style collision update over six arrays with guarded \
+       divisions";
+    source =
+      `Mf
+        {|
+program colbur
+const n = 18
+real w1[18] = { 1.0 1.5 2.0 2.5 3.0 3.5 4.0 4.5 5.0
+                5.5 6.0 6.5 7.0 7.5 8.0 8.5 9.0 9.5 }
+real w2[18] = { 0.2 0.4 0.6 0.8 1.0 1.2 1.4 1.6 1.8
+                2.0 2.2 2.4 2.6 2.8 3.0 3.2 3.4 3.6 }
+real w3[18] = { 9.0 8.5 8.0 7.5 7.0 6.5 6.0 5.5 5.0
+                4.5 4.0 3.5 3.0 2.5 2.0 1.5 1.0 0.5 }
+real w4[18]
+real w5[18]
+int i
+real num, den, ratio, total
+total = 0.0
+for i = 0 to n - 2 do
+  num = w1[i] * w2[i + 1] - w1[i + 1] * w2[i]
+  den = w3[i] + w3[i + 1] + 0.125
+  ratio = num / den
+  w4[i] = ratio
+  w5[i] = num - den * 0.0625
+  total = total + ratio
+end
+print total
+return
+|};
+  }
+
+let bilsla =
+  {
+    name = "bilsla";
+    program = "doduc";
+    description = "bilsla-style slab energy balance: short hot loop over paired tables";
+    source =
+      `Mf
+        {|
+program bilsla
+const n = 14
+real ea[14] = { 1.0 1.2 1.4 1.6 1.8 2.0 2.2 2.4 2.6 2.8 3.0 3.2 3.4 3.6 }
+real eb[14] = { 0.9 0.8 0.7 0.6 0.5 0.4 0.3 0.2 0.1 0.2 0.3 0.4 0.5 0.6 }
+int i
+real g1, g2, total
+total = 0.0
+for i = 0 to n - 2 do
+  g1 = ea[i] * eb[i + 1]
+  g2 = ea[i + 1] * eb[i]
+  total = total + (g1 - g2) * 0.5
+end
+print total
+return
+|};
+  }
+
+let drigl =
+  {
+    name = "drigl";
+    program = "doduc";
+    description = "drigl-style grid line relaxation along one axis";
+    source =
+      `Mf
+        {|
+program drigl
+const n = 16
+real g[16] = { 1.0 0.9 0.8 0.7 0.6 0.5 0.4 0.3 0.3 0.4 0.5 0.6 0.7 0.8 0.9 1.0 }
+int i, sweep
+real lft, mid, rgt, total
+total = 0.0
+for sweep = 1 to 4 do
+  for i = 1 to n - 2 do
+    lft = g[i - 1]
+    mid = g[i]
+    rgt = g[i + 1]
+    g[i] = 0.25 * lft + 0.5 * mid + 0.25 * rgt
+  end
+  total = total + g[8]
+end
+print total
+return
+|};
+  }
+
+let heat =
+  {
+    name = "heat";
+    program = "doduc";
+    description = "heat-style explicit diffusion step with boundary handling";
+    source =
+      `Mf
+        {|
+program heat
+const n = 20
+real u[20] = { 0.0 0.0 0.0 0.0 0.0 10.0 10.0 10.0 10.0 10.0
+               10.0 10.0 10.0 10.0 10.0 0.0 0.0 0.0 0.0 0.0 }
+real v[20]
+int i, t
+real alpha, total
+alpha = 0.2
+total = 0.0
+for t = 1 to 8 do
+  v[0] = u[0]
+  v[n - 1] = u[n - 1]
+  for i = 1 to n - 2 do
+    v[i] = u[i] + alpha * (u[i - 1] - 2.0 * u[i] + u[i + 1])
+  end
+  for i = 0 to n - 1 do
+    u[i] = v[i]
+  end
+end
+for i = 0 to n - 1 step 4 do
+  total = total + u[i]
+end
+print total
+return
+|};
+  }
+
+let inideb =
+  {
+    name = "inideb";
+    program = "doduc";
+    description = "inideb-style debug-table initialization with named constants";
+    source =
+      `Mf
+        {|
+program inideb
+const n = 10
+const base = 100
+int tab[10]
+int chk[10]
+int i, v
+for i = 0 to n - 1 do
+  v = base + i * 7
+  tab[i] = v
+  if v % 2 == 0 then
+    chk[i] = v / 2
+  else
+    chk[i] = v * 3 + 1
+  end
+end
+v = 0
+for i = 0 to n - 1 do
+  v = v + tab[i] - chk[i] % 5
+end
+print v
+return
+|};
+  }
+
+let inisla =
+  {
+    name = "inisla";
+    program = "doduc";
+    description = "inisla-style slab setup: interleaved real/int initialization";
+    source =
+      `Mf
+        {|
+program inisla
+const n = 12
+real rho[12]
+real tmp[12]
+int zone[12]
+int i
+real r, total
+total = 0.0
+for i = 0 to n - 1 do
+  r = real(i) * 0.25 + 0.5
+  rho[i] = r * r
+  tmp[i] = 300.0 + r * 20.0
+  if i < 4 then
+    zone[i] = 1
+  else
+    if i < 8 then
+      zone[i] = 2
+    else
+      zone[i] = 3
+    end
+  end
+end
+for i = 0 to n - 1 do
+  total = total + rho[i] * tmp[i] + real(zone[i])
+end
+print total
+return
+|};
+  }
+
+let prophy =
+  {
+    name = "prophy";
+    program = "doduc";
+    description = "prophy-style property interpolation with clamped lookup";
+    source =
+      `Mf
+        {|
+program prophy
+const n = 8
+const real temp[8] = { 250.0 300.0 350.0 400.0 450.0 500.0 550.0 600.0 }
+const real cond[8] = { 0.02 0.025 0.031 0.036 0.042 0.047 0.053 0.058 }
+int q, j
+real t, lambda, total
+total = 0.0
+t = 260.0
+for q = 1 to 25 do
+  j = 0
+  while (j < n - 2) and (temp[j + 1] < t) do
+    j = j + 1
+  end
+  lambda = cond[j] + (cond[j + 1] - cond[j]) * (t - temp[j])
+           / (temp[j + 1] - temp[j])
+  total = total + lambda
+  t = t + 14.0
+end
+print total
+return
+|};
+  }
+
+let d2esp =
+  {
+    name = "d2esp";
+    program = "fpppp";
+    description = "d2esp-style two-electron contribution: deep scalar expression";
+    source =
+      `Mf
+        {|
+program d2esp
+int it
+real s1, s2, s3, s4, g, h, acc
+s1 = 0.31
+s2 = 0.62
+s3 = 0.93
+s4 = 1.24
+acc = 0.0
+for it = 1 to 16 do
+  g = (s1 * s4 - s2 * s3) * (s1 + s4)
+  h = (s2 * s4 + s1 * s3) * (s2 - s3 + 1.0)
+  acc = acc + g * 0.5 - h * 0.25
+  s1 = s1 + 0.01
+  s2 = s2 + 0.02
+  s3 = s3 - 0.01
+  s4 = s4 - 0.02
+end
+print acc
+return
+|};
+  }
+
+let fmain =
+  {
+    name = "fmain";
+    program = "fpppp";
+    description = "main-style driver: gathers partial sums from staged loops";
+    source =
+      `Mf
+        {|
+program fmain
+const n = 10
+real part[10]
+int i
+real x, total
+for i = 0 to n - 1 do
+  x = real(i + 1)
+  part[i] = 1.0 / x
+end
+total = 0.0
+for i = 0 to n - 1 do
+  total = total + part[i]
+end
+-- renormalize and accumulate again
+for i = 0 to n - 1 do
+  part[i] = part[i] / total
+end
+x = 0.0
+for i = 0 to n - 1 do
+  x = x + part[i]
+end
+print total
+print x
+return
+|};
+  }
+
+let urand =
+  {
+    name = "urand";
+    program = "fmm";
+    description = "urand-style linear congruential generator (integer overflow wraps)";
+    source =
+      `Mf
+        {|
+program urand
+int seed, i, acc
+seed = 12345
+acc = 0
+for i = 1 to 50 do
+  seed = (seed * 1103 + 12849) % 65536
+  acc = acc + seed % 10
+end
+print seed
+print acc
+return
+|};
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Livermore Fortran kernels (period-appropriate numerical loops)      *)
+(* ------------------------------------------------------------------ *)
+
+let lfk1 =
+  {
+    name = "lfk1";
+    program = "livermore";
+    description = "Livermore kernel 1: hydro fragment x[k] = q + y[k]*(r*z[k+10] + t*z[k+11])";
+    source =
+      `Mf
+        {|
+program lfk1
+const n = 16
+real y[16] = { 0.1 0.2 0.3 0.4 0.5 0.6 0.7 0.8
+               0.9 1.0 1.1 1.2 1.3 1.4 1.5 1.6 }
+real z[32] = { 1.0 1.1 1.2 1.3 1.4 1.5 1.6 1.7
+               1.8 1.9 2.0 2.1 2.2 2.3 2.4 2.5
+               2.6 2.7 2.8 2.9 3.0 3.1 3.2 3.3
+               3.4 3.5 3.6 3.7 3.8 3.9 4.0 4.1 }
+real x[16]
+int k
+real q, r, t, chk
+q = 0.5
+r = 2.0
+t = 0.25
+for k = 0 to n - 1 do
+  x[k] = q + y[k] * (r * z[k + 10] + t * z[k + 11])
+end
+chk = 0.0
+for k = 0 to n - 1 do
+  chk = chk + x[k]
+end
+print chk
+return
+|};
+  }
+
+let lfk3 =
+  {
+    name = "lfk3";
+    program = "livermore";
+    description = "Livermore kernel 3: inner product";
+    source =
+      `Mf
+        {|
+program lfk3
+const n = 24
+real z[24] = { 0.5 1.0 1.5 2.0 2.5 3.0 3.5 4.0 4.5 5.0 5.5 6.0
+               6.5 7.0 7.5 8.0 8.5 9.0 9.5 10.0 10.5 11.0 11.5 12.0 }
+real x[24] = { 1.0 0.9 0.8 0.7 0.6 0.5 0.4 0.3 0.2 0.1 0.2 0.3
+               0.4 0.5 0.6 0.7 0.8 0.9 1.0 0.9 0.8 0.7 0.6 0.5 }
+int k, pass
+real q
+q = 0.0
+for pass = 1 to 4 do
+  for k = 0 to n - 1 do
+    q = q + z[k] * x[k]
+  end
+end
+print q
+return
+|};
+  }
+
+let lfk5 =
+  {
+    name = "lfk5";
+    program = "livermore";
+    description = "Livermore kernel 5: tri-diagonal elimination, below diagonal";
+    source =
+      `Mf
+        {|
+program lfk5
+const n = 20
+real x[20] = { 1.0 0.0 0.0 0.0 0.0 0.0 0.0 0.0 0.0 0.0
+               0.0 0.0 0.0 0.0 0.0 0.0 0.0 0.0 0.0 0.0 }
+real y[20] = { 0.9 0.8 0.7 0.6 0.5 0.4 0.3 0.2 0.1 0.2
+               0.3 0.4 0.5 0.6 0.7 0.8 0.9 0.8 0.7 0.6 }
+real z[20] = { 0.1 0.2 0.3 0.4 0.5 0.6 0.7 0.8 0.9 0.8
+               0.7 0.6 0.5 0.4 0.3 0.2 0.1 0.2 0.3 0.4 }
+int i
+real chk
+for i = 1 to n - 1 do
+  x[i] = z[i] * (y[i] - x[i - 1])
+end
+chk = 0.0
+for i = 0 to n - 1 do
+  chk = chk + x[i]
+end
+print chk
+return
+|};
+  }
+
+let lfk7 =
+  {
+    name = "lfk7";
+    program = "livermore";
+    description =
+      "Livermore kernel 7: equation-of-state fragment (wide expressions, \
+       many constants)";
+    source =
+      `Mf
+        {|
+program lfk7
+const n = 12
+real u[18] = { 1.0 1.1 1.2 1.3 1.4 1.5 1.6 1.7 1.8
+               1.9 2.0 2.1 2.2 2.3 2.4 2.5 2.6 2.7 }
+real y[12] = { 0.5 0.6 0.7 0.8 0.9 1.0 1.1 1.2 1.3 1.4 1.5 1.6 }
+real z[12] = { 1.5 1.4 1.3 1.2 1.1 1.0 0.9 0.8 0.7 0.6 0.5 0.4 }
+real x[12]
+int k
+real r, t, chk
+r = 0.125
+t = 0.25
+for k = 0 to n - 1 do
+  x[k] = u[k] + r * (z[k] + r * y[k])
+         + t * (u[k + 3] + r * (u[k + 2] + r * u[k + 1])
+                + t * (u[k + 6] + r * (u[k + 5] + r * u[k + 4])))
+end
+chk = 0.0
+for k = 0 to n - 1 do
+  chk = chk + x[k]
+end
+print chk
+return
+|};
+  }
+
+let lfk12 =
+  {
+    name = "lfk12";
+    program = "livermore";
+    description = "Livermore kernel 12: first difference";
+    source =
+      `Mf
+        {|
+program lfk12
+const n = 20
+real y[21] = { 1.0 1.3 1.7 2.2 2.8 3.5 4.3 5.2 6.2 7.3
+               8.5 9.8 11.2 12.7 14.3 16.0 17.8 19.7 21.7 23.8 26.0 }
+real x[20]
+int k
+real chk
+for k = 0 to n - 1 do
+  x[k] = y[k + 1] - y[k]
+end
+chk = 0.0
+for k = 0 to n - 1 do
+  chk = chk + x[k]
+end
+print chk
+return
+|};
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Integer and control-flow kernels                                    *)
+(* ------------------------------------------------------------------ *)
+
+let bubble =
+  {
+    name = "bubble";
+    program = "misc";
+    description = "bubble sort of a small integer array (branch heavy)";
+    source =
+      `Mf
+        {|
+program bubble
+const n = 12
+int a[12] = { 9 3 7 1 8 2 6 4 12 5 11 10 }
+int i, j, t
+for i = 0 to n - 2 do
+  for j = 0 to n - 2 - i do
+    if a[j] > a[j + 1] then
+      t = a[j]
+      a[j] = a[j + 1]
+      a[j + 1] = t
+    end
+  end
+end
+for i = 0 to n - 1 do
+  print a[i]
+end
+return
+|};
+  }
+
+let bsearch =
+  {
+    name = "bsearch";
+    program = "misc";
+    description = "repeated binary search over a sorted constant table";
+    source =
+      `Mf
+        {|
+program bsearch
+const n = 16
+const int tab[16] = { 2 5 9 14 20 27 35 44 54 65 77 90 104 119 135 152 }
+int q, lo, hi, mid, found, probes
+probes = 0
+found = 0
+for q = 0 to 160 step 8 do
+  lo = 0
+  hi = n - 1
+  while lo <= hi do
+    mid = (lo + hi) / 2
+    probes = probes + 1
+    if tab[mid] == q then
+      found = found + 1
+      lo = hi + 1
+    else
+      if tab[mid] < q then
+        lo = mid + 1
+      else
+        hi = mid - 1
+      end
+    end
+  end
+end
+print found
+print probes
+return
+|};
+  }
+
+let prefix =
+  {
+    name = "prefix";
+    program = "misc";
+    description = "integer prefix sums and a reduction";
+    source =
+      `Mf
+        {|
+program prefix
+const n = 20
+int a[20] = { 3 1 4 1 5 9 2 6 5 3 5 8 9 7 9 3 2 3 8 4 }
+int s[20]
+int i, acc
+acc = 0
+for i = 0 to n - 1 do
+  acc = acc + a[i]
+  s[i] = acc
+end
+acc = 0
+for i = 0 to n - 1 step 2 do
+  acc = acc + s[i]
+end
+print acc
+return
+|};
+  }
+
+let horner =
+  {
+    name = "horner";
+    program = "misc";
+    description =
+      "polynomial evaluation by Horner's rule with twelve constant \
+       coefficients (immediate-heavy)";
+    source =
+      `Mf
+        {|
+program horner
+int i
+real x, p, total
+total = 0.0
+x = 0.05
+for i = 1 to 24 do
+  p = 0.0137
+  p = p * x + 0.0312
+  p = p * x - 0.0725
+  p = p * x + 0.1451
+  p = p * x - 0.2617
+  p = p * x + 0.4311
+  p = p * x - 0.6523
+  p = p * x + 0.9017
+  p = p * x - 1.1312
+  p = p * x + 1.2514
+  p = p * x - 1.0713
+  p = p * x + 0.5019
+  total = total + p
+  x = x + 0.04
+end
+print total
+return
+|};
+  }
+
+let fft_butterfly =
+  {
+    name = "fft4";
+    program = "misc";
+    description = "radix-2 butterflies over a small complex signal";
+    source =
+      `Mf
+        {|
+program fft4
+const n = 8
+real re[8] = { 1.0 0.5 -0.3 0.8 -0.9 0.2 0.7 -0.4 }
+real im[8] = { 0.0 0.3 0.6 -0.2 0.4 -0.7 0.1 0.5 }
+int half, start, k, span
+real wr, wi, tr, ti, ur, ui, energy
+span = 1
+while span < n do
+  half = span
+  span = span * 2
+  wr = 1.0
+  wi = 0.0
+  for k = 0 to half - 1 do
+    start = k
+    while start < n do
+      tr = wr * re[start + half] - wi * im[start + half]
+      ti = wr * im[start + half] + wi * re[start + half]
+      ur = re[start]
+      ui = im[start]
+      re[start] = ur + tr
+      im[start] = ui + ti
+      re[start + half] = ur - tr
+      im[start + half] = ui - ti
+      start = start + span
+    end
+    -- rotate the twiddle by a crude constant rotation
+    tr = wr * 0.7071067811 - wi * 0.7071067811
+    wi = wr * 0.7071067811 + wi * 0.7071067811
+    wr = tr
+  end
+end
+energy = 0.0
+for k = 0 to n - 1 do
+  energy = energy + re[k] * re[k] + im[k] * im[k]
+end
+print energy
+return
+|};
+  }
+
+let conv1d =
+  {
+    name = "conv1d";
+    program = "misc";
+    description = "1-D convolution with a 5-tap constant kernel";
+    source =
+      `Mf
+        {|
+program conv1d
+const n = 24
+real sig[24] = { 0.1 0.4 0.2 0.8 0.5 0.9 0.3 0.7 0.6 0.2 0.8 0.4
+                 0.9 0.1 0.5 0.3 0.7 0.2 0.6 0.8 0.4 0.1 0.9 0.5 }
+const real ker[5] = { 0.0625 0.25 0.375 0.25 0.0625 }
+real out[24]
+int i, k
+real acc, total
+total = 0.0
+for i = 2 to n - 3 do
+  acc = 0.0
+  for k = 0 to 4 do
+    acc = acc + ker[k] * sig[i + k - 2]
+  end
+  out[i] = acc
+  total = total + acc
+end
+print total
+return
+|};
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Hand-written ILOC kernels (post-strength-reduction pointer style)   *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper's Figure 1 shape: pointers invariant in a hot loop, walking
+   in a second loop.  See also Testutil.fig1; this variant keeps eight
+   pointers plus live scalars. *)
+let ptr_sweep =
+  {
+    name = "ptrsweep";
+    program = "iloc";
+    description =
+      "walking-pointer sweep over twelve arrays: Figure 1's \
+       rematerialization pattern after strength reduction";
+    source =
+      `Iloc
+        (let buf = Buffer.create 2048 in
+         let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+         let np = 20 in
+         pr "routine ptrsweep\n";
+         for k = 0 to np - 1 do
+           pr "data const t%d[8] = f{ %s }\n" k
+             (String.concat " "
+                (List.init 8 (fun i ->
+                     Printf.sprintf "%h" (float_of_int ((k * 8) + i + 1)))))
+         done;
+         pr "entry:\n";
+         for k = 0 to np - 1 do
+           pr "  r%d <- laddr @t%d\n" (k + 1) k
+         done;
+         pr "  f1 <- lfi 0x0p+0\n";
+         pr "  r100 <- ldi 32\n";
+         pr "  jmp hot\n";
+         pr "hot:\n";
+         for k = 0 to np - 1 do
+           pr "  f2 <- load r%d\n" (k + 1);
+           pr "  f1 <- fadd f1 f2\n"
+         done;
+         pr "  r100 <- subi r100 1\n";
+         pr "  r101 <- ldi 0\n";
+         pr "  r102 <- cmp_gt r100 r101\n";
+         pr "  cbr r102 hot walkinit\n";
+         pr "walkinit:\n";
+         pr "  r100 <- ldi 8\n";
+         pr "  jmp walk\n";
+         pr "walk:\n";
+         for k = 0 to np - 1 do
+           pr "  f2 <- load r%d\n" (k + 1);
+           pr "  f1 <- fadd f1 f2\n";
+           pr "  r%d <- addi r%d 1\n" (k + 1) (k + 1)
+         done;
+         pr "  r100 <- subi r100 1\n";
+         pr "  r101 <- ldi 0\n";
+         pr "  r102 <- cmp_gt r100 r101\n";
+         pr "  cbr r102 walk done\n";
+         pr "done:\n";
+         pr "  print f1\n";
+         pr "  ret\n";
+         Buffer.contents buf);
+  }
+
+let frame_addr =
+  {
+    name = "frameaddr";
+    program = "iloc";
+    description =
+      "frame-pointer offsets under pressure: lfp values are the \
+       never-killed candidates";
+    source =
+      `Iloc
+        (let buf = Buffer.create 2048 in
+         let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+         let np = 20 in
+         pr "routine frameaddr\ndata scratch[64]\n";
+         pr "entry:\n";
+         pr "  r200 <- laddr @scratch\n";
+         for k = 0 to np - 1 do
+           pr "  r%d <- lfp %d\n" (k + 1) (k * 8)
+         done;
+         (* seed the scratch area *)
+         pr "  r201 <- ldi 7\n";
+         for k = 0 to np - 1 do
+           pr "  storei r201 -> r200 %d\n" k
+         done;
+         pr "  r100 <- ldi 24\n";
+         pr "  r103 <- ldi 0\n";
+         pr "  jmp loop\n";
+         pr "loop:\n";
+         for k = 0 to np - 1 do
+           pr "  r104 <- loadi r200 %d\n" k;
+           (* use the lfp value so it stays live through the loop *)
+           pr "  r105 <- add r104 r%d\n" (k + 1);
+           pr "  r103 <- add r103 r105\n"
+         done;
+         pr "  r100 <- subi r100 1\n";
+         pr "  r101 <- ldi 0\n";
+         pr "  r102 <- cmp_gt r100 r101\n";
+         pr "  cbr r102 loop done\n";
+         pr "done:\n";
+         pr "  print r103\n";
+         pr "  ret\n";
+         Buffer.contents buf);
+  }
+
+(* Strided pointer sweep: pointers advance by 2, exercising remat of
+   laddr values whose walking step is not unit. *)
+let strided =
+  {
+    name = "strided";
+    program = "iloc";
+    description =
+      "strided walking pointers (step 2) with a hot invariant phase";
+    source =
+      `Iloc
+        (let buf = Buffer.create 2048 in
+         let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+         let np = 18 in
+         pr "routine strided\n";
+         for k = 0 to np - 1 do
+           pr "data const s%d[16] = f{ %s }\n" k
+             (String.concat " "
+                (List.init 16 (fun i ->
+                     Printf.sprintf "%h" (float_of_int ((k * 16) + i) *. 0.5))))
+         done;
+         pr "entry:\n";
+         for k = 0 to np - 1 do
+           pr "  r%d <- laddr @s%d\n" (k + 1) k
+         done;
+         pr "  f1 <- lfi 0x0p+0\n  r100 <- ldi 24\n  jmp hot\n";
+         pr "hot:\n";
+         for k = 0 to np - 1 do
+           pr "  f2 <- load r%d\n  f1 <- fadd f1 f2\n" (k + 1)
+         done;
+         pr
+           "  r100 <- subi r100 1\n\
+           \  r101 <- ldi 0\n\
+           \  r102 <- cmp_gt r100 r101\n\
+           \  cbr r102 hot mid\n";
+         pr "mid:\n  r100 <- ldi 8\n  jmp walk\n";
+         pr "walk:\n";
+         for k = 0 to np - 1 do
+           pr "  f2 <- load r%d\n  f1 <- fadd f1 f2\n  r%d <- addi r%d 2\n"
+             (k + 1) (k + 1) (k + 1)
+         done;
+         pr
+           "  r100 <- subi r100 1\n\
+           \  r101 <- ldi 0\n\
+           \  r102 <- cmp_gt r100 r101\n\
+           \  cbr r102 walk done\n";
+         pr "done:\n  print f1\n  ret\n";
+         Buffer.contents buf);
+  }
+
+(* Pointers that are re-materialized from scratch between phases: the
+   second phase resets every pointer with a fresh laddr, so tags merge as
+   equal inst values across the join. *)
+let restart =
+  {
+    name = "restart";
+    program = "iloc";
+    description =
+      "pointer reset between phases: equal laddr values merging at a join";
+    source =
+      `Iloc
+        (let buf = Buffer.create 2048 in
+         let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+         let np = 18 in
+         pr "routine restart\n";
+         for k = 0 to np - 1 do
+           pr "data const q%d[8] = f{ %s }\n" k
+             (String.concat " "
+                (List.init 8 (fun i ->
+                     Printf.sprintf "%h" (float_of_int ((k * 8) + i + 2)))))
+         done;
+         pr "entry:\n";
+         for k = 0 to np - 1 do
+           pr "  r%d <- laddr @q%d\n" (k + 1) k
+         done;
+         pr "  f1 <- lfi 0x0p+0\n  r100 <- ldi 8\n  jmp phase1\n";
+         pr "phase1:\n";
+         for k = 0 to np - 1 do
+           pr "  f2 <- load r%d\n  f1 <- fadd f1 f2\n  r%d <- addi r%d 1\n"
+             (k + 1) (k + 1) (k + 1)
+         done;
+         pr
+           "  r100 <- subi r100 1\n\
+           \  r101 <- ldi 0\n\
+           \  r102 <- cmp_gt r100 r101\n\
+           \  cbr r102 phase1 reset\n";
+         pr "reset:\n";
+         for k = 0 to np - 1 do
+           pr "  r%d <- laddr @q%d\n" (k + 1) k
+         done;
+         pr "  r100 <- ldi 30\n  jmp phase2\n";
+         pr "phase2:\n";
+         for k = 0 to np - 1 do
+           pr "  f2 <- load r%d\n  f1 <- fadd f1 f2\n" (k + 1)
+         done;
+         pr
+           "  r100 <- subi r100 1\n\
+           \  r101 <- ldi 0\n\
+           \  r102 <- cmp_gt r100 r101\n\
+           \  cbr r102 phase2 done\n";
+         pr "done:\n  print f1\n  ret\n";
+         Buffer.contents buf);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let all : kernel list =
+  [
+    fehl;
+    spline;
+    decomp;
+    solve;
+    svd_sweep;
+    zeroin;
+    quanc8;
+    rkf45_step;
+    sgemm;
+    saxpy;
+    tomcatv_relax;
+    fpppp_block;
+    bilan;
+    drepvi;
+    pastem;
+    repvid;
+    ddeflu;
+    deseco;
+    inithx;
+    lectur;
+    debico;
+    orgpar;
+    colbur;
+    bilsla;
+    drigl;
+    heat;
+    inideb;
+    inisla;
+    prophy;
+    d2esp;
+    fmain;
+    urand;
+    lfk1;
+    lfk3;
+    lfk5;
+    lfk7;
+    lfk12;
+    ihbtr;
+    integr;
+    bubble;
+    bsearch;
+    prefix;
+    horner;
+    fft_butterfly;
+    conv1d;
+    ptr_sweep;
+    frame_addr;
+    strided;
+    restart;
+  ]
+
+let find name =
+  match List.find_opt (fun k -> String.equal k.name name) all with
+  | Some k -> k
+  | None -> invalid_arg (Printf.sprintf "Suite.Kernels.find: %s" name)

@@ -1,0 +1,27 @@
+(** The workload suite.
+
+    The paper evaluates on seventy FORTRAN routines from Forsythe,
+    Malcolm & Moler's book and the SPEC'89 suite (§5.3).  Those sources
+    cannot be shipped, so this module provides kernels {e modeled on} the
+    same routines: the numerical structure (loop nests, array addressing,
+    constant tables, mixed int/real scalar traffic) is preserved, which
+    is what register allocation — and rematerialization in particular —
+    responds to.  Most kernels are written in MF and compiled by
+    {!Frontend.Lower}; a few are hand-written ILOC in the walking-pointer
+    style an optimizing FORTRAN back end produces after strength
+    reduction, the paper's Figure 1 shape. *)
+
+type kernel = {
+  name : string;
+  program : string;  (** suite grouping, mirroring Table 1's program column *)
+  description : string;
+  source : [ `Mf of string | `Iloc of string ];
+}
+
+val cfg_of : ?optimize:bool -> kernel -> Iloc.Cfg.t
+(** Compile (or parse) the kernel; with [optimize] (default false) the
+    {!Opt.Pipeline} runs afterwards, as in the paper's compiler. *)
+
+val all : kernel list
+val find : string -> kernel
+(** Raises [Invalid_argument] for unknown names. *)

@@ -1,0 +1,238 @@
+module Counts = Sim.Counts
+module Instr = Iloc.Instr
+module Mode = Remat.Mode
+module Machine = Remat.Machine
+
+type measurement = {
+  kernel : Kernels.kernel;
+  mode : Remat.Mode.t;
+  machine : Remat.Machine.t;
+  counts : Sim.Counts.t;
+  baseline : Sim.Counts.t;
+  spill_cycles : int;
+  result : Remat.Allocator.result;
+}
+
+let run_counts cfg = (Sim.Interp.run cfg).Sim.Interp.counts
+
+let measure ?(machine = Machine.standard) mode kernel =
+  let cfg = Kernels.cfg_of ~optimize:true kernel in
+  let result = Remat.Allocator.run ~mode ~machine cfg in
+  let huge = Remat.Allocator.run ~mode ~machine:Machine.huge cfg in
+  let counts = run_counts result.Remat.Allocator.cfg in
+  let baseline = run_counts huge.Remat.Allocator.cfg in
+  let spill_cycles = Counts.cycles_signed (Counts.sub counts baseline) in
+  { kernel; mode; machine; counts; baseline; spill_cycles; result }
+
+type table1_row = {
+  t1_kernel : Kernels.kernel;
+  optimistic : int;
+  remat : int;
+  contributions : (Iloc.Instr.category * float) list;
+  total_pct : float;
+}
+
+let category_cycle_weight = function
+  | Instr.Cat_load | Instr.Cat_store -> 2
+  | Instr.Cat_copy | Instr.Cat_ldi | Instr.Cat_addi | Instr.Cat_other -> 1
+
+let table1_row ?machine kernel =
+  let opt = measure ?machine Mode.Chaitin_remat kernel in
+  let rem = measure ?machine Mode.Briggs_remat kernel in
+  let optimistic = opt.spill_cycles and remat = rem.spill_cycles in
+  (* Contribution of category c: cycles attributable to c in the
+     optimistic allocation minus the same in the rematerializing one, as
+     a percentage of the optimistic spill cost. *)
+  let categories =
+    [ Instr.Cat_load; Instr.Cat_store; Instr.Cat_copy; Instr.Cat_ldi;
+      Instr.Cat_addi; Instr.Cat_other ]
+  in
+  let contributions =
+    List.map
+      (fun c ->
+        let w = category_cycle_weight c in
+        let opt_c =
+          w * (Counts.get opt.counts c - Counts.get opt.baseline c)
+        in
+        let rem_c =
+          w * (Counts.get rem.counts c - Counts.get rem.baseline c)
+        in
+        let saved = opt_c - rem_c in
+        let pct =
+          if optimistic = 0 then 0.
+          else 100. *. float_of_int saved /. float_of_int optimistic
+        in
+        (c, pct))
+      categories
+  in
+  let total_pct =
+    if optimistic = 0 then 0.
+    else
+      100. *. float_of_int (optimistic - remat) /. float_of_int optimistic
+  in
+  { t1_kernel = kernel; optimistic; remat; contributions; total_pct }
+
+let table1 ?machine ?(only_changed = true) ?(min_cycles = 8) () =
+  Kernels.all
+  |> List.map (table1_row ?machine)
+  |> List.filter (fun r ->
+         ((not only_changed) || r.optimistic <> r.remat)
+         && (abs r.optimistic >= min_cycles || abs r.remat >= min_cycles))
+
+let pp_pct ppf v =
+  (* The paper rounds to integers, prints -0 for insignificant losses and
+     blank for exact zero. *)
+  if Float.abs v < 0.005 then Format.fprintf ppf "%6s" ""
+  else if v > -0.5 && v < 0. then Format.fprintf ppf "%6s" "-0"
+  else Format.fprintf ppf "%6.0f" v
+
+let pp_table1 ppf rows =
+  Format.fprintf ppf
+    "%-10s %-10s | %12s %12s | %6s %6s %6s %6s %6s | %6s@." "program"
+    "routine" "Optimistic" "Remat" "load" "store" "copy" "ldi" "addi" "total";
+  Format.fprintf ppf "%s@." (String.make 92 '-');
+  List.iter
+    (fun r ->
+      let find c = List.assoc c r.contributions in
+      Format.fprintf ppf "%-10s %-10s | %12d %12d | %a %a %a %a %a | %a@."
+        r.t1_kernel.Kernels.program r.t1_kernel.Kernels.name r.optimistic
+        r.remat pp_pct (find Instr.Cat_load) pp_pct (find Instr.Cat_store)
+        pp_pct (find Instr.Cat_copy) pp_pct (find Instr.Cat_ldi) pp_pct
+        (find Instr.Cat_addi) pp_pct r.total_pct)
+    rows;
+  let improved = List.length (List.filter (fun r -> r.remat < r.optimistic) rows)
+  and degraded = List.length (List.filter (fun r -> r.remat > r.optimistic) rows) in
+  Format.fprintf ppf "%s@." (String.make 92 '-');
+  Format.fprintf ppf
+    "improvements: %d   degradations: %d   (of %d kernels measured)@."
+    improved degraded (List.length Kernels.all)
+
+type table2_column = {
+  t2_kernel : Kernels.kernel;
+  old_rows : (int * Remat.Stats.phase * float) list;
+  new_rows : (int * Remat.Stats.phase * float) list;
+  old_total : float;
+  new_total : float;
+}
+
+let averaged_phases ~repeats mode cfg =
+  (* Average per-(round, phase) wall time over [repeats] runs. *)
+  let acc = Hashtbl.create 32 in
+  let order = ref [] in
+  for _ = 1 to repeats do
+    let res = Remat.Allocator.run ~mode ~machine:Machine.standard cfg in
+    List.iter
+      (fun (round, phase, s) ->
+        let key = (round, phase) in
+        match Hashtbl.find_opt acc key with
+        | Some t -> Hashtbl.replace acc key (t +. s)
+        | None ->
+            Hashtbl.add acc key s;
+            order := key :: !order)
+      (Remat.Stats.by_phase res.Remat.Allocator.stats)
+  done;
+  List.rev_map
+    (fun (round, phase) ->
+      (round, phase, Hashtbl.find acc (round, phase) /. float_of_int repeats))
+    !order
+
+let table2 ?(repeats = 10) names =
+  List.map
+    (fun name ->
+      let kernel = Kernels.find name in
+      let cfg = Kernels.cfg_of ~optimize:true kernel in
+      let old_rows = averaged_phases ~repeats Mode.Chaitin_remat cfg in
+      let new_rows = averaged_phases ~repeats Mode.Briggs_remat cfg in
+      let total rows = List.fold_left (fun a (_, _, s) -> a +. s) 0. rows in
+      {
+        t2_kernel = kernel;
+        old_rows;
+        new_rows;
+        old_total = total old_rows;
+        new_total = total new_rows;
+      })
+    names
+
+let pp_table2 ppf cols =
+  Format.fprintf ppf "%-14s" "Phase";
+  List.iter
+    (fun c ->
+      Format.fprintf ppf " | %10s %10s"
+        (c.t2_kernel.Kernels.name ^ "/Old")
+        (c.t2_kernel.Kernels.name ^ "/New"))
+    cols;
+  Format.fprintf ppf "@.%s@."
+    (String.make (14 + (25 * List.length cols)) '-');
+  (* Rows: union of (round, phase) keys across all columns, in the order
+     the longest column executed them. *)
+  let keys =
+    List.fold_left
+      (fun acc c ->
+        let ks =
+          List.sort_uniq compare
+            (List.map (fun (r, p, _) -> (r, p)) (c.old_rows @ c.new_rows))
+        in
+        if List.length ks > List.length acc then ks else acc)
+      [] cols
+  in
+  List.iter
+    (fun (round, phase) ->
+      Format.fprintf ppf "%-14s"
+        (Printf.sprintf "%d:%s" round (Remat.Stats.phase_to_string phase));
+      List.iter
+        (fun c ->
+          let get rows =
+            List.find_map
+              (fun (r, p, s) -> if (r, p) = (round, phase) then Some s else None)
+              rows
+          in
+          let cell v =
+            match v with
+            | Some s -> Printf.sprintf "%10.5f" s
+            | None -> Printf.sprintf "%10s" ""
+          in
+          Format.fprintf ppf " | %s %s" (cell (get c.old_rows))
+            (cell (get c.new_rows)))
+        cols;
+      Format.fprintf ppf "@.")
+    keys;
+  Format.fprintf ppf "%-14s" "total";
+  List.iter
+    (fun c ->
+      Format.fprintf ppf " | %10.5f %10.5f" c.old_total c.new_total)
+    cols;
+  Format.fprintf ppf "@."
+
+type ablation_row = {
+  ab_kernel : Kernels.kernel;
+  per_mode : (Remat.Mode.t * int) list;
+}
+
+let ablation ?machine ?(modes = Mode.all) () =
+  List.map
+    (fun kernel ->
+      {
+        ab_kernel = kernel;
+        per_mode =
+          List.map
+            (fun mode -> (mode, (measure ?machine mode kernel).spill_cycles))
+            modes;
+      })
+    Kernels.all
+
+let pp_ablation ppf rows =
+  match rows with
+  | [] -> ()
+  | first :: _ ->
+      Format.fprintf ppf "%-12s" "routine";
+      List.iter
+        (fun (m, _) -> Format.fprintf ppf " %18s" (Mode.to_string m))
+        first.per_mode;
+      Format.fprintf ppf "@.%s@."
+        (String.make (12 + (19 * List.length first.per_mode)) '-');
+      List.iter
+        (fun r ->
+          Format.fprintf ppf "%-12s" r.ab_kernel.Kernels.name;
+          List.iter (fun (_, c) -> Format.fprintf ppf " %18d" c) r.per_mode;
+          Format.fprintf ppf "@.")
+        rows

@@ -1,0 +1,73 @@
+(** Measurement harness behind the paper's tables and figures.
+
+    Spill cost follows §5.2: a routine is allocated for the target machine
+    and for the "huge" (128+128) machine, both allocations are executed by
+    the interpreter, and the difference in weighted dynamic cycles is the
+    cost the allocator paid for the target's limited register set. *)
+
+type measurement = {
+  kernel : Kernels.kernel;
+  mode : Remat.Mode.t;
+  machine : Remat.Machine.t;
+  counts : Sim.Counts.t;  (** dynamic counts on the target machine *)
+  baseline : Sim.Counts.t;  (** dynamic counts on the huge machine *)
+  spill_cycles : int;  (** weighted cycle difference *)
+  result : Remat.Allocator.result;
+}
+
+val measure :
+  ?machine:Remat.Machine.t -> Remat.Mode.t -> Kernels.kernel -> measurement
+(** Kernels are optimized ({!Opt.Pipeline}) before allocation, as in the
+    paper's compiler. *)
+
+(** One Table 1 row: the Optimistic (Chaitin) and Rematerialization
+    (Briggs) allocators compared on one routine, with the percentage
+    contribution of each instruction category to the improvement. *)
+type table1_row = {
+  t1_kernel : Kernels.kernel;
+  optimistic : int;  (** cycles of spill code, Chaitin's scheme *)
+  remat : int;  (** cycles of spill code, the paper's scheme *)
+  contributions : (Iloc.Instr.category * float) list;
+      (** percent of [optimistic] saved per category; negative = loss *)
+  total_pct : float;
+}
+
+val table1_row : ?machine:Remat.Machine.t -> Kernels.kernel -> table1_row
+
+val table1 :
+  ?machine:Remat.Machine.t ->
+  ?only_changed:bool ->
+  ?min_cycles:int ->
+  unit ->
+  table1_row list
+(** All kernels; [only_changed] (default true) keeps rows where the two
+    allocators differ, as the paper's Table 1 does, and [min_cycles]
+    (default 8) drops noise rows whose spill cost is negligible under
+    both allocators (the huge-machine baseline is "nearly perfect", §5.2,
+    so tiny differences are measurement noise). *)
+
+val pp_table1 : Format.formatter -> table1_row list -> unit
+
+(** Table 2: per-phase allocation times, Old (Chaitin) vs New (Briggs). *)
+type table2_column = {
+  t2_kernel : Kernels.kernel;
+  old_rows : (int * Remat.Stats.phase * float) list;
+  new_rows : (int * Remat.Stats.phase * float) list;
+  old_total : float;
+  new_total : float;
+}
+
+val table2 : ?repeats:int -> string list -> table2_column list
+(** Kernels by name; each allocation is repeated [repeats] (default 10)
+    times and per-phase times are averaged, as in §5.4. *)
+
+val pp_table2 : Format.formatter -> table2_column list -> unit
+
+(** §6 ablation: spill cycles per mode per kernel. *)
+type ablation_row = {
+  ab_kernel : Kernels.kernel;
+  per_mode : (Remat.Mode.t * int) list;
+}
+
+val ablation : ?machine:Remat.Machine.t -> ?modes:Remat.Mode.t list -> unit -> ablation_row list
+val pp_ablation : Format.formatter -> ablation_row list -> unit

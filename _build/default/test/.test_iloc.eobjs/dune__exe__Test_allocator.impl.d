@@ -1,0 +1,1 @@
+test/test_allocator.ml: Alcotest Iloc List Printf QCheck QCheck_alcotest Remat Sim String Suite Testutil

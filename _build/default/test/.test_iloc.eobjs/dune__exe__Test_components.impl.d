@@ -1,0 +1,1 @@
+test/test_components.ml: Alcotest Array Dataflow Iloc List Opt Remat Sim String Suite Testutil

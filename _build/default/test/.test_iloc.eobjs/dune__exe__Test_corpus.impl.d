@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Array Filename Float Frontend Fun Lazy List Opt Printf Remat Sim String Sys Testutil

@@ -1,0 +1,1 @@
+test/test_dataflow.ml: Alcotest Array Dataflow Gen Iloc Int List Printf QCheck QCheck_alcotest Set Ssa Testutil

@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Frontend Iloc List Printf QCheck QCheck_alcotest Remat Sim Testutil

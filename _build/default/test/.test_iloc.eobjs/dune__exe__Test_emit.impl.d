@@ -1,0 +1,1 @@
+test/test_emit.ml: Alcotest Emit Filename Fun Iloc Lazy List Printf Remat Sim Ssa String Suite Sys Testutil

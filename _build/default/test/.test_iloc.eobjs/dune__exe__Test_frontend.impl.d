@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Frontend Iloc List Sim String Suite

@@ -1,0 +1,1 @@
+test/test_iloc.ml: Alcotest Iloc Int List Option Printf QCheck QCheck_alcotest Sim String Testutil

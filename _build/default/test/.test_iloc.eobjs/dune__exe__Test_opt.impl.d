@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Array Dataflow Frontend Iloc List Opt QCheck QCheck_alcotest Remat Sim Suite Testutil

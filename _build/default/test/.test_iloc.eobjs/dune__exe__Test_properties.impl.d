@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Hashtbl Iloc List Printf QCheck QCheck_alcotest Remat Sim String Testutil

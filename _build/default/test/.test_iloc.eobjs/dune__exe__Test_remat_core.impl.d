@@ -1,0 +1,1 @@
+test/test_remat_core.ml: Alcotest Array Dataflow Hashtbl Iloc Int List Option Printf QCheck QCheck_alcotest Remat Ssa String Testutil

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Hashtbl Iloc List Printf Sim Ssa String Testutil

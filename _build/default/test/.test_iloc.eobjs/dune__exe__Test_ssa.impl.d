@@ -1,0 +1,1 @@
+test/test_ssa.ml: Alcotest Dataflow Gen Hashtbl Iloc List Option QCheck QCheck_alcotest Sim Ssa String Testutil

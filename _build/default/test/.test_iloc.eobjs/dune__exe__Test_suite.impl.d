@@ -1,0 +1,1 @@
+test/test_suite.ml: Alcotest Buffer Float Format Iloc List Printf Remat Sim String Suite Testutil

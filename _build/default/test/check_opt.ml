@@ -1,0 +1,15 @@
+let () =
+  List.iter (fun k ->
+    let plain = Suite.Kernels.cfg_of k in
+    match Suite.Kernels.cfg_of ~optimize:true k with
+    | optimized ->
+      let a = Sim.Interp.run plain and b = Sim.Interp.run optimized in
+      let size cfg = Iloc.Cfg.fold_blocks (fun acc b -> acc + List.length b.Iloc.Block.body) 0 cfg in
+      let eq = Sim.Interp.outcome_equal a b in
+      Printf.printf "%-10s %s  static %4d -> %4d   dynamic %6d -> %6d\n"
+        k.Suite.Kernels.name (if eq then "OK " else "DIVERGED")
+        (size plain) (size optimized)
+        (Sim.Counts.total_instrs a.Sim.Interp.counts)
+        (Sim.Counts.total_instrs b.Sim.Interp.counts)
+    | exception e -> Printf.printf "%-10s EXN %s\n" k.Suite.Kernels.name (Printexc.to_string e))
+    Suite.Kernels.all

@@ -1,0 +1,26 @@
+(* Scratch driver for debugging allocator quality on fig1. *)
+
+let () =
+  let cfg = Testutil.fig1 () in
+  List.iter
+    (fun mode ->
+      let res =
+        Remat.Allocator.run ~mode ~machine:Remat.Machine.standard cfg
+      in
+      let out = Sim.Interp.run res.Remat.Allocator.cfg in
+      let huge =
+        Remat.Allocator.run ~mode ~machine:Remat.Machine.huge cfg
+      in
+      let outh = Sim.Interp.run huge.Remat.Allocator.cfg in
+      Format.printf "== mode %s: rounds=%d mem=%d remat=%d slots=%d@."
+        (Remat.Mode.to_string mode) res.Remat.Allocator.rounds
+        res.Remat.Allocator.spilled_memory res.Remat.Allocator.spilled_remat
+        res.Remat.Allocator.spill_slots;
+      Format.printf "   std:  %a@." Sim.Counts.pp out.Sim.Interp.counts;
+      Format.printf "   huge: %a@." Sim.Counts.pp outh.Sim.Interp.counts;
+      Format.printf "   spill cycles: %d@."
+        (Sim.Counts.cycles_signed
+           (Sim.Counts.sub out.Sim.Interp.counts outh.Sim.Interp.counts));
+      if Array.length Sys.argv > 1 && Sys.argv.(1) = "-v" then
+        Format.printf "%a@." Iloc.Cfg.pp res.Remat.Allocator.cfg)
+    [ Remat.Mode.No_remat; Remat.Mode.Chaitin_remat; Remat.Mode.Briggs_remat ]

@@ -1,0 +1,26 @@
+(* Per-kernel allocator diagnostics: spill counts and dynamic cost per
+   mode, optionally dumping the allocated code. *)
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "ptrsweep" in
+  let verbose = Array.length Sys.argv > 2 && Sys.argv.(2) = "-v" in
+  let cfg = Suite.Kernels.cfg_of (Suite.Kernels.find name) in
+  List.iter
+    (fun mode ->
+      let res =
+        Remat.Allocator.run ~mode ~machine:Remat.Machine.standard cfg
+      in
+      let out = Sim.Interp.run res.Remat.Allocator.cfg in
+      let huge = Remat.Allocator.run ~mode ~machine:Remat.Machine.huge cfg in
+      let outh = Sim.Interp.run huge.Remat.Allocator.cfg in
+      Format.printf "== %s %s: rounds=%d mem=%d remat=%d values=%d lrs=%d@."
+        name (Remat.Mode.to_string mode) res.Remat.Allocator.rounds
+        res.Remat.Allocator.spilled_memory res.Remat.Allocator.spilled_remat
+        res.Remat.Allocator.n_values res.Remat.Allocator.n_live_ranges;
+      Format.printf "   std:  %a@." Sim.Counts.pp out.Sim.Interp.counts;
+      Format.printf "   spill cycles: %d@."
+        (Sim.Counts.cycles_signed
+           (Sim.Counts.sub out.Sim.Interp.counts outh.Sim.Interp.counts));
+      if verbose then Format.printf "%a@." Iloc.Cfg.pp res.Remat.Allocator.cfg)
+    [ Remat.Mode.No_remat; Remat.Mode.Chaitin_remat; Remat.Mode.Briggs_remat;
+      Remat.Mode.Briggs_remat_phi_splits ]

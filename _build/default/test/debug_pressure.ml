@@ -1,0 +1,88 @@
+(* Replicate the allocator loop manually to watch spill decisions. *)
+
+module Cfg = Iloc.Cfg
+module Reg = Iloc.Reg
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "ptrsweep" in
+  let k_int = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 8 in
+  let cfg0 =
+    Cfg.split_critical_edges (Suite.Kernels.cfg_of (Suite.Kernels.find name))
+  in
+  let machine = Remat.Machine.make ~name:"dbg" ~k_int ~k_float:8 in
+  let k = Remat.Machine.k_for machine in
+  let dom = Dataflow.Dominance.compute cfg0 in
+  let loops = Dataflow.Loops.compute cfg0 dom in
+  let mode = if Array.length Sys.argv > 3 then Option.get (Remat.Mode.of_string Sys.argv.(3)) else Remat.Mode.Briggs_remat in
+  let rn = Remat.Renumber.run mode cfg0 in
+  let cfg = rn.Remat.Renumber.cfg in
+  let tags = rn.Remat.Renumber.tags in
+  let infinite = Reg.Tbl.create 16 in
+  let slot_counter = ref 0 in
+  let split_pairs = ref rn.Remat.Renumber.split_pairs in
+  let round = ref 0 in
+  let continue = ref true in
+  while !continue && !round < 10 do
+    incr round;
+    let rec bc phase =
+      let live = Dataflow.Liveness.compute cfg in
+      let g = Remat.Interference.build cfg live in
+      let o =
+        Remat.Coalesce.pass phase cfg g ~k ~tags ~infinite
+          ~split_pairs:!split_pairs
+      in
+      split_pairs := o.Remat.Coalesce.split_pairs;
+      if o.Remat.Coalesce.changed then bc phase
+      else if phase = Remat.Coalesce.Unrestricted then bc Remat.Coalesce.Conservative
+      else (live, g)
+    in
+    let live, g = bc Remat.Coalesce.Unrestricted in
+    let costs = Remat.Spill_cost.compute cfg loops g ~live ~tags ~infinite in
+    let order = Remat.Simplify.run g ~k ~costs in
+    let partners = Array.make (Remat.Interference.n_nodes g) [] in
+    List.iter
+      (fun (a, b) ->
+        match
+          ( Dataflow.Reg_index.index_opt g.Remat.Interference.regs a,
+            Dataflow.Reg_index.index_opt g.Remat.Interference.regs b )
+        with
+        | Some ia, Some ib ->
+            partners.(ia) <- ib :: partners.(ia);
+            partners.(ib) <- ia :: partners.(ib)
+        | _ -> ())
+      !split_pairs;
+    let sel = Remat.Select.run g ~k ~order ~partners in
+    Format.printf "round %d: nodes=%d uncolored=%d@." !round
+      (Remat.Interference.n_nodes g)
+      (List.length sel.Remat.Select.spilled);
+    List.iter
+      (fun i ->
+        let r = Remat.Interference.reg g i in
+        Format.printf "   spill %s deg=%d cost=%s tag=%s temp=%b@."
+          (Reg.to_string r)
+          (Remat.Interference.degree g i)
+          (string_of_float costs.(i))
+          (Remat.Tag.to_string
+             (Option.value (Reg.Tbl.find_opt tags r) ~default:Remat.Tag.Bottom))
+          (Reg.Tbl.mem infinite r);
+        if List.length sel.Remat.Select.spilled <= 3 then
+          List.iter
+            (fun nb ->
+              Format.printf "      nb %s cost=%s temp=%b@."
+                (Reg.to_string (Remat.Interference.reg g nb))
+                (string_of_float costs.(nb))
+                (Reg.Tbl.mem infinite (Remat.Interference.reg g nb)))
+            (Remat.Interference.neighbors g i))
+      sel.Remat.Select.spilled;
+    if sel.Remat.Select.spilled = [] then continue := false
+    else begin
+      let spilled = List.map (Remat.Interference.reg g) sel.Remat.Select.spilled in
+      match
+        Remat.Spill_code.insert cfg ~tags ~infinite ~spilled ~slot_counter
+      with
+      | _ -> ()
+      | exception Remat.Spill_code.Pressure_too_high m ->
+          Format.printf "PRESSURE: %s@." m;
+          continue := false
+    end
+  done

@@ -1,0 +1,513 @@
+(* Unit and property tests for the data-flow substrate: bitsets,
+   union-find, orders, dominance, loops, liveness. *)
+
+module Bitset = Dataflow.Bitset
+module Union_find = Dataflow.Union_find
+module Cfg = Iloc.Cfg
+
+let tc name f = Alcotest.test_case name `Quick f
+let check = Alcotest.check
+
+(* --- bitsets --- *)
+
+let bitset_unit =
+  [
+    tc "add/mem/remove" (fun () ->
+        let s = Bitset.create 70 in
+        Bitset.add s 0;
+        Bitset.add s 69;
+        Bitset.add s 8;
+        check Alcotest.bool "mem 0" true (Bitset.mem s 0);
+        check Alcotest.bool "mem 69" true (Bitset.mem s 69);
+        check Alcotest.bool "mem 1" false (Bitset.mem s 1);
+        Bitset.remove s 8;
+        check Alcotest.bool "removed" false (Bitset.mem s 8);
+        check Alcotest.int "cardinal" 2 (Bitset.cardinal s));
+    tc "bounds checked" (fun () ->
+        let s = Bitset.create 8 in
+        (try
+           Bitset.add s 8;
+           Alcotest.fail "out of bounds accepted"
+         with Invalid_argument _ -> ());
+        try
+          ignore (Bitset.mem s (-1));
+          Alcotest.fail "negative accepted"
+        with Invalid_argument _ -> ());
+    tc "set operations" (fun () ->
+        let a = Bitset.of_list 16 [ 1; 2; 3 ] in
+        let b = Bitset.of_list 16 [ 3; 4 ] in
+        let u = Bitset.copy a in
+        check Alcotest.bool "union changed" true (Bitset.union_into ~dst:u b);
+        check (Alcotest.list Alcotest.int) "union" [ 1; 2; 3; 4 ]
+          (Bitset.elements u);
+        check Alcotest.bool "union idempotent" false
+          (Bitset.union_into ~dst:u b);
+        let i = Bitset.copy a in
+        ignore (Bitset.inter_into ~dst:i b);
+        check (Alcotest.list Alcotest.int) "inter" [ 3 ] (Bitset.elements i);
+        let d = Bitset.copy a in
+        ignore (Bitset.diff_into ~dst:d b);
+        check (Alcotest.list Alcotest.int) "diff" [ 1; 2 ] (Bitset.elements d));
+    tc "capacity mismatch rejected" (fun () ->
+        let a = Bitset.create 8 and b = Bitset.create 16 in
+        try
+          ignore (Bitset.union_into ~dst:a b);
+          Alcotest.fail "capacity mismatch accepted"
+        with Invalid_argument _ -> ());
+    tc "iter order ascending" (fun () ->
+        let s = Bitset.of_list 64 [ 63; 0; 17; 32 ] in
+        check (Alcotest.list Alcotest.int) "elements" [ 0; 17; 32; 63 ]
+          (Bitset.elements s));
+  ]
+
+(* qcheck: bitsets behave like reference integer sets *)
+module IntSet = Set.Make (Int)
+
+let ops_gen =
+  QCheck.Gen.(
+    list_size (int_bound 60)
+      (pair (int_bound 2) (int_bound 49) (* op, idx *)))
+
+let bitset_prop =
+  QCheck.Test.make ~count:300 ~name:"bitset matches reference set"
+    (QCheck.make ops_gen)
+    (fun ops ->
+      let s = Bitset.create 50 in
+      let model = ref IntSet.empty in
+      List.iter
+        (fun (op, i) ->
+          match op with
+          | 0 ->
+              Bitset.add s i;
+              model := IntSet.add i !model
+          | 1 ->
+              Bitset.remove s i;
+              model := IntSet.remove i !model
+          | _ ->
+              if Bitset.mem s i <> IntSet.mem i !model then
+                QCheck.Test.fail_report "mem mismatch")
+        ops;
+      Bitset.elements s = IntSet.elements !model
+      && Bitset.cardinal s = IntSet.cardinal !model)
+
+let bitset_binop_prop =
+  QCheck.Test.make ~count:300 ~name:"bitset union/inter/diff match reference"
+    QCheck.(pair (list_of_size (Gen.int_bound 30) (int_bound 49))
+              (list_of_size (Gen.int_bound 30) (int_bound 49)))
+    (fun (la, lb) ->
+      let a = Bitset.of_list 50 la and b = Bitset.of_list 50 lb in
+      let sa = IntSet.of_list la and sb = IntSet.of_list lb in
+      let test into set_op =
+        let d = Bitset.copy a in
+        ignore (into ~dst:d b);
+        Bitset.elements d = IntSet.elements (set_op sa sb)
+      in
+      test Bitset.union_into IntSet.union
+      && test Bitset.inter_into IntSet.inter
+      && test Bitset.diff_into IntSet.diff)
+
+(* --- union-find --- *)
+
+let union_find_unit =
+  [
+    tc "singletons" (fun () ->
+        let u = Union_find.create 5 in
+        check Alcotest.int "classes" 5 (Union_find.n_classes u);
+        for i = 0 to 4 do
+          check Alcotest.int "find self" i (Union_find.find u i)
+        done);
+    tc "union merges" (fun () ->
+        let u = Union_find.create 6 in
+        ignore (Union_find.union u 0 1);
+        ignore (Union_find.union u 2 3);
+        ignore (Union_find.union u 1 3);
+        check Alcotest.bool "0~3" true (Union_find.same u 0 3);
+        check Alcotest.bool "0~4" false (Union_find.same u 0 4);
+        check Alcotest.int "classes" 3 (Union_find.n_classes u));
+    tc "union_to keeps representative" (fun () ->
+        let u = Union_find.create 4 in
+        Union_find.union_to u ~keep:2 0;
+        Union_find.union_to u ~keep:2 1;
+        check Alcotest.int "rep" (Union_find.find u 2) (Union_find.find u 0);
+        check Alcotest.int "rep is 2" 2 (Union_find.find u 1));
+    tc "classes listing" (fun () ->
+        let u = Union_find.create 4 in
+        ignore (Union_find.union u 0 3);
+        let cls = Union_find.classes u in
+        check Alcotest.int "count" 3 (List.length cls);
+        let _, members =
+          List.find (fun (_, ms) -> List.length ms = 2) cls
+        in
+        check (Alcotest.list Alcotest.int) "members" [ 0; 3 ] members);
+  ]
+
+let union_find_prop =
+  QCheck.Test.make ~count:200 ~name:"union-find equivalence closure"
+    QCheck.(list_of_size (Gen.int_bound 40) (pair (int_bound 19) (int_bound 19)))
+    (fun pairs ->
+      let u = Union_find.create 20 in
+      List.iter (fun (a, b) -> ignore (Union_find.union u a b)) pairs;
+      (* reference: transitive closure via repeated merging of int sets *)
+      let sets = ref (List.init 20 (fun i -> IntSet.singleton i)) in
+      List.iter
+        (fun (a, b) ->
+          let sa = List.find (fun s -> IntSet.mem a s) !sets in
+          let sb = List.find (fun s -> IntSet.mem b s) !sets in
+          if not (IntSet.equal sa sb) then
+            sets :=
+              IntSet.union sa sb
+              :: List.filter (fun s -> not (IntSet.equal s sa || IntSet.equal s sb)) !sets)
+        pairs;
+      List.length !sets = Union_find.n_classes u
+      && List.for_all
+           (fun s ->
+             let l = IntSet.elements s in
+             List.for_all (fun x -> Union_find.same u (List.hd l) x) l)
+           !sets)
+
+(* --- graphs for dominance/loop tests --- *)
+
+(* A classic irreducible-free CFG:
+          0
+         / \
+        1   2
+        |  / \
+        | 3   4
+         \|  /
+          5<-
+          |
+          6 (loop back to 5? no)  *)
+let sample_cfg () =
+  let src =
+    "routine g\n\
+     b0:\n\
+    \  r1 <- ldi 1\n\
+    \  cbr r1 b1 b2\n\
+     b1:\n\
+    \  jmp b5\n\
+     b2:\n\
+    \  cbr r1 b3 b4\n\
+     b3:\n\
+    \  jmp b5\n\
+     b4:\n\
+    \  jmp b5\n\
+     b5:\n\
+    \  ret\n"
+  in
+  Iloc.Parser.routine src
+
+let loop_cfg () =
+  (* 0 -> 1 (header) -> 2 (body, back edge to 1) and 1 -> 3 exit, with an
+     inner loop 2 -> 2. *)
+  let src =
+    "routine l\n\
+     b0:\n\
+    \  r1 <- ldi 1\n\
+    \  jmp b1\n\
+     b1:\n\
+    \  cbr r1 b2 b3\n\
+     b2:\n\
+    \  cbr r1 b2 b1\n\
+     b3:\n\
+    \  ret\n"
+  in
+  Iloc.Parser.routine src
+
+let naive_dominators (cfg : Cfg.t) =
+  (* Iterative set-based dominators: dom(entry) = {entry};
+     dom(b) = {b} U inter over preds. *)
+  let n = Cfg.n_blocks cfg in
+  let all = List.init n (fun i -> i) |> IntSet.of_list in
+  let dom = Array.make n all in
+  dom.(0) <- IntSet.singleton 0;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for b = 1 to n - 1 do
+      let preds = Cfg.preds cfg b in
+      let inter =
+        match preds with
+        | [] -> IntSet.singleton b
+        | p :: ps ->
+            List.fold_left (fun acc q -> IntSet.inter acc dom.(q)) dom.(p) ps
+      in
+      let nd = IntSet.add b inter in
+      if not (IntSet.equal nd dom.(b)) then begin
+        dom.(b) <- nd;
+        changed := true
+      end
+    done
+  done;
+  dom
+
+let dominance_unit =
+  [
+    tc "diamond idoms" (fun () ->
+        let cfg = sample_cfg () in
+        let d = Dataflow.Dominance.compute cfg in
+        check Alcotest.int "idom b5" 0 d.Dataflow.Dominance.idom.(5);
+        check Alcotest.int "idom b3" 2 d.Dataflow.Dominance.idom.(3);
+        check Alcotest.int "idom b1" 0 d.Dataflow.Dominance.idom.(1);
+        check Alcotest.bool "0 dom 5" true (Dataflow.Dominance.dominates d 0 5);
+        check Alcotest.bool "2 dom 5" false (Dataflow.Dominance.dominates d 2 5);
+        check Alcotest.bool "strict self" false
+          (Dataflow.Dominance.strictly_dominates d 3 3));
+    tc "frontiers" (fun () ->
+        let cfg = sample_cfg () in
+        let d = Dataflow.Dominance.compute cfg in
+        let df = Dataflow.Dominance.frontiers cfg d in
+        check (Alcotest.list Alcotest.int) "df b1" [ 5 ]
+          (Bitset.elements df.(1));
+        check (Alcotest.list Alcotest.int) "df b3" [ 5 ]
+          (Bitset.elements df.(3));
+        check (Alcotest.list Alcotest.int) "df b2" [ 5 ]
+          (Bitset.elements df.(2));
+        check (Alcotest.list Alcotest.int) "df b0" []
+          (Bitset.elements df.(0)));
+    tc "iterated frontier" (fun () ->
+        let cfg = loop_cfg () in
+        let d = Dataflow.Dominance.compute cfg in
+        let df = Dataflow.Dominance.frontiers cfg d in
+        (* defs in b0 and b2: DF+ must contain the loop header b1. *)
+        let idf =
+          Dataflow.Dominance.iterated_frontier ~n:(Cfg.n_blocks cfg) df [ 0; 2 ]
+        in
+        check Alcotest.bool "header in DF+" true (Bitset.mem idf 1));
+    tc "postdominators" (fun () ->
+        let cfg = sample_cfg () in
+        let pd, exit = Dataflow.Dominance.postdominators cfg in
+        check Alcotest.int "virtual exit" 6 exit;
+        (* b5 postdominates every block. *)
+        for b = 0 to 5 do
+          check Alcotest.bool
+            (Printf.sprintf "b5 pdom b%d" b)
+            true
+            (Dataflow.Dominance.dominates pd 5 b)
+        done);
+    tc "matches naive dominators on fixtures" (fun () ->
+        List.iter
+          (fun (_, cfg) ->
+            let cfg = Cfg.split_critical_edges cfg in
+            let d = Dataflow.Dominance.compute cfg in
+            let naive = naive_dominators cfg in
+            for a = 0 to Cfg.n_blocks cfg - 1 do
+              for b = 0 to Cfg.n_blocks cfg - 1 do
+                check Alcotest.bool
+                  (Printf.sprintf "dom %d %d" a b)
+                  (IntSet.mem a naive.(b))
+                  (Dataflow.Dominance.dominates d a b)
+              done
+            done)
+          (Testutil.all_fixed ()))
+  ]
+
+let loops_unit =
+  [
+    tc "loop nesting" (fun () ->
+        let cfg = loop_cfg () in
+        let d = Dataflow.Dominance.compute cfg in
+        let l = Dataflow.Loops.compute cfg d in
+        check Alcotest.int "two loops" 2 (Array.length l.Dataflow.Loops.loops);
+        check Alcotest.int "b0 depth" 0 l.Dataflow.Loops.depth.(0);
+        check Alcotest.int "b1 depth" 1 l.Dataflow.Loops.depth.(1);
+        check Alcotest.int "b2 depth" 2 l.Dataflow.Loops.depth.(2);
+        check Alcotest.int "b3 depth" 0 l.Dataflow.Loops.depth.(3));
+    tc "weights" (fun () ->
+        let cfg = loop_cfg () in
+        let d = Dataflow.Dominance.compute cfg in
+        let l = Dataflow.Loops.compute cfg d in
+        check (Alcotest.float 1e-9) "depth 0" 1.0 (Dataflow.Loops.weight l 0);
+        check (Alcotest.float 1e-9) "depth 1" 10.0 (Dataflow.Loops.weight l 1);
+        check (Alcotest.float 1e-9) "depth 2" 100.0 (Dataflow.Loops.weight l 2));
+    tc "no loops in dag" (fun () ->
+        let cfg = sample_cfg () in
+        let d = Dataflow.Dominance.compute cfg in
+        let l = Dataflow.Loops.compute cfg d in
+        check Alcotest.int "zero" 0 (Array.length l.Dataflow.Loops.loops));
+  ]
+
+(* --- liveness --- *)
+
+let liveness_unit =
+  [
+    tc "straight-line liveness" (fun () ->
+        let cfg = Testutil.straight () in
+        let lv = Dataflow.Liveness.compute cfg in
+        check (Alcotest.list Alcotest.string) "live-in entry" []
+          (List.map Iloc.Reg.to_string (Dataflow.Liveness.live_in lv 0)));
+    tc "loop keeps accumulator live" (fun () ->
+        let cfg = Testutil.counted_loop () in
+        let lv = Dataflow.Liveness.compute cfg in
+        (* acc (r2) and i (r1) are live around the loop header (block 1). *)
+        let live_in_head =
+          List.map Iloc.Reg.to_string (Dataflow.Liveness.live_in lv 1)
+        in
+        check Alcotest.bool "i live" true (List.mem "r1" live_in_head);
+        check Alcotest.bool "acc live" true (List.mem "r2" live_in_head));
+    tc "dead value not live" (fun () ->
+        let src =
+          "routine x\nentry:\n  r1 <- ldi 1\n  r2 <- ldi 2\n  print r1\n  ret\n"
+        in
+        let cfg = Iloc.Parser.routine src in
+        let lv = Dataflow.Liveness.compute cfg in
+        check Alcotest.bool "r2 not live in" false
+          (Dataflow.Liveness.live_in_mem lv 0 (Iloc.Reg.make 2 Iloc.Reg.Int)));
+    tc "branch-dependent liveness" (fun () ->
+        let cfg = Testutil.diamond () in
+        let lv = Dataflow.Liveness.compute cfg in
+        (* x (r2) is live into both arms and the join. *)
+        let x = Iloc.Reg.make 2 Iloc.Reg.Int in
+        check Alcotest.bool "then" true (Dataflow.Liveness.live_in_mem lv 1 x);
+        check Alcotest.bool "else" true (Dataflow.Liveness.live_in_mem lv 2 x);
+        check Alcotest.bool "join" true (Dataflow.Liveness.live_in_mem lv 3 x));
+    tc "ssa form rejected" (fun () ->
+        let ssa = Ssa.Construct.run (Testutil.diamond ()) in
+        try
+          ignore (Dataflow.Liveness.compute ssa);
+          Alcotest.fail "liveness accepted SSA form"
+        with Invalid_argument _ -> ());
+  ]
+
+(* naive per-register liveness for the property test: r is live-in at b
+   iff some path from b reaches a use of r with no intervening def. *)
+let naive_live_in (cfg : Cfg.t) (r : Iloc.Reg.t) =
+  let n = Cfg.n_blocks cfg in
+  let uses_before_def = Array.make n false in
+  let defines = Array.make n false in
+  Cfg.iter_blocks
+    (fun b ->
+      let defined = ref false in
+      Iloc.Block.iter_instrs
+        (fun i ->
+          if (not !defined) && List.exists (Iloc.Reg.equal r) (Iloc.Instr.uses i)
+          then uses_before_def.(b.Iloc.Block.id) <- true;
+          if List.exists (Iloc.Reg.equal r) (Iloc.Instr.defs i) then
+            defined := true)
+        b;
+      defines.(b.Iloc.Block.id) <- !defined)
+    cfg;
+  let live = Array.make n false in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for b = 0 to n - 1 do
+      let v =
+        uses_before_def.(b)
+        || (not defines.(b))
+           && List.exists (fun s -> live.(s)) (Cfg.succs cfg b)
+      in
+      if v && not live.(b) then begin
+        live.(b) <- true;
+        changed := true
+      end
+    done
+  done;
+  live
+
+let liveness_prop =
+  QCheck.Test.make ~count:60 ~name:"liveness matches naive per-register"
+    Testutil.Gen_prog.arbitrary_cfg
+    (fun cfg ->
+      let lv = Dataflow.Liveness.compute cfg in
+      Iloc.Reg.Set.for_all
+        (fun r ->
+          let naive = naive_live_in cfg r in
+          let ok = ref true in
+          for b = 0 to Cfg.n_blocks cfg - 1 do
+            if Dataflow.Liveness.live_in_mem lv b r <> naive.(b) then ok := false
+          done;
+          !ok)
+        (Cfg.all_regs cfg))
+
+(* depth-first orders: permutations of the reachable blocks, with the
+   entry last in postorder / first in reverse postorder *)
+let order_prop =
+  QCheck.Test.make ~count:80 ~name:"postorder and RPO are consistent"
+    Testutil.Gen_prog.arbitrary_cfg
+    (fun cfg ->
+      let po = Dataflow.Order.postorder cfg in
+      let rpo = Dataflow.Order.reverse_postorder cfg in
+      let reach = Dataflow.Order.reachable cfg in
+      let n_reach =
+        Array.fold_left (fun acc r -> if r then acc + 1 else acc) 0 reach
+      in
+      Array.length po = n_reach
+      && Array.length rpo = n_reach
+      && Array.for_all (fun b -> reach.(b)) po
+      && List.sort_uniq Int.compare (Array.to_list po)
+         = List.sort Int.compare (Array.to_list po)
+      && po.(Array.length po - 1) = cfg.Cfg.entry
+      && rpo.(0) = cfg.Cfg.entry
+      (* a block's successors appear before it in postorder unless the
+         edge is a back edge (target already on the DFS stack); weaker
+         sanity: rpo reverses po exactly *)
+      && Array.for_all2 ( = ) rpo
+           (Array.init (Array.length po) (fun i ->
+                po.(Array.length po - 1 - i))))
+
+(* dominators on random structured programs match the naive quadratic
+   set-based computation *)
+let dominance_prop =
+  QCheck.Test.make ~count:60 ~name:"dominators match naive on random CFGs"
+    Testutil.Gen_prog.arbitrary_cfg
+    (fun cfg ->
+      let cfg = Cfg.split_critical_edges cfg in
+      let d = Dataflow.Dominance.compute cfg in
+      let naive = naive_dominators cfg in
+      let ok = ref true in
+      for a = 0 to Cfg.n_blocks cfg - 1 do
+        for b = 0 to Cfg.n_blocks cfg - 1 do
+          if Dataflow.Dominance.dominates d a b <> IntSet.mem a naive.(b) then
+            ok := false
+        done
+      done;
+      !ok)
+
+(* structural loop invariants on random programs *)
+let loops_prop =
+  QCheck.Test.make ~count:60 ~name:"loop structure invariants"
+    Testutil.Gen_prog.arbitrary_cfg
+    (fun cfg ->
+      let cfg = Cfg.split_critical_edges cfg in
+      let d = Dataflow.Dominance.compute cfg in
+      let l = Dataflow.Loops.compute cfg d in
+      Array.for_all
+        (fun (loop : Dataflow.Loops.loop) ->
+          (* the header is in the body and dominates every body block *)
+          Bitset.mem loop.body loop.header
+          && Bitset.fold
+               (fun b acc ->
+                 acc && Dataflow.Dominance.dominates d loop.header b)
+               loop.body true
+          (* nesting depth of the header matches the loop's depth *)
+          && l.Dataflow.Loops.depth.(loop.header) >= loop.depth)
+        l.Dataflow.Loops.loops)
+
+(* postdominance: the virtual exit postdominates everything reachable *)
+let postdom_prop =
+  QCheck.Test.make ~count:60 ~name:"virtual exit postdominates"
+    Testutil.Gen_prog.arbitrary_cfg
+    (fun cfg ->
+      let pd, exit = Dataflow.Dominance.postdominators cfg in
+      let reach = Dataflow.Order.reachable cfg in
+      let ok = ref true in
+      for b = 0 to Cfg.n_blocks cfg - 1 do
+        if reach.(b) && not (Dataflow.Dominance.dominates pd exit b) then
+          ok := false
+      done;
+      !ok)
+
+let props = List.map QCheck_alcotest.to_alcotest
+    [ bitset_prop; bitset_binop_prop; union_find_prop; liveness_prop;
+      order_prop; dominance_prop; loops_prop; postdom_prop ]
+
+let () =
+  Alcotest.run "dataflow"
+    [
+      ("bitset", bitset_unit);
+      ("union-find", union_find_unit);
+      ("dominance", dominance_unit);
+      ("loops", loops_unit);
+      ("liveness", liveness_unit);
+      ("properties", props);
+    ]

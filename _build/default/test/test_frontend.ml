@@ -1,0 +1,431 @@
+(* Tests for the MF frontend: lexer, parser, typechecker, lowering, and
+   compile-run behaviour. *)
+
+let tc name f = Alcotest.test_case name `Quick f
+let check = Alcotest.check
+
+let compile src = Frontend.Lower.compile src
+
+let run src =
+  let cfg = compile src in
+  Sim.Interp.run cfg
+
+let ints outcome =
+  List.map
+    (function Sim.Interp.I n -> n | Sim.Interp.F _ -> Alcotest.fail "float")
+    outcome.Sim.Interp.prints
+
+let floats outcome =
+  List.map
+    (function Sim.Interp.F x -> x | Sim.Interp.I _ -> Alcotest.fail "int")
+    outcome.Sim.Interp.prints
+
+(* --- lexer --- *)
+
+let lexer_tests =
+  [
+    tc "tokens" (fun () ->
+        let toks = Frontend.Lexer.tokenize "x1 = 3 + 4.5 -- comment\ny" in
+        let kinds =
+          List.map (fun (t : Frontend.Lexer.t) -> t.Frontend.Lexer.tok) toks
+        in
+        check Alcotest.int "count" 7 (List.length kinds);
+        (match kinds with
+        | [ IDENT "x1"; SYM "="; INT 3; SYM "+"; REAL 4.5; IDENT "y"; EOF ] ->
+            ()
+        | _ -> Alcotest.fail "unexpected token stream"));
+    tc "line numbers" (fun () ->
+        let toks = Frontend.Lexer.tokenize "a\nb\n\nc" in
+        let lines =
+          List.filter_map
+            (fun (t : Frontend.Lexer.t) ->
+              match t.Frontend.Lexer.tok with
+              | Frontend.Lexer.IDENT _ -> Some t.Frontend.Lexer.line
+              | _ -> None)
+            toks
+        in
+        check (Alcotest.list Alcotest.int) "lines" [ 1; 2; 4 ] lines);
+    tc "scientific literals" (fun () ->
+        match Frontend.Lexer.tokenize "1.5e3 2E-2" with
+        | [ { tok = REAL a; _ }; { tok = REAL b; _ }; { tok = EOF; _ } ] ->
+            check (Alcotest.float 1e-9) "a" 1500.0 a;
+            check (Alcotest.float 1e-9) "b" 0.02 b
+        | _ -> Alcotest.fail "bad lex");
+    tc "bad character" (fun () ->
+        try
+          ignore (Frontend.Lexer.tokenize "a ? b");
+          Alcotest.fail "accepted '?'"
+        with Frontend.Lexer.Error _ -> ());
+  ]
+
+(* --- parser --- *)
+
+let parser_tests =
+  [
+    tc "precedence: mul binds tighter than add" (fun () ->
+        let p = Frontend.Mf_parser.program "program t\nint x\nx = 1 + 2 * 3" in
+        match p.Frontend.Ast.body with
+        | [ Frontend.Ast.Assign ("x", Binop (Add, Int_lit 1, Binop (Mul, _, _))) ]
+          ->
+            ()
+        | _ -> Alcotest.fail "wrong parse tree");
+    tc "comparison below arithmetic" (fun () ->
+        let p =
+          Frontend.Mf_parser.program "program t\nint x\nx = 1 + 2 < 3 * 4"
+        in
+        match p.Frontend.Ast.body with
+        | [ Frontend.Ast.Assign ("x", Binop (Lt, Binop (Add, _, _), Binop (Mul, _, _))) ]
+          ->
+            ()
+        | _ -> Alcotest.fail "wrong parse tree");
+    tc "dangling else attaches inward" (fun () ->
+        let p =
+          Frontend.Mf_parser.program
+            "program t\n\
+             int x\n\
+             if x then if x then x = 1 else x = 2 end end"
+        in
+        match p.Frontend.Ast.body with
+        | [ Frontend.Ast.If (_, [ Frontend.Ast.If (_, _, [ _ ]) ], []) ] -> ()
+        | _ -> Alcotest.fail "wrong parse tree");
+    tc "for with step" (fun () ->
+        let p =
+          Frontend.Mf_parser.program
+            "program t\nint i\nfor i = 10 to 0 step -2 do end"
+        in
+        match p.Frontend.Ast.body with
+        | [ Frontend.Ast.For { step = -2; _ } ] -> ()
+        | _ -> Alcotest.fail "wrong parse tree");
+    tc "missing end rejected" (fun () ->
+        try
+          ignore
+            (Frontend.Mf_parser.program "program t\nint x\nwhile x do x = 1");
+          Alcotest.fail "accepted missing end"
+        with Frontend.Mf_parser.Error _ -> ());
+    tc "zero step rejected" (fun () ->
+        try
+          ignore
+            (Frontend.Mf_parser.program
+               "program t\nint i\nfor i = 0 to 3 step 0 do end");
+          Alcotest.fail "accepted zero step"
+        with Frontend.Mf_parser.Error _ -> ());
+    tc "const array" (fun () ->
+        let p =
+          Frontend.Mf_parser.program
+            "program t\nconst int k[3] = { 1, 2, 3 }\nint x\nx = k[0]"
+        in
+        match p.Frontend.Ast.decls with
+        | [ Frontend.Ast.Array { readonly = true; size = 3; _ }; _ ] -> ()
+        | _ -> Alcotest.fail "wrong decls");
+  ]
+
+(* --- typechecker --- *)
+
+let expect_type_error src =
+  match Frontend.Lower.compile src with
+  | _ -> Alcotest.failf "accepted ill-typed program"
+  | exception Frontend.Typecheck.Error _ -> ()
+
+let typecheck_tests =
+  [
+    tc "int/real mixing rejected" (fun () ->
+        expect_type_error "program t\nint x\nreal y\nx = x + y");
+    tc "implicit conversion rejected" (fun () ->
+        expect_type_error "program t\nreal y\ny = 1");
+    tc "assignment to const rejected" (fun () ->
+        expect_type_error "program t\nconst n = 3\nn = 4");
+    tc "undeclared variable rejected" (fun () ->
+        expect_type_error "program t\nint x\nx = ghost");
+    tc "array without subscript rejected" (fun () ->
+        expect_type_error "program t\nint a[3]\nint x\nx = a");
+    tc "store to const array rejected" (fun () ->
+        expect_type_error "program t\nconst int a[1] = { 1 }\na[0] = 2");
+    tc "real subscript rejected" (fun () ->
+        expect_type_error "program t\nint a[3]\nreal y\nint x\nx = a[y]");
+    tc "real loop variable rejected" (fun () ->
+        expect_type_error "program t\nreal y\nfor y = 0 to 3 do end");
+    tc "real condition rejected" (fun () ->
+        expect_type_error "program t\nreal y\nif y then end");
+    tc "duplicate declaration rejected" (fun () ->
+        expect_type_error "program t\nint x\nreal x\nx = 1");
+    tc "initializer type mismatch rejected" (fun () ->
+        expect_type_error "program t\nreal a[2] = { 1 2 }\na[0] = 1.0");
+    tc "rem on reals rejected" (fun () ->
+        expect_type_error "program t\nreal y\ny = y % y");
+  ]
+
+(* --- compile and run --- *)
+
+let semantics_tests =
+  [
+    tc "arithmetic and print" (fun () ->
+        let o = run "program t\nint x\nx = 2 + 3 * 4\nprint x" in
+        check (Alcotest.list Alcotest.int) "prints" [ 14 ] (ints o));
+    tc "for loop sums" (fun () ->
+        let o =
+          run "program t\nint i, s\ns = 0\nfor i = 1 to 10 do s = s + i end\nprint s"
+        in
+        check (Alcotest.list Alcotest.int) "prints" [ 55 ] (ints o));
+    tc "downward for" (fun () ->
+        let o =
+          run
+            "program t\n\
+             int i, s\n\
+             s = 0\n\
+             for i = 10 to 1 step -3 do s = s + i end\n\
+             print s"
+        in
+        (* 10 + 7 + 4 + 1 *)
+        check (Alcotest.list Alcotest.int) "prints" [ 22 ] (ints o));
+    tc "for bound evaluated once" (fun () ->
+        let o =
+          run
+            "program t\n\
+             int i, n, s\n\
+             n = 3\n\
+             s = 0\n\
+             for i = 0 to n do n = 100 s = s + 1 end\n\
+             print s"
+        in
+        check (Alcotest.list Alcotest.int) "prints" [ 4 ] (ints o));
+    tc "while" (fun () ->
+        let o =
+          run
+            "program t\nint x\nx = 1\nwhile x < 100 do x = x * 2 end\nprint x"
+        in
+        check (Alcotest.list Alcotest.int) "prints" [ 128 ] (ints o));
+    tc "if/else" (fun () ->
+        let o =
+          run
+            "program t\n\
+             int x, y\n\
+             x = 7\n\
+             if x > 5 then y = 1 else y = 2 end\n\
+             if x > 9 then y = y + 10 else y = y + 20 end\n\
+             print y"
+        in
+        check (Alcotest.list Alcotest.int) "prints" [ 21 ] (ints o));
+    tc "and/or are non-short-circuit but correct" (fun () ->
+        let o =
+          run
+            "program t\n\
+             int a, b, r\n\
+             a = 3\n\
+             b = 0\n\
+             if (a > 1) and (b == 0) then r = 1 else r = 0 end\n\
+             print r\n\
+             if (a > 5) or (b == 0) then r = 1 else r = 0 end\n\
+             print r\n\
+             if (a > 5) or (b == 9) then r = 1 else r = 0 end\n\
+             print r"
+        in
+        check (Alcotest.list Alcotest.int) "prints" [ 1; 1; 0 ] (ints o));
+    tc "arrays and stores" (fun () ->
+        let o =
+          run
+            "program t\n\
+             int a[5] = { 1 2 3 4 5 }\n\
+             int i, s\n\
+             for i = 0 to 4 do a[i] = a[i] * a[i] end\n\
+             s = 0\n\
+             for i = 0 to 4 do s = s + a[i] end\n\
+             print s"
+        in
+        check (Alcotest.list Alcotest.int) "prints" [ 55 ] (ints o));
+    tc "real arithmetic" (fun () ->
+        let o =
+          run
+            "program t\n\
+             real x, y\n\
+             x = 1.5\n\
+             y = x * 4.0 - abs(0.0 - 2.0)\n\
+             print y\n\
+             print int(y)"
+        in
+        match o.Sim.Interp.prints with
+        | [ Sim.Interp.F y; Sim.Interp.I n ] ->
+            check (Alcotest.float 1e-9) "y" 4.0 y;
+            check Alcotest.int "n" 4 n
+        | _ -> Alcotest.fail "unexpected prints");
+    tc "named constants fold into subscripts" (fun () ->
+        let o =
+          run
+            "program t\n\
+             const k = 2\n\
+             const int tab[4] = { 10 20 30 40 }\n\
+             int x\n\
+             x = tab[k] + k\n\
+             print x"
+        in
+        check (Alcotest.list Alcotest.int) "prints" [ 32 ] (ints o));
+    tc "readonly constant loads become ldro" (fun () ->
+        let cfg =
+          compile
+            "program t\nconst int tab[2] = { 5 6 }\nint x\nx = tab[1]\nprint x"
+        in
+        let found = ref false in
+        Iloc.Cfg.iter_instrs
+          (fun _ i ->
+            match i.Iloc.Instr.op with
+            | Iloc.Instr.Ldro ("tab", 1) -> found := true
+            | _ -> ())
+          cfg;
+        check Alcotest.bool "ldro used" true !found);
+    tc "division truncates like the interpreter" (fun () ->
+        let o = run "program t\nint x\nx = 7 / 2\nprint x\nx = 9 % 4\nprint x" in
+        check (Alcotest.list Alcotest.int) "prints" [ 3; 1 ] (ints o));
+    tc "return value" (fun () ->
+        let o = run "program t\nint x\nx = 42\nreturn x" in
+        match o.Sim.Interp.return with
+        | Some (Sim.Interp.I 42) -> ()
+        | _ -> Alcotest.fail "wrong return");
+    tc "early return" (fun () ->
+        let o =
+          run
+            "program t\nint x\nx = 1\nif x > 0 then return 7 end\nprint x\nreturn 9"
+        in
+        (match o.Sim.Interp.return with
+        | Some (Sim.Interp.I 7) -> ()
+        | _ -> Alcotest.fail "wrong return");
+        check Alcotest.int "no prints" 0 (List.length o.Sim.Interp.prints));
+    tc "lowered code validates" (fun () ->
+        List.iter
+          (fun k ->
+            let cfg = Suite.Kernels.cfg_of k in
+            match Iloc.Validate.routine cfg with
+            | Ok () -> ()
+            | Error es ->
+                Alcotest.failf "%s: %s" k.Suite.Kernels.name
+                  (String.concat "; "
+                     (List.map Iloc.Validate.error_to_string es)))
+          Suite.Kernels.all);
+  ]
+
+(* --- strength reduction --- *)
+
+let count_op pred cfg =
+  let n = ref 0 in
+  Iloc.Cfg.iter_instrs
+    (fun _ (i : Iloc.Instr.t) -> if pred i.Iloc.Instr.op then incr n)
+    cfg;
+  !n
+
+let sr_tests =
+  let tcase name src ~loadx_left ~check_value =
+    tc name (fun () ->
+        let cfg = compile src in
+        check Alcotest.int "residual indexed loads" loadx_left
+          (count_op (fun o -> o = Iloc.Instr.Loadx) cfg);
+        check_value (run src))
+  in
+  [
+    tcase "simple induction access walks a pointer"
+      "program t\n\
+       const n = 6\n\
+       int a[6] = { 4 8 15 16 23 42 }\n\
+       int i, s\n\
+       s = 0\n\
+       for i = 0 to n - 1 do s = s + a[i] end\n\
+       print s"
+      ~loadx_left:0
+      ~check_value:(fun o ->
+        check (Alcotest.list Alcotest.int) "sum" [ 108 ] (ints o));
+    tcase "stencil offsets get one pointer each"
+      "program t\n\
+       const n = 5\n\
+       int a[5] = { 1 2 3 4 5 }\n\
+       int i, s\n\
+       s = 0\n\
+       for i = 1 to n - 2 do s = s + a[i - 1] + a[i + 1] end\n\
+       print s"
+      ~loadx_left:0
+      ~check_value:(fun o ->
+        (* (1+3) + (2+4) + (3+5) *)
+        check (Alcotest.list Alcotest.int) "sum" [ 18 ] (ints o));
+    tcase "scaled subscript walks by the coefficient"
+      "program t\n\
+       const n = 4\n\
+       int a[8] = { 1 2 3 4 5 6 7 8 }\n\
+       int i, s\n\
+       s = 0\n\
+       for i = 0 to n - 1 do s = s + a[2 * i] end\n\
+       print s"
+      ~loadx_left:0
+      ~check_value:(fun o ->
+        (* a[0]+a[2]+a[4]+a[6] = 1+3+5+7 *)
+        check (Alcotest.list Alcotest.int) "sum" [ 16 ] (ints o));
+    tcase "row-major inner loop strength-reduces"
+      "program t\n\
+       const n = 3\n\
+       int m[9] = { 1 2 3 4 5 6 7 8 9 }\n\
+       int i, j, s\n\
+       s = 0\n\
+       for i = 0 to n - 1 do\n\
+       for j = 0 to n - 1 do\n\
+       s = s + m[i * n + j]\n\
+       end\n\
+       end\n\
+       print s"
+      ~loadx_left:0
+      ~check_value:(fun o ->
+        check (Alcotest.list Alcotest.int) "sum" [ 45 ] (ints o));
+    tcase "downward loops walk backwards"
+      "program t\n\
+       const n = 5\n\
+       int a[5] = { 1 2 3 4 5 }\n\
+       int i, s\n\
+       s = 0\n\
+       for i = n - 1 to 0 step -1 do s = s + a[i] * (s + 1) end\n\
+       print s"
+      ~loadx_left:0
+      ~check_value:(fun o ->
+        check Alcotest.int "one print" 1 (List.length (ints o)));
+    tc "body that writes the loop variable defeats SR" (fun () ->
+        (* writing i in the body makes the induction analysis invalid;
+           the access must stay an indexed load and still be correct *)
+        let src =
+          "program t\n\
+           const n = 6\n\
+           int a[6] = { 1 2 3 4 5 6 }\n\
+           int i, s\n\
+           s = 0\n\
+           for i = 0 to n - 1 do\n\
+           s = s + a[i]\n\
+           i = i + 1\n\
+           end\n\
+           print s"
+        in
+        let cfg = compile src in
+        check Alcotest.bool "indexed load kept" true
+          (count_op (fun o -> o = Iloc.Instr.Loadx) cfg > 0);
+        (* skips every other element: 1 + 3 + 5 *)
+        check (Alcotest.list Alcotest.int) "sum" [ 9 ] (ints (run src)));
+    tc "stores through walking pointers" (fun () ->
+        let src =
+          "program t\n\
+           const n = 5\n\
+           int a[5] = { 0 0 0 0 0 }\n\
+           int i, s\n\
+           for i = 0 to n - 1 do a[i] = i * i end\n\
+           s = 0\n\
+           for i = 0 to n - 1 do s = s + a[i] end\n\
+           print s"
+        in
+        let cfg = compile src in
+        check Alcotest.int "no indexed store" 0
+          (count_op (fun o -> o = Iloc.Instr.Storex) cfg);
+        check (Alcotest.list Alcotest.int) "sum" [ 30 ] (ints (run src)));
+  ]
+
+let floats_used = floats (* silence unused warning when list empty *)
+
+let () =
+  ignore floats_used;
+  Alcotest.run "frontend"
+    [
+      ("lexer", lexer_tests);
+      ("parser", parser_tests);
+      ("typecheck", typecheck_tests);
+      ("semantics", semantics_tests);
+      ("strength-reduction", sr_tests);
+    ]

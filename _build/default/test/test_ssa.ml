@@ -1,0 +1,291 @@
+(* Tests for SSA construction, value analysis, destruction, and parallel
+   copy sequentialization. *)
+
+module Cfg = Iloc.Cfg
+module Reg = Iloc.Reg
+module Instr = Iloc.Instr
+
+let tc name f = Alcotest.test_case name `Quick f
+let check = Alcotest.check
+
+let count_phis cfg =
+  Cfg.fold_blocks (fun acc b -> acc + List.length b.Iloc.Block.phis) 0 cfg
+
+let ssa_valid cfg =
+  match Iloc.Validate.routine ~ssa:true cfg with
+  | Ok () -> ()
+  | Error es ->
+      Alcotest.failf "SSA invalid: %s"
+        (String.concat "; " (List.map Iloc.Validate.error_to_string es))
+
+let construct_unit =
+  [
+    tc "straight-line code gets no phis" (fun () ->
+        let ssa = Ssa.Construct.run (Testutil.straight ()) in
+        ssa_valid ssa;
+        check Alcotest.int "phis" 0 (count_phis ssa));
+    tc "diamond gets one phi" (fun () ->
+        let ssa = Ssa.Construct.run (Testutil.diamond ()) in
+        ssa_valid ssa;
+        check Alcotest.int "phis" 1 (count_phis ssa));
+    tc "counted loop gets pruned phis" (fun () ->
+        let ssa = Ssa.Construct.run (Testutil.counted_loop ()) in
+        ssa_valid ssa;
+        (* i and acc merge at the loop header; t and zero do not (t is
+           dead around the back edge, zero is single-def). *)
+        check Alcotest.int "phis" 2 (count_phis ssa));
+    tc "dead merge is pruned" (fun () ->
+        (* x is reassigned in both arms but never used after the join:
+           pruned SSA must not create a φ for it. *)
+        let src =
+          "routine x\n\
+           entry:\n\
+          \  r1 <- ldi 1\n\
+          \  r2 <- ldi 0\n\
+          \  cbr r1 a b\n\
+           a:\n\
+          \  r2 <- ldi 2\n\
+          \  jmp join\n\
+           b:\n\
+          \  r2 <- ldi 3\n\
+          \  jmp join\n\
+           join:\n\
+          \  print r1\n\
+          \  ret\n"
+        in
+        let ssa = Ssa.Construct.run (Iloc.Parser.routine src) in
+        ssa_valid ssa;
+        check Alcotest.int "phis" 0 (count_phis ssa));
+    tc "single static assignment holds on fixtures" (fun () ->
+        List.iter
+          (fun (_, cfg) ->
+            let cfg = Cfg.split_critical_edges cfg in
+            ssa_valid (Ssa.Construct.run cfg))
+          (Testutil.all_fixed ()));
+    tc "already-SSA input rejected" (fun () ->
+        let ssa = Ssa.Construct.run (Testutil.diamond ()) in
+        try
+          ignore (Ssa.Construct.run ssa);
+          Alcotest.fail "accepted SSA input"
+        with Invalid_argument _ -> ());
+    tc "input not mutated" (fun () ->
+        let cfg = Testutil.diamond () in
+        let before = Iloc.Printer.routine_to_string cfg in
+        ignore (Ssa.Construct.run cfg);
+        check Alcotest.string "unchanged" before
+          (Iloc.Printer.routine_to_string cfg));
+  ]
+
+let values_unit =
+  [
+    tc "value table covers every register" (fun () ->
+        let ssa = Ssa.Construct.run (Testutil.diamond ()) in
+        let vals = Ssa.Values.analyze ssa in
+        check Alcotest.int "count"
+          (Reg.Set.cardinal (Cfg.all_regs ssa))
+          (Ssa.Values.count vals));
+    tc "phi defs recorded" (fun () ->
+        let ssa = Ssa.Construct.run (Testutil.diamond ()) in
+        let vals = Ssa.Values.analyze ssa in
+        let phis = ref 0 in
+        for v = 0 to Ssa.Values.count vals - 1 do
+          match Ssa.Values.def vals v with
+          | Ssa.Values.Def_phi _ -> incr phis
+          | Ssa.Values.Def_instr _ -> ()
+        done;
+        check Alcotest.int "phi values" 1 !phis);
+    tc "non-SSA input rejected" (fun () ->
+        try
+          ignore (Ssa.Values.analyze (Testutil.diamond ()));
+          Alcotest.fail "accepted doubly-defined registers"
+        with Invalid_argument _ -> ());
+  ]
+
+let destruct_unit =
+  [
+    tc "round trip preserves behaviour (fixtures)" (fun () ->
+        List.iter
+          (fun (name, cfg) ->
+            let split = Cfg.split_critical_edges cfg in
+            let ssa = Ssa.Construct.run split in
+            let back = Ssa.Destruct.run ssa in
+            (match Iloc.Validate.routine back with
+            | Ok () -> ()
+            | Error es ->
+                Alcotest.failf "%s: destructed code invalid: %s" name
+                  (String.concat "; "
+                     (List.map Iloc.Validate.error_to_string es)));
+            Testutil.assert_equiv ~what:(name ^ " ssa round trip") cfg back)
+          (Testutil.all_fixed ()));
+    tc "critical edge required" (fun () ->
+        (* diamond with an un-split critical edge: entry -> join directly
+           plus a side block. *)
+        let src =
+          "routine x\n\
+           entry:\n\
+          \  r1 <- ldi 1\n\
+          \  r2 <- ldi 5\n\
+          \  cbr r1 side join\n\
+           side:\n\
+          \  r2 <- ldi 6\n\
+          \  jmp join\n\
+           join:\n\
+          \  print r2\n\
+          \  ret\n"
+        in
+        let ssa = Ssa.Construct.run (Iloc.Parser.routine src) in
+        try
+          ignore (Ssa.Destruct.run ssa);
+          Alcotest.fail "critical edge accepted"
+        with Invalid_argument _ -> ());
+  ]
+
+(* --- parallel copies --- *)
+
+let seq_moves moves =
+  (* interpret a list of sequential copies over an environment *)
+  let env = Hashtbl.create 8 in
+  let get r = Option.value (Hashtbl.find_opt env r) ~default:(Reg.to_string r) in
+  List.iter (fun (d, s) -> Hashtbl.replace env d (get s)) moves;
+  get
+
+let parallel_copy_unit =
+  let temp_supply () =
+    let s = Reg.Supply.create ~start:100 () in
+    fun cls -> Reg.Supply.fresh s cls
+  in
+  let r i = Reg.make i Reg.Int in
+  [
+    tc "swap uses a temporary" (fun () ->
+        let moves = [ (r 1, r 2); (r 2, r 1) ] in
+        let seq = Ssa.Parallel_copy.sequentialize moves ~temp:(temp_supply ()) in
+        check Alcotest.int "three copies" 3 (List.length seq);
+        let get = seq_moves seq in
+        check Alcotest.string "r1 gets old r2" "r2" (get (r 1));
+        check Alcotest.string "r2 gets old r1" "r1" (get (r 2)));
+    tc "three-cycle" (fun () ->
+        let moves = [ (r 1, r 2); (r 2, r 3); (r 3, r 1) ] in
+        let seq = Ssa.Parallel_copy.sequentialize moves ~temp:(temp_supply ()) in
+        let get = seq_moves seq in
+        check Alcotest.string "r1" "r2" (get (r 1));
+        check Alcotest.string "r2" "r3" (get (r 2));
+        check Alcotest.string "r3" "r1" (get (r 3)));
+    tc "chain needs no temporary" (fun () ->
+        let moves = [ (r 1, r 2); (r 2, r 3) ] in
+        let seq = Ssa.Parallel_copy.sequentialize moves ~temp:(temp_supply ()) in
+        check Alcotest.int "two copies" 2 (List.length seq);
+        let get = seq_moves seq in
+        check Alcotest.string "r1" "r2" (get (r 1));
+        check Alcotest.string "r2" "r3" (get (r 2)));
+    tc "self-moves dropped" (fun () ->
+        let seq =
+          Ssa.Parallel_copy.sequentialize [ (r 1, r 1) ] ~temp:(temp_supply ())
+        in
+        check Alcotest.int "empty" 0 (List.length seq));
+    tc "duplicate destinations rejected" (fun () ->
+        try
+          ignore
+            (Ssa.Parallel_copy.sequentialize
+               [ (r 1, r 2); (r 1, r 3) ]
+               ~temp:(temp_supply ()));
+          Alcotest.fail "duplicate destination accepted"
+        with Invalid_argument _ -> ());
+  ]
+
+(* qcheck: random permutations + fresh sources sequentialize correctly *)
+let parallel_copy_prop =
+  QCheck.Test.make ~count:500 ~name:"parallel copy semantics preserved"
+    QCheck.(
+      list_of_size (Gen.int_bound 8) (pair (int_bound 7) (int_bound 7)))
+    (fun raw_moves ->
+      (* dedupe destinations to make the parallel copy well-formed *)
+      let seen = Hashtbl.create 8 in
+      let moves =
+        List.filter_map
+          (fun (d, s) ->
+            if Hashtbl.mem seen d then None
+            else begin
+              Hashtbl.add seen d ();
+              Some (Reg.make d Reg.Int, Reg.make s Reg.Int)
+            end)
+          raw_moves
+      in
+      let supply = Reg.Supply.create ~start:100 () in
+      let seq =
+        Ssa.Parallel_copy.sequentialize moves ~temp:(fun cls ->
+            Reg.Supply.fresh supply cls)
+      in
+      let get = seq_moves seq in
+      List.for_all
+        (fun (d, s) -> String.equal (get d) (Reg.to_string s))
+        moves)
+
+(* SSA round trip on random programs *)
+let ssa_roundtrip_prop =
+  QCheck.Test.make ~count:80 ~name:"construct/destruct preserves behaviour"
+    Testutil.Gen_prog.arbitrary_cfg
+    (fun cfg ->
+      let split = Cfg.split_critical_edges cfg in
+      let ssa = Ssa.Construct.run split in
+      (match Iloc.Validate.routine ~ssa:true ssa with
+      | Ok () -> ()
+      | Error es ->
+          QCheck.Test.fail_reportf "SSA invalid: %s"
+            (String.concat "; " (List.map Iloc.Validate.error_to_string es)));
+      let back = Ssa.Destruct.run ssa in
+      Sim.Interp.outcome_equal (Sim.Interp.run cfg) (Sim.Interp.run back))
+
+(* every use of an SSA value is dominated by its definition *)
+let ssa_dominance_prop =
+  QCheck.Test.make ~count:80 ~name:"SSA uses dominated by defs"
+    Testutil.Gen_prog.arbitrary_cfg
+    (fun cfg ->
+      let split = Cfg.split_critical_edges cfg in
+      let ssa = Ssa.Construct.run split in
+      let dom = Dataflow.Dominance.compute ssa in
+      let vals = Ssa.Values.analyze ssa in
+      let def_block r =
+        match Ssa.Values.def_of_reg vals r with
+        | Ssa.Values.Def_instr { block; _ } | Ssa.Values.Def_phi { block; _ } ->
+            block
+      in
+      let ok = ref true in
+      Cfg.iter_blocks
+        (fun b ->
+          (* φ argument for predecessor p must be defined in a block
+             dominating p. *)
+          List.iter
+            (fun (p : Iloc.Phi.t) ->
+              List.iter
+                (fun (pred, a) ->
+                  if not (Dataflow.Dominance.dominates dom (def_block a) pred)
+                  then ok := false)
+                p.Iloc.Phi.args)
+            b.Iloc.Block.phis;
+          Iloc.Block.iter_instrs
+            (fun i ->
+              List.iter
+                (fun u ->
+                  if
+                    not
+                      (Dataflow.Dominance.dominates dom (def_block u)
+                         b.Iloc.Block.id)
+                  then ok := false)
+                (Instr.uses i))
+            b)
+        ssa;
+      !ok)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ parallel_copy_prop; ssa_roundtrip_prop; ssa_dominance_prop ]
+
+let () =
+  Alcotest.run "ssa"
+    [
+      ("construct", construct_unit);
+      ("values", values_unit);
+      ("destruct", destruct_unit);
+      ("parallel-copy", parallel_copy_unit);
+      ("properties", props);
+    ]

@@ -1,0 +1,208 @@
+(* The workload suite: every kernel must compile, validate, terminate,
+   and allocate correctly under several machines and all modes. *)
+
+module Mode = Remat.Mode
+module Machine = Remat.Machine
+
+let tc name f = Alcotest.test_case name `Quick f
+let check = Alcotest.check
+
+let kernels = Suite.Kernels.all
+
+let compile_tests =
+  [
+    tc "suite is non-trivial" (fun () ->
+        check Alcotest.bool "at least 20 kernels" true
+          (List.length kernels >= 20));
+    tc "names unique" (fun () ->
+        let names = List.map (fun k -> k.Suite.Kernels.name) kernels in
+        check Alcotest.int "unique" (List.length names)
+          (List.length (List.sort_uniq String.compare names)));
+    tc "every kernel compiles and validates" (fun () ->
+        List.iter
+          (fun k ->
+            let cfg = Suite.Kernels.cfg_of k in
+            check Alcotest.string "routine name" k.Suite.Kernels.name
+              cfg.Iloc.Cfg.name;
+            match Iloc.Validate.routine cfg with
+            | Ok () -> ()
+            | Error es ->
+                Alcotest.failf "%s invalid: %s" k.Suite.Kernels.name
+                  (String.concat "; "
+                     (List.map Iloc.Validate.error_to_string es)))
+          kernels);
+    tc "every kernel terminates and prints" (fun () ->
+        List.iter
+          (fun k ->
+            let cfg = Suite.Kernels.cfg_of k in
+            let o = Testutil.run_ok ~fuel:5_000_000 cfg in
+            check Alcotest.bool
+              (k.Suite.Kernels.name ^ " observable")
+              true
+              (o.Sim.Interp.prints <> [] || o.Sim.Interp.return <> None))
+          kernels);
+  ]
+
+(* spot-check a few kernels against independently computed answers *)
+let reference_tests =
+  let prints k =
+    (Testutil.run_ok (Suite.Kernels.cfg_of (Suite.Kernels.find k)))
+      .Sim.Interp.prints
+  in
+  [
+    tc "bubble sorts" (fun () ->
+        let expected = [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12 ] in
+        let got =
+          List.map
+            (function Sim.Interp.I n -> n | _ -> Alcotest.fail "float")
+            (prints "bubble")
+        in
+        check (Alcotest.list Alcotest.int) "sorted" expected got);
+    tc "prefix reduction" (fun () ->
+        (* sums of s[0], s[2], ... over the prefix table *)
+        let a = [ 3; 1; 4; 1; 5; 9; 2; 6; 5; 3; 5; 8; 9; 7; 9; 3; 2; 3; 8; 4 ] in
+        let s = List.fold_left_map (fun acc x -> (acc + x, acc + x)) 0 a |> snd in
+        let expected =
+          List.filteri (fun i _ -> i mod 2 = 0) s |> List.fold_left ( + ) 0
+        in
+        match prints "prefix" with
+        | [ Sim.Interp.I got ] -> check Alcotest.int "acc" expected got
+        | _ -> Alcotest.fail "unexpected prints");
+    tc "bsearch finds every multiple present" (fun () ->
+        match prints "bsearch" with
+        | [ Sim.Interp.I found; Sim.Interp.I probes ] ->
+            (* table values divisible by 8 at q in 0..160 step 8: 104 and
+               152 are the hits (both in table and ≡ 0 mod 8). *)
+            check Alcotest.int "found" 2 found;
+            check Alcotest.bool "probes sane" true (probes > 0)
+        | _ -> Alcotest.fail "unexpected prints");
+    tc "ihbtr histogram counts samples" (fun () ->
+        match prints "ihbtr" with
+        | [ Sim.Interp.I a; Sim.Interp.I b; Sim.Interp.I c; Sim.Interp.I d ] ->
+            check Alcotest.int "total" 32 (a + b + c + d)
+        | _ -> Alcotest.fail "unexpected prints");
+    tc "sgemm trace is positive" (fun () ->
+        match prints "sgemm" with
+        | [ Sim.Interp.F t ] -> check Alcotest.bool "positive" true (t > 0.0)
+        | _ -> Alcotest.fail "unexpected prints");
+    tc "quanc8 approximates arctan(2)" (fun () ->
+        (* integral of 1/(1+x^2) from 0 to 2 = atan 2 ≈ 1.1071 *)
+        match prints "quanc8" with
+        | [ Sim.Interp.F v ] ->
+            check Alcotest.bool
+              (Printf.sprintf "got %g" v)
+              true
+              (Float.abs (v -. Float.atan 2.0) < 0.01)
+        | _ -> Alcotest.fail "unexpected prints");
+  ]
+
+let machines =
+  [ Machine.make ~name:"small" ~k_int:8 ~k_float:8; Machine.standard ]
+
+let allocation_tests =
+  [
+    tc "all kernels allocate correctly in all modes" (fun () ->
+        List.iter
+          (fun k ->
+            let cfg = Suite.Kernels.cfg_of k in
+            List.iter
+              (fun mode ->
+                List.iter
+                  (fun machine ->
+                    let res = Testutil.alloc ~mode ~machine cfg in
+                    Testutil.assert_equiv
+                      ~what:
+                        (Printf.sprintf "%s/%s/%s" k.Suite.Kernels.name
+                           (Mode.to_string mode) machine.Machine.name)
+                      cfg res.Remat.Allocator.cfg)
+                  machines)
+              Mode.all)
+          kernels);
+    tc "standard machine causes spilling somewhere" (fun () ->
+        let spilled =
+          List.exists
+            (fun k ->
+              let res =
+                Testutil.alloc ~mode:Mode.Briggs_remat ~machine:Machine.standard
+                  (Suite.Kernels.cfg_of k)
+              in
+              res.Remat.Allocator.spilled_memory > 0
+              || res.Remat.Allocator.spilled_remat > 0)
+            kernels
+        in
+        check Alcotest.bool "pressure exists" true spilled);
+    tc "huge machine is nearly perfect" (fun () ->
+        (* §5.2's premise: with 128 registers per class no kernel needs
+           memory spills, so the huge allocation is a fair baseline. *)
+        List.iter
+          (fun k ->
+            let res =
+              Testutil.alloc ~machine:Machine.huge
+                (Suite.Kernels.cfg_of ~optimize:true k)
+            in
+            check Alcotest.int
+              (k.Suite.Kernels.name ^ " memory spills")
+              0 res.Remat.Allocator.spilled_memory)
+          kernels);
+    tc "remat wins on the pointer kernels" (fun () ->
+        List.iter
+          (fun name ->
+            let cfg = Suite.Kernels.cfg_of (Suite.Kernels.find name) in
+            let cycles mode =
+              let res =
+                Testutil.alloc ~mode ~machine:Machine.standard cfg
+              in
+              Sim.Counts.cycles
+                (Testutil.run_ok res.Remat.Allocator.cfg).Sim.Interp.counts
+            in
+            let chaitin = cycles Mode.Chaitin_remat in
+            let briggs = cycles Mode.Briggs_remat in
+            check Alcotest.bool
+              (Printf.sprintf "%s: briggs %d <= chaitin %d" name briggs chaitin)
+              true (briggs <= chaitin))
+          [ "ptrsweep" ]);
+  ]
+
+let figure_tests =
+  [
+    tc "figures render" (fun () ->
+        (* each figure prints without raising and mentions its subject *)
+        let render f =
+          let buf = Buffer.create 4096 in
+          let ppf = Format.formatter_of_buffer buf in
+          f ppf;
+          Format.pp_print_flush ppf ();
+          Buffer.contents buf
+        in
+        let contains s sub =
+          let n = String.length s and m = String.length sub in
+          let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+          m = 0 || go 0
+        in
+        check Alcotest.bool "fig1" true
+          (contains (render Suite.Figures.fig1) "Rematerialization versus");
+        check Alcotest.bool "fig2" true
+          (contains (render Suite.Figures.fig2) "renumber");
+        check Alcotest.bool "fig3" true
+          (contains (render Suite.Figures.fig3) "split copies inserted");
+        check Alcotest.bool "fig4" true
+          (contains (render Suite.Figures.fig4) "dynamic instruction counts"));
+    tc "figure 1 spills under its machine" (fun () ->
+        let res =
+          Remat.Allocator.run ~mode:Mode.Chaitin_remat
+            ~machine:Suite.Figures.fig1_machine
+            (Suite.Figures.fig1_source ())
+        in
+        check Alcotest.bool "spilled" true
+          (res.Remat.Allocator.spilled_memory > 0
+          || res.Remat.Allocator.spilled_remat > 0));
+  ]
+
+let () =
+  Alcotest.run "suite"
+    [
+      ("compile", compile_tests);
+      ("reference", reference_tests);
+      ("allocation", allocation_tests);
+      ("figures", figure_tests);
+    ]
