@@ -30,7 +30,13 @@ let table2 () =
     \ over 10 runs; rows are round:phase as in the paper)@.@.";
   let cols = Suite.Report.table2 ~repeats:10 [ "repvid"; "tomcatv"; "twldrv" ] in
   Suite.Report.pp_table2 std cols;
-  Format.fprintf std "@."
+  let json_path = "BENCH_alloc.json" in
+  let oc = open_out json_path in
+  output_string oc (Suite.Report.table2_json cols);
+  output_char oc '\n';
+  close_out oc;
+  Format.fprintf std "@.(per-phase timings and counters written to %s)@.@."
+    json_path
 
 let ablation () =
   Format.fprintf std

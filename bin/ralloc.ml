@@ -122,7 +122,7 @@ let opt_cmd =
   Cmd.v (Cmd.info "opt" ~doc) Term.(const run $ source)
 
 let alloc_cmd =
-  let run src opt_flag mode k_int k_float verbose =
+  let run src opt_flag mode k_int k_float verbose stats =
     or_die (fun () ->
         let cfg = prepare src opt_flag in
         let machine = Remat.Machine.make ~name:"cli" ~k_int ~k_float in
@@ -142,16 +142,27 @@ let alloc_cmd =
           res.Remat.Allocator.n_live_ranges res.Remat.Allocator.spilled_memory
           res.Remat.Allocator.spill_slots res.Remat.Allocator.spilled_remat
           res.Remat.Allocator.coalesced_copies;
-        if verbose then
-          Fmt.pr "; phase times:@.%a" Remat.Stats.pp res.Remat.Allocator.stats)
+        if verbose || stats then
+          Fmt.pr "; phase times and counters:@.%a" Remat.Dump.stats
+            res.Remat.Allocator.stats)
   in
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print phase timings.")
   in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Print the per-round phase timers and event counters (full \
+             graph builds, liveness runs, coalesce sweeps, node merges, \
+             spilled ranges) collected during allocation.")
+  in
   let doc = "Allocate registers and print the rewritten routine." in
   Cmd.v
     (Cmd.info "alloc" ~doc)
-    Term.(const run $ source $ optimize $ mode $ k_int $ k_float $ verbose)
+    Term.(
+      const run $ source $ optimize $ mode $ k_int $ k_float $ verbose $ stats)
 
 let run_cmd =
   let run src opt_flag do_alloc mode k_int k_float =

@@ -18,38 +18,33 @@ type result = {
   stats : Stats.t;
 }
 
-(* The build–coalesce loop: rebuild liveness and the graph after every
-   pass that changed the code; unrestricted copies first, then
-   conservative coalescing of splits (§4.2). *)
-let build_coalesce mode cfg ~k ~tags ~infinite ~split_pairs ~coalesced =
-  let split_pairs = ref split_pairs in
+(* The build–coalesce loop, incremental (§2, §4.2): one from-scratch
+   graph build per spill round; every coalescing sweep after it updates
+   the graph in place (Chaitin's neighbor-set union), so iterating to the
+   coalescing fixpoint costs sweeps over the copies, not rebuilds.
+   Unrestricted copies first, then conservative coalescing of splits. *)
+let build_coalesce (ctx : Context.t) =
+  ignore (Context.graph ctx);
   let phase = ref Coalesce.Unrestricted in
   let rec loop () =
-    let live = Dataflow.Liveness.compute cfg in
-    let g = Interference.build cfg live in
-    let outcome =
-      Coalesce.pass !phase cfg g ~k ~tags ~infinite ~split_pairs:!split_pairs
-    in
-    split_pairs := outcome.Coalesce.split_pairs;
-    coalesced := !coalesced + outcome.Coalesce.coalesced;
+    let outcome = Coalesce.pass !phase ctx in
     if outcome.Coalesce.changed then loop ()
     else
       match !phase with
-      | Coalesce.Unrestricted when Mode.splits mode ->
+      | Coalesce.Unrestricted when Mode.splits ctx.Context.mode ->
           phase := Coalesce.Conservative;
           loop ()
-      | Coalesce.Unrestricted | Coalesce.Conservative ->
-          (live, g, !split_pairs)
+      | Coalesce.Unrestricted | Coalesce.Conservative -> ()
   in
   loop ()
 
 let rewrite_physical (cfg : Cfg.t) (g : Interference.t)
     (colors : int option array) =
   let rename r =
-    match Dataflow.Reg_index.index_opt g.Interference.regs r with
+    match Interference.index_opt g r with
     | None -> r
     | Some i -> (
-        match colors.(i) with
+        match colors.(Interference.find g i) with
         | Some c -> Reg.make c (Reg.cls r)
         | None -> assert false)
   in
@@ -80,11 +75,10 @@ let run ?(mode = Mode.Briggs_remat) ?(machine = Machine.standard)
               (String.concat "; "
                  (List.map Iloc.Validate.error_to_string es)))));
   let stats = Stats.create () in
-  let k = Machine.k_for machine in
   let cfg0 = Cfg.split_critical_edges input in
-  (* Control-flow analysis: dominators and loop structure.  Renumber does
-     not add or remove blocks, so loop depths computed here remain valid
-     for the renumbered routine. *)
+  (* Control-flow analysis: dominators and loop structure.  Renumber and
+     the splitting schemes do not add or remove blocks, so loop depths
+     computed here remain valid throughout allocation. *)
   let loops =
     Stats.time stats ~round:0 Stats.Cfa (fun () ->
         let dom = Dataflow.Dominance.compute cfg0 in
@@ -93,52 +87,39 @@ let run ?(mode = Mode.Briggs_remat) ?(machine = Machine.standard)
   let rn =
     Stats.time stats ~round:0 Stats.Renum (fun () -> Renumber.run mode cfg0)
   in
-  let cfg = rn.Renumber.cfg in
-  let tags = rn.Renumber.tags in
-  let infinite : unit Reg.Tbl.t = Reg.Tbl.create 16 in
-  let slot_counter = ref 0 in
-  let spilled_memory = ref 0 and spilled_remat = ref 0 in
-  let coalesced = ref 0 in
-  let split_pairs = ref rn.Renumber.split_pairs in
+  let ctx =
+    Context.create ~mode ~machine ~loops ~tags:rn.Renumber.tags
+      ~split_pairs:rn.Renumber.split_pairs ~stats rn.Renumber.cfg
+  in
+  let cfg = ctx.Context.cfg in
   (* §6 loop-boundary splitting schemes, layered after renumber. *)
   (match Mode.loop_scheme mode with
-  | Some scheme ->
-      Stats.time stats ~round:0 Stats.Renum (fun () ->
-          split_pairs := !split_pairs @ Splitting.run scheme cfg ~tags)
+  | Some scheme -> Splitting.phase scheme ctx
   | None -> ());
+  let slot_counter = ref 0 in
+  let spilled_memory = ref 0 and spilled_remat = ref 0 in
   let rec round r =
     if r > max_rounds then
       raise
         (Allocation_error
            (Printf.sprintf "%s: no coloring after %d rounds"
               input.Cfg.name max_rounds));
-    let live, g, sp =
-      Stats.time stats ~round:r Stats.Build (fun () ->
-          build_coalesce mode cfg ~k ~tags ~infinite ~split_pairs:!split_pairs
-            ~coalesced)
-    in
-    split_pairs := sp;
-    let costs =
-      Stats.time stats ~round:r Stats.Costs (fun () ->
-          Spill_cost.compute cfg loops g ~live ~tags ~infinite)
-    in
-    let selection =
-      Stats.time stats ~round:r Stats.Color (fun () ->
-          let order = Simplify.run g ~k ~costs in
-          let partners = Array.make (Interference.n_nodes g) [] in
-          List.iter
-            (fun (a, b) ->
-              match
-                ( Dataflow.Reg_index.index_opt g.Interference.regs a,
-                  Dataflow.Reg_index.index_opt g.Interference.regs b )
-              with
-              | Some ia, Some ib ->
-                  partners.(ia) <- ib :: partners.(ia);
-                  partners.(ib) <- ia :: partners.(ib)
-              | _ -> ())
-            !split_pairs;
-          Select.run g ~k ~order ~partners)
-    in
+    Context.set_round ctx r;
+    build_coalesce ctx;
+    let g = Context.graph ctx in
+    let costs = Spill_cost.phase ctx in
+    let order = Simplify.phase ctx ~costs in
+    let partners = Array.make (Interference.n_nodes g) [] in
+    List.iter
+      (fun (a, b) ->
+        match (Interference.index_opt g a, Interference.index_opt g b) with
+        | Some ia, Some ib ->
+            let ia = Interference.find g ia and ib = Interference.find g ib in
+            partners.(ia) <- ib :: partners.(ia);
+            partners.(ib) <- ia :: partners.(ib)
+        | _ -> ())
+      ctx.Context.split_pairs;
+    let selection = Select.phase ctx ~order ~partners in
     match selection.Select.spilled with
     | [] ->
         rewrite_physical cfg g selection.Select.colors;
@@ -152,6 +133,7 @@ let run ?(mode = Mode.Briggs_remat) ?(machine = Machine.standard)
            lower the pressure that pinched the temporary.  If only
            temporaries remain uncolored, pressure genuinely exceeds the
            machine and Spill_code raises. *)
+        let infinite = ctx.Context.infinite in
         let spilled_nodes =
           let temps, real =
             List.partition
@@ -191,13 +173,18 @@ let run ?(mode = Mode.Briggs_remat) ?(machine = Machine.standard)
                         machine.Machine.k_float));
               victims
         in
-        Stats.time stats ~round:r Stats.Spill (fun () ->
+        Context.count ctx Stats.Spilled_ranges (List.length spilled_nodes);
+        Context.time ctx Stats.Spill (fun () ->
             let spilled = List.map (Interference.reg g) spilled_nodes in
             let st =
-              Spill_code.insert cfg ~tags ~infinite ~spilled ~slot_counter
+              Spill_code.insert cfg ~tags:ctx.Context.tags ~infinite ~spilled
+                ~slot_counter
             in
             spilled_memory := !spilled_memory + st.Spill_code.memory_lrs;
             spilled_remat := !spilled_remat + st.Spill_code.remat_lrs);
+        (* Spill code changed the routine structurally: both derived
+           structures are rebuilt next round (the round's one build). *)
+        Context.invalidate ctx;
         round (r + 1)
   in
   let rounds = round 1 in
@@ -211,7 +198,7 @@ let run ?(mode = Mode.Briggs_remat) ?(machine = Machine.standard)
     spill_slots = !slot_counter;
     n_values = rn.Renumber.n_values;
     n_live_ranges = rn.Renumber.n_live_ranges;
-    coalesced_copies = !coalesced;
+    coalesced_copies = ctx.Context.coalesced;
     stats;
   }
 

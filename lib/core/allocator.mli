@@ -6,9 +6,12 @@
                  +------------------ spill code <---------------+ v}
 
     [run] drives the whole loop for a chosen {!Mode} and {!Machine},
-    recording per-phase wall times (Table 2) in a {!Stats.t}.  On success
-    the routine's registers have been rewritten to physical registers
-    [r0 .. r(k_int-1)] / [f0 .. f(k_float-1)]. *)
+    threading a {!Context.t} through the phases so each one reads the
+    cached liveness and interference graph instead of recomputing them.
+    Per-phase wall times (Table 2) and event counters land in the
+    context's {!Stats.t}.  On success the routine's registers have been
+    rewritten to physical registers [r0 .. r(k_int-1)] /
+    [f0 .. f(k_float-1)]. *)
 
 exception Allocation_error of string
 
@@ -25,6 +28,21 @@ type result = {
   coalesced_copies : int;  (** copies removed by coalescing, total *)
   stats : Stats.t;
 }
+
+val build_coalesce : Context.t -> unit
+(** The incremental build–coalesce loop.  Forces one from-scratch graph
+    build through the context cache, then iterates {!Coalesce.pass} to a
+    fixpoint — unrestricted copies first, then (in splitting modes)
+    conservative coalescing of split copies.  Each sweep updates the
+    cached graph in place via {!Interference.merge}; the [Full_builds]
+    counter therefore stays at one per spill round. *)
+
+val rewrite_physical :
+  Iloc.Cfg.t -> Interference.t -> int option array -> unit
+(** Rewrite every register of the routine to its assigned physical
+    register and delete the copies this makes into identities (split or
+    copy instructions whose source and destination received the same
+    color — the deletions biased coloring works for). *)
 
 val run :
   ?mode:Mode.t ->

@@ -1,135 +1,122 @@
 module Reg = Iloc.Reg
 module Instr = Iloc.Instr
-module Union_find = Dataflow.Union_find
 
 type phase = Unrestricted | Conservative
 
-type outcome = {
-  changed : bool;
-  split_pairs : (Iloc.Reg.t * Iloc.Reg.t) list;
-  coalesced : int;
-}
+type outcome = { changed : bool; coalesced : int }
 
 (* Unordered canonical form so a split is recognized no matter which side
    the copy ends up writing. *)
 let norm_pair a b = if Reg.compare a b <= 0 then (a, b) else (b, a)
 
-let pass phase (cfg : Iloc.Cfg.t) (g : Interference.t) ~k ~tags ~infinite
-    ~split_pairs =
-  let n = Interference.n_nodes g in
-  let uf = Union_find.create n in
-  let members = Array.init n (fun i -> [ i ]) in
-  let split_set = Hashtbl.create 16 in
-  List.iter
-    (fun (a, b) -> Hashtbl.replace split_set (norm_pair a b) ())
-    split_pairs;
-  let is_split d s = Hashtbl.mem split_set (norm_pair d s) in
-  let interfere_class ra rb =
-    List.exists
-      (fun a -> List.exists (fun b -> Interference.interfere g a b) members.(rb))
-      members.(ra)
+(* Merge the graph nodes and fold the loser's tag and infinite-cost
+   marking into the winner: tags meet, and the merged range stays
+   infinite only when every constituent was. *)
+let merge_into (ctx : Context.t) g ~keep ~drop =
+  let keep_reg = Interference.reg g keep and drop_reg = Interference.reg g drop in
+  Interference.merge g ~keep ~drop;
+  Context.count ctx Stats.Node_merges 1;
+  let tags = ctx.Context.tags and infinite = ctx.Context.infinite in
+  let drop_tag =
+    Option.value (Reg.Tbl.find_opt tags drop_reg) ~default:Tag.Bottom
   in
-  let unite ra rb =
-    let r = Union_find.union uf ra rb in
-    let other = if r = ra then rb else ra in
-    members.(r) <- members.(other) @ members.(r);
-    r
+  let keep_tag =
+    Option.value (Reg.Tbl.find_opt tags keep_reg) ~default:Tag.Bottom
   in
-  (* Briggs' conservative test on singleton classes (the caller rebuilds
-     between conservative passes, so no prior union precedes this one). *)
-  let briggs_ok di si =
-    let cls = Reg.cls (Interference.reg g di) in
-    let nbrs =
-      List.sort_uniq Int.compare
-        (Interference.neighbors g di @ Interference.neighbors g si)
-    in
-    let significant =
-      List.length
-        (List.filter
-           (fun nb ->
-             nb <> di && nb <> si
-             && Interference.degree g nb >= k (Reg.cls (Interference.reg g nb)))
-           nbrs)
-    in
-    significant < k cls
-  in
-  let coalesced = ref 0 in
-  let stop = ref false in
-  Iloc.Cfg.iter_blocks
-    (fun b ->
-      if not !stop then
-        List.iter
-          (fun (i : Instr.t) ->
-            if (not !stop) && Instr.is_copy i then begin
-              let d = Option.get i.Instr.dst and s = i.Instr.srcs.(0) in
-              let di = Interference.index g d
-              and si = Interference.index g s in
-              let rd = Union_find.find uf di and rs = Union_find.find uf si in
-              if rd <> rs then
-                match phase with
-                | Unrestricted ->
-                    if (not (is_split d s)) && not (interfere_class rd rs)
-                    then begin
-                      ignore (unite rd rs);
-                      incr coalesced
-                    end
-                | Conservative ->
-                    if
-                      is_split d s
-                      && (not (interfere_class rd rs))
-                      && briggs_ok di si
-                    then begin
-                      ignore (unite rd rs);
-                      incr coalesced;
-                      stop := true
-                    end
-            end)
-          b.body)
-    cfg;
-  if !coalesced = 0 then { changed = false; split_pairs; coalesced = 0 }
-  else begin
-    let rename r =
-      match Dataflow.Reg_index.index_opt g.Interference.regs r with
-      | None -> r (* not a node: cannot happen for renumbered code *)
-      | Some i -> Interference.reg g (Union_find.find uf i)
-    in
-    (* Merge tags into the representative, recompute the infinite-cost
-       marking (all members must be infinite), and drop stale entries. *)
-    for i = 0 to n - 1 do
-      let r = Union_find.find uf i in
-      if r <> i then begin
-        let old_reg = Interference.reg g i and rep_reg = Interference.reg g r in
-        let old_tag =
-          Option.value (Reg.Tbl.find_opt tags old_reg) ~default:Tag.Bottom
+  Reg.Tbl.replace tags keep_reg (Tag.meet drop_tag keep_tag);
+  Reg.Tbl.remove tags drop_reg;
+  if not (Reg.Tbl.mem infinite drop_reg) then Reg.Tbl.remove infinite keep_reg;
+  Reg.Tbl.remove infinite drop_reg
+
+let pass phase (ctx : Context.t) =
+  let g = Context.graph ctx in
+  let cfg = ctx.Context.cfg in
+  Context.time ctx Stats.Coalesce (fun () ->
+      Context.count ctx Stats.Coalesce_sweeps 1;
+      let split_set = Hashtbl.create 16 in
+      List.iter
+        (fun (a, b) -> Hashtbl.replace split_set (norm_pair a b) ())
+        ctx.Context.split_pairs;
+      let is_split d s = Hashtbl.mem split_set (norm_pair d s) in
+      (* Briggs' conservative test.  The graph is maintained in place
+         after every merge, so — unlike the rebuild-between-sweeps
+         scheme — the degrees consulted here are always current and
+         several conservative merges per sweep are sound. *)
+      let briggs_ok di si =
+        let cls = Reg.cls (Interference.reg g di) in
+        let nbrs =
+          List.sort_uniq Int.compare
+            (Interference.neighbors g di @ Interference.neighbors g si)
         in
-        let rep_tag =
-          Option.value (Reg.Tbl.find_opt tags rep_reg) ~default:Tag.Bottom
+        let significant =
+          List.length
+            (List.filter
+               (fun nb ->
+                 nb <> di && nb <> si
+                 && Interference.degree g nb
+                    >= ctx.Context.k (Reg.cls (Interference.reg g nb)))
+               nbrs)
         in
-        Reg.Tbl.replace tags rep_reg (Tag.meet old_tag rep_tag);
-        Reg.Tbl.remove tags old_reg;
-        if not (Reg.Tbl.mem infinite old_reg) then
-          Reg.Tbl.remove infinite rep_reg;
-        Reg.Tbl.remove infinite old_reg
-      end
-    done;
-    Iloc.Cfg.iter_blocks
-      (fun b ->
-        b.Iloc.Block.body <-
+        significant < ctx.Context.k cls
+      in
+      let coalesced = ref 0 in
+      Iloc.Cfg.iter_blocks
+        (fun b ->
+          List.iter
+            (fun (i : Instr.t) ->
+              if Instr.is_copy i then begin
+                let d = Option.get i.Instr.dst and s = i.Instr.srcs.(0) in
+                match
+                  (Interference.index_opt g d, Interference.index_opt g s)
+                with
+                | Some d0, Some s0 ->
+                    let di = Interference.find g d0
+                    and si = Interference.find g s0 in
+                    if di <> si && not (Interference.interfere g di si) then begin
+                      let ok =
+                        match phase with
+                        | Unrestricted -> not (is_split d s)
+                        | Conservative -> is_split d s && briggs_ok di si
+                      in
+                      if ok then begin
+                        merge_into ctx g ~keep:di ~drop:si;
+                        incr coalesced
+                      end
+                    end
+                | _ -> () (* not nodes: cannot happen for renumbered code *)
+              end)
+            b.body)
+        cfg;
+      if !coalesced = 0 then { changed = false; coalesced = 0 }
+      else begin
+        let rename r =
+          match Interference.index_opt g r with
+          | None -> r
+          | Some i -> Interference.reg g (Interference.find g i)
+        in
+        Iloc.Cfg.iter_blocks
+          (fun b ->
+            b.Iloc.Block.body <-
+              List.filter_map
+                (fun i ->
+                  let i = Instr.map_regs rename i in
+                  match (i.Instr.op, i.Instr.dst) with
+                  | Instr.Copy, Some d when Reg.equal d i.Instr.srcs.(0) ->
+                      None
+                  | _ -> Some i)
+                b.Iloc.Block.body;
+            b.Iloc.Block.term <- Instr.map_regs rename b.Iloc.Block.term)
+          cfg;
+        ctx.Context.split_pairs <-
           List.filter_map
-            (fun i ->
-              let i = Instr.map_regs rename i in
-              match (i.Instr.op, i.Instr.dst) with
-              | Instr.Copy, Some d when Reg.equal d i.Instr.srcs.(0) -> None
-              | _ -> Some i)
-            b.Iloc.Block.body;
-        b.Iloc.Block.term <- Instr.map_regs rename b.Iloc.Block.term)
-      cfg;
-    let split_pairs =
-      List.filter_map
-        (fun (a, b) ->
-          let a = rename a and b = rename b in
-          if Reg.equal a b then None else Some (a, b))
-        split_pairs
-    in
-    { changed = true; split_pairs; coalesced = !coalesced }
-  end
+            (fun (a, b) ->
+              let a = rename a and b = rename b in
+              if Reg.equal a b then None else Some (a, b))
+            ctx.Context.split_pairs;
+        ctx.Context.coalesced <- ctx.Context.coalesced + !coalesced;
+        Context.count ctx Stats.Coalesced_copies !coalesced;
+        (* The graph was maintained merge-by-merge; only liveness is now
+           stale (merged ranges, renamed registers). *)
+        Context.invalidate_liveness ctx;
+        { changed = true; coalesced = !coalesced }
+      end)

@@ -1,4 +1,4 @@
-(** Coalescing (§2 and §4.2).
+(** Coalescing (§2 and §4.2), incremental.
 
     Two regimes, run as the paper prescribes: first {e unrestricted}
     coalescing of ordinary copies to a fixpoint, then {e conservative}
@@ -8,33 +8,26 @@
     guarantees the merged node is removable by simplify and therefore will
     never be spilled.
 
-    Each pass works on the current interference graph; when it changes
-    anything, the caller must rewrite and rebuild before the next pass
-    (the paper's build–coalesce loop).  Unrestricted passes may perform
-    many unions per sweep — interference between merged classes is checked
-    member-by-member so stale-graph merges stay sound; conservative passes
-    perform at most one union per sweep so the Briggs test always runs
-    against a fresh graph. *)
+    Each merge updates the context's interference graph {e in place}
+    ({!Interference.merge}: the neighbor sets are unioned, as Chaitin's
+    allocator does) instead of asking the caller to recompute liveness and
+    rebuild — the change that caps the build–coalesce loop at one full
+    {!Interference.build} per spill round.  Because the graph is current
+    after every merge, both regimes may perform many merges per sweep; a
+    sweep that merged anything ends with one rewrite of the routine
+    (renaming coalesced registers, deleting the now-identity copies),
+    remaps the context's split pairs, and invalidates only the liveness
+    cache. *)
 
 type phase = Unrestricted | Conservative
 
 type outcome = {
   changed : bool;
-  split_pairs : (Iloc.Reg.t * Iloc.Reg.t) list;  (** remapped *)
-  coalesced : int;  (** copies removed this pass *)
+  coalesced : int;  (** copies removed this sweep *)
 }
 
-val pass :
-  phase ->
-  Iloc.Cfg.t ->
-  Interference.t ->
-  k:(Iloc.Reg.cls -> int) ->
-  tags:Tag.t Iloc.Reg.Tbl.t ->
-  infinite:unit Iloc.Reg.Tbl.t ->
-  split_pairs:(Iloc.Reg.t * Iloc.Reg.t) list ->
-  outcome
-(** Mutates the routine (renaming coalesced registers and deleting the
-    now-trivial copies), the tag table (meeting merged tags), and the
-    infinite-cost table: a merged live range stays infinite only when
-    {e every} constituent was infinite — coalescing a spill temporary
-    into an ordinary live range yields an ordinary live range. *)
+val pass : phase -> Context.t -> outcome
+(** One sweep over the routine's copies.  Mutates the context's routine,
+    graph, tag table, infinite-cost table and split pairs as described
+    above, and records [Coalesce] time plus sweep/merge counters in the
+    context's stats. *)

@@ -1,0 +1,65 @@
+module Reg = Iloc.Reg
+
+type t = {
+  cfg : Iloc.Cfg.t;
+  mode : Mode.t;
+  machine : Machine.t;
+  k : Iloc.Reg.cls -> int;
+  tags : Tag.t Reg.Tbl.t;
+  infinite : unit Reg.Tbl.t;
+  loops : Dataflow.Loops.t;
+  stats : Stats.t;
+  mutable round : int;
+  mutable split_pairs : (Reg.t * Reg.t) list;
+  mutable coalesced : int;
+  mutable live : Dataflow.Liveness.t option;
+  mutable graph : Interference.t option;
+}
+
+let create ~mode ~machine ~loops ~tags ~split_pairs ~stats cfg =
+  {
+    cfg;
+    mode;
+    machine;
+    k = Machine.k_for machine;
+    tags;
+    infinite = Reg.Tbl.create 16;
+    loops;
+    stats;
+    round = 0;
+    split_pairs;
+    coalesced = 0;
+    live = None;
+    graph = None;
+  }
+
+let set_round t r = t.round <- r
+let time t phase f = Stats.time t.stats ~round:t.round phase f
+let count t counter n = Stats.count t.stats ~round:t.round counter n
+
+let liveness t =
+  match t.live with
+  | Some l -> l
+  | None ->
+      let l =
+        time t Stats.Liveness (fun () -> Dataflow.Liveness.compute t.cfg)
+      in
+      count t Stats.Liveness_runs 1;
+      t.live <- Some l;
+      l
+
+let graph t =
+  match t.graph with
+  | Some g -> g
+  | None ->
+      let l = liveness t in
+      let g = time t Stats.Build (fun () -> Interference.build t.cfg l) in
+      count t Stats.Full_builds 1;
+      t.graph <- Some g;
+      g
+
+let invalidate_liveness t = t.live <- None
+
+let invalidate t =
+  t.live <- None;
+  t.graph <- None

@@ -1,0 +1,63 @@
+(** The allocation context: one record threading everything the
+    allocator's phases share — the routine under allocation, the machine
+    and mode, the tag and infinite-cost tables, the split-pair list, the
+    per-phase {!Stats} — plus {e caches} for the two derived structures,
+    global liveness and the interference graph.
+
+    The caches carry the incremental-update invariant of the
+    build–coalesce loop: {!graph} performs a from-scratch
+    {!Interference.build} only when no graph is cached, and coalescing
+    keeps the cached graph current in place ({!Interference.merge}), so a
+    spill round triggers at most one full build.  Phases that mutate the
+    routine declare what they stale: coalescing calls
+    {!invalidate_liveness} (the graph it maintains itself); spill-code
+    insertion calls {!invalidate} (both).
+
+    All timing and event counting goes through {!time} and {!count},
+    which stamp the context's current round. *)
+
+type t = {
+  cfg : Iloc.Cfg.t;
+  mode : Mode.t;
+  machine : Machine.t;
+  k : Iloc.Reg.cls -> int;
+  tags : Tag.t Iloc.Reg.Tbl.t;
+  infinite : unit Iloc.Reg.Tbl.t;
+      (** spill temporaries from earlier rounds (never re-spilled) *)
+  loops : Dataflow.Loops.t;
+  stats : Stats.t;
+  mutable round : int;
+  mutable split_pairs : (Iloc.Reg.t * Iloc.Reg.t) list;
+  mutable coalesced : int;  (** copies removed by coalescing, total *)
+  mutable live : Dataflow.Liveness.t option;  (** cache; may be stale *)
+  mutable graph : Interference.t option;  (** cache; kept current *)
+}
+
+val create :
+  mode:Mode.t ->
+  machine:Machine.t ->
+  loops:Dataflow.Loops.t ->
+  tags:Tag.t Iloc.Reg.Tbl.t ->
+  split_pairs:(Iloc.Reg.t * Iloc.Reg.t) list ->
+  stats:Stats.t ->
+  Iloc.Cfg.t ->
+  t
+
+val set_round : t -> int -> unit
+val time : t -> Stats.phase -> (unit -> 'a) -> 'a
+val count : t -> Stats.counter -> int -> unit
+
+val liveness : t -> Dataflow.Liveness.t
+(** Cached global liveness of [cfg]; recomputed (timed and counted) when
+    a phase has invalidated it. *)
+
+val graph : t -> Interference.t
+(** Cached interference graph; built from scratch (timed and counted as
+    a [Full_builds] event) only when absent. *)
+
+val invalidate_liveness : t -> unit
+(** The routine changed in a way the graph tracks incrementally but
+    liveness does not (coalescing). *)
+
+val invalidate : t -> unit
+(** The routine changed structurally (spill code): both caches drop. *)

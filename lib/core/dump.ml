@@ -19,38 +19,46 @@ let palette =
 let interference ?colors ?(split_pairs = []) ppf (g : Interference.t) =
   Format.fprintf ppf "graph interference {@.";
   Format.fprintf ppf "  node [fontname=\"monospace\", style=filled];@.";
+  (* Nodes merged away by in-place coalescing are not part of the graph
+     any more; only live representatives are drawn. *)
   for i = 0 to Interference.n_nodes g - 1 do
-    let r = Interference.reg g i in
-    let fill =
-      match colors with
-      | Some cs -> (
-          match cs.(i) with
-          | Some c -> palette.(c mod Array.length palette)
-          | None -> "#ff4444" (* spilled *))
-      | None -> "#ffffff"
-    in
-    Format.fprintf ppf "  n%d [label=\"%s (%d)\", shape=%s, fillcolor=\"%s\"];@."
-      i (Reg.to_string r)
-      (Interference.degree g i)
-      (if Reg.is_int r then "ellipse" else "box")
-      fill
+    if Interference.alive g i then begin
+      let r = Interference.reg g i in
+      let fill =
+        match colors with
+        | Some cs -> (
+            match cs.(i) with
+            | Some c -> palette.(c mod Array.length palette)
+            | None -> "#ff4444" (* spilled *))
+        | None -> "#ffffff"
+      in
+      Format.fprintf ppf
+        "  n%d [label=\"%s (%d)\", shape=%s, fillcolor=\"%s\"];@." i
+        (Reg.to_string r)
+        (Interference.degree g i)
+        (if Reg.is_int r then "ellipse" else "box")
+        fill
+    end
   done;
   for i = 0 to Interference.n_nodes g - 1 do
-    List.iter
-      (fun j -> if j > i then Format.fprintf ppf "  n%d -- n%d;@." i j)
-      (Interference.neighbors g i)
+    if Interference.alive g i then
+      List.iter
+        (fun j -> if j > i then Format.fprintf ppf "  n%d -- n%d;@." i j)
+        (Interference.neighbors g i)
   done;
   List.iter
     (fun (a, b) ->
-      match
-        ( Dataflow.Reg_index.index_opt g.Interference.regs a,
-          Dataflow.Reg_index.index_opt g.Interference.regs b )
-      with
+      match (Interference.index_opt g a, Interference.index_opt g b) with
       | Some ia, Some ib ->
-          Format.fprintf ppf "  n%d -- n%d [style=dotted];@." ia ib
+          let ia = Interference.find g ia and ib = Interference.find g ib in
+          if ia <> ib then
+            Format.fprintf ppf "  n%d -- n%d [style=dotted];@." ia ib
       | _ -> ())
     split_pairs;
   Format.fprintf ppf "}@."
 
 let interference_to_string ?colors ?split_pairs g =
   Format.asprintf "%a" (interference ?colors ?split_pairs) g
+
+let stats = Stats.pp
+let stats_to_string s = Format.asprintf "%a" stats s

@@ -20,3 +20,9 @@ val interference_to_string :
   ?split_pairs:(Iloc.Reg.t * Iloc.Reg.t) list ->
   Interference.t ->
   string
+
+val stats : Format.formatter -> Stats.t -> unit
+(** Per-round phase timers followed by the event counters — the report
+    behind [ralloc alloc --stats]. *)
+
+val stats_to_string : Stats.t -> string

@@ -9,6 +9,10 @@ type t = {
   matrix : Bitset.t;
   adj : int list array;
   degree : int array;
+  alive : bool array;
+  forward : int array;
+  mutable n_edges : int;
+  mutable n_alive : int;
 }
 
 (* Triangular index for an unordered pair (i <> j). *)
@@ -21,25 +25,91 @@ let neighbors t i = t.adj.(i)
 let degree t i = t.degree.(i)
 let reg t i = Reg_index.reg t.regs i
 let index t r = Reg_index.index t.regs r
+let index_opt t r = Reg_index.index_opt t.regs r
 let n_nodes t = t.n
+let n_edges t = t.n_edges
+let alive t i = t.alive.(i)
+let n_alive t = t.n_alive
 
-let n_edges t = Array.fold_left ( + ) 0 t.degree / 2
+let rec find t i =
+  if t.alive.(i) then i
+  else begin
+    (* Path compression: point straight at the current representative. *)
+    let r = find t t.forward.(i) in
+    t.forward.(i) <- r;
+    r
+  end
+
+(* The matrix membership test keeps adjacency vectors deduplicated: an
+   edge is appended to the two vectors exactly once, when its bit first
+   turns on, so [degree] is always the vector's length and [n_edges] can
+   be maintained as a counter instead of a fold over degrees. *)
+let add_edge t i j =
+  if i <> j && not (Bitset.mem t.matrix (tri i j)) then begin
+    Bitset.add t.matrix (tri i j);
+    t.adj.(i) <- j :: t.adj.(i);
+    t.adj.(j) <- i :: t.adj.(j);
+    t.degree.(i) <- t.degree.(i) + 1;
+    t.degree.(j) <- t.degree.(j) + 1;
+    t.n_edges <- t.n_edges + 1
+  end
+
+let remove_edge t i j =
+  if i <> j && Bitset.mem t.matrix (tri i j) then begin
+    Bitset.remove t.matrix (tri i j);
+    t.adj.(i) <- List.filter (fun x -> x <> j) t.adj.(i);
+    t.adj.(j) <- List.filter (fun x -> x <> i) t.adj.(j);
+    t.degree.(i) <- t.degree.(i) - 1;
+    t.degree.(j) <- t.degree.(j) - 1;
+    t.n_edges <- t.n_edges - 1
+  end
+
+let merge t ~keep ~drop =
+  if not (t.alive.(keep) && t.alive.(drop)) then
+    invalid_arg "Interference.merge: dead node";
+  if keep = drop then invalid_arg "Interference.merge: keep = drop";
+  (* Chaitin's in-place update: the merged node interferes with the union
+     of the two neighbor sets.  Moving [drop]'s edges through [add_edge]
+     dedups against [keep]'s existing adjacency via the bit matrix. *)
+  List.iter
+    (fun x ->
+      Bitset.remove t.matrix (tri drop x);
+      t.adj.(x) <- List.filter (fun y -> y <> drop) t.adj.(x);
+      t.degree.(x) <- t.degree.(x) - 1;
+      t.n_edges <- t.n_edges - 1;
+      if x <> keep then add_edge t keep x)
+    t.adj.(drop);
+  t.adj.(drop) <- [];
+  t.degree.(drop) <- 0;
+  t.alive.(drop) <- false;
+  t.forward.(drop) <- keep;
+  t.n_alive <- t.n_alive - 1
+
+let make regs n =
+  {
+    regs;
+    n;
+    matrix = Bitset.create (n * (n - 1) / 2);
+    adj = Array.make n [];
+    degree = Array.make n 0;
+    alive = Array.make n true;
+    forward = Array.init n (fun i -> i);
+    n_edges = 0;
+    n_alive = n;
+  }
+
+let of_edges n edges =
+  let regs =
+    Reg_index.of_regs (List.init n (fun i -> Reg.make i Reg.Int))
+  in
+  let t = make regs n in
+  List.iter (fun (i, j) -> add_edge t i j) edges;
+  t
 
 let build (cfg : Iloc.Cfg.t) (live : Dataflow.Liveness.t) =
   let regs = live.Dataflow.Liveness.regs in
   let n = Reg_index.count regs in
-  let matrix = Bitset.create (n * (n - 1) / 2) in
-  let adj = Array.make n [] in
-  let degree = Array.make n 0 in
-  let add_edge i j =
-    if i <> j && not (Bitset.mem matrix (tri i j)) then begin
-      Bitset.add matrix (tri i j);
-      adj.(i) <- j :: adj.(i);
-      adj.(j) <- i :: adj.(j);
-      degree.(i) <- degree.(i) + 1;
-      degree.(j) <- degree.(j) + 1
-    end
-  in
+  let t = make regs n in
   Iloc.Cfg.iter_blocks
     (fun b ->
       let live_now = Bitset.copy live.Dataflow.Liveness.live_out.(b.id) in
@@ -62,7 +132,7 @@ let build (cfg : Iloc.Cfg.t) (live : Dataflow.Liveness.t) =
                   && Reg.cls_equal
                        (Reg.cls (Reg_index.reg regs l))
                        (Reg.cls d)
-                then add_edge di l)
+                then add_edge t di l)
               live_now;
             Bitset.remove live_now di
         | None -> ());
@@ -73,4 +143,4 @@ let build (cfg : Iloc.Cfg.t) (live : Dataflow.Liveness.t) =
       step b.term;
       List.iter step (List.rev b.body))
     cfg;
-  { regs; n; matrix; adj; degree }
+  t

@@ -8,23 +8,70 @@
     paper's machine colors integer and floating registers from disjoint
     palettes, so cross-class edges would only waste matrix bits.
     Following Chaitin, the destination of a copy does not interfere with
-    the copy's source. *)
+    the copy's source.
+
+    The graph is {e mutable}: coalescing merges two nodes in place with
+    {!merge} — unioning their neighbor sets as Chaitin's allocator does —
+    instead of forcing a from-scratch rebuild.  A merged-away node stays
+    allocated (indices are stable) but is marked dead; {!find} chases the
+    forward pointers left by merges to the current representative.
+    Adjacency vectors are kept deduplicated by the bit matrix, and
+    [n_edges] is maintained as a counter under both {!add_edge} and
+    {!merge}. *)
 
 type t = {
   regs : Dataflow.Reg_index.t;
   n : int;
   matrix : Dataflow.Bitset.t;  (** triangular; see {!interfere} *)
-  adj : int list array;
+  adj : int list array;  (** deduplicated; alive neighbors only *)
   degree : int array;
+  alive : bool array;  (** false once merged away *)
+  forward : int array;  (** merged-into pointer; see {!find} *)
+  mutable n_edges : int;
+  mutable n_alive : int;
 }
 
 val build : Iloc.Cfg.t -> Dataflow.Liveness.t -> t
 (** One backward pass per block, seeded with the block's live-out set. *)
+
+val of_edges : int -> (int * int) list -> t
+(** A graph over [n] fresh integer-class nodes with the given edges
+    (self-loops and duplicates ignored) — for tests and experiments. *)
 
 val interfere : t -> int -> int -> bool
 val neighbors : t -> int -> int list
 val degree : t -> int -> int
 val reg : t -> int -> Iloc.Reg.t
 val index : t -> Iloc.Reg.t -> int
+val index_opt : t -> Iloc.Reg.t -> int option
 val n_nodes : t -> int
+
 val n_edges : t -> int
+(** O(1): a counter maintained by {!add_edge}, {!remove_edge} and
+    {!merge}. *)
+
+val alive : t -> int -> bool
+val n_alive : t -> int
+
+val find : t -> int -> int
+(** Current representative of a node: itself while alive, else the node
+    it was merged into, transitively (with path compression). *)
+
+val add_edge : t -> int -> int -> unit
+val remove_edge : t -> int -> int -> unit
+
+val merge : t -> keep:int -> drop:int -> unit
+(** Merge live range [drop] into [keep], in place: [keep]'s neighbor set
+    becomes the union of the two, degrees of common neighbors are
+    adjusted, [drop] becomes dead with an empty adjacency and a forward
+    pointer to [keep].  Both nodes must be alive and distinct.
+
+    The union is a {e safe over-approximation} of rebuilding from the
+    coalesced routine: it never misses an interference, but it can keep
+    an edge a rebuild would drop — when the merge enlarges a copy's
+    source range (the dst–src omission at that copy then covers more),
+    or when collapsing a φ copy-cycle leaves the merged range with fewer
+    occurrences than its constituents had.  Such slack is always
+    incident to a merged node, disappears at the next spill round's full
+    build, and only ever makes coloring more conservative (see
+    test_incremental.ml for the machine-checked statement). *)

@@ -58,8 +58,15 @@ let run (g : Interference.t) ~k ~order ~partners =
             first 0)
   in
   List.iter (fun i -> colors.(i) <- pick i) order;
-  let spilled = ref [] in
-  for i = n - 1 downto 0 do
-    if colors.(i) = None then spilled := i :: !spilled
-  done;
-  { colors; spilled = !spilled }
+  (* Only nodes that went through the order can have spilled: a
+     merged-away node legitimately has no color. *)
+  let spilled =
+    List.sort Int.compare
+      (List.filter (fun i -> colors.(i) = None) order)
+  in
+  { colors; spilled }
+
+let phase (ctx : Context.t) ~order ~partners =
+  let g = Context.graph ctx in
+  Context.time ctx Stats.Select (fun () ->
+      run g ~k:ctx.Context.k ~order ~partners)

@@ -14,7 +14,9 @@
 
 type t = {
   colors : int option array;  (** [None] marks a node select left uncolored *)
-  spilled : int list;  (** indices of uncolored nodes *)
+  spilled : int list;
+      (** uncolored members of the coloring order, ascending — nodes
+          merged away by coalescing are not spills *)
 }
 
 val run :
@@ -23,3 +25,6 @@ val run :
   order:int list ->
   partners:int list array ->
   t
+
+val phase : Context.t -> order:int list -> partners:int list array -> t
+(** {!run} on the context's graph and machine, timed as [Select]. *)

@@ -3,18 +3,20 @@ module Reg = Iloc.Reg
 let run (g : Interference.t) ~k ~costs =
   let n = Interference.n_nodes g in
   let deg = Array.init n (Interference.degree g) in
-  let removed = Array.make n false in
+  (* Merged-away nodes take no part in coloring: mark them removed from
+     the start and never push them. *)
+  let removed = Array.init n (fun i -> not (Interference.alive g i)) in
   let queued = Array.make n false in
   let k_of i = k (Reg.cls (Interference.reg g i)) in
   let trivial = Queue.create () in
   for i = 0 to n - 1 do
-    if deg.(i) < k_of i then begin
+    if (not removed.(i)) && deg.(i) < k_of i then begin
       Queue.add i trivial;
       queued.(i) <- true
     end
   done;
   let stack = ref [] in
-  let remaining = ref n in
+  let remaining = ref (Interference.n_alive g) in
   let remove i =
     removed.(i) <- true;
     decr remaining;
@@ -62,3 +64,7 @@ let run (g : Interference.t) ~k ~costs =
     end
   done;
   !stack
+
+let phase (ctx : Context.t) ~costs =
+  let g = Context.graph ctx in
+  Context.time ctx Stats.Simplify (fun () -> run g ~k:ctx.Context.k ~costs)

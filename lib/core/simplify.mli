@@ -5,9 +5,15 @@
     minimizing Chaitin's metric (spill cost divided by current degree) and
     — this is Briggs' {e optimistic} twist — pushes the candidate on the
     stack as well instead of spilling immediately.  Select later discovers
-    whether the candidate actually receives a color. *)
+    whether the candidate actually receives a color.
+
+    Nodes merged away by coalescing ([Interference.alive g i = false])
+    never appear in the order. *)
 
 val run :
   Interference.t -> k:(Iloc.Reg.cls -> int) -> costs:float array -> int list
 (** The returned list is the coloring order: its head is the node select
     must color first (the last node removed from the graph). *)
+
+val phase : Context.t -> costs:float array -> int list
+(** {!run} on the context's graph and machine, timed as [Simplify]. *)

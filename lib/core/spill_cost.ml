@@ -77,3 +77,13 @@ let compute (cfg : Iloc.Cfg.t) (loops : Dataflow.Loops.t) (g : Interference.t)
       costs.(i) <- infinity
   done;
   costs
+
+let phase (ctx : Context.t) =
+  let g = Context.graph ctx in
+  (* Fetched after coalescing: the context recomputes liveness when the
+     coalescer invalidated it, so crossing-block detection sees the
+     merged live ranges. *)
+  let live = Context.liveness ctx in
+  Context.time ctx Stats.Costs (fun () ->
+      compute ctx.Context.cfg ctx.Context.loops g ~live ~tags:ctx.Context.tags
+        ~infinite:ctx.Context.infinite)

@@ -26,6 +26,10 @@ val compute :
     would insert a load or store adjacent to every occurrence without
     shortening the range (Chaitin's classic futile-spill guard). *)
 
+val phase : Context.t -> float array
+(** {!compute} on the context's routine, graph and (fresh) liveness,
+    timed as [Costs]. *)
+
 val load_store_cycles : int
 (** Cycles charged per inserted load or store (2, matching §5.1). *)
 

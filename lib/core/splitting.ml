@@ -122,3 +122,11 @@ let run (scheme : scheme) (cfg : Cfg.t) ~tags =
         candidates)
     chosen;
   !pairs
+
+let phase scheme (ctx : Context.t) =
+  let pairs =
+    Context.time ctx Stats.Splitting (fun () ->
+        run scheme ctx.Context.cfg ~tags:ctx.Context.tags)
+  in
+  ctx.Context.split_pairs <- ctx.Context.split_pairs @ pairs;
+  Context.invalidate ctx

@@ -34,3 +34,8 @@ val run :
   tags:Tag.t Iloc.Reg.Tbl.t ->
   (Iloc.Reg.t * Iloc.Reg.t) list
 (** Returns the split pairs inserted (to be appended to renumber's). *)
+
+val phase : scheme -> Context.t -> unit
+(** {!run} on the context's routine and tags, timed as [Splitting]; the
+    new pairs are appended to the context's split pairs and the derived
+    caches are invalidated. *)

@@ -1,10 +1,33 @@
-type phase = Cfa | Renum | Build | Costs | Color | Spill
+type phase =
+  | Cfa
+  | Renum
+  | Splitting
+  | Liveness
+  | Build
+  | Coalesce
+  | Costs
+  | Simplify
+  | Select
+  | Spill
+
+type counter =
+  | Full_builds
+  | Liveness_runs
+  | Coalesce_sweeps
+  | Coalesced_copies
+  | Node_merges
+  | Spilled_ranges
 
 type row = { round : int; phase : phase; seconds : float }
 
-type t = { mutable rows_rev : row list }
+type t = {
+  mutable rows_rev : row list;
+  counts : (int * counter, int) Hashtbl.t;
+  mutable count_order_rev : (int * counter) list;
+}
 
-let create () = { rows_rev = [] }
+let create () =
+  { rows_rev = []; counts = Hashtbl.create 16; count_order_rev = [] }
 
 let time t ~round phase f =
   let start = Unix.gettimeofday () in
@@ -20,17 +43,57 @@ let time t ~round phase f =
       finish ();
       raise e
 
+let count t ~round counter n =
+  if n <> 0 then begin
+    let key = (round, counter) in
+    match Hashtbl.find_opt t.counts key with
+    | Some c -> Hashtbl.replace t.counts key (c + n)
+    | None ->
+        Hashtbl.add t.counts key n;
+        t.count_order_rev <- key :: t.count_order_rev
+  end
+
 let rows t = List.rev t.rows_rev
+
+let counters t =
+  List.rev_map
+    (fun (round, c) -> (round, c, Hashtbl.find t.counts (round, c)))
+    t.count_order_rev
+
+let counter_total t counter =
+  Hashtbl.fold
+    (fun (_, c) n acc -> if c = counter then acc + n else acc)
+    t.counts 0
+
+let counter_in_round t ~round counter =
+  Option.value (Hashtbl.find_opt t.counts (round, counter)) ~default:0
+
+let max_per_round t counter =
+  Hashtbl.fold
+    (fun (_, c) n acc -> if c = counter then max n acc else acc)
+    t.counts 0
 
 let total t = List.fold_left (fun acc r -> acc +. r.seconds) 0. t.rows_rev
 
 let phase_to_string = function
   | Cfa -> "cfa"
   | Renum -> "renum"
+  | Splitting -> "split"
+  | Liveness -> "live"
   | Build -> "build"
+  | Coalesce -> "coalesce"
   | Costs -> "costs"
-  | Color -> "color"
+  | Simplify -> "simplify"
+  | Select -> "select"
   | Spill -> "spill"
+
+let counter_to_string = function
+  | Full_builds -> "full-builds"
+  | Liveness_runs -> "liveness-runs"
+  | Coalesce_sweeps -> "coalesce-sweeps"
+  | Coalesced_copies -> "coalesced-copies"
+  | Node_merges -> "node-merges"
+  | Spilled_ranges -> "spilled-ranges"
 
 let by_phase t =
   let tbl = Hashtbl.create 16 in
@@ -49,6 +112,13 @@ let by_phase t =
 let pp ppf t =
   List.iter
     (fun (round, phase, s) ->
-      Format.fprintf ppf "round %d %-6s %8.5fs@." round (phase_to_string phase) s)
+      Format.fprintf ppf "round %d %-8s %8.5fs@." round (phase_to_string phase) s)
     (by_phase t);
-  Format.fprintf ppf "total %14.5fs@." (total t)
+  Format.fprintf ppf "total %16.5fs@." (total t);
+  match counters t with
+  | [] -> ()
+  | cs ->
+      List.iter
+        (fun (round, c, n) ->
+          Format.fprintf ppf "round %d %-16s %8d@." round (counter_to_string c) n)
+        cs

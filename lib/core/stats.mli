@@ -1,21 +1,58 @@
-(** Per-phase wall-clock accounting, the instrument behind Table 2.
+(** Per-phase wall-clock and event accounting, the instrument behind
+    Table 2.
 
-    The allocator records one row per (round, phase); [rows] returns them
-    in execution order.  Phase names match the paper's table: [cfa]
-    (control-flow analysis: dominators, frontiers, loops), [renum],
-    [build] (the build–coalesce loop), [costs], [color] (simplify and
-    select), [spill] (spill-code insertion). *)
+    The allocator records one timing row per (round, phase) execution;
+    [rows] returns them in execution order.  Phase names match the
+    allocator pipeline: [cfa] (control-flow analysis: dominators,
+    frontiers, loops), [renum], [split] (the §6 loop-splitting schemes),
+    [live] (liveness), [build] (one from-scratch interference-graph
+    construction), [coalesce] (the in-place coalescing sweeps), [costs],
+    [simplify], [select], [spill] (spill-code insertion).
 
-type phase = Cfa | Renum | Build | Costs | Color | Spill
+    Orthogonal to the timers, integer {e event counters} record how often
+    structural events happened per round — most importantly
+    [Full_builds], which the incremental build–coalesce loop must keep at
+    ≤ 1 per spill round. *)
+
+type phase =
+  | Cfa
+  | Renum
+  | Splitting
+  | Liveness
+  | Build
+  | Coalesce
+  | Costs
+  | Simplify
+  | Select
+  | Spill
+
+type counter =
+  | Full_builds  (** from-scratch {!Interference.build} runs *)
+  | Liveness_runs  (** global liveness recomputations *)
+  | Coalesce_sweeps  (** coalescing sweeps over the routine's copies *)
+  | Coalesced_copies  (** copy instructions removed by coalescing *)
+  | Node_merges  (** in-place {!Interference.merge} operations *)
+  | Spilled_ranges  (** live ranges handed to spill-code insertion *)
 
 type row = { round : int; phase : phase; seconds : float }
 type t
 
 val create : unit -> t
 val time : t -> round:int -> phase -> (unit -> 'a) -> 'a
+val count : t -> round:int -> counter -> int -> unit
 val rows : t -> row list
+val counters : t -> (int * counter * int) list
+(** Per-(round, counter) sums, in first-occurrence order. *)
+
+val counter_total : t -> counter -> int
+val counter_in_round : t -> round:int -> counter -> int
+val max_per_round : t -> counter -> int
+(** Largest per-round value of [counter] over all rounds. *)
+
 val total : t -> float
 val phase_to_string : phase -> string
+val counter_to_string : counter -> string
+
 val by_phase : t -> (int * phase * float) list
 (** Same as {!rows} but summed per (round, phase) pair, ordered. *)
 

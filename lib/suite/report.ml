@@ -111,16 +111,21 @@ type table2_column = {
   t2_kernel : Kernels.kernel;
   old_rows : (int * Remat.Stats.phase * float) list;
   new_rows : (int * Remat.Stats.phase * float) list;
+  old_counters : (int * Remat.Stats.counter * int) list;
+  new_counters : (int * Remat.Stats.counter * int) list;
   old_total : float;
   new_total : float;
 }
 
 let averaged_phases ~repeats mode cfg =
-  (* Average per-(round, phase) wall time over [repeats] runs. *)
+  (* Average per-(round, phase) wall time over [repeats] runs.  The event
+     counters are deterministic, so the last run's suffice. *)
   let acc = Hashtbl.create 32 in
   let order = ref [] in
+  let counters = ref [] in
   for _ = 1 to repeats do
     let res = Remat.Allocator.run ~mode ~machine:Machine.standard cfg in
+    counters := Remat.Stats.counters res.Remat.Allocator.stats;
     List.iter
       (fun (round, phase, s) ->
         let key = (round, phase) in
@@ -131,23 +136,30 @@ let averaged_phases ~repeats mode cfg =
             order := key :: !order)
       (Remat.Stats.by_phase res.Remat.Allocator.stats)
   done;
-  List.rev_map
-    (fun (round, phase) ->
-      (round, phase, Hashtbl.find acc (round, phase) /. float_of_int repeats))
-    !order
+  ( List.rev_map
+      (fun (round, phase) ->
+        (round, phase, Hashtbl.find acc (round, phase) /. float_of_int repeats))
+      !order,
+    !counters )
 
 let table2 ?(repeats = 10) names =
   List.map
     (fun name ->
       let kernel = Kernels.find name in
       let cfg = Kernels.cfg_of ~optimize:true kernel in
-      let old_rows = averaged_phases ~repeats Mode.Chaitin_remat cfg in
-      let new_rows = averaged_phases ~repeats Mode.Briggs_remat cfg in
+      let old_rows, old_counters =
+        averaged_phases ~repeats Mode.Chaitin_remat cfg
+      in
+      let new_rows, new_counters =
+        averaged_phases ~repeats Mode.Briggs_remat cfg
+      in
       let total rows = List.fold_left (fun a (_, _, s) -> a +. s) 0. rows in
       {
         t2_kernel = kernel;
         old_rows;
         new_rows;
+        old_counters;
+        new_counters;
         old_total = total old_rows;
         new_total = total new_rows;
       })
@@ -201,7 +213,98 @@ let pp_table2 ppf cols =
     (fun c ->
       Format.fprintf ppf " | %10.5f %10.5f" c.old_total c.new_total)
     cols;
-  Format.fprintf ppf "@."
+  Format.fprintf ppf "@.";
+  (* Event counters, same column layout.  full-builds stays at 1 per
+     spill round: the coalescer updates the graph in place. *)
+  let counter_keys =
+    List.fold_left
+      (fun acc c ->
+        let ks =
+          List.sort_uniq compare
+            (List.map (fun (r, k, _) -> (r, k))
+               (c.old_counters @ c.new_counters))
+        in
+        if List.length ks > List.length acc then ks else acc)
+      [] cols
+  in
+  if counter_keys <> [] then begin
+    Format.fprintf ppf "%s@."
+      (String.make (14 + (25 * List.length cols)) '-');
+    List.iter
+      (fun (round, key) ->
+        Format.fprintf ppf "%-20s"
+          (Printf.sprintf "%d:%s" round (Remat.Stats.counter_to_string key));
+        List.iter
+          (fun c ->
+            let get counters =
+              List.find_map
+                (fun (r, k, n) ->
+                  if (r, k) = (round, key) then Some n else None)
+                counters
+            in
+            let cell = function
+              | Some n -> Printf.sprintf "%7d" n
+              | None -> Printf.sprintf "%7s" ""
+            in
+            Format.fprintf ppf " | %s %s"
+              (cell (get c.old_counters))
+              (cell (get c.new_counters)))
+          cols;
+        Format.fprintf ppf "@.")
+      counter_keys
+  end
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let table2_json cols =
+  let b = Buffer.create 1024 in
+  let side rows counters total =
+    Buffer.add_string b "{\"phases\":[";
+    List.iteri
+      (fun i (round, phase, s) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b
+          (Printf.sprintf "{\"round\":%d,\"phase\":\"%s\",\"seconds\":%.9f}"
+             round
+             (Remat.Stats.phase_to_string phase)
+             s))
+      rows;
+    Buffer.add_string b "],\"counters\":[";
+    List.iteri
+      (fun i (round, key, n) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b
+          (Printf.sprintf "{\"round\":%d,\"counter\":\"%s\",\"count\":%d}"
+             round
+             (Remat.Stats.counter_to_string key)
+             n))
+      counters;
+    Buffer.add_string b (Printf.sprintf "],\"total_seconds\":%.9f}" total)
+  in
+  Buffer.add_string b "{\"bench\":\"alloc\",\"kernels\":[";
+  List.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "{\"kernel\":\"%s\",\"old\":"
+           (json_escape c.t2_kernel.Kernels.name));
+      side c.old_rows c.old_counters c.old_total;
+      Buffer.add_string b ",\"new\":";
+      side c.new_rows c.new_counters c.new_total;
+      Buffer.add_char b '}')
+    cols;
+  Buffer.add_string b "]}";
+  Buffer.contents b
 
 type ablation_row = {
   ab_kernel : Kernels.kernel;

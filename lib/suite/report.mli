@@ -48,20 +48,31 @@ val table1 :
 
 val pp_table1 : Format.formatter -> table1_row list -> unit
 
-(** Table 2: per-phase allocation times, Old (Chaitin) vs New (Briggs). *)
+(** Table 2: per-phase allocation times, Old (Chaitin) vs New (Briggs),
+    plus the allocator's event counters (full graph builds, liveness
+    runs, coalesce sweeps, node merges, spilled ranges). *)
 type table2_column = {
   t2_kernel : Kernels.kernel;
   old_rows : (int * Remat.Stats.phase * float) list;
   new_rows : (int * Remat.Stats.phase * float) list;
+  old_counters : (int * Remat.Stats.counter * int) list;
+  new_counters : (int * Remat.Stats.counter * int) list;
   old_total : float;
   new_total : float;
 }
 
 val table2 : ?repeats:int -> string list -> table2_column list
 (** Kernels by name; each allocation is repeated [repeats] (default 10)
-    times and per-phase times are averaged, as in §5.4. *)
+    times and per-phase times are averaged, as in §5.4.  Counters are
+    deterministic and reported from a single run. *)
 
 val pp_table2 : Format.formatter -> table2_column list -> unit
+
+val table2_json : table2_column list -> string
+(** Machine-readable form of {!table2} output — one object per kernel
+    with per-phase seconds and per-round counters for both allocators.
+    [bench/main.exe table2] writes this to [BENCH_alloc.json] for
+    cross-revision trajectory tracking. *)
 
 (** §6 ablation: spill cycles per mode per kernel. *)
 type ablation_row = {

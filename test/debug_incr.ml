@@ -1,0 +1,176 @@
+(* Diagnose incremental-graph vs rebuild mismatches on a routine file. *)
+
+module Cfg = Iloc.Cfg
+module Reg = Iloc.Reg
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let () =
+  let path = Sys.argv.(1) in
+  let mode =
+    if Array.length Sys.argv > 2 then
+      Option.get (Remat.Mode.of_string Sys.argv.(2))
+    else Remat.Mode.Chaitin_remat
+  in
+  let cfg0 = Iloc.Parser.routine (read_file path) in
+  ignore (Opt.Dce.routine cfg0);
+  let cfg = Cfg.split_critical_edges cfg0 in
+  let dom = Dataflow.Dominance.compute cfg in
+  let loops = Dataflow.Loops.compute cfg dom in
+  let rn = Remat.Renumber.run mode cfg in
+  let ctx =
+    Remat.Context.create ~mode ~machine:Remat.Machine.standard ~loops
+      ~tags:rn.Remat.Renumber.tags ~split_pairs:rn.Remat.Renumber.split_pairs
+      ~stats:(Remat.Stats.create ()) rn.Remat.Renumber.cfg
+  in
+  Remat.Context.set_round ctx 1;
+  Remat.Allocator.build_coalesce ctx;
+  let g = Remat.Context.graph ctx in
+  let live = Dataflow.Liveness.compute ctx.Remat.Context.cfg in
+  let fresh = Remat.Interference.build ctx.Remat.Context.cfg live in
+  let n = Remat.Interference.n_nodes g in
+  let alive = List.filter (Remat.Interference.alive g) (List.init n Fun.id) in
+  Format.printf "inc: n_alive=%d n_edges=%d   fresh: n=%d n_edges=%d@."
+    (Remat.Interference.n_alive g)
+    (Remat.Interference.n_edges g)
+    (Remat.Interference.n_nodes fresh)
+    (Remat.Interference.n_edges fresh);
+  let fresh_index i =
+    Remat.Interference.index_opt fresh (Remat.Interference.reg g i)
+  in
+  List.iter
+    (fun i ->
+      match fresh_index i with
+      | None ->
+          Format.printf "alive node %d (%s) missing from rebuild@." i
+            (Reg.to_string (Remat.Interference.reg g i))
+      | Some fi ->
+          let di = Remat.Interference.degree g i
+          and df = Remat.Interference.degree fresh fi in
+          if di <> df then
+            Format.printf "degree mismatch %s: inc=%d fresh=%d@."
+              (Reg.to_string (Remat.Interference.reg g i))
+              di df)
+    alive;
+  List.iter
+    (fun i ->
+      List.iter
+        (fun j ->
+          if i < j then
+            match (fresh_index i, fresh_index j) with
+            | Some fi, Some fj ->
+                let a = Remat.Interference.interfere g i j
+                and b = Remat.Interference.interfere fresh fi fj in
+                if a <> b then begin
+                  let copy_between = ref false in
+                  Cfg.iter_instrs
+                    (fun _ ins ->
+                      if Iloc.Instr.is_copy ins then
+                        match (ins.Iloc.Instr.dst, ins.Iloc.Instr.srcs) with
+                        | Some d, [| s |] -> (
+                            match
+                              ( Remat.Interference.index_opt g d,
+                                Remat.Interference.index_opt g s )
+                            with
+                            | Some di, Some si ->
+                                let di = Remat.Interference.find g di
+                                and si = Remat.Interference.find g si in
+                                if
+                                  (di = i && si = j) || (di = j && si = i)
+                                then copy_between := true
+                            | _ -> ())
+                        | _ -> ())
+                    ctx.Remat.Context.cfg;
+                  Format.printf
+                    "edge mismatch %s -- %s: inc=%b fresh=%b copy-pair=%b@."
+                    (Reg.to_string (Remat.Interference.reg g i))
+                    (Reg.to_string (Remat.Interference.reg g j))
+                    a b !copy_between
+                end
+            | _ -> ())
+        alive)
+    alive;
+  (* Any fresh node missing on the incremental side? *)
+  for fi = 0 to Remat.Interference.n_nodes fresh - 1 do
+    let r = Remat.Interference.reg fresh fi in
+    match Remat.Interference.index_opt g r with
+    | Some i when Remat.Interference.alive g i -> ()
+    | _ ->
+        Format.printf "rebuild node %s absent/dead incrementally@."
+          (Reg.to_string r)
+  done
+
+let () =
+  let path = Sys.argv.(1) in
+  let mode =
+    if Array.length Sys.argv > 2 then
+      Option.get (Remat.Mode.of_string Sys.argv.(2))
+    else Remat.Mode.Chaitin_remat
+  in
+  if Array.length Sys.argv > 3 then begin
+    let target = Sys.argv.(3) in
+    let cfg0 = Iloc.Parser.routine (read_file path) in
+    ignore (Opt.Dce.routine cfg0);
+    let cfg = Cfg.split_critical_edges cfg0 in
+    let dom = Dataflow.Dominance.compute cfg in
+    let loops = Dataflow.Loops.compute cfg dom in
+    let rn = Remat.Renumber.run mode cfg in
+    let ctx =
+      Remat.Context.create ~mode ~machine:Remat.Machine.standard ~loops
+        ~tags:rn.Remat.Renumber.tags
+        ~split_pairs:rn.Remat.Renumber.split_pairs
+        ~stats:(Remat.Stats.create ()) rn.Remat.Renumber.cfg
+    in
+    (* occurrences before coalescing *)
+    Format.printf "=== before coalesce, occurrences of %s ===@." target;
+    Cfg.iter_blocks
+      (fun b ->
+        Iloc.Block.iter_instrs
+          (fun i ->
+            let touches =
+              List.exists
+                (fun r -> Reg.to_string r = target)
+                (Iloc.Instr.defs i @ Iloc.Instr.uses i)
+            in
+            if touches then
+              Format.printf "  [%s] %s@." b.Iloc.Block.label
+                (Iloc.Instr.to_string i))
+          b)
+      ctx.Remat.Context.cfg;
+    Remat.Context.set_round ctx 1;
+    Remat.Allocator.build_coalesce ctx;
+    let g = Remat.Context.graph ctx in
+    (* which nodes merged into target *)
+    (let ti = ref None in
+     for i = 0 to Remat.Interference.n_nodes g - 1 do
+       if Reg.to_string (Remat.Interference.reg g i) = target then ti := Some i
+     done;
+     match !ti with
+     | None -> Format.printf "no such node@."
+     | Some ti ->
+         let ti = Remat.Interference.find g ti in
+         for i = 0 to Remat.Interference.n_nodes g - 1 do
+           if Remat.Interference.find g i = ti && i <> ti then
+             Format.printf "merged-in: %s@."
+               (Reg.to_string (Remat.Interference.reg g i))
+         done);
+    Format.printf "=== after coalesce, occurrences of %s ===@." target;
+    Cfg.iter_blocks
+      (fun b ->
+        Iloc.Block.iter_instrs
+          (fun i ->
+            let touches =
+              List.exists
+                (fun r -> Reg.to_string r = target)
+                (Iloc.Instr.defs i @ Iloc.Instr.uses i)
+            in
+            if touches then
+              Format.printf "  [%s] %s@." b.Iloc.Block.label
+                (Iloc.Instr.to_string i))
+          b)
+      ctx.Remat.Context.cfg
+  end

@@ -10,50 +10,43 @@ let () =
     Cfg.split_critical_edges (Suite.Kernels.cfg_of (Suite.Kernels.find name))
   in
   let machine = Remat.Machine.make ~name:"dbg" ~k_int ~k_float:8 in
-  let k = Remat.Machine.k_for machine in
   let dom = Dataflow.Dominance.compute cfg0 in
   let loops = Dataflow.Loops.compute cfg0 dom in
   let mode = if Array.length Sys.argv > 3 then Option.get (Remat.Mode.of_string Sys.argv.(3)) else Remat.Mode.Briggs_remat in
   let rn = Remat.Renumber.run mode cfg0 in
-  let cfg = rn.Remat.Renumber.cfg in
-  let tags = rn.Remat.Renumber.tags in
-  let infinite = Reg.Tbl.create 16 in
+  let ctx =
+    Remat.Context.create ~mode ~machine ~loops ~tags:rn.Remat.Renumber.tags
+      ~split_pairs:rn.Remat.Renumber.split_pairs
+      ~stats:(Remat.Stats.create ()) rn.Remat.Renumber.cfg
+  in
+  let cfg = ctx.Remat.Context.cfg in
+  let tags = ctx.Remat.Context.tags in
+  let infinite = ctx.Remat.Context.infinite in
   let slot_counter = ref 0 in
-  let split_pairs = ref rn.Remat.Renumber.split_pairs in
   let round = ref 0 in
   let continue = ref true in
   while !continue && !round < 10 do
     incr round;
-    let rec bc phase =
-      let live = Dataflow.Liveness.compute cfg in
-      let g = Remat.Interference.build cfg live in
-      let o =
-        Remat.Coalesce.pass phase cfg g ~k ~tags ~infinite
-          ~split_pairs:!split_pairs
-      in
-      split_pairs := o.Remat.Coalesce.split_pairs;
-      if o.Remat.Coalesce.changed then bc phase
-      else if phase = Remat.Coalesce.Unrestricted then bc Remat.Coalesce.Conservative
-      else (live, g)
-    in
-    let live, g = bc Remat.Coalesce.Unrestricted in
-    let costs = Remat.Spill_cost.compute cfg loops g ~live ~tags ~infinite in
-    let order = Remat.Simplify.run g ~k ~costs in
+    Remat.Context.set_round ctx !round;
+    Remat.Allocator.build_coalesce ctx;
+    let g = Remat.Context.graph ctx in
+    let costs = Remat.Spill_cost.phase ctx in
+    let order = Remat.Simplify.phase ctx ~costs in
     let partners = Array.make (Remat.Interference.n_nodes g) [] in
     List.iter
       (fun (a, b) ->
         match
-          ( Dataflow.Reg_index.index_opt g.Remat.Interference.regs a,
-            Dataflow.Reg_index.index_opt g.Remat.Interference.regs b )
+          ( Remat.Interference.index_opt g a,
+            Remat.Interference.index_opt g b )
         with
         | Some ia, Some ib ->
             partners.(ia) <- ib :: partners.(ia);
             partners.(ib) <- ia :: partners.(ib)
         | _ -> ())
-      !split_pairs;
-    let sel = Remat.Select.run g ~k ~order ~partners in
+      ctx.Remat.Context.split_pairs;
+    let sel = Remat.Select.phase ctx ~order ~partners in
     Format.printf "round %d: nodes=%d uncolored=%d@." !round
-      (Remat.Interference.n_nodes g)
+      (Remat.Interference.n_alive g)
       (List.length sel.Remat.Select.spilled);
     List.iter
       (fun i ->
@@ -80,7 +73,7 @@ let () =
       match
         Remat.Spill_code.insert cfg ~tags ~infinite ~spilled ~slot_counter
       with
-      | _ -> ()
+      | _ -> Remat.Context.invalidate ctx
       | exception Remat.Spill_code.Pressure_too_high m ->
           Format.printf "PRESSURE: %s@." m;
           continue := false

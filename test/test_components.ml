@@ -74,7 +74,7 @@ let stats_tests =
         let s = Remat.Stats.create () in
         let r1 = Remat.Stats.time s ~round:1 Remat.Stats.Build (fun () -> 41 + 1) in
         check Alcotest.int "result" 42 r1;
-        ignore (Remat.Stats.time s ~round:1 Remat.Stats.Color (fun () -> ()));
+        ignore (Remat.Stats.time s ~round:1 Remat.Stats.Select (fun () -> ()));
         ignore (Remat.Stats.time s ~round:2 Remat.Stats.Build (fun () -> ()));
         let rows = Remat.Stats.rows s in
         check Alcotest.int "three rows" 3 (List.length rows);
@@ -83,7 +83,7 @@ let stats_tests =
             check Alcotest.int "round order" 1 a.Remat.Stats.round;
             check Alcotest.bool "phases" true
               (a.Remat.Stats.phase = Remat.Stats.Build
-              && b.Remat.Stats.phase = Remat.Stats.Color
+              && b.Remat.Stats.phase = Remat.Stats.Select
               && c.Remat.Stats.round = 2)
         | _ -> Alcotest.fail "rows");
         check Alcotest.bool "total nonneg" true (Remat.Stats.total s >= 0.));
@@ -187,6 +187,14 @@ let spill_code_tests =
 
 (* --- conservative coalescing criterion --- *)
 
+let ctx_of ?(split_pairs = []) cfg =
+  let dom = Dataflow.Dominance.compute cfg in
+  let loops = Dataflow.Loops.compute cfg dom in
+  Remat.Context.create ~mode:Remat.Mode.Briggs_remat
+    ~machine:(Remat.Machine.make ~name:"test4" ~k_int:4 ~k_float:4)
+    ~loops ~tags:(Reg.Tbl.create 4) ~split_pairs
+    ~stats:(Remat.Stats.create ()) cfg
+
 let coalesce_tests =
   [
     tc "unrestricted pass skips split copies" (fun () ->
@@ -199,15 +207,9 @@ let coalesce_tests =
             \  print r2\n\
             \  ret\n"
         in
-        let live = Dataflow.Liveness.compute cfg in
-        let g = Remat.Interference.build cfg live in
         let r1 = Reg.make 1 Reg.Int and r2 = Reg.make 2 Reg.Int in
-        let o =
-          Remat.Coalesce.pass Remat.Coalesce.Unrestricted cfg g
-            ~k:(fun _ -> 4)
-            ~tags:(Reg.Tbl.create 4) ~infinite:(Reg.Tbl.create 4)
-            ~split_pairs:[ (r2, r1) ]
-        in
+        let ctx = ctx_of ~split_pairs:[ (r2, r1) ] cfg in
+        let o = Remat.Coalesce.pass Remat.Coalesce.Unrestricted ctx in
         check Alcotest.bool "unchanged" false o.Remat.Coalesce.changed);
     tc "conservative pass coalesces safe splits" (fun () ->
         let cfg =
@@ -219,18 +221,13 @@ let coalesce_tests =
             \  print r2\n\
             \  ret\n"
         in
-        let live = Dataflow.Liveness.compute cfg in
-        let g = Remat.Interference.build cfg live in
         let r1 = Reg.make 1 Reg.Int and r2 = Reg.make 2 Reg.Int in
-        let o =
-          Remat.Coalesce.pass Remat.Coalesce.Conservative cfg g
-            ~k:(fun _ -> 4)
-            ~tags:(Reg.Tbl.create 4) ~infinite:(Reg.Tbl.create 4)
-            ~split_pairs:[ (r2, r1) ]
-        in
+        let ctx = ctx_of ~split_pairs:[ (r2, r1) ] cfg in
+        let o = Remat.Coalesce.pass Remat.Coalesce.Conservative ctx in
         check Alcotest.bool "changed" true o.Remat.Coalesce.changed;
+        check Alcotest.int "one coalesce" 1 o.Remat.Coalesce.coalesced;
         check Alcotest.int "pair dropped" 0
-          (List.length o.Remat.Coalesce.split_pairs);
+          (List.length ctx.Remat.Context.split_pairs);
         let copies = ref 0 in
         Cfg.iter_instrs
           (fun _ i -> if Instr.is_copy i then incr copies)
@@ -252,14 +249,8 @@ let coalesce_tests =
             \  print r2\n\
             \  ret\n"
         in
-        let live = Dataflow.Liveness.compute cfg in
-        let g = Remat.Interference.build cfg live in
-        let o =
-          Remat.Coalesce.pass Remat.Coalesce.Unrestricted cfg g
-            ~k:(fun _ -> 4)
-            ~tags:(Reg.Tbl.create 4) ~infinite:(Reg.Tbl.create 4)
-            ~split_pairs:[]
-        in
+        let ctx = ctx_of cfg in
+        let o = Remat.Coalesce.pass Remat.Coalesce.Unrestricted ctx in
         check Alcotest.bool "unchanged" false o.Remat.Coalesce.changed);
   ]
 

@@ -1,0 +1,225 @@
+(* The incremental interference graph: in-place coalescing must leave
+   the same graph a from-scratch rebuild would produce, and the allocator
+   must perform at most one full build per spill round. *)
+
+module Cfg = Iloc.Cfg
+module Reg = Iloc.Reg
+module Instr = Iloc.Instr
+
+let tc name f = Alcotest.test_case name `Quick f
+let check = Alcotest.check
+
+(* Run a routine up to the coalescing fixpoint under a fresh context:
+   DCE (dead definitions would otherwise carry clobber edges that no
+   rebuild of the rewritten routine can reproduce), critical-edge split,
+   renumber, then the allocator's incremental build–coalesce loop. *)
+let coalesced_context mode cfg0 =
+  ignore (Opt.Dce.routine cfg0);
+  let cfg = Cfg.split_critical_edges cfg0 in
+  let dom = Dataflow.Dominance.compute cfg in
+  let loops = Dataflow.Loops.compute cfg dom in
+  let rn = Remat.Renumber.run mode cfg in
+  let ctx =
+    Remat.Context.create ~mode ~machine:Remat.Machine.standard ~loops
+      ~tags:rn.Remat.Renumber.tags ~split_pairs:rn.Remat.Renumber.split_pairs
+      ~stats:(Remat.Stats.create ()) rn.Remat.Renumber.cfg
+  in
+  Remat.Context.set_round ctx 1;
+  Remat.Allocator.build_coalesce ctx;
+  ctx
+
+(* Compare the incrementally maintained graph against a from-scratch
+   rebuild of the coalesced routine.  Chaitin's neighbor-set union is a
+   safe over-approximation of the rebuild, exact except around nodes the
+   coalescer touched: [build] omits the dst–src edge at a copy
+   definition, so a merge that enlarges a copy's source range lets the
+   rebuild drop an edge the union keeps; and collapsing a φ copy-cycle
+   can leave a merged range with fewer occurrences than its
+   constituents, shedding rebuild edges that the union retains.  Both
+   kinds of slack are incident to a node that absorbed another in a
+   merge.  The invariant checked:
+
+   - identical node sets (alive nodes <-> rebuild nodes);
+   - no missed interference: every rebuild edge is present in-place
+     (the correctness-critical direction — a missing edge could assign
+     one register to simultaneously-live values);
+   - every extra in-place edge either joins the two ranges of a copy
+     still in the routine or touches a node that absorbed another, so
+     untouched regions of the graph match the rebuild exactly;
+   - the maintained [n_edges] counter and deduplicated adjacency agree
+     with the matrix (sum of alive degrees = 2 * n_edges). *)
+let matches_rebuild (ctx : Remat.Context.t) =
+  let g = Remat.Context.graph ctx in
+  let live = Dataflow.Liveness.compute ctx.Remat.Context.cfg in
+  let fresh = Remat.Interference.build ctx.Remat.Context.cfg live in
+  let n = Remat.Interference.n_nodes g in
+  let alive =
+    List.filter (Remat.Interference.alive g) (List.init n Fun.id)
+  in
+  let fresh_index i =
+    Remat.Interference.index_opt fresh (Remat.Interference.reg g i)
+  in
+  let copy_pairs = Hashtbl.create 16 in
+  Cfg.iter_instrs
+    (fun _ ins ->
+      if Instr.is_copy ins then
+        match (ins.Instr.dst, ins.Instr.srcs) with
+        | Some d, [| s |] -> (
+            match
+              ( Remat.Interference.index_opt g d,
+                Remat.Interference.index_opt g s )
+            with
+            | Some di, Some si ->
+                let di = Remat.Interference.find g di
+                and si = Remat.Interference.find g si in
+                Hashtbl.replace copy_pairs (min di si, max di si) ()
+            | _ -> ())
+        | _ -> ())
+    ctx.Remat.Context.cfg;
+  let absorbed = Array.make n false in
+  List.iter
+    (fun i ->
+      let r = Remat.Interference.find g i in
+      if r <> i then absorbed.(r) <- true)
+    (List.init n Fun.id);
+  let degree_sum =
+    List.fold_left (fun a i -> a + Remat.Interference.degree g i) 0 alive
+  in
+  let dedup_adj i =
+    let nbs = Remat.Interference.neighbors g i in
+    List.length (List.sort_uniq Int.compare nbs) = List.length nbs
+    && List.length nbs = Remat.Interference.degree g i
+  in
+  Remat.Interference.n_alive g = Remat.Interference.n_nodes fresh
+  && degree_sum = 2 * Remat.Interference.n_edges g
+  && List.for_all dedup_adj alive
+  && List.for_all (fun i -> fresh_index i <> None) alive
+  && List.for_all
+       (fun i ->
+         List.for_all
+           (fun j ->
+             i >= j
+             ||
+             match (fresh_index i, fresh_index j) with
+             | Some fi, Some fj -> (
+                 match
+                   ( Remat.Interference.interfere g i j,
+                     Remat.Interference.interfere fresh fi fj )
+                 with
+                 | inc, rebuilt when inc = rebuilt -> true
+                 | false, true -> false (* missed interference: unsound *)
+                 | _, _ ->
+                     Hashtbl.mem copy_pairs (i, j)
+                     || absorbed.(i) || absorbed.(j))
+             | _ -> false)
+           alive)
+       alive
+
+let isomorphism_prop mode name =
+  QCheck.Test.make ~count:150 ~name Testutil.Gen_prog.arbitrary_cfg
+    (fun cfg0 -> matches_rebuild (coalesced_context mode cfg0))
+
+let property_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      isomorphism_prop Remat.Mode.Chaitin_remat
+        "post-coalesce graph = rebuild (chaitin)";
+      isomorphism_prop Remat.Mode.Briggs_remat
+        "post-coalesce graph = rebuild (briggs)";
+    ]
+
+let rewrite_tests =
+  [
+    tc "rewrite_physical deletes identity copies" (fun () ->
+        let cfg =
+          Iloc.Parser.routine
+            "routine x\n\
+             entry:\n\
+            \  r1 <- ldi 1\n\
+            \  r2 <- copy r1\n\
+            \  print r2\n\
+            \  ret\n"
+        in
+        let live = Dataflow.Liveness.compute cfg in
+        let g = Remat.Interference.build cfg live in
+        (* r1 and r2 do not interfere (copy source dies at the copy), so
+           both may receive color 0 — the copy becomes r0 <- copy r0. *)
+        let colors = Array.make (Remat.Interference.n_nodes g) (Some 0) in
+        Remat.Allocator.rewrite_physical cfg g colors;
+        let copies = ref 0 and instrs = ref 0 in
+        Cfg.iter_instrs
+          (fun _ i ->
+            incr instrs;
+            if Instr.is_copy i then incr copies;
+            List.iter
+              (fun r -> check Alcotest.int "physical" 0 (Reg.id r))
+              (Instr.defs i @ Instr.uses i))
+          cfg;
+        check Alcotest.int "identity copy deleted" 0 !copies;
+        check Alcotest.int "other instructions kept" 3 !instrs);
+    tc "rewrite_physical keeps distinct-color copies" (fun () ->
+        let cfg =
+          Iloc.Parser.routine
+            "routine x\n\
+             entry:\n\
+            \  r1 <- ldi 1\n\
+            \  r2 <- copy r1\n\
+            \  print r1\n\
+            \  print r2\n\
+            \  ret\n"
+        in
+        let live = Dataflow.Liveness.compute cfg in
+        let g = Remat.Interference.build cfg live in
+        let colors =
+          Array.init (Remat.Interference.n_nodes g) (fun i -> Some i)
+        in
+        Remat.Allocator.rewrite_physical cfg g colors;
+        let copies = ref 0 in
+        Cfg.iter_instrs (fun _ i -> if Instr.is_copy i then incr copies) cfg;
+        check Alcotest.int "copy kept" 1 !copies);
+  ]
+
+(* The acceptance bound of the refactor: on every suite kernel, in every
+   mode, the allocator performs at most one full graph build (and at most
+   two liveness computations: build + post-coalesce spill costs) per
+   spill round, however many coalescing iterations a round takes. *)
+let kernel_tests =
+  List.map
+    (fun mode ->
+      tc
+        (Printf.sprintf "one build per round on all kernels (%s)"
+           (Remat.Mode.to_string mode))
+        (fun () ->
+          List.iter
+            (fun k ->
+              let cfg = Suite.Kernels.cfg_of ~optimize:true k in
+              let res =
+                Remat.Allocator.run ~mode ~machine:Remat.Machine.standard cfg
+              in
+              let stats = res.Remat.Allocator.stats in
+              let builds =
+                Remat.Stats.max_per_round stats Remat.Stats.Full_builds
+              in
+              if builds > 1 then
+                Alcotest.failf "%s: %d full builds in one round"
+                  k.Suite.Kernels.name builds;
+              let sweeps =
+                Remat.Stats.counter_total stats Remat.Stats.Coalesce_sweeps
+              in
+              if sweeps < res.Remat.Allocator.rounds then
+                Alcotest.failf "%s: %d sweeps over %d rounds"
+                  k.Suite.Kernels.name sweeps res.Remat.Allocator.rounds;
+              check Alcotest.int
+                (k.Suite.Kernels.name ^ " merges = coalesced copies")
+                (Remat.Stats.counter_total stats Remat.Stats.Coalesced_copies)
+                (Remat.Stats.counter_total stats Remat.Stats.Node_merges))
+            Suite.Kernels.all))
+    [ Remat.Mode.Chaitin_remat; Remat.Mode.Briggs_remat ]
+
+let () =
+  Alcotest.run "incremental"
+    [
+      ("graph-isomorphism", property_tests);
+      ("rewrite-physical", rewrite_tests);
+      ("build-counters", kernel_tests);
+    ]

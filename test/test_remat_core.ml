@@ -708,28 +708,7 @@ let interference_prop =
 
 (* Build an interference graph directly from an edge list (all nodes in
    the integer class), for coloring properties independent of any code. *)
-let graph_of_edges n edges =
-  let regs =
-    Dataflow.Reg_index.of_regs (List.init n (fun i -> Reg.make i Reg.Int))
-  in
-  let tri i j =
-    let hi, lo = if i > j then (i, j) else (j, i) in
-    (hi * (hi - 1) / 2) + lo
-  in
-  let matrix = Dataflow.Bitset.create (n * (n - 1) / 2) in
-  let adj = Array.make n [] in
-  let degree = Array.make n 0 in
-  List.iter
-    (fun (i, j) ->
-      if i <> j && not (Dataflow.Bitset.mem matrix (tri i j)) then begin
-        Dataflow.Bitset.add matrix (tri i j);
-        adj.(i) <- j :: adj.(i);
-        adj.(j) <- i :: adj.(j);
-        degree.(i) <- degree.(i) + 1;
-        degree.(j) <- degree.(j) + 1
-      end)
-    edges;
-  { Remat.Interference.regs; n; matrix; adj; degree }
+let graph_of_edges n edges = Remat.Interference.of_edges n edges
 
 let graph_gen =
   QCheck.Gen.(
