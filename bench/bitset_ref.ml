@@ -1,0 +1,80 @@
+(* The pre-word-parallel bitset, kept verbatim as a benchmark reference.
+
+   This is the byte-at-a-time implementation the allocator shipped with
+   before lib/dataflow/bitset.ml was rewritten to operate on 64-bit
+   words: every [add]/[mem] pays a bounds check and a [get_uint8], the
+   binops loop per byte, and [iter] tests all 8 positions of each
+   non-zero byte.  The [bitset/*] Bechamel group in main.ml runs the
+   same workloads against this module and the live [Dataflow.Bitset] so
+   the speedup of the word-parallel kernels stays measurable across
+   revisions.  It is not used by the allocator itself. *)
+
+type t = { words : Bytes.t; capacity : int }
+
+let create capacity =
+  if capacity < 0 then invalid_arg "Bitset.create";
+  { words = Bytes.make ((capacity + 7) / 8) '\000'; capacity }
+
+let check t i =
+  if i < 0 || i >= t.capacity then
+    invalid_arg (Printf.sprintf "Bitset: index %d out of [0,%d)" i t.capacity)
+
+let add t i =
+  check t i;
+  let b = Bytes.get_uint8 t.words (i lsr 3) in
+  Bytes.set_uint8 t.words (i lsr 3) (b lor (1 lsl (i land 7)))
+
+let mem t i =
+  check t i;
+  Bytes.get_uint8 t.words (i lsr 3) land (1 lsl (i land 7)) <> 0
+
+let popcount8 =
+  let tbl = Array.make 256 0 in
+  for i = 1 to 255 do
+    tbl.(i) <- tbl.(i lsr 1) + (i land 1)
+  done;
+  fun b -> tbl.(b)
+
+let cardinal t =
+  let n = Bytes.length t.words in
+  let c = ref 0 in
+  for i = 0 to n - 1 do
+    c := !c + popcount8 (Bytes.get_uint8 t.words i)
+  done;
+  !c
+
+let same_capacity a b op =
+  if a.capacity <> b.capacity then
+    invalid_arg (Printf.sprintf "Bitset.%s: capacity mismatch" op)
+
+let binop_into name f ~dst src =
+  same_capacity dst src name;
+  let changed = ref false in
+  for i = 0 to Bytes.length dst.words - 1 do
+    let old = Bytes.get_uint8 dst.words i in
+    let v = f old (Bytes.get_uint8 src.words i) land 0xff in
+    if v <> old then (
+      Bytes.set_uint8 dst.words i v;
+      changed := true)
+  done;
+  !changed
+
+let union_into ~dst src = binop_into "union_into" ( lor ) ~dst src
+let inter_into ~dst src = binop_into "inter_into" ( land ) ~dst src
+
+let diff_into ~dst src =
+  binop_into "diff_into" (fun a b -> a land lnot b) ~dst src
+
+let iter f t =
+  for i = 0 to Bytes.length t.words - 1 do
+    let b = Bytes.get_uint8 t.words i in
+    if b <> 0 then
+      for j = 0 to 7 do
+        if b land (1 lsl j) <> 0 then f ((i lsl 3) + j)
+      done
+  done
+
+let of_list capacity l =
+  let t = create capacity in
+  List.iter (add t) l;
+  t

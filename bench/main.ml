@@ -9,7 +9,13 @@
      bench/main.exe table2         per-phase allocation times (Table 2)
      bench/main.exe fig1|fig2|fig3|fig4
      bench/main.exe ablation       splitting schemes of section 6
-     bench/main.exe bechamel       micro-benchmarks only *)
+     bench/main.exe bechamel       micro-benchmarks only
+
+   Flags (anywhere on the command line):
+     --repeats N   timing repetitions per table2 measurement (default 10)
+     --jobs N      worker domains for table2 columns (default 1; parallel
+                   columns contend for cores, so use N > 1 for counter
+                   regeneration and CI smoke runs, not wall-clock numbers) *)
 
 let std = Format.std_formatter
 
@@ -23,12 +29,15 @@ let table1 () =
   Suite.Report.pp_table1 std rows;
   Format.fprintf std "@."
 
-let table2 () =
+let table2 ~repeats ~jobs () =
   Format.fprintf std
     "=== Table 2: Allocation Times in Seconds ===@.\
      (Old = Chaitin-style rematerialization, New = this paper; averages@.\
-    \ over 10 runs; rows are round:phase as in the paper)@.@.";
-  let cols = Suite.Report.table2 ~repeats:10 [ "repvid"; "tomcatv"; "twldrv" ] in
+    \ over %d runs; rows are round:phase as in the paper)@.@."
+    repeats;
+  let cols =
+    Suite.Report.table2 ~repeats ~jobs [ "repvid"; "tomcatv"; "twldrv" ]
+  in
   Suite.Report.pp_table2 std cols;
   let json_path = "BENCH_alloc.json" in
   let oc = open_out json_path in
@@ -77,6 +86,64 @@ let baseline () =
 
 (* --- Bechamel micro-benchmarks: one group per table/figure --- *)
 
+(* Old (byte-at-a-time, Bitset_ref) vs new (word-parallel,
+   Dataflow.Bitset) dataflow kernels on liveness-shaped sets: 512
+   registers, ~1/8 occupancy.  The element lists are deterministic so
+   both implementations chew identical data. *)
+let bitset_tests =
+  let open Bechamel in
+  let cap = 512 in
+  let elems salt =
+    List.init (cap / 8) (fun i -> (i * 8 + ((i * salt) mod 8)) mod cap)
+  in
+  let e1 = elems 3 and e2 = elems 5 in
+  let old1 = Bitset_ref.of_list cap e1 and old2 = Bitset_ref.of_list cap e2 in
+  let new1 = Dataflow.Bitset.of_list cap e1
+  and new2 = Dataflow.Bitset.of_list cap e2 in
+  [
+    Test.make ~name:"bitset/union-old"
+      (Staged.stage (fun () -> ignore (Bitset_ref.union_into ~dst:old1 old2)));
+    Test.make ~name:"bitset/union-new"
+      (Staged.stage (fun () ->
+           ignore (Dataflow.Bitset.union_into ~dst:new1 new2)));
+    Test.make ~name:"bitset/inter-diff-old"
+      (Staged.stage (fun () ->
+           ignore (Bitset_ref.inter_into ~dst:old1 old2);
+           ignore (Bitset_ref.diff_into ~dst:old1 old2)));
+    Test.make ~name:"bitset/inter-diff-new"
+      (Staged.stage (fun () ->
+           ignore (Dataflow.Bitset.inter_into ~dst:new1 new2);
+           ignore (Dataflow.Bitset.diff_into ~dst:new1 new2)));
+    Test.make ~name:"bitset/iter-old"
+      (Staged.stage (fun () ->
+           let n = ref 0 in
+           Bitset_ref.iter (fun i -> n := !n + i) old2;
+           ignore !n));
+    Test.make ~name:"bitset/iter-new"
+      (Staged.stage (fun () ->
+           let n = ref 0 in
+           Dataflow.Bitset.iter (fun i -> n := !n + i) new2;
+           ignore !n));
+    Test.make ~name:"bitset/cardinal-old"
+      (Staged.stage (fun () -> ignore (Bitset_ref.cardinal old2)));
+    Test.make ~name:"bitset/cardinal-new"
+      (Staged.stage (fun () -> ignore (Dataflow.Bitset.cardinal new2)));
+    Test.make ~name:"bitset/add-mem-old"
+      (Staged.stage (fun () ->
+           let s = Bitset_ref.create cap in
+           List.iter (Bitset_ref.add s) e1;
+           let n = ref 0 in
+           List.iter (fun i -> if Bitset_ref.mem s i then incr n) e2;
+           ignore !n));
+    Test.make ~name:"bitset/add-mem-new"
+      (Staged.stage (fun () ->
+           let s = Dataflow.Bitset.create cap in
+           List.iter (Dataflow.Bitset.add s) e1;
+           let n = ref 0 in
+           List.iter (fun i -> if Dataflow.Bitset.mem s i then incr n) e2;
+           ignore !n));
+  ]
+
 let bechamel () =
   let open Bechamel in
   let open Toolkit in
@@ -88,7 +155,8 @@ let bechamel () =
     ignore (Remat.Allocator.run ~mode ~machine cfg)
   in
   let tests =
-    [
+    bitset_tests
+    @ [
       (* Table 1 engine: both allocators end to end. *)
       Test.make ~name:"table1/chaitin-tomcatv"
         (Staged.stage
@@ -114,7 +182,7 @@ let bechamel () =
         (Staged.stage
            (alloc Remat.Mode.Briggs_remat_phi_splits Remat.Machine.standard
               tomcatv));
-    ]
+      ]
   in
   let test = Test.make_grouped ~name:"remat" ~fmt:"%s %s" tests in
   let benchmark () =
@@ -153,25 +221,59 @@ let figures which =
   | `F3 -> Suite.Figures.fig3 std
   | `F4 -> Suite.Figures.fig4 std
 
-let all () =
+let all ~repeats ~jobs () =
   figures `F1;
   figures `F2;
   figures `F3;
   figures `F4;
   table1 ();
-  table2 ();
+  table2 ~repeats ~jobs ();
   ablation ();
   baseline ();
   bechamel ()
 
+(* Tiny hand parser: targets and [--flag N] pairs may be interleaved. *)
 let () =
-  match Array.to_list Sys.argv with
-  | [] | [ _ ] -> all ()
-  | _ :: args ->
+  let repeats = ref 10 and jobs = ref 1 in
+  let targets = ref [] in
+  let int_arg flag = function
+    | Some v -> (
+        match int_of_string_opt v with
+        | Some n when n > 0 -> n
+        | _ ->
+            Format.eprintf "%s wants a positive integer, got %S@." flag v;
+            exit 2)
+    | None ->
+        Format.eprintf "%s wants an argument@." flag;
+        exit 2
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--repeats" :: rest ->
+        let v, rest =
+          match rest with v :: rest -> (Some v, rest) | [] -> (None, [])
+        in
+        repeats := int_arg "--repeats" v;
+        parse rest
+    | "--jobs" :: rest ->
+        let v, rest =
+          match rest with v :: rest -> (Some v, rest) | [] -> (None, [])
+        in
+        jobs := int_arg "--jobs" v;
+        parse rest
+    | t :: rest ->
+        targets := t :: !targets;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let repeats = !repeats and jobs = !jobs in
+  match List.rev !targets with
+  | [] -> all ~repeats ~jobs ()
+  | targets ->
       List.iter
         (function
           | "table1" -> table1 ()
-          | "table2" -> table2 ()
+          | "table2" -> table2 ~repeats ~jobs ()
           | "fig1" -> figures `F1
           | "fig2" -> figures `F2
           | "fig3" -> figures `F3
@@ -185,4 +287,4 @@ let () =
                  bechamel)@."
                 other;
               exit 2)
-        args
+        targets

@@ -5,7 +5,7 @@
      - any other path           : textual ILOC
      - [kernel:NAME]            : a routine from the built-in suite
 
-   Subcommands: parse, opt, alloc, run, kernels, report. *)
+   Subcommands: parse, opt, alloc, batch, run, kernels, report. *)
 
 open Cmdliner
 
@@ -164,6 +164,97 @@ let alloc_cmd =
     Term.(
       const run $ source $ optimize $ mode $ k_int $ k_float $ verbose $ stats)
 
+let batch_cmd =
+  let run sources all_kernels opt_flag mode k_int k_float jobs =
+    or_die (fun () ->
+        (* Input files are read (and kernels resolved) sequentially up
+           front; the workers get pure strings and kernel records, so no
+           I/O and no shared mutable state crosses a domain boundary. *)
+        let named =
+          List.map
+            (fun k -> (k.Suite.Kernels.name, `Kernel k))
+            (if all_kernels then Suite.Kernels.all else [])
+          @ List.map
+              (fun src ->
+                let prefix = "kernel:" in
+                if
+                  String.length src > String.length prefix
+                  && String.sub src 0 (String.length prefix) = prefix
+                then
+                  let name =
+                    String.sub src (String.length prefix)
+                      (String.length src - String.length prefix)
+                  in
+                  (src, `Kernel (Suite.Kernels.find name))
+                else if Filename.check_suffix src ".mf" then
+                  (src, `Mf (read_file src))
+                else (src, `Iloc (read_file src)))
+              sources
+        in
+        if named = [] then begin
+          Fmt.epr "batch: no inputs (give SOURCES or --kernels)@.";
+          exit 2
+        end;
+        let machine = Remat.Machine.make ~name:"cli" ~k_int ~k_float in
+        let jobs = if jobs = 0 then Suite.Pool.default_jobs () else jobs in
+        let allocate (name, payload) =
+          let cfg =
+            match payload with
+            | `Kernel k -> Suite.Kernels.cfg_of k
+            | `Mf text -> Frontend.Lower.compile text
+            | `Iloc text -> Iloc.Parser.routine text
+          in
+          let cfg = if opt_flag then Opt.Pipeline.run cfg else cfg in
+          let res = Remat.Allocator.run ~mode ~machine cfg in
+          (match Remat.Allocator.check res with
+          | Ok () -> ()
+          | Error es ->
+              failwith
+                (Printf.sprintf "%s: internal check failed: %s" name
+                   (String.concat "; " es)));
+          Printf.sprintf
+            ";; === %s ===\n\
+             %s; rounds=%d spilled=%d+%d remat=%d coalesced=%d\n"
+            name
+            (Iloc.Printer.routine_to_string res.Remat.Allocator.cfg)
+            res.Remat.Allocator.rounds res.Remat.Allocator.spilled_memory
+            res.Remat.Allocator.spill_slots res.Remat.Allocator.spilled_remat
+            res.Remat.Allocator.coalesced_copies
+        in
+        let t0 = Unix.gettimeofday () in
+        let outputs = Suite.Pool.run ~jobs allocate (Array.of_list named) in
+        let elapsed = Unix.gettimeofday () -. t0 in
+        Array.iter print_string outputs;
+        (* Stderr, so stdout stays byte-identical across -j values. *)
+        Fmt.epr "; batch: %d routines in %.3fs with %d jobs@."
+          (Array.length outputs) elapsed jobs)
+  in
+  let sources =
+    let doc = "Input routines: .mf files, ILOC files, or kernel:NAME." in
+    Arg.(value & pos_all string [] & info [] ~docv:"SOURCES" ~doc)
+  in
+  let all_kernels =
+    Arg.(
+      value & flag
+      & info [ "kernels" ]
+          ~doc:"Also allocate every built-in suite kernel (before SOURCES).")
+  in
+  let jobs =
+    let doc =
+      "Number of worker domains; 0 picks the machine's recommended count. \
+       Results are printed in input order and are byte-identical for every \
+       value of $(docv)."
+    in
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let doc =
+    "Allocate many independent routines on a multicore worker pool."
+  in
+  Cmd.v (Cmd.info "batch" ~doc)
+    Term.(
+      const run $ sources $ all_kernels $ optimize $ mode $ k_int $ k_float
+      $ jobs)
+
 let run_cmd =
   let run src opt_flag do_alloc mode k_int k_float =
     or_die (fun () ->
@@ -302,5 +393,5 @@ let () =
   in
   let info = Cmd.info "ralloc" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-    [ parse_cmd; opt_cmd; alloc_cmd; run_cmd; kernels_cmd; dot_cmd;
-       emit_cmd; report_cmd ]))
+    [ parse_cmd; opt_cmd; alloc_cmd; batch_cmd; run_cmd; kernels_cmd;
+       dot_cmd; emit_cmd; report_cmd ]))

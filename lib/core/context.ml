@@ -12,8 +12,10 @@ type t = {
   mutable round : int;
   mutable split_pairs : (Reg.t * Reg.t) list;
   mutable coalesced : int;
+  mutable order : int array option;
   mutable live : Dataflow.Liveness.t option;
   mutable graph : Interference.t option;
+  mutable matrix_scratch : Dataflow.Bitset.t option;
 }
 
 let create ~mode ~machine ~loops ~tags ~split_pairs ~stats cfg =
@@ -29,20 +31,32 @@ let create ~mode ~machine ~loops ~tags ~split_pairs ~stats cfg =
     round = 0;
     split_pairs;
     coalesced = 0;
+    order = None;
     live = None;
     graph = None;
+    matrix_scratch = None;
   }
 
 let set_round t r = t.round <- r
 let time t phase f = Stats.time t.stats ~round:t.round phase f
 let count t counter n = Stats.count t.stats ~round:t.round counter n
 
+let block_order t =
+  match t.order with
+  | Some o -> o
+  | None ->
+      let o = Dataflow.Order.postorder t.cfg in
+      t.order <- Some o;
+      o
+
 let liveness t =
   match t.live with
   | Some l -> l
   | None ->
+      let order = block_order t in
       let l =
-        time t Stats.Liveness (fun () -> Dataflow.Liveness.compute t.cfg)
+        time t Stats.Liveness (fun () ->
+            Dataflow.Liveness.compute ~order t.cfg)
       in
       count t Stats.Liveness_runs 1;
       t.live <- Some l;
@@ -53,13 +67,21 @@ let graph t =
   | Some g -> g
   | None ->
       let l = liveness t in
-      let g = time t Stats.Build (fun () -> Interference.build t.cfg l) in
+      let g =
+        time t Stats.Build (fun () ->
+            Interference.build ?matrix:t.matrix_scratch t.cfg l)
+      in
       count t Stats.Full_builds 1;
       t.graph <- Some g;
+      (* Keep the (possibly freshly grown) matrix for the next round's
+         rebuild; the node count only grows as spill code adds
+         temporaries, so the newest matrix is always the largest. *)
+      t.matrix_scratch <- Some g.Interference.matrix;
       g
 
 let invalidate_liveness t = t.live <- None
 
 let invalidate t =
   t.live <- None;
-  t.graph <- None
+  t.graph <- None;
+  t.order <- None

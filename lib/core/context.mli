@@ -1,8 +1,8 @@
 (** The allocation context: one record threading everything the
     allocator's phases share — the routine under allocation, the machine
     and mode, the tag and infinite-cost tables, the split-pair list, the
-    per-phase {!Stats} — plus {e caches} for the two derived structures,
-    global liveness and the interference graph.
+    per-phase {!Stats} — plus {e caches} for the derived structures:
+    the block postorder, global liveness, and the interference graph.
 
     The caches carry the incremental-update invariant of the
     build–coalesce loop: {!graph} performs a from-scratch
@@ -10,8 +10,14 @@
     keeps the cached graph current in place ({!Interference.merge}), so a
     spill round triggers at most one full build.  Phases that mutate the
     routine declare what they stale: coalescing calls
-    {!invalidate_liveness} (the graph it maintains itself); spill-code
-    insertion calls {!invalidate} (both).
+    {!invalidate_liveness} (the graph it maintains itself; the block
+    order survives, since coalescing rewrites instructions but never
+    edges); spill-code insertion calls {!invalidate} (everything).
+
+    Rebuilds also recycle storage: the triangular bit matrix of the
+    previous round's graph is kept as a scratch buffer and handed back
+    to {!Interference.build}, so a spill round reuses the n(n−1)/2 bits
+    instead of reallocating them.
 
     All timing and event counting goes through {!time} and {!count},
     which stamp the context's current round. *)
@@ -29,8 +35,11 @@ type t = {
   mutable round : int;
   mutable split_pairs : (Iloc.Reg.t * Iloc.Reg.t) list;
   mutable coalesced : int;  (** copies removed by coalescing, total *)
+  mutable order : int array option;  (** postorder cache; see {!block_order} *)
   mutable live : Dataflow.Liveness.t option;  (** cache; may be stale *)
   mutable graph : Interference.t option;  (** cache; kept current *)
+  mutable matrix_scratch : Dataflow.Bitset.t option;
+      (** the last graph's bit matrix, recycled across rebuilds *)
 }
 
 val create :
@@ -47,17 +56,23 @@ val set_round : t -> int -> unit
 val time : t -> Stats.phase -> (unit -> 'a) -> 'a
 val count : t -> Stats.counter -> int -> unit
 
+val block_order : t -> int array
+(** Cached {!Dataflow.Order.postorder} of [cfg].  Valid as long as the
+    CFG's shape is unchanged — coalescing only rewrites instructions in
+    place, so only {!invalidate} (spill insertion) drops it. *)
+
 val liveness : t -> Dataflow.Liveness.t
-(** Cached global liveness of [cfg]; recomputed (timed and counted) when
-    a phase has invalidated it. *)
+(** Cached global liveness of [cfg]; recomputed (timed and counted,
+    reusing {!block_order}) when a phase has invalidated it. *)
 
 val graph : t -> Interference.t
 (** Cached interference graph; built from scratch (timed and counted as
-    a [Full_builds] event) only when absent. *)
+    a [Full_builds] event, recycling the scratch matrix) only when
+    absent. *)
 
 val invalidate_liveness : t -> unit
 (** The routine changed in a way the graph tracks incrementally but
-    liveness does not (coalescing). *)
+    liveness does not (coalescing).  The block order stays valid. *)
 
 val invalidate : t -> unit
-(** The routine changed structurally (spill code): both caches drop. *)
+(** The routine changed structurally (spill code): every cache drops. *)

@@ -1,4 +1,5 @@
 module Bitset = Dataflow.Bitset
+module Int_vec = Dataflow.Int_vec
 module Reg_index = Dataflow.Reg_index
 module Reg = Iloc.Reg
 module Instr = Iloc.Instr
@@ -7,7 +8,7 @@ type t = {
   regs : Reg_index.t;
   n : int;
   matrix : Bitset.t;
-  adj : int list array;
+  adj : Int_vec.t array;
   degree : int array;
   alive : bool array;
   forward : int array;
@@ -15,13 +16,17 @@ type t = {
   mutable n_alive : int;
 }
 
-(* Triangular index for an unordered pair (i <> j). *)
+(* Triangular index for an unordered pair (i <> j).  For i, j < n the
+   result is < n(n-1)/2 = the matrix capacity, so matrix accesses below
+   use the unchecked bitset operations. *)
 let tri i j =
   let hi, lo = if i > j then (i, j) else (j, i) in
   (hi * (hi - 1) / 2) + lo
 
-let interfere t i j = i <> j && Bitset.mem t.matrix (tri i j)
-let neighbors t i = t.adj.(i)
+let interfere t i j = i <> j && Bitset.unsafe_mem t.matrix (tri i j)
+let neighbors t i = Int_vec.to_list t.adj.(i)
+let iter_neighbors f t i = Int_vec.iter f t.adj.(i)
+let fold_neighbors f t i init = Int_vec.fold f t.adj.(i) init
 let degree t i = t.degree.(i)
 let reg t i = Reg_index.reg t.regs i
 let index t r = Reg_index.index t.regs r
@@ -45,20 +50,20 @@ let rec find t i =
    turns on, so [degree] is always the vector's length and [n_edges] can
    be maintained as a counter instead of a fold over degrees. *)
 let add_edge t i j =
-  if i <> j && not (Bitset.mem t.matrix (tri i j)) then begin
-    Bitset.add t.matrix (tri i j);
-    t.adj.(i) <- j :: t.adj.(i);
-    t.adj.(j) <- i :: t.adj.(j);
+  if i <> j && not (Bitset.unsafe_mem t.matrix (tri i j)) then begin
+    Bitset.unsafe_add t.matrix (tri i j);
+    Int_vec.push t.adj.(i) j;
+    Int_vec.push t.adj.(j) i;
     t.degree.(i) <- t.degree.(i) + 1;
     t.degree.(j) <- t.degree.(j) + 1;
     t.n_edges <- t.n_edges + 1
   end
 
 let remove_edge t i j =
-  if i <> j && Bitset.mem t.matrix (tri i j) then begin
-    Bitset.remove t.matrix (tri i j);
-    t.adj.(i) <- List.filter (fun x -> x <> j) t.adj.(i);
-    t.adj.(j) <- List.filter (fun x -> x <> i) t.adj.(j);
+  if i <> j && Bitset.unsafe_mem t.matrix (tri i j) then begin
+    Bitset.unsafe_remove t.matrix (tri i j);
+    Int_vec.remove_value t.adj.(i) j;
+    Int_vec.remove_value t.adj.(j) i;
     t.degree.(i) <- t.degree.(i) - 1;
     t.degree.(j) <- t.degree.(j) - 1;
     t.n_edges <- t.n_edges - 1
@@ -70,27 +75,42 @@ let merge t ~keep ~drop =
   if keep = drop then invalid_arg "Interference.merge: keep = drop";
   (* Chaitin's in-place update: the merged node interferes with the union
      of the two neighbor sets.  Moving [drop]'s edges through [add_edge]
-     dedups against [keep]'s existing adjacency via the bit matrix. *)
-  List.iter
+     dedups against [keep]'s existing adjacency via the bit matrix.
+     [drop]'s own vector is only read here — [add_edge] touches the
+     vectors of [keep] and [x], never [drop]'s. *)
+  Int_vec.iter
     (fun x ->
-      Bitset.remove t.matrix (tri drop x);
-      t.adj.(x) <- List.filter (fun y -> y <> drop) t.adj.(x);
+      Bitset.unsafe_remove t.matrix (tri drop x);
+      Int_vec.remove_value t.adj.(x) drop;
       t.degree.(x) <- t.degree.(x) - 1;
       t.n_edges <- t.n_edges - 1;
       if x <> keep then add_edge t keep x)
     t.adj.(drop);
-  t.adj.(drop) <- [];
+  Int_vec.clear t.adj.(drop);
   t.degree.(drop) <- 0;
   t.alive.(drop) <- false;
   t.forward.(drop) <- keep;
   t.n_alive <- t.n_alive - 1
 
-let make regs n =
+let make ?matrix regs n =
+  let bits = n * (n - 1) / 2 in
+  let matrix =
+    (* Recycle the caller's scratch buffer (cleared) when it is big
+       enough; the previous round's graph must no longer be in use. *)
+    match matrix with
+    | Some buf -> (
+        match Bitset.view buf bits with
+        | Some m -> m
+        | None -> Bitset.create bits)
+    | None -> Bitset.create bits
+  in
   {
     regs;
     n;
-    matrix = Bitset.create (n * (n - 1) / 2);
-    adj = Array.make n [];
+    matrix;
+    (* Pre-size for the typical degree so the build loop's pushes rarely
+       grow: allocator graphs on the suite average ~16 neighbors. *)
+    adj = Array.init n (fun _ -> Int_vec.create ~cap:16 ());
     degree = Array.make n 0;
     alive = Array.make n true;
     forward = Array.init n (fun i -> i);
@@ -106,10 +126,21 @@ let of_edges n edges =
   List.iter (fun (i, j) -> add_edge t i j) edges;
   t
 
-let build (cfg : Iloc.Cfg.t) (live : Dataflow.Liveness.t) =
+let build ?matrix (cfg : Iloc.Cfg.t) (live : Dataflow.Liveness.t) =
   let regs = live.Dataflow.Liveness.regs in
   let n = Reg_index.count regs in
-  let t = make regs n in
+  let t = make ?matrix regs n in
+  (* Edges only connect registers of the same class, so instead of a
+     class lookup per live bit the defining register's candidates are
+     narrowed word-parallel: live_now ∩ class-mask, then the iteration
+     touches exactly the indices that can get an edge. *)
+  let int_mask = Bitset.create n and float_mask = Bitset.create n in
+  for i = 0 to n - 1 do
+    match Reg.cls (Reg_index.reg regs i) with
+    | Reg.Int -> Bitset.unsafe_add int_mask i
+    | Reg.Float -> Bitset.unsafe_add float_mask i
+  done;
+  let candidates = Bitset.create n in
   Iloc.Cfg.iter_blocks
     (fun b ->
       let live_now = Bitset.copy live.Dataflow.Liveness.live_out.(b.id) in
@@ -119,25 +150,24 @@ let build (cfg : Iloc.Cfg.t) (live : Dataflow.Liveness.t) =
             let di = Reg_index.index regs d in
             let skip =
               (* Copies: the new value and the copied value may share a
-                 register, so no edge between them (enables coalescing). *)
-              if Instr.is_copy i then
-                Some (Reg_index.index regs i.Instr.srcs.(0))
-              else None
+                 register, so no edge between them (enables coalescing).
+                 -1 never equals a live index. *)
+              if Instr.is_copy i then Reg_index.index regs i.Instr.srcs.(0)
+              else -1
             in
+            Bitset.assign ~dst:candidates live_now;
+            ignore
+              (Bitset.inter_into ~dst:candidates
+                 (match Reg.cls d with
+                 | Reg.Int -> int_mask
+                 | Reg.Float -> float_mask));
             Bitset.iter
-              (fun l ->
-                if
-                  l <> di
-                  && Option.fold ~none:true ~some:(fun s -> l <> s) skip
-                  && Reg.cls_equal
-                       (Reg.cls (Reg_index.reg regs l))
-                       (Reg.cls d)
-                then add_edge t di l)
-              live_now;
-            Bitset.remove live_now di
+              (fun l -> if l <> di && l <> skip then add_edge t di l)
+              candidates;
+            Bitset.unsafe_remove live_now di
         | None -> ());
         List.iter
-          (fun u -> Bitset.add live_now (Reg_index.index regs u))
+          (fun u -> Bitset.unsafe_add live_now (Reg_index.index regs u))
           (Instr.uses i)
       in
       step b.term;

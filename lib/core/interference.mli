@@ -23,7 +23,8 @@ type t = {
   regs : Dataflow.Reg_index.t;
   n : int;
   matrix : Dataflow.Bitset.t;  (** triangular; see {!interfere} *)
-  adj : int list array;  (** deduplicated; alive neighbors only *)
+  adj : Dataflow.Int_vec.t array;
+      (** deduplicated; alive neighbors only; unordered *)
   degree : int array;
   alive : bool array;  (** false once merged away *)
   forward : int array;  (** merged-into pointer; see {!find} *)
@@ -31,15 +32,27 @@ type t = {
   mutable n_alive : int;
 }
 
-val build : Iloc.Cfg.t -> Dataflow.Liveness.t -> t
-(** One backward pass per block, seeded with the block's live-out set. *)
+val build : ?matrix:Dataflow.Bitset.t -> Iloc.Cfg.t -> Dataflow.Liveness.t -> t
+(** One backward pass per block, seeded with the block's live-out set.
+    [matrix], when given, is a scratch buffer from an earlier build: if
+    its storage can hold the n(n−1)/2 triangular bits it is cleared and
+    recycled (via {!Dataflow.Bitset.view}) instead of allocating fresh —
+    the earlier graph must no longer be in use.  The allocation context
+    threads its previous matrix through here on every spill-round
+    rebuild. *)
 
 val of_edges : int -> (int * int) list -> t
 (** A graph over [n] fresh integer-class nodes with the given edges
     (self-loops and duplicates ignored) — for tests and experiments. *)
 
 val interfere : t -> int -> int -> bool
+
 val neighbors : t -> int -> int list
+(** Fresh list; prefer {!iter_neighbors}/{!fold_neighbors} on hot
+    paths.  Neighbor order is unspecified (vectors use swap-removal). *)
+
+val iter_neighbors : (int -> unit) -> t -> int -> unit
+val fold_neighbors : (int -> 'a -> 'a) -> t -> int -> 'a -> 'a
 val degree : t -> int -> int
 val reg : t -> int -> Iloc.Reg.t
 val index : t -> Iloc.Reg.t -> int

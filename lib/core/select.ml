@@ -9,10 +9,10 @@ let run (g : Interference.t) ~k ~order ~partners =
   let n = Interference.n_nodes g in
   let colors = Array.make n None in
   let forbidden i =
-    List.fold_left
-      (fun acc nb ->
+    Interference.fold_neighbors
+      (fun nb acc ->
         match colors.(nb) with Some c -> c :: acc | None -> acc)
-      [] (Interference.neighbors g i)
+      g i []
   in
   let pick i =
     let ki = k (Reg.cls (Interference.reg g i)) in

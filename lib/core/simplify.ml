@@ -21,7 +21,7 @@ let run (g : Interference.t) ~k ~costs =
     removed.(i) <- true;
     decr remaining;
     stack := i :: !stack;
-    List.iter
+    Interference.iter_neighbors
       (fun nb ->
         if not removed.(nb) then begin
           deg.(nb) <- deg.(nb) - 1;
@@ -30,7 +30,7 @@ let run (g : Interference.t) ~k ~costs =
             queued.(nb) <- true
           end
         end)
-      (Interference.neighbors g i)
+      g i
   in
   while !remaining > 0 do
     if not (Queue.is_empty trivial) then begin

@@ -1,85 +1,208 @@
+(* Word-parallel dense bitsets.
+
+   Bits live in a [Bytes.t] padded to a whole number of 64-bit words.
+   Bulk operations — union/inter/diff, equality, emptiness, popcount —
+   run a machine word at a time through the unaligned-access primitives
+   below; single-bit operations touch one byte, so they need neither a
+   division nor an int64 box.  [iter]/[fold] skip all-zero words with one
+   64-bit compare and then scan only the set bits of non-zero bytes with
+   lsb extraction, instead of testing all 8 positions of every byte.
+
+   Representation invariant: every bit at index >= capacity is zero.
+   [create] and [view] establish it; [add] is range-checked; the binops
+   preserve it because both operands satisfy it (for [diff_into],
+   [lnot src] has ones in the padding but [dst] has zeros there).  The
+   invariant is what lets [equal], [cardinal] and [is_empty] work on
+   whole words without masking. *)
+
+external unsafe_get_64 : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+external unsafe_set_64 : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64u"
+
 type t = { words : Bytes.t; capacity : int }
 
-(* One byte per 8 bits; Bytes gives us fast blits and comparisons without
-   boxing.  Capacity is fixed at creation. *)
+(* Number of bytes of [t.words] actually used for [capacity] bits; a
+   [view] may sit in a larger buffer, so loops must bound themselves by
+   this, never by [Bytes.length]. *)
+let used_bytes capacity = ((capacity + 63) lsr 6) * 8
 
 let create capacity =
   if capacity < 0 then invalid_arg "Bitset.create";
-  { words = Bytes.make ((capacity + 7) / 8) '\000'; capacity }
+  { words = Bytes.make (used_bytes capacity) '\000'; capacity }
 
 let capacity t = t.capacity
+
+let view buf capacity =
+  if capacity < 0 then invalid_arg "Bitset.view";
+  let nb = used_bytes capacity in
+  if nb > Bytes.length buf.words then None
+  else begin
+    Bytes.fill buf.words 0 nb '\000';
+    Some { words = buf.words; capacity }
+  end
 
 let check t i =
   if i < 0 || i >= t.capacity then
     invalid_arg (Printf.sprintf "Bitset: index %d out of [0,%d)" i t.capacity)
 
+let unsafe_add t i =
+  let b = Char.code (Bytes.unsafe_get t.words (i lsr 3)) in
+  Bytes.unsafe_set t.words (i lsr 3)
+    (Char.unsafe_chr (b lor (1 lsl (i land 7))))
+
+let unsafe_remove t i =
+  let b = Char.code (Bytes.unsafe_get t.words (i lsr 3)) in
+  Bytes.unsafe_set t.words (i lsr 3)
+    (Char.unsafe_chr (b land lnot (1 lsl (i land 7))))
+
+let unsafe_mem t i =
+  Char.code (Bytes.unsafe_get t.words (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
 let add t i =
   check t i;
-  let b = Bytes.get_uint8 t.words (i lsr 3) in
-  Bytes.set_uint8 t.words (i lsr 3) (b lor (1 lsl (i land 7)))
+  unsafe_add t i
 
 let remove t i =
   check t i;
-  let b = Bytes.get_uint8 t.words (i lsr 3) in
-  Bytes.set_uint8 t.words (i lsr 3) (b land lnot (1 lsl (i land 7)))
+  unsafe_remove t i
 
 let mem t i =
   check t i;
-  Bytes.get_uint8 t.words (i lsr 3) land (1 lsl (i land 7)) <> 0
+  unsafe_mem t i
 
 let is_empty t =
-  let n = Bytes.length t.words in
-  let rec go i = i >= n || (Bytes.get_uint8 t.words i = 0 && go (i + 1)) in
+  let n = used_bytes t.capacity in
+  let rec go o = o >= n || (Int64.equal (unsafe_get_64 t.words o) 0L && go (o + 8)) in
   go 0
 
-let popcount8 =
-  let tbl = Array.make 256 0 in
-  for i = 1 to 255 do
-    tbl.(i) <- tbl.(i lsr 1) + (i land 1)
-  done;
-  fun b -> tbl.(b)
+(* Straight-line SWAR popcount; ocamlopt keeps the intermediate int64s
+   unboxed.  The final byte-sum multiply truncates to 63 bits, which is
+   harmless: the count (<= 64) lives in bits 56..62. *)
+let[@inline] popcount64 (x : int64) =
+  let open Int64 in
+  let x = sub x (logand (shift_right_logical x 1) 0x5555555555555555L) in
+  let x =
+    add
+      (logand x 0x3333333333333333L)
+      (logand (shift_right_logical x 2) 0x3333333333333333L)
+  in
+  let x = logand (add x (shift_right_logical x 4)) 0x0f0f0f0f0f0f0f0fL in
+  to_int (shift_right_logical (mul x 0x0101010101010101L) 56) land 0x7f
 
 let cardinal t =
-  let n = Bytes.length t.words in
+  let n = used_bytes t.capacity in
   let c = ref 0 in
-  for i = 0 to n - 1 do
-    c := !c + popcount8 (Bytes.get_uint8 t.words i)
+  let o = ref 0 in
+  while !o < n do
+    c := !c + popcount64 (unsafe_get_64 t.words !o);
+    o := !o + 8
   done;
   !c
 
-let clear t = Bytes.fill t.words 0 (Bytes.length t.words) '\000'
+let clear t = Bytes.fill t.words 0 (used_bytes t.capacity) '\000'
 
-let copy t = { words = Bytes.copy t.words; capacity = t.capacity }
+let copy t =
+  let nb = used_bytes t.capacity in
+  let words = Bytes.make nb '\000' in
+  Bytes.blit t.words 0 words 0 nb;
+  { words; capacity = t.capacity }
 
-let equal a b = a.capacity = b.capacity && Bytes.equal a.words b.words
+let assign ~dst src =
+  if dst.capacity <> src.capacity then
+    invalid_arg "Bitset.assign: capacity mismatch";
+  Bytes.blit src.words 0 dst.words 0 (used_bytes src.capacity)
+
+let equal a b =
+  a.capacity = b.capacity
+  &&
+  let n = used_bytes a.capacity in
+  let rec go o =
+    o >= n
+    || (Int64.equal (unsafe_get_64 a.words o) (unsafe_get_64 b.words o)
+       && go (o + 8))
+  in
+  go 0
 
 let same_capacity a b op =
   if a.capacity <> b.capacity then
     invalid_arg (Printf.sprintf "Bitset.%s: capacity mismatch" op)
 
-let binop_into name f ~dst src =
-  same_capacity dst src name;
+(* The three binops share this shape; writing them out keeps the int64
+   combining operation a known primitive, so each loop body is a pair of
+   64-bit loads, one ALU op and a conditional store. *)
+
+let union_into ~dst src =
+  same_capacity dst src "union_into";
+  let n = used_bytes dst.capacity in
   let changed = ref false in
-  for i = 0 to Bytes.length dst.words - 1 do
-    let old = Bytes.get_uint8 dst.words i in
-    let v = f old (Bytes.get_uint8 src.words i) land 0xff in
-    if v <> old then (
-      Bytes.set_uint8 dst.words i v;
-      changed := true)
+  let o = ref 0 in
+  while !o < n do
+    let old = unsafe_get_64 dst.words !o in
+    let v = Int64.logor old (unsafe_get_64 src.words !o) in
+    if not (Int64.equal v old) then begin
+      unsafe_set_64 dst.words !o v;
+      changed := true
+    end;
+    o := !o + 8
   done;
   !changed
 
-let union_into ~dst src = binop_into "union_into" ( lor ) ~dst src
-let inter_into ~dst src = binop_into "inter_into" ( land ) ~dst src
-let diff_into ~dst src = binop_into "diff_into" (fun a b -> a land lnot b) ~dst src
+let inter_into ~dst src =
+  same_capacity dst src "inter_into";
+  let n = used_bytes dst.capacity in
+  let changed = ref false in
+  let o = ref 0 in
+  while !o < n do
+    let old = unsafe_get_64 dst.words !o in
+    let v = Int64.logand old (unsafe_get_64 src.words !o) in
+    if not (Int64.equal v old) then begin
+      unsafe_set_64 dst.words !o v;
+      changed := true
+    end;
+    o := !o + 8
+  done;
+  !changed
+
+let diff_into ~dst src =
+  same_capacity dst src "diff_into";
+  let n = used_bytes dst.capacity in
+  let changed = ref false in
+  let o = ref 0 in
+  while !o < n do
+    let old = unsafe_get_64 dst.words !o in
+    let v = Int64.logand old (Int64.lognot (unsafe_get_64 src.words !o)) in
+    if not (Int64.equal v old) then begin
+      unsafe_set_64 dst.words !o v;
+      changed := true
+    end;
+    o := !o + 8
+  done;
+  !changed
+
+(* Trailing-zero count of a byte, tabulated once (ntz8.(0) unused). *)
+let ntz8 =
+  let tbl = Array.make 256 0 in
+  for b = 1 to 255 do
+    let rec go k = if b land (1 lsl k) <> 0 then k else go (k + 1) in
+    tbl.(b) <- go 0
+  done;
+  tbl
 
 let iter f t =
-  for i = 0 to Bytes.length t.words - 1 do
-    let b = Bytes.get_uint8 t.words i in
-    if b <> 0 then
-      for j = 0 to 7 do
-        if b land (1 lsl j) <> 0 then f ((i lsl 3) + j)
-      done
+  let n = used_bytes t.capacity in
+  let o = ref 0 in
+  while !o < n do
+    if not (Int64.equal (unsafe_get_64 t.words !o) 0L) then
+      for byte = !o to !o + 7 do
+        let b = ref (Char.code (Bytes.unsafe_get t.words byte)) in
+        if !b <> 0 then begin
+          let base = byte lsl 3 in
+          while !b <> 0 do
+            f (base + Array.unsafe_get ntz8 !b);
+            b := !b land (!b - 1)
+          done
+        end
+      done;
+    o := !o + 8
   done
 
 let fold f t init =

@@ -1,0 +1,43 @@
+type t = { mutable data : int array; mutable len : int }
+
+let create ?(cap = 0) () = { data = Array.make (max cap 0) 0; len = 0 }
+let length t = t.len
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Int_vec.get";
+  Array.unsafe_get t.data i
+
+let push t x =
+  if t.len = Array.length t.data then begin
+    let data = Array.make (max 4 (2 * t.len)) 0 in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end;
+  Array.unsafe_set t.data t.len x;
+  t.len <- t.len + 1
+
+let remove_value t x =
+  let rec find i = if i >= t.len then -1 else if t.data.(i) = x then i else find (i + 1) in
+  let i = find 0 in
+  if i >= 0 then begin
+    t.len <- t.len - 1;
+    t.data.(i) <- t.data.(t.len)
+  end
+
+let clear t = t.len <- 0
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f (Array.unsafe_get t.data i)
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun x -> acc := f x !acc) t;
+  !acc
+
+let exists p t =
+  let rec go i = i < t.len && (p t.data.(i) || go (i + 1)) in
+  go 0
+
+let to_list t = List.init t.len (fun i -> t.data.(i))

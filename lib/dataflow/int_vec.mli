@@ -1,0 +1,27 @@
+(** Growable unboxed integer vectors (amortized-O(1) push, swap-remove).
+
+    The interference graph's adjacency lists live in these instead of
+    [int list]: contiguous storage, no per-element allocation, and
+    removal is a scan plus a swap with the last element rather than a
+    rebuild of the list.  Removal therefore does {e not} preserve
+    insertion order. *)
+
+type t
+
+val create : ?cap:int -> unit -> t
+val length : t -> int
+
+val get : t -> int -> int
+(** Bounds-checked. *)
+
+val push : t -> int -> unit
+
+val remove_value : t -> int -> unit
+(** Remove the first occurrence of the value, if present, by swapping
+    the last element into its slot (order-destroying, O(length)). *)
+
+val clear : t -> unit
+val iter : (int -> unit) -> t -> unit
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val exists : (int -> bool) -> t -> bool
+val to_list : t -> int list

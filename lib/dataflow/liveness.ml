@@ -6,7 +6,7 @@ type t = {
   kill : Bitset.t array;
 }
 
-let compute (cfg : Iloc.Cfg.t) =
+let compute ?order (cfg : Iloc.Cfg.t) =
   if Iloc.Cfg.in_ssa cfg then
     invalid_arg "Liveness.compute: routine is in SSA form";
   let regs = Reg_index.of_cfg cfg in
@@ -16,42 +16,59 @@ let compute (cfg : Iloc.Cfg.t) =
   let kill = Array.init nb (fun _ -> Bitset.create nr) in
   Iloc.Cfg.iter_blocks
     (fun b ->
+      let ue_b = ue.(b.id) and kill_b = kill.(b.id) in
       Iloc.Block.iter_instrs
         (fun i ->
           List.iter
             (fun u ->
+              (* Reg_index indices are < nr by construction. *)
               let ui = Reg_index.index regs u in
-              if not (Bitset.mem kill.(b.id) ui) then Bitset.add ue.(b.id) ui)
+              if not (Bitset.unsafe_mem kill_b ui) then Bitset.unsafe_add ue_b ui)
             (Iloc.Instr.uses i);
           List.iter
-            (fun d -> Bitset.add kill.(b.id) (Reg_index.index regs d))
+            (fun d -> Bitset.unsafe_add kill_b (Reg_index.index regs d))
             (Iloc.Instr.defs i))
         b)
     cfg;
   let live_in = Array.init nb (fun _ -> Bitset.create nr) in
   let live_out = Array.init nb (fun _ -> Bitset.create nr) in
-  (* Iterate in postorder: for a backward problem this converges in a
-     couple of sweeps on reducible graphs. *)
-  let po = Order.postorder cfg in
-  let changed = ref true in
+  (* Worklist iteration, seeded in postorder: for this backward problem a
+     block's successors are (back edges aside) visited first, so most
+     blocks settle in one pass.  After the seed sweep a block is
+     re-examined only when [live_in] of one of its successors grew —
+     the invariant is that any block off the worklist has
+     [live_in = ue ∪ (live_out \ kill)] with [live_out] current w.r.t.
+     its successors' [live_in].  Unreachable blocks are not in the
+     postorder and keep empty sets; edges from them are ignored. *)
+  let po = match order with Some o -> o | None -> Order.postorder cfg in
+  let in_order = Array.make nb false in
+  Array.iter (fun b -> in_order.(b) <- true) po;
+  let queued = Array.make nb false in
+  let q = Queue.create () in
+  Array.iter
+    (fun b ->
+      Queue.add b q;
+      queued.(b) <- true)
+    po;
   let tmp = Bitset.create nr in
-  while !changed do
-    changed := false;
-    Array.iter
-      (fun b ->
-        let out_changed =
-          List.fold_left
-            (fun acc s -> Bitset.union_into ~dst:live_out.(b) live_in.(s) || acc)
-            false (Iloc.Cfg.succs cfg b)
-        in
-        if out_changed || Bitset.is_empty live_in.(b) then begin
-          Bitset.clear tmp;
-          ignore (Bitset.union_into ~dst:tmp live_out.(b));
-          ignore (Bitset.diff_into ~dst:tmp kill.(b));
-          ignore (Bitset.union_into ~dst:tmp ue.(b));
-          if Bitset.union_into ~dst:live_in.(b) tmp then changed := true
-        end)
-      po
+  while not (Queue.is_empty q) do
+    let b = Queue.pop q in
+    queued.(b) <- false;
+    List.iter
+      (fun s -> ignore (Bitset.union_into ~dst:live_out.(b) live_in.(s)))
+      (Iloc.Cfg.succs cfg b);
+    Bitset.clear tmp;
+    ignore (Bitset.union_into ~dst:tmp live_out.(b));
+    ignore (Bitset.diff_into ~dst:tmp kill.(b));
+    ignore (Bitset.union_into ~dst:tmp ue.(b));
+    if Bitset.union_into ~dst:live_in.(b) tmp then
+      List.iter
+        (fun p ->
+          if in_order.(p) && not queued.(p) then begin
+            Queue.add p q;
+            queued.(p) <- true
+          end)
+        (Iloc.Cfg.preds cfg b)
   done;
   { regs; live_in; live_out; ue; kill }
 

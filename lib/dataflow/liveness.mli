@@ -1,10 +1,16 @@
 (** Global liveness analysis.
 
-    Backward iterative data-flow over basic blocks using upward-exposed
-    uses and kill sets:
+    Backward data-flow over basic blocks using upward-exposed uses and
+    kill sets:
 
     {v live_out(b) = U_{s in succ(b)} live_in(s)
        live_in(b)  = ue(b) U (live_out(b) \ kill(b)) v}
+
+    Solved with a worklist seeded in postorder: after the seed sweep a
+    block is revisited only when [live_in] of one of its successors
+    changed, so sparse late growth (a long live range discovered around
+    a loop) costs visits along that range's blocks instead of full
+    sweeps over the routine.
 
     Registers are mapped to a dense index space so sets are bitsets.  The
     routine must not be in SSA form (the allocator needs liveness before
@@ -19,7 +25,10 @@ type t = {
   kill : Bitset.t array;  (** registers defined per block *)
 }
 
-val compute : Iloc.Cfg.t -> t
+val compute : ?order:int array -> Iloc.Cfg.t -> t
+(** [order], when given, must be the routine's current
+    {!Order.postorder}; callers that hold one (the allocation context
+    caches it across coalescing rounds) pass it to skip the DFS. *)
 
 val live_in : t -> int -> Iloc.Reg.t list
 val live_out : t -> int -> Iloc.Reg.t list

@@ -1,0 +1,48 @@
+(* A fixed worker pool over Domain.spawn (OCaml 5 stdlib only).
+
+   Tasks are claimed from a shared Atomic counter, so workers self-
+   balance: a domain that draws a cheap routine immediately claims the
+   next one.  Results land in per-task slots — no two domains ever write
+   the same slot, and [Domain.join] publishes the writes — so the output
+   array is in task order regardless of completion order, which is what
+   makes `-j N` byte-identical to `-j 1` for deterministic task
+   functions.
+
+   Exceptions raised by a task are caught in its worker, stored in the
+   task's slot, and re-raised from [run] after every domain has been
+   joined (first failing task wins), so a failure cannot leak a running
+   domain. *)
+
+let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
+let run ~jobs f tasks =
+  let n = Array.length tasks in
+  let jobs = max 1 (min jobs n) in
+  if jobs <= 1 then Array.map f tasks
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <-
+            Some
+              (match f tasks.(i) with
+              | v -> Ok v
+              | exception e -> Error e);
+          go ()
+        end
+      in
+      go ()
+    in
+    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains;
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error e) -> raise e
+        | None -> assert false (* every index < n was claimed *))
+      results
+  end

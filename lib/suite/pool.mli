@@ -1,0 +1,19 @@
+(** A bounded multicore worker pool ([Domain.spawn], stdlib only).
+
+    Built for the allocator's batch workloads: independent routines are
+    allocated on [jobs] domains in parallel.  The task function must be
+    {e domain-safe} — it may freely mutate state it creates itself (a
+    fresh [Cfg], [Context], [Stats] per task) but must not touch shared
+    mutable state; see DESIGN.md's domain-safety audit for what the
+    allocator pipeline shares (nothing mutable). *)
+
+val default_jobs : unit -> int
+(** [recommended_domain_count () - 1] (the caller's domain works too),
+    at least 1. *)
+
+val run : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [run ~jobs f tasks] applies [f] to every task on [min jobs
+    (Array.length tasks)] domains (1 means: in the calling domain) and
+    returns the results {e in task order}, independent of scheduling.
+    If any task raises, the exception of the lowest-indexed failing task
+    is re-raised after all domains have been joined. *)

@@ -142,28 +142,32 @@ let averaged_phases ~repeats mode cfg =
       !order,
     !counters )
 
-let table2 ?(repeats = 10) names =
-  List.map
-    (fun name ->
-      let kernel = Kernels.find name in
-      let cfg = Kernels.cfg_of ~optimize:true kernel in
-      let old_rows, old_counters =
-        averaged_phases ~repeats Mode.Chaitin_remat cfg
-      in
-      let new_rows, new_counters =
-        averaged_phases ~repeats Mode.Briggs_remat cfg
-      in
-      let total rows = List.fold_left (fun a (_, _, s) -> a +. s) 0. rows in
-      {
-        t2_kernel = kernel;
-        old_rows;
-        new_rows;
-        old_counters;
-        new_counters;
-        old_total = total old_rows;
-        new_total = total new_rows;
-      })
-    names
+let table2 ?(repeats = 10) ?(jobs = 1) names =
+  let column name =
+    let kernel = Kernels.find name in
+    let cfg = Kernels.cfg_of ~optimize:true kernel in
+    let old_rows, old_counters =
+      averaged_phases ~repeats Mode.Chaitin_remat cfg
+    in
+    let new_rows, new_counters =
+      averaged_phases ~repeats Mode.Briggs_remat cfg
+    in
+    let total rows = List.fold_left (fun a (_, _, s) -> a +. s) 0. rows in
+    {
+      t2_kernel = kernel;
+      old_rows;
+      new_rows;
+      old_counters;
+      new_counters;
+      old_total = total old_rows;
+      new_total = total new_rows;
+    }
+  in
+  (* One column per kernel; a column compiles and allocates only state it
+     creates, so columns parallelize safely.  Note that concurrent
+     columns contend for cores: use [jobs] for counter regeneration and
+     smoke runs, not for comparable wall-clock numbers. *)
+  Array.to_list (Pool.run ~jobs column (Array.of_list names))
 
 let pp_table2 ppf cols =
   Format.fprintf ppf "%-14s" "Phase";

@@ -61,10 +61,13 @@ type table2_column = {
   new_total : float;
 }
 
-val table2 : ?repeats:int -> string list -> table2_column list
+val table2 : ?repeats:int -> ?jobs:int -> string list -> table2_column list
 (** Kernels by name; each allocation is repeated [repeats] (default 10)
     times and per-phase times are averaged, as in §5.4.  Counters are
-    deterministic and reported from a single run. *)
+    deterministic and reported from a single run.  [jobs] (default 1)
+    measures kernels on a {!Pool} of that many domains — parallel
+    columns contend for cores, so use it for counter regeneration and CI
+    smoke runs, not for comparable wall-clock numbers. *)
 
 val pp_table2 : Format.formatter -> table2_column list -> unit
 

@@ -1,0 +1,72 @@
+(* The multicore batch pool: task-order results, exception propagation,
+   and the property the `ralloc batch -j N` front end advertises — the
+   allocations of the whole kernel suite are byte-identical no matter
+   how many domains run them. *)
+
+let tc name f = Alcotest.test_case name `Quick f
+let check = Alcotest.check
+
+let pool_unit =
+  [
+    tc "results in task order" (fun () ->
+        let tasks = Array.init 100 (fun i -> i) in
+        let res = Suite.Pool.run ~jobs:4 (fun i -> i * i) tasks in
+        check Alcotest.int "length" 100 (Array.length res);
+        Array.iteri
+          (fun i v -> check Alcotest.int (Printf.sprintf "slot %d" i) (i * i) v)
+          res);
+    tc "more jobs than tasks" (fun () ->
+        let res = Suite.Pool.run ~jobs:16 (fun i -> i + 1) [| 1; 2; 3 |] in
+        check (Alcotest.list Alcotest.int) "results" [ 2; 3; 4 ]
+          (Array.to_list res));
+    tc "empty task array" (fun () ->
+        check Alcotest.int "length" 0
+          (Array.length (Suite.Pool.run ~jobs:8 (fun x -> x) [||])));
+    tc "jobs one runs in the calling domain" (fun () ->
+        let self = Domain.self () in
+        let res =
+          Suite.Pool.run ~jobs:1 (fun _ -> Domain.self ()) [| (); (); () |]
+        in
+        Array.iter (fun d -> check Alcotest.bool "same domain" true (d = self)) res);
+    tc "exception propagates after joining" (fun () ->
+        try
+          ignore
+            (Suite.Pool.run ~jobs:3
+               (fun i -> if i = 5 then failwith "boom" else i)
+               (Array.init 10 Fun.id));
+          Alcotest.fail "expected a Failure"
+        with Failure m -> check Alcotest.string "message" "boom" m);
+    tc "default_jobs is positive" (fun () ->
+        check Alcotest.bool "positive" true (Suite.Pool.default_jobs () >= 1));
+  ]
+
+(* Allocate every suite kernel the way `ralloc batch --kernels -O` does
+   and render the result; any scheduling-dependent behavior in the
+   allocator (iteration over shared mutable state, hash-order effects)
+   would show up as a diff between the -j 1 and -j 4 outputs. *)
+let allocate_all jobs =
+  Suite.Pool.run ~jobs
+    (fun k ->
+      let cfg = Suite.Kernels.cfg_of ~optimize:true k in
+      let res =
+        Remat.Allocator.run ~mode:Remat.Mode.Briggs_remat
+          ~machine:Remat.Machine.standard cfg
+      in
+      Iloc.Printer.routine_to_string res.Remat.Allocator.cfg)
+    (Array.of_list Suite.Kernels.all)
+
+let determinism_unit =
+  [
+    tc "kernel suite is byte-identical under -j1 and -j4" (fun () ->
+        let seq = allocate_all 1 and par = allocate_all 4 in
+        check Alcotest.int "same count" (Array.length seq) (Array.length par);
+        Array.iteri
+          (fun i s ->
+            check Alcotest.string
+              (List.nth Suite.Kernels.all i).Suite.Kernels.name s par.(i))
+          seq);
+  ]
+
+let () =
+  Alcotest.run "batch"
+    [ ("pool", pool_unit); ("determinism", determinism_unit) ]

@@ -58,6 +58,24 @@ let bitset_unit =
         let s = Bitset.of_list 64 [ 63; 0; 17; 32 ] in
         check (Alcotest.list Alcotest.int) "elements" [ 0; 17; 32; 63 ]
           (Bitset.elements s));
+    tc "view shares, clears, and checks capacity" (fun () ->
+        let buf = Bitset.create 256 in
+        Bitset.add buf 7;
+        Bitset.add buf 200;
+        (match Bitset.view buf 70 with
+        | None -> Alcotest.fail "view refused a large-enough buffer"
+        | Some v ->
+            check Alcotest.int "capacity" 70 (Bitset.capacity v);
+            check Alcotest.bool "cleared" true (Bitset.is_empty v);
+            Bitset.add v 69;
+            check (Alcotest.list Alcotest.int) "elements" [ 69 ]
+              (Bitset.elements v);
+            (* the view shares the buffer: its used prefix was cleared,
+               bits beyond it survive *)
+            check Alcotest.bool "prefix cleared" false (Bitset.mem buf 7);
+            check Alcotest.bool "tail kept" true (Bitset.mem buf 200));
+        check Alcotest.bool "too small refused" true
+          (Bitset.view buf 10_000 = None));
   ]
 
 (* qcheck: bitsets behave like reference integer sets *)
@@ -101,6 +119,75 @@ let bitset_binop_prop =
         let d = Bitset.copy a in
         ignore (into ~dst:d b);
         Bitset.elements d = IntSet.elements (set_op sa sb)
+      in
+      test Bitset.union_into IntSet.union
+      && test Bitset.inter_into IntSet.inter
+      && test Bitset.diff_into IntSet.diff)
+
+(* The word-parallel loops must behave identically right at the byte and
+   word boundaries: capacity 0 (no words), 1, 63/64/65 (one word and one
+   bit either side), and a multi-word size whose last word is partial. *)
+let edge_caps = [| 0; 1; 63; 64; 65; 127; 128; 200 |]
+
+let bitset_edge_prop =
+  QCheck.Test.make ~count:500
+    ~name:"bitset matches reference at word-boundary capacities"
+    (QCheck.make
+       QCheck.Gen.(
+         pair
+           (int_bound (Array.length edge_caps - 1))
+           (list_size (int_bound 80) (pair (int_bound 3) (int_bound 1000)))))
+    (fun (ci, ops) ->
+      let cap = edge_caps.(ci) in
+      let s = Bitset.create cap in
+      let model = ref IntSet.empty in
+      List.iter
+        (fun (op, raw) ->
+          if cap > 0 then begin
+            let i = raw mod cap in
+            match op with
+            | 0 ->
+                Bitset.add s i;
+                model := IntSet.add i !model
+            | 1 ->
+                Bitset.remove s i;
+                model := IntSet.remove i !model
+            | 2 ->
+                if Bitset.mem s i <> IntSet.mem i !model then
+                  QCheck.Test.fail_report "mem mismatch"
+            | _ ->
+                (* the unchecked accessors must agree with the checked
+                   ones on every in-range index *)
+                if Bitset.unsafe_mem s i <> IntSet.mem i !model then
+                  QCheck.Test.fail_report "unsafe_mem mismatch"
+          end)
+        ops;
+      Bitset.elements s = IntSet.elements !model
+      && Bitset.cardinal s = IntSet.cardinal !model
+      && Bitset.is_empty s = IntSet.is_empty !model
+      && Bitset.equal s (Bitset.of_list cap (IntSet.elements !model)))
+
+let bitset_edge_binop_prop =
+  QCheck.Test.make ~count:400
+    ~name:"bitset binops and changed flags at word-boundary capacities"
+    (QCheck.make
+       QCheck.Gen.(
+         triple
+           (int_bound (Array.length edge_caps - 1))
+           (list_size (int_bound 40) (int_bound 1000))
+           (list_size (int_bound 40) (int_bound 1000))))
+    (fun (ci, la, lb) ->
+      let cap = edge_caps.(ci) in
+      let la = if cap = 0 then [] else List.map (fun x -> x mod cap) la
+      and lb = if cap = 0 then [] else List.map (fun x -> x mod cap) lb in
+      let a = Bitset.of_list cap la and b = Bitset.of_list cap lb in
+      let sa = IntSet.of_list la and sb = IntSet.of_list lb in
+      let test into set_op =
+        let d = Bitset.copy a in
+        let changed = into ~dst:d b in
+        let expect = set_op sa sb in
+        Bitset.elements d = IntSet.elements expect
+        && changed = not (IntSet.equal sa expect)
       in
       test Bitset.union_into IntSet.union
       && test Bitset.inter_into IntSet.inter
@@ -419,6 +506,71 @@ let liveness_prop =
           !ok)
         (Cfg.all_regs cfg))
 
+(* The round-robin fixpoint the worklist solver replaced: sweep every
+   block until nothing changes.  Slower but obviously correct, so the
+   worklist (which revisits only predecessors of changed blocks) is
+   cross-checked against it on random programs. *)
+let round_robin_liveness (cfg : Cfg.t) =
+  let module RS = Iloc.Reg.Set in
+  let n = Cfg.n_blocks cfg in
+  let ue = Array.make n RS.empty and kill = Array.make n RS.empty in
+  Cfg.iter_blocks
+    (fun b ->
+      let id = b.Iloc.Block.id in
+      Iloc.Block.iter_instrs
+        (fun i ->
+          List.iter
+            (fun r ->
+              if not (RS.mem r kill.(id)) then ue.(id) <- RS.add r ue.(id))
+            (Iloc.Instr.uses i);
+          List.iter (fun r -> kill.(id) <- RS.add r kill.(id)) (Iloc.Instr.defs i))
+        b)
+    cfg;
+  let live_in = Array.make n RS.empty and live_out = Array.make n RS.empty in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for b = n - 1 downto 0 do
+      let out =
+        List.fold_left
+          (fun acc s -> RS.union acc live_in.(s))
+          RS.empty (Cfg.succs cfg b)
+      in
+      live_out.(b) <- out;
+      let inn = RS.union ue.(b) (RS.diff out kill.(b)) in
+      if not (RS.equal inn live_in.(b)) then begin
+        live_in.(b) <- inn;
+        changed := true
+      end
+    done
+  done;
+  (live_in, live_out)
+
+let worklist_vs_round_robin_prop =
+  QCheck.Test.make ~count:60 ~name:"worklist liveness matches round-robin"
+    Testutil.Gen_prog.arbitrary_cfg
+    (fun cfg ->
+      let lv = Dataflow.Liveness.compute cfg in
+      let rin, rout = round_robin_liveness cfg in
+      let reach = Dataflow.Order.reachable cfg in
+      let regs = Cfg.all_regs cfg in
+      let ok = ref true in
+      for b = 0 to Cfg.n_blocks cfg - 1 do
+        (* the worklist only visits reachable blocks; the round-robin
+           sweep also converges on unreachable ones, whose liveness no
+           consumer reads *)
+        if reach.(b) then
+          Iloc.Reg.Set.iter
+            (fun r ->
+              if
+                Dataflow.Liveness.live_in_mem lv b r <> Iloc.Reg.Set.mem r rin.(b)
+                || Dataflow.Liveness.live_out_mem lv b r
+                   <> Iloc.Reg.Set.mem r rout.(b)
+              then ok := false)
+            regs
+      done;
+      !ok)
+
 (* depth-first orders: permutations of the reachable blocks, with the
    entry last in postorder / first in reverse postorder *)
 let order_prop =
@@ -498,7 +650,8 @@ let postdom_prop =
       !ok)
 
 let props = List.map QCheck_alcotest.to_alcotest
-    [ bitset_prop; bitset_binop_prop; union_find_prop; liveness_prop;
+    [ bitset_prop; bitset_binop_prop; bitset_edge_prop; bitset_edge_binop_prop;
+      union_find_prop; liveness_prop; worklist_vs_round_robin_prop;
       order_prop; dominance_prop; loops_prop; postdom_prop ]
 
 let () =
