@@ -5,7 +5,8 @@
      - any other path           : textual ILOC
      - [kernel:NAME]            : a routine from the built-in suite
 
-   Subcommands: parse, opt, alloc, batch, run, kernels, report. *)
+   Subcommands: parse, opt, alloc, batch, run, kernels, dot, emit,
+   report, fuzz, reduce. *)
 
 open Cmdliner
 
@@ -66,19 +67,18 @@ let optimize =
   let doc = "Run the optimization pipeline (LVN, DCE, LICM) first." in
   Arg.(value & flag & info [ "O"; "optimize" ] ~doc)
 
+let mode_names =
+  String.concat " | " (List.map Remat.Mode.to_string Remat.Mode.all)
+
 let mode =
   let parse s =
     match Remat.Mode.of_string s with
     | Some m -> Ok m
-    | None ->
-        Error
-          (`Msg
-             "expected one of: no-remat, chaitin, briggs, briggs-phi-splits")
+    | None -> Error (`Msg ("expected one of: " ^ mode_names))
   in
   let print ppf m = Fmt.string ppf (Remat.Mode.to_string m) in
   let mode_conv = Arg.conv (parse, print) in
-  let doc = "Allocator variant (no-remat | chaitin | briggs | \
-             briggs-phi-splits)." in
+  let doc = Printf.sprintf "Allocator variant (%s)." mode_names in
   Arg.(value & opt mode_conv Remat.Mode.Briggs_remat & info [ "m"; "mode" ] ~doc)
 
 let k_int =
@@ -387,11 +387,146 @@ let report_cmd =
   let doc = "Regenerate one of the paper's tables or figures." in
   Cmd.v (Cmd.info "report" ~doc) Term.(const run $ what)
 
+let fuzz_cmd =
+  let run runs seed jobs out no_reduce =
+    or_die (fun () ->
+        let jobs = if jobs = 0 then Suite.Pool.default_jobs () else jobs in
+        let t0 = Unix.gettimeofday () in
+        let summary =
+          Fuzz.Campaign.run ~reduce:(not no_reduce) ~runs ~seed ~jobs ()
+        in
+        let elapsed = Unix.gettimeofday () -. t0 in
+        print_string (Fuzz.Campaign.summary_to_json summary);
+        (match out with
+        | Some dir -> Fuzz.Campaign.save ~dir summary
+        | None -> ());
+        (* Stderr, so stdout stays byte-identical across -j values. *)
+        Fmt.epr
+          "; fuzz: %d seeds from %d in %.1fs with %d jobs — %d divergence(s)@."
+          runs seed elapsed jobs
+          (List.length summary.Fuzz.Campaign.failures);
+        if summary.Fuzz.Campaign.failures <> [] then exit 1)
+  in
+  let runs =
+    Arg.(value & opt int 500
+         & info [ "runs" ] ~docv:"N" ~doc:"Number of seeds to test.")
+  in
+  let seed =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"S"
+             ~doc:"Base seed; run $(i,i) uses seed S+$(i,i).")
+  in
+  let jobs =
+    let doc =
+      "Number of worker domains; 0 picks the machine's recommended count. \
+       The summary is identical for every value of $(docv)."
+    in
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"DIR"
+             ~doc:"Persist the corpus (summary.json plus one commented .il \
+                   reproducer per divergence) under $(docv).")
+  in
+  let no_reduce =
+    Arg.(value & flag
+         & info [ "no-reduce" ]
+             ~doc:"Report failing routines as generated, without \
+                   delta-debugging them down to minimal reproducers.")
+  in
+  let doc =
+    "Differential-fuzz the whole pipeline: generated routines are run \
+     through every optimizer/allocator/machine configuration and compared \
+     against the interpreted original.  Prints a JSON summary; exits 1 if \
+     any configuration diverges."
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(const run $ runs $ seed $ jobs $ out $ no_reduce)
+
+let reduce_cmd =
+  let run src =
+    or_die (fun () ->
+        let cfg = load_source src in
+        match Fuzz.Oracle.check cfg with
+        | Error m ->
+            Fmt.epr "reference execution failed: %s@." m;
+            exit 1
+        | Ok [] ->
+            Fmt.pr "no divergence: every oracle configuration matches the \
+                    interpreted original@."
+        | Ok ((config, d) :: _) ->
+            let cls = Fuzz.Oracle.class_of d in
+            let interesting cand =
+              match Fuzz.Oracle.reference cand with
+              | Error _ -> false
+              | Ok r -> (
+                  match
+                    Fuzz.Oracle.check_config ~reference:r cand config
+                  with
+                  | Some d' -> Fuzz.Oracle.class_of d' = cls
+                  | None -> false)
+            in
+            let red = Fuzz.Reduce.run ~interesting cfg in
+            Fmt.pr "; config: %s@.; divergence: %s@.; %s@.; %d -> %d \
+                    instructions@."
+              (Fuzz.Oracle.config_name config)
+              (Fuzz.Oracle.fingerprint d) (Fuzz.Oracle.describe d)
+              (Fuzz.Reduce.instr_count cfg)
+              (Fuzz.Reduce.instr_count red);
+            print_string (Iloc.Printer.routine_to_string red);
+            exit 1)
+  in
+  let doc =
+    "Find a divergence in one routine and delta-debug it down to a minimal \
+     reproducer (printed as ILOC with a comment header).  Exits 0 if the \
+     routine is clean, 1 with the reproducer otherwise."
+  in
+  Cmd.v (Cmd.info "reduce" ~doc) Term.(const run $ source)
+
+(* One row per subcommand: the dispatch table, the usage screen and the
+   unknown-command check all read from here, so they cannot drift. *)
+let commands =
+  [
+    ("parse", "parse (or compile) a routine and print its ILOC", parse_cmd);
+    ("opt", "optimize a routine (LVN, DCE, LICM)", opt_cmd);
+    ("alloc", "allocate registers and print the rewritten routine", alloc_cmd);
+    ("batch", "allocate many routines on a multicore worker pool", batch_cmd);
+    ("run", "interpret a routine; print output and dynamic counts", run_cmd);
+    ("kernels", "list the built-in workload kernels", kernels_cmd);
+    ("dot", "emit Graphviz for the CFG or interference graph", dot_cmd);
+    ("emit", "translate a routine to instrumented C", emit_cmd);
+    ("report", "regenerate one of the paper's tables or figures", report_cmd);
+    ("fuzz", "differential-fuzz the pipeline over many seeds", fuzz_cmd);
+    ("reduce", "minimize a diverging routine to a small reproducer",
+     reduce_cmd);
+  ]
+
+let usage ppf =
+  Fmt.pf ppf "usage: ralloc COMMAND [ARGS]...@.@.Commands:@.";
+  List.iter (fun (name, doc, _) -> Fmt.pf ppf "  %-8s %s@." name doc) commands;
+  Fmt.pf ppf "@.Run 'ralloc COMMAND --help' for details on one command.@."
+
 let () =
+  (* Friendlier than cmdliner's default for the two common mistakes: no
+     subcommand at all, and a misspelled one.  Everything else (options,
+     prefixes of command names, --help) goes straight to cmdliner. *)
+  (match Array.to_list Sys.argv with
+  | [ _ ] ->
+      Fmt.epr "ralloc: missing command@.@.%t" usage;
+      exit 2
+  | _ :: cmd :: _
+    when String.length cmd > 0
+         && cmd.[0] <> '-'
+         && not
+              (List.exists
+                 (fun (name, _, _) -> String.starts_with ~prefix:cmd name)
+                 commands) ->
+      Fmt.epr "ralloc: unknown command %S@.@.%t" cmd usage;
+      exit 2
+  | _ -> ());
   let doc =
     "rematerialization in a Chaitin-Briggs graph-coloring register allocator"
   in
   let info = Cmd.info "ralloc" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info
-    [ parse_cmd; opt_cmd; alloc_cmd; batch_cmd; run_cmd; kernels_cmd;
-       dot_cmd; emit_cmd; report_cmd ]))
+  exit (Cmd.eval (Cmd.group info (List.map (fun (_, _, c) -> c) commands)))

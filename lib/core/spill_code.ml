@@ -3,6 +3,10 @@ module Instr = Iloc.Instr
 
 exception Pressure_too_high of string
 
+(* Test-only fault injection (see mli).  Read once per reload insertion;
+   never written by library code. *)
+let fault_reload_skew = ref 0
+
 type stats = {
   remat_lrs : int;
   memory_lrs : int;
@@ -93,7 +97,7 @@ let insert (cfg : Iloc.Cfg.t) ~tags ~infinite ~spilled ~slot_counter =
           | Tag.Bottom | Tag.Top ->
               memory_lrs := Reg.Set.add u !memory_lrs;
               let t = fresh_temp u Tag.Bottom in
-              pre := Instr.reload t (slot_of u) :: !pre;
+              pre := Instr.reload t (slot_of u + !fault_reload_skew) :: !pre;
               substs := (u, t) :: !substs)
         used_spilled;
       let subst r =

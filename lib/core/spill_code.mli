@@ -22,6 +22,14 @@ exception Pressure_too_high of string
     spilling: register pressure exceeds what the target's [k] can express
     (only reachable with pathologically small register sets). *)
 
+val fault_reload_skew : int ref
+(** Test-only fault injection: every inserted [Reload] reads frame slot
+    [slot + !fault_reload_skew] instead of [slot].  Default [0] (sound).
+    Setting it to [1] plants a spill-slot off-by-one miscompile that the
+    fuzz oracle must catch and the reducer must minimize — see
+    [test/test_fuzz.ml].  Never set outside tests; restore to [0]
+    afterwards. *)
+
 type stats = {
   remat_lrs : int;  (** live ranges spilled by rematerialization *)
   memory_lrs : int;  (** live ranges spilled through memory *)

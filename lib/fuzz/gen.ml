@@ -1,0 +1,343 @@
+module Reg = Iloc.Reg
+module Instr = Iloc.Instr
+module Builder = Iloc.Builder
+module Symbol = Iloc.Symbol
+
+type config = {
+  min_ivars : int;
+  max_ivars : int;
+  min_fvars : int;
+  max_fvars : int;
+  min_stmts : int;
+  max_stmts : int;
+  max_depth : int;
+  max_loop_iters : int;
+  never_killed_weight : int;
+  mem_weight : int;
+  arr_size : int;
+}
+
+let default =
+  {
+    min_ivars = 3;
+    max_ivars = 7;
+    min_fvars = 2;
+    max_fvars = 5;
+    min_stmts = 4;
+    max_stmts = 16;
+    max_depth = 3;
+    max_loop_iters = 5;
+    never_killed_weight = 4;
+    mem_weight = 1;
+    arr_size = 8;
+  }
+
+let high_pressure =
+  {
+    default with
+    min_ivars = 8;
+    max_ivars = 14;
+    min_fvars = 6;
+    max_fvars = 10;
+    min_stmts = 10;
+    max_stmts = 24;
+    mem_weight = 2;
+  }
+
+let int_arr = "wi"
+let float_arr = "wf"
+let ro_arr = "ro"
+
+type ctx = {
+  rng : Random.State.t;
+  conf : config;
+  builder : Builder.t;
+  ivars : Reg.t array;
+  fvars : Reg.t array;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Random helpers                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let rand ctx n = Random.State.int ctx.rng n
+let int_in ctx lo hi = lo + rand ctx (hi - lo + 1)
+let imm ctx = int_in ctx (-64) 64
+let pick_list ctx l = List.nth l (rand ctx (List.length l))
+let pick_arr ctx a = a.(rand ctx (Array.length a))
+
+(* Draw from a weighted list of thunks.  Thunks, not values: most choices
+   consume further random draws (and fresh registers), and only the chosen
+   branch may do so. *)
+let weighted ctx choices =
+  let total = List.fold_left (fun a (w, _) -> a + w) 0 choices in
+  let rec go n = function
+    | (w, f) :: rest -> if n < w then f () else go (n - w) rest
+    | [] -> assert false
+  in
+  go (rand ctx total) choices
+
+let pick_ivar ctx = pick_arr ctx ctx.ivars
+let pick_fvar ctx = pick_arr ctx ctx.fvars
+
+let any_ivar ctx temps =
+  match temps with
+  | [] -> pick_ivar ctx
+  | _ -> if rand ctx 2 = 0 then pick_list ctx temps else pick_ivar ctx
+
+let any_fvar ctx temps =
+  match temps with
+  | [] -> pick_fvar ctx
+  | _ -> if rand ctx 2 = 0 then pick_list ctx temps else pick_fvar ctx
+
+(* Destination: mostly pool variables (multi-value live ranges), some
+   fresh temporaries. *)
+let idst ctx =
+  if rand ctx 4 < 3 then (pick_ivar ctx, None)
+  else
+    let t = Builder.ireg ctx.builder in
+    (t, Some t)
+
+let fdst ctx =
+  if rand ctx 4 < 3 then (pick_fvar ctx, None)
+  else
+    let t = Builder.freg ctx.builder in
+    (t, Some t)
+
+(* ------------------------------------------------------------------ *)
+(* Straight-line code                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* One instruction writing a pool variable or a fresh local temporary,
+   returned alongside the temporary (if any) for use later in the chunk. *)
+let gen_instr ctx itemps ftemps : Instr.t * Reg.t option =
+  let nk = max 1 ctx.conf.never_killed_weight in
+  weighted ctx
+    [
+      (* integer ALU *)
+      ( 6,
+        fun () ->
+          let d, fresh = idst ctx in
+          let a = any_ivar ctx itemps in
+          let b = any_ivar ctx itemps in
+          ( pick_list ctx
+              [
+                Instr.add d a b;
+                Instr.sub d a b;
+                Instr.mul d a b;
+                Instr.cmp Instr.Lt d a b;
+                Instr.cmp Instr.Ge d a b;
+              ],
+            fresh ) );
+      ( 4,
+        fun () ->
+          let d, fresh = idst ctx in
+          let a = any_ivar ctx itemps in
+          let n = imm ctx in
+          ( pick_list ctx
+              [ Instr.addi d a n; Instr.subi d a n; Instr.muli d a n ],
+            fresh ) );
+      (* never-killed sources: immediates, label addresses, fp offsets,
+         read-only loads — the paper's rematerialization candidates *)
+      ( nk,
+        fun () ->
+          let d, fresh = idst ctx in
+          let n = imm ctx in
+          let off = rand ctx ctx.conf.arr_size in
+          ( pick_list ctx
+              [
+                Instr.ldi d n;
+                Instr.laddr d int_arr;
+                Instr.lfp d (n land 1023);
+                Instr.ldro d ro_arr off;
+              ],
+            fresh ) );
+      ( max 1 (nk / 2),
+        fun () ->
+          let d, fresh = fdst ctx in
+          (Instr.lfi d (float_of_int (rand ctx 1000) /. 10.0), fresh) );
+      (* float ALU *)
+      ( 4,
+        fun () ->
+          let d, fresh = fdst ctx in
+          let a = any_fvar ctx ftemps in
+          let b = any_fvar ctx ftemps in
+          ( pick_list ctx
+              [ Instr.fadd d a b; Instr.fsub d a b; Instr.fmul d a b ],
+            fresh ) );
+      ( 1,
+        fun () ->
+          let d, fresh = fdst ctx in
+          (Instr.fabs d (any_fvar ctx ftemps), fresh) );
+      ( 1,
+        fun () ->
+          let d, fresh = fdst ctx in
+          (Instr.itof d (any_ivar ctx itemps), fresh) );
+      (* copies keep the coalescer honest *)
+      ( 2,
+        fun () ->
+          let d, fresh = idst ctx in
+          (Instr.copy d (any_ivar ctx itemps), fresh) );
+      ( 1,
+        fun () ->
+          let d, fresh = fdst ctx in
+          (Instr.copy d (any_fvar ctx ftemps), fresh) );
+    ]
+
+(* Memory chunklets need two instructions: address formation + access.
+   Offsets are constant and in bounds, so every access is defined and
+   class-correct. *)
+let gen_mem_chunk ctx : Instr.t list =
+  let off = rand ctx ctx.conf.arr_size in
+  let iv = pick_ivar ctx in
+  let fv = pick_fvar ctx in
+  let base = Builder.ireg ctx.builder in
+  match rand ctx 4 with
+  | 0 -> [ Instr.laddr base int_arr; Instr.loadi iv base off ]
+  | 1 -> [ Instr.laddr base float_arr; Instr.loadi fv base off ]
+  | 2 -> [ Instr.laddr base int_arr; Instr.storei ~value:iv ~base ~off ]
+  | _ -> [ Instr.laddr base float_arr; Instr.storei ~value:fv ~base ~off ]
+
+let gen_chunk ctx : Instr.t list =
+  let len = int_in ctx 1 6 in
+  let rec go k itemps ftemps acc =
+    if k = 0 then List.rev acc
+    else if rand ctx (5 + ctx.conf.mem_weight) < ctx.conf.mem_weight then
+      go (k - 1) itemps ftemps (List.rev_append (gen_mem_chunk ctx) acc)
+    else
+      let i, fresh = gen_instr ctx itemps ftemps in
+      let itemps, ftemps =
+        match fresh with
+        | Some t when Reg.is_int t -> (t :: itemps, ftemps)
+        | Some t -> (itemps, t :: ftemps)
+        | None -> (itemps, ftemps)
+      in
+      go (k - 1) itemps ftemps (i :: acc)
+  in
+  go len [] [] []
+
+(* ------------------------------------------------------------------ *)
+(* Structured statements                                               *)
+(* ------------------------------------------------------------------ *)
+
+type stmt =
+  | Chunk of Instr.t list
+  | If of Reg.t * stmt list * stmt list  (* condition: pool int var *)
+  | Loop of Reg.t * int * stmt list  (* counter var, iterations *)
+
+let rec gen_stmts ctx ~depth fuel : stmt list =
+  if fuel <= 0 then []
+  else
+    let s =
+      if depth >= ctx.conf.max_depth then Chunk (gen_chunk ctx)
+      else
+        weighted ctx
+          [
+            (4, fun () -> Chunk (gen_chunk ctx));
+            ( 1,
+              fun () ->
+                let c = pick_ivar ctx in
+                let th = gen_stmts ctx ~depth:(depth + 1) (fuel / 2) in
+                let el = gen_stmts ctx ~depth:(depth + 1) (fuel / 2) in
+                If (c, th, el) );
+            ( 1,
+              fun () ->
+                (* The counter must be a dedicated register: loop bodies
+                   write pool variables freely, and a body that reset its
+                   own counter would never terminate. *)
+                let n = int_in ctx 1 ctx.conf.max_loop_iters in
+                let counter = Builder.ireg ctx.builder in
+                let body = gen_stmts ctx ~depth:(depth + 1) (fuel / 2) in
+                Loop (counter, n, body) );
+          ]
+    in
+    s :: gen_stmts ctx ~depth (fuel - 1)
+
+(* ------------------------------------------------------------------ *)
+(* Emission through the block builder                                  *)
+(* ------------------------------------------------------------------ *)
+
+type emitter = {
+  mutable label : string;
+  mutable body_rev : Instr.t list;
+  mutable counter : int;
+}
+
+let fresh_label e prefix =
+  e.counter <- e.counter + 1;
+  Printf.sprintf "%s%d" prefix e.counter
+
+let emit_all ctx e stmts =
+  let emit i = e.body_rev <- i :: e.body_rev in
+  let close term next =
+    Builder.block ctx.builder e.label (List.rev e.body_rev) ~term;
+    e.label <- next;
+    e.body_rev <- []
+  in
+  let rec stmt = function
+    | Chunk instrs -> List.iter emit instrs
+    | If (c, th, el) ->
+        let lt = fresh_label e "then"
+        and le = fresh_label e "else"
+        and lj = fresh_label e "join" in
+        let t = Builder.ireg ctx.builder in
+        let zero = Builder.ireg ctx.builder in
+        emit (Instr.ldi zero 0);
+        emit (Instr.cmp Instr.Ne t c zero);
+        close (Instr.cbr t lt le) lt;
+        List.iter stmt th;
+        close (Instr.jmp lj) le;
+        List.iter stmt el;
+        close (Instr.jmp lj) lj
+    | Loop (counter, n, body) ->
+        let lh = fresh_label e "head"
+        and lb = fresh_label e "body"
+        and lx = fresh_label e "exit" in
+        emit (Instr.ldi counter n);
+        close (Instr.jmp lh) lh;
+        let t = Builder.ireg ctx.builder in
+        let zero = Builder.ireg ctx.builder in
+        emit (Instr.ldi zero 0);
+        emit (Instr.cmp Instr.Gt t counter zero);
+        close (Instr.cbr t lb lx) lb;
+        List.iter stmt body;
+        emit (Instr.subi counter counter 1);
+        close (Instr.jmp lh) lx
+  in
+  List.iter stmt stmts
+
+let generate ?(config = default) seed =
+  let rng = Random.State.make [| 0x52454d41; seed |] in
+  let builder = Builder.create (Printf.sprintf "fuzz_%d" seed) in
+  let arr_size = config.arr_size in
+  Builder.data builder ~readonly:false
+    ~init:(Symbol.Int_elts (List.init arr_size (fun i -> i * 3)))
+    int_arr arr_size;
+  Builder.data builder ~readonly:false
+    ~init:
+      (Symbol.Float_elts (List.init arr_size (fun i -> float_of_int i +. 0.5)))
+    float_arr arr_size;
+  Builder.data builder ~readonly:true
+    ~init:(Symbol.Int_elts (List.init arr_size (fun i -> (i * 11) - 4)))
+    ro_arr arr_size;
+  let range lo hi = lo + Random.State.int rng (max 1 (hi - lo + 1)) in
+  let n_ivars = range config.min_ivars config.max_ivars in
+  let n_fvars = range config.min_fvars config.max_fvars in
+  let ivars = Array.init n_ivars (fun _ -> Builder.ireg builder) in
+  let fvars = Array.init n_fvars (fun _ -> Builder.freg builder) in
+  let ctx = { rng; conf = config; builder; ivars; fvars } in
+  let fuel = range config.min_stmts config.max_stmts in
+  let stmts = gen_stmts ctx ~depth:0 fuel in
+  let e = { label = "entry"; body_rev = []; counter = 0 } in
+  (* Initialize the pools. *)
+  Array.iteri (fun i r -> e.body_rev <- Instr.ldi r (i + 1) :: e.body_rev) ivars;
+  Array.iteri
+    (fun i r -> e.body_rev <- Instr.lfi r (float_of_int i +. 0.25) :: e.body_rev)
+    fvars;
+  emit_all ctx e stmts;
+  (* Observe the final state. *)
+  Array.iter (fun r -> e.body_rev <- Instr.print_ r :: e.body_rev) ivars;
+  Array.iter (fun r -> e.body_rev <- Instr.print_ r :: e.body_rev) fvars;
+  Builder.block ctx.builder e.label (List.rev e.body_rev)
+    ~term:(Instr.ret (Some ivars.(0)));
+  Builder.finish ctx.builder

@@ -1,0 +1,55 @@
+(** Seeded random ILOC routine generator.
+
+    Promoted from the ad-hoc QCheck generators that used to live in
+    [test/testutil.ml], so the whole pipeline — property tests, the
+    [ralloc fuzz] campaign driver and the delta-debugging reducer — draws
+    programs from one home.
+
+    Generated routines are self-contained differential-testing inputs:
+
+    - {e terminating}: loops count a dedicated counter register down from
+      a small constant, and loop bodies cannot write that counter;
+    - {e definitely assigned}: a pool of integer and float variables is
+      initialized in the entry block and is the only state crossing
+      control-flow boundaries, so {!Iloc.Validate.routine} accepts every
+      generated routine;
+    - {e memory safe}: loads and stores stay within fully-initialized,
+      per-class static arrays at constant in-bounds offsets;
+    - {e observable}: every pool variable is printed at the exit, so the
+      {!Oracle} sees through the whole final state.
+
+    Generation is a pure function of [(config, seed)] — same inputs, same
+    routine, on any machine and in any domain. *)
+
+type config = {
+  min_ivars : int;  (** integer variable pool: lower bound *)
+  max_ivars : int;  (** integer variable pool: upper bound (pressure knob) *)
+  min_fvars : int;  (** float variable pool: lower bound *)
+  max_fvars : int;  (** float variable pool: upper bound (pressure knob) *)
+  min_stmts : int;  (** statement budget: lower bound (block-count knob) *)
+  max_stmts : int;  (** statement budget: upper bound *)
+  max_depth : int;  (** maximum loop/conditional nesting *)
+  max_loop_iters : int;  (** iteration count of each counted loop *)
+  never_killed_weight : int;
+      (** relative weight of never-killed sources (immediates, label
+          addresses, frame offsets, read-only loads) among straight-line
+          instructions — the rematerialization candidates of the paper *)
+  mem_weight : int;
+      (** relative weight of memory chunklets (address formation + a load
+          or store against the {!Iloc.Symbol} tables) against plain
+          instructions (which have weight 5) *)
+  arr_size : int;  (** size in words of each static array *)
+}
+
+val default : config
+(** The distribution the repo's property tests have always used:
+    3–7 integer / 2–5 float pool variables, 4–16 statements, nesting ≤ 3,
+    loops of 1–5 iterations. *)
+
+val high_pressure : config
+(** A heavier distribution (more pool variables, longer routines) that
+    forces spilling on small register sets. *)
+
+val generate : ?config:config -> int -> Iloc.Cfg.t
+(** [generate ?config seed] builds one routine, named [fuzz_<seed>],
+    deterministically from [seed]. *)

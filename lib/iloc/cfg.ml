@@ -216,6 +216,34 @@ let split_critical_edges t =
   let cfg = make ~name:t.name ~symbols:t.symbols all in
   cfg
 
+let structural_equal a b =
+  let instr_equal (i : Instr.t) (j : Instr.t) =
+    (* Polymorphic compare: ops carry only ints, floats and strings, and
+       compare is total on floats (unlike [=] under NaN). *)
+    compare i.Instr.op j.Instr.op = 0
+    && Option.equal Reg.equal i.dst j.dst
+    && Array.length i.srcs = Array.length j.srcs
+    && Array.for_all2 Reg.equal i.srcs j.srcs
+  in
+  let phi_equal (p : Phi.t) (q : Phi.t) =
+    Reg.equal p.dst q.dst
+    && List.equal
+         (fun (i, r) (j, s) -> i = j && Reg.equal r s)
+         p.args q.args
+  in
+  let block_equal (x : Block.t) (y : Block.t) =
+    x.id = y.id
+    && String.equal x.label y.label
+    && List.equal phi_equal x.phis y.phis
+    && List.equal instr_equal x.body y.body
+    && instr_equal x.term y.term
+  in
+  String.equal a.name b.name
+  && a.entry = b.entry
+  && List.equal (fun s s' -> compare (s : Symbol.t) s' = 0) a.symbols b.symbols
+  && Array.length a.blocks = Array.length b.blocks
+  && Array.for_all2 block_equal a.blocks b.blocks
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>routine %s@," t.name;
   List.iter (fun s -> Format.fprintf ppf "  data %a@," Symbol.pp s) t.symbols;

@@ -65,5 +65,11 @@ val copy : t -> t
 val in_ssa : t -> bool
 (** True if any block carries φ-nodes. *)
 
+val structural_equal : t -> t -> bool
+(** Same name, symbols, entry, and per-block labels, φ-nodes, bodies and
+    terminators (register-for-register, operand-for-operand).  The mutable
+    caches and the register supply are ignored — this is the equality the
+    printer/parser round-trip property is stated in. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

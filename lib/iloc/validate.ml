@@ -11,17 +11,42 @@
     - in SSA form: each register has a unique definition and every φ-node
       has exactly one argument per predecessor. *)
 
-type error = { where : string; what : string }
+type error = {
+  where : string;
+  block : string option;
+  index : int option;
+  what : string;
+}
 
-let pp_error ppf e = Format.fprintf ppf "%s: %s" e.where e.what
+let pp_error ppf e =
+  match e.index with
+  | Some i -> Format.fprintf ppf "%s#%d: %s" e.where i e.what
+  | None -> Format.fprintf ppf "%s: %s" e.where e.what
 
 let error_to_string e = Format.asprintf "%a" pp_error e
 
-let check_instr (cfg : Cfg.t) (b : Block.t) errs (i : Instr.t) =
-  let err what =
-    errs :=
-      { where = Printf.sprintf "%s/%s" cfg.name b.label; what } :: !errs
-  in
+(* Error constructors: routine-level, block-level, instruction-level. *)
+let routine_err (cfg : Cfg.t) what =
+  { where = cfg.name; block = None; index = None; what }
+
+let block_err (cfg : Cfg.t) label what =
+  {
+    where = Printf.sprintf "%s/%s" cfg.name label;
+    block = Some label;
+    index = None;
+    what;
+  }
+
+let instr_err (cfg : Cfg.t) label idx what =
+  {
+    where = Printf.sprintf "%s/%s" cfg.name label;
+    block = Some label;
+    index = Some idx;
+    what;
+  }
+
+let check_instr (cfg : Cfg.t) (b : Block.t) errs idx (i : Instr.t) =
+  let err what = errs := instr_err cfg b.label idx what :: !errs in
   (try
      ignore
        (Instr.make i.op
@@ -96,41 +121,41 @@ let check_defined (cfg : Cfg.t) errs =
   done;
   Cfg.iter_blocks
     (fun b ->
-      if reachable.(b.id) then
-      let err what =
-        errs :=
-          { where = Printf.sprintf "%s/%s" cfg.name b.label; what } :: !errs
-      in
-      let live = ref (in_of b.id) in
-      List.iter
-        (fun (p : Phi.t) ->
-          List.iter
-            (fun (pred, r) ->
-              if not (Reg.Set.mem r out.(pred)) then
-                err
-                  (Printf.sprintf "phi argument %s not defined on edge from B%d"
-                     (Reg.to_string r) pred))
-            p.args)
-        b.phis;
-      List.iter (fun (p : Phi.t) -> live := Reg.Set.add p.dst !live) b.phis;
-      Block.iter_instrs
-        (fun i ->
-          List.iter
-            (fun u ->
-              if not (Reg.Set.mem u !live) then
-                err
-                  (Printf.sprintf "use of possibly-undefined %s in '%s'"
-                     (Reg.to_string u) (Instr.to_string i)))
-            (Instr.uses i);
-          List.iter (fun d -> live := Reg.Set.add d !live) (Instr.defs i))
-        b)
+      if reachable.(b.id) then begin
+        let live = ref (in_of b.id) in
+        List.iter
+          (fun (p : Phi.t) ->
+            List.iter
+              (fun (pred, r) ->
+                if not (Reg.Set.mem r out.(pred)) then
+                  errs :=
+                    block_err cfg b.label
+                      (Printf.sprintf
+                         "phi argument %s not defined on edge from B%d"
+                         (Reg.to_string r) pred)
+                    :: !errs)
+              p.args)
+          b.phis;
+        List.iter (fun (p : Phi.t) -> live := Reg.Set.add p.dst !live) b.phis;
+        List.iteri
+          (fun idx i ->
+            List.iter
+              (fun u ->
+                if not (Reg.Set.mem u !live) then
+                  errs :=
+                    instr_err cfg b.label idx
+                      (Printf.sprintf "use of possibly-undefined %s in '%s'"
+                         (Reg.to_string u) (Instr.to_string i))
+                    :: !errs)
+              (Instr.uses i);
+            List.iter (fun d -> live := Reg.Set.add d !live) (Instr.defs i))
+          (Block.instrs b)
+      end)
     cfg
 
 let check_ssa (cfg : Cfg.t) errs =
   let defs = Reg.Tbl.create 64 in
-  let err b what =
-    errs := { where = Printf.sprintf "%s/%s" cfg.name b; what } :: !errs
-  in
+  let err b what = errs := block_err cfg b what :: !errs in
   let record b r =
     if Reg.Tbl.mem defs r then
       err b (Printf.sprintf "%s defined more than once" (Reg.to_string r))
@@ -157,27 +182,18 @@ let routine ?(ssa = false) (cfg : Cfg.t) =
   let errs = ref [] in
   (* Labels resolve and are unique: recomputing edges re-runs those checks. *)
   (try Cfg.rebuild_edges cfg
-   with Invalid_argument m -> errs := { where = cfg.name; what = m } :: !errs);
+   with Invalid_argument m -> errs := routine_err cfg m :: !errs);
   Cfg.iter_blocks
     (fun b ->
-      Block.iter_instrs (check_instr cfg b errs) b;
-      List.iter
-        (fun i ->
+      List.iteri (check_instr cfg b errs) (Block.instrs b);
+      List.iteri
+        (fun idx i ->
           if Instr.is_terminator i then
             errs :=
-              {
-                where = Printf.sprintf "%s/%s" cfg.name b.label;
-                what = "terminator in block body";
-              }
-              :: !errs)
+              instr_err cfg b.label idx "terminator in block body" :: !errs)
         b.body;
       if (not ssa) && b.phis <> [] then
-        errs :=
-          {
-            where = Printf.sprintf "%s/%s" cfg.name b.label;
-            what = "phi outside SSA form";
-          }
-          :: !errs)
+        errs := block_err cfg b.label "phi outside SSA form" :: !errs)
     cfg;
   if !errs = [] then check_defined cfg errs;
   if ssa && !errs = [] then check_ssa cfg errs;

@@ -12,10 +12,22 @@
     - with [~ssa:true]: each register has a unique definition and every
       φ-node has exactly one argument per predecessor. *)
 
-type error = { where : string; what : string }
+type error = {
+  where : string;  (** ["routine"] or ["routine/label"], for display *)
+  block : string option;  (** the offending block's label, when known *)
+  index : int option;
+      (** instruction position inside the block: [0 .. n-1] over the
+          body, [n] for the terminator ([None] for block- or
+          routine-level errors, e.g. φ-node or edge problems) — this is
+          what lets fuzz buckets and repro reports point at the exact
+          instruction *)
+  what : string;
+}
 
 val pp_error : Format.formatter -> error -> unit
 val error_to_string : error -> string
+(** ["routine/label#3: message"]; the [#index] part appears only when the
+    error is attached to an instruction. *)
 
 val routine : ?ssa:bool -> Cfg.t -> (unit, error list) result
 val routine_exn : ?ssa:bool -> Cfg.t -> unit

@@ -1,0 +1,219 @@
+(* Tests for the lib/fuzz subsystem: generator determinism and
+   invariants, the differential oracle, the delta-debugging reducer (on a
+   deliberately planted miscompile) and campaign determinism across -j. *)
+
+let tc name f = Alcotest.test_case name `Quick f
+let check = Alcotest.check
+
+module Cfg = Iloc.Cfg
+
+(* --- generator --- *)
+
+let gen_tests =
+  [
+    tc "same seed, same routine" (fun () ->
+        List.iter
+          (fun seed ->
+            let a = Fuzz.Gen.generate seed and b = Fuzz.Gen.generate seed in
+            check Alcotest.bool "structural" true (Cfg.structural_equal a b);
+            check Alcotest.string "printed"
+              (Iloc.Printer.routine_to_string a)
+              (Iloc.Printer.routine_to_string b))
+          [ 0; 1; 42; 1000; 123456789 ]);
+    tc "generated routines validate and run" (fun () ->
+        for seed = 0 to 24 do
+          let cfg = Fuzz.Gen.generate seed in
+          (match Iloc.Validate.routine cfg with
+          | Ok () -> ()
+          | Error es ->
+              Alcotest.failf "seed %d invalid: %s" seed
+                (String.concat "; "
+                   (List.map Iloc.Validate.error_to_string es)));
+          match Fuzz.Oracle.reference cfg with
+          | Ok _ -> ()
+          | Error m -> Alcotest.failf "seed %d does not run: %s" seed m
+        done);
+    tc "high-pressure config validates and runs" (fun () ->
+        for seed = 0 to 9 do
+          let cfg =
+            Fuzz.Gen.generate ~config:Fuzz.Gen.high_pressure seed
+          in
+          (match Iloc.Validate.routine cfg with
+          | Ok () -> ()
+          | Error es ->
+              Alcotest.failf "seed %d invalid: %s" seed
+                (String.concat "; "
+                   (List.map Iloc.Validate.error_to_string es)));
+          match Fuzz.Oracle.reference cfg with
+          | Ok _ -> ()
+          | Error m -> Alcotest.failf "seed %d does not run: %s" seed m
+        done);
+  ]
+
+(* --- oracle --- *)
+
+let oracle_tests =
+  [
+    tc "fixed fixtures are clean across the matrix" (fun () ->
+        List.iter
+          (fun (name, cfg) ->
+            match Fuzz.Oracle.check cfg with
+            | Ok [] -> ()
+            | Ok ((c, d) :: _) ->
+                Alcotest.failf "%s diverges under %s: %s" name
+                  (Fuzz.Oracle.config_name c)
+                  (Fuzz.Oracle.describe d)
+            | Error m -> Alcotest.failf "%s reference failed: %s" name m)
+          (Testutil.all_fixed ()));
+    tc "generated seeds are clean across the matrix" (fun () ->
+        for seed = 0 to 9 do
+          match Fuzz.Oracle.check (Fuzz.Gen.generate seed) with
+          | Ok [] -> ()
+          | Ok ((c, d) :: _) ->
+              Alcotest.failf "seed %d diverges under %s: %s" seed
+                (Fuzz.Oracle.config_name c)
+                (Fuzz.Oracle.describe d)
+          | Error m -> Alcotest.failf "seed %d reference failed: %s" seed m
+        done);
+  ]
+
+(* --- reducer, on a planted spill-slot off-by-one --- *)
+
+(* With [fault_reload_skew = 1] every reload reads its neighbour's frame
+   slot, so any configuration that spills through memory miscompiles:
+   either a wrong value flows out (wrong outcome) or an unwritten slot is
+   read (runtime error).  The oracle must catch it and the reducer must
+   shrink the repro while the same configuration keeps failing. *)
+let planted_config =
+  {
+    Fuzz.Oracle.optimize = false;
+    mode = Remat.Mode.Briggs_remat;
+    machine = Remat.Machine.make ~name:"tiny" ~k_int:4 ~k_float:4;
+  }
+
+let non_crash_divergence cfg =
+  match Fuzz.Oracle.reference cfg with
+  | Error _ -> None
+  | Ok reference -> (
+      match Fuzz.Oracle.check_config ~reference cfg planted_config with
+      | Some d when Fuzz.Oracle.class_of d <> "crash" -> Some d
+      | _ -> None)
+
+let with_planted_fault f =
+  Remat.Spill_code.fault_reload_skew := 1;
+  Fun.protect ~finally:(fun () -> Remat.Spill_code.fault_reload_skew := 0) f
+
+let reduce_tests =
+  [
+    tc "oracle catches the planted off-by-one" (fun () ->
+        (* Sound allocator first: the fixture must be clean... *)
+        let cfg = Testutil.high_pressure () in
+        (match non_crash_divergence cfg with
+        | None -> ()
+        | Some d ->
+            Alcotest.failf "diverges without the fault: %s"
+              (Fuzz.Oracle.describe d));
+        (* ... and miscompile once the fault is armed. *)
+        with_planted_fault (fun () ->
+            match non_crash_divergence cfg with
+            | Some _ -> ()
+            | None -> Alcotest.fail "planted miscompile not detected"))
+    ;
+    tc "reducer shrinks the planted repro to <= 15 instructions" (fun () ->
+        with_planted_fault (fun () ->
+            let cfg = Testutil.high_pressure () in
+            let interesting c = non_crash_divergence c <> None in
+            check Alcotest.bool "repro is interesting" true (interesting cfg);
+            let red = Fuzz.Reduce.run ~interesting cfg in
+            let n0 = Fuzz.Reduce.instr_count cfg in
+            let n1 = Fuzz.Reduce.instr_count red in
+            if n1 > 15 then
+              Alcotest.failf "reduced repro still has %d instructions (from %d):\n%s"
+                n1 n0
+                (Iloc.Printer.routine_to_string red);
+            check Alcotest.bool "reduced repro still diverges" true
+              (interesting red);
+            (* The repro is a valid routine and survives a print/parse trip,
+               so the persisted .il file reproduces the bug as-is. *)
+            (match Iloc.Validate.routine red with
+            | Ok () -> ()
+            | Error es ->
+                Alcotest.failf "reduced repro invalid: %s"
+                  (String.concat "; "
+                     (List.map Iloc.Validate.error_to_string es)));
+            let red2 =
+              Iloc.Parser.routine (Iloc.Printer.routine_to_string red)
+            in
+            check Alcotest.bool "reparsed repro still diverges" true
+              (interesting red2)));
+  ]
+
+(* --- campaign --- *)
+
+let campaign_tests =
+  [
+    tc "summary is identical under -j 1 and -j 2" (fun () ->
+        let run jobs =
+          Fuzz.Campaign.run ~runs:20 ~seed:42 ~jobs ()
+        in
+        let a = run 1 and b = run 2 in
+        check Alcotest.string "json"
+          (Fuzz.Campaign.summary_to_json a)
+          (Fuzz.Campaign.summary_to_json b);
+        check Alcotest.int "clean tree has no divergences" 0
+          (List.length a.Fuzz.Campaign.failures));
+    tc "campaign reports and buckets planted divergences" (fun () ->
+        with_planted_fault (fun () ->
+            let matrix = [ planted_config ] in
+            let gen_config = Fuzz.Gen.high_pressure in
+            let s =
+              Fuzz.Campaign.run ~gen_config ~matrix ~runs:6 ~seed:7 ~jobs:1 ()
+            in
+            if s.Fuzz.Campaign.failures = [] then
+              Alcotest.fail "no divergence found over high-pressure seeds";
+            List.iter
+              (fun (r : Fuzz.Campaign.report) ->
+                check Alcotest.bool "reduction never grows the repro" true
+                  (r.reduced_instrs <= r.original_instrs);
+                check Alcotest.string "failing config recorded"
+                  (Fuzz.Oracle.config_name planted_config)
+                  r.config)
+              s.Fuzz.Campaign.failures;
+            check Alcotest.bool "buckets non-empty" true
+              (s.Fuzz.Campaign.buckets <> [])));
+    tc "save writes summary.json and one .il per failure" (fun () ->
+        with_planted_fault (fun () ->
+            let s =
+              Fuzz.Campaign.run ~gen_config:Fuzz.Gen.high_pressure
+                ~matrix:[ planted_config ] ~reduce:false ~runs:3 ~seed:7
+                ~jobs:1 ()
+            in
+            let dir = "fuzz-corpus-under-test" in
+            Fuzz.Campaign.save ~dir s;
+            check Alcotest.bool "summary.json" true
+              (Sys.file_exists (Filename.concat dir "summary.json"));
+            List.iter
+              (fun (r : Fuzz.Campaign.report) ->
+                let f =
+                  Filename.concat dir (Printf.sprintf "seed-%d.il" r.seed)
+                in
+                check Alcotest.bool f true (Sys.file_exists f);
+                (* The commented header keeps the repro parseable. *)
+                ignore
+                  (Iloc.Parser.routine
+                     (let ic = open_in_bin f in
+                      Fun.protect
+                        ~finally:(fun () -> close_in ic)
+                        (fun () ->
+                          really_input_string ic (in_channel_length ic)))))
+              s.Fuzz.Campaign.failures));
+  ]
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ("gen", gen_tests);
+      ("oracle", oracle_tests);
+      ("reduce", reduce_tests);
+      ("campaign", campaign_tests);
+    ]

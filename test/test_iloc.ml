@@ -311,6 +311,27 @@ let validate_tests =
         match Iloc.Validate.routine (Iloc.Parser.routine src) with
         | Ok () -> Alcotest.fail "undefined use accepted"
         | Error _ -> ());
+    tc "errors carry block label and instruction index" (fun () ->
+        let src =
+          "routine x\n\
+           entry:\n\
+          \  jmp more\n\
+           more:\n\
+          \  r1 <- ldi 1\n\
+          \  r2 <- addi r9 1\n\
+          \  ret\n"
+        in
+        match Iloc.Validate.routine (Iloc.Parser.routine src) with
+        | Ok () -> Alcotest.fail "undefined use accepted"
+        | Error (e :: _) ->
+            check Alcotest.(option string) "block" (Some "more")
+              e.Iloc.Validate.block;
+            check Alcotest.(option int) "index" (Some 1)
+              e.Iloc.Validate.index;
+            check Alcotest.bool "message locates the instruction" true
+              (String.starts_with ~prefix:"x/more#1:"
+                 (Iloc.Validate.error_to_string e))
+        | Error [] -> Alcotest.fail "empty error list");
     tc "branch-dependent def detected" (fun () ->
         let src =
           "routine x\n\
@@ -402,6 +423,17 @@ let roundtrip_prop =
       let cfg2 = Iloc.Parser.routine text in
       String.equal text (Iloc.Printer.routine_to_string cfg2))
 
+(* reparsing also reconstructs the routine structurally: same blocks,
+   labels, instructions, registers and symbols — a stronger statement than
+   the print fixpoint, since it cannot be fooled by the printer dropping
+   the same detail twice *)
+let structural_roundtrip_prop =
+  QCheck.Test.make ~count:100 ~name:"reparse is structurally identical"
+    Testutil.Gen_prog.arbitrary_cfg
+    (fun cfg ->
+      let cfg2 = Iloc.Parser.routine (Iloc.Printer.routine_to_string cfg) in
+      Cfg.structural_equal cfg cfg2)
+
 (* parsing a random program and re-running it gives identical outcomes *)
 let reparse_semantics_prop =
   QCheck.Test.make ~count:60 ~name:"reparsed programs behave identically"
@@ -422,5 +454,7 @@ let () =
       ("builder", builder_tests);
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ roundtrip_prop; reparse_semantics_prop ] );
+          [
+            roundtrip_prop; structural_roundtrip_prop; reparse_semantics_prop;
+          ] );
     ]

@@ -170,301 +170,15 @@ let alloc_equiv ?mode ?machine cfg =
 (* Random structured programs                                          *)
 (* ------------------------------------------------------------------ *)
 
-(* The generator builds terminating, definitely-assigned routines:
-   - a pool of integer and float variables, all initialized in the entry
-     block, is the only state crossing control-flow boundaries;
-   - straight-line chunks may create local temporaries;
-   - loops count a pool variable down from a small constant;
-   - memory traffic stays within fully-initialized, per-class arrays at
-     constant offsets, so every load is defined and class-correct. *)
+(* The generator proper lives in [Fuzz.Gen] (one home for tests, the
+   [ralloc fuzz] campaign driver and the reducer); the tests draw a seed
+   and delegate.  Generated routines are terminating, definitely assigned
+   and memory safe by construction — see [Fuzz.Gen] for the invariants. *)
 module Gen_prog = struct
-  open QCheck
-
-  type stmt =
-    | Chunk of Instr.t list
-    | If of Reg.t * stmt list * stmt list  (* condition: pool int var *)
-    | Loop of Reg.t * int * stmt list  (* counter var, iterations *)
-
-  type ctx = {
-    builder : Builder.t;
-    ivars : Reg.t array;
-    fvars : Reg.t array;
-    int_arr : string;
-    float_arr : string;
-    ro_arr : string;
-    arr_size : int;
-  }
-
-  let int_imm = Gen.int_range (-64) 64
-
-  let pick_ivar ctx = Gen.map (fun i -> ctx.ivars.(i)) (Gen.int_bound (Array.length ctx.ivars - 1))
-  let pick_fvar ctx = Gen.map (fun i -> ctx.fvars.(i)) (Gen.int_bound (Array.length ctx.fvars - 1))
-
-  (* One straight-line instruction writing a pool variable or a local
-     temporary; [temps] accumulates locals usable later in the chunk. *)
-  let gen_instr ctx (itemps : Reg.t list) (ftemps : Reg.t list) :
-      (Instr.t * Reg.t option) Gen.t =
-    let open Gen in
-    let any_ivar =
-      match itemps with
-      | [] -> pick_ivar ctx
-      | _ -> oneof [ pick_ivar ctx; oneofl itemps ]
-    in
-    let any_fvar =
-      match ftemps with
-      | [] -> pick_fvar ctx
-      | _ -> oneof [ pick_fvar ctx; oneofl ftemps ]
-    in
-    (* Destination: mostly pool variables (multi-value live ranges), some
-       fresh temporaries. *)
-    let idst =
-      frequency
-        [
-          (3, map (fun r -> (r, None)) (pick_ivar ctx));
-          ( 1,
-            return () >|= fun () ->
-            let t = Builder.ireg ctx.builder in
-            (t, Some t) );
-        ]
-    in
-    let fdst =
-      frequency
-        [
-          (3, map (fun r -> (r, None)) (pick_fvar ctx));
-          ( 1,
-            return () >|= fun () ->
-            let t = Builder.freg ctx.builder in
-            (t, Some t) );
-        ]
-    in
-    frequency
-      [
-        (* integer ALU *)
-        ( 6,
-          idst >>= fun (d, fresh) ->
-          any_ivar >>= fun a ->
-          any_ivar >>= fun b ->
-          oneofl
-            [
-              Instr.add d a b;
-              Instr.sub d a b;
-              Instr.mul d a b;
-              Instr.cmp Instr.Lt d a b;
-              Instr.cmp Instr.Ge d a b;
-            ]
-          >|= fun i -> (i, fresh) );
-        ( 4,
-          idst >>= fun (d, fresh) ->
-          any_ivar >>= fun a ->
-          int_imm >>= fun n ->
-          oneofl [ Instr.addi d a n; Instr.subi d a n; Instr.muli d a n ]
-          >|= fun i -> (i, fresh) );
-        (* never-killed sources: immediates, label addresses, fp offsets,
-           read-only loads *)
-        ( 4,
-          idst >>= fun (d, fresh) ->
-          int_imm >>= fun n ->
-          int_bound (ctx.arr_size - 1) >>= fun off ->
-          oneofl
-            [
-              Instr.ldi d n;
-              Instr.laddr d ctx.int_arr;
-              Instr.lfp d (n land 1023);
-              Instr.ldro d ctx.ro_arr off;
-            ]
-          >|= fun i -> (i, fresh) );
-        ( 2,
-          fdst >>= fun (d, fresh) ->
-          float_bound_inclusive 100.0 >|= fun x -> (Instr.lfi d x, fresh) );
-        (* float ALU *)
-        ( 4,
-          fdst >>= fun (d, fresh) ->
-          any_fvar >>= fun a ->
-          any_fvar >>= fun b ->
-          oneofl [ Instr.fadd d a b; Instr.fsub d a b; Instr.fmul d a b ]
-          >|= fun i -> (i, fresh) );
-        ( 1,
-          fdst >>= fun (d, fresh) ->
-          any_fvar >|= fun a -> (Instr.fabs d a, fresh) );
-        ( 1,
-          fdst >>= fun (d, fresh) ->
-          any_ivar >|= fun a -> (Instr.itof d a, fresh) );
-        (* copies keep the coalescer honest *)
-        ( 2,
-          idst >>= fun (d, fresh) ->
-          any_ivar >|= fun a -> (Instr.copy d a, fresh) );
-        ( 1,
-          fdst >>= fun (d, fresh) ->
-          any_fvar >|= fun a -> (Instr.copy d a, fresh) );
-      ]
-
-  (* Memory chunklets are generated separately because they need two
-     instructions (address formation + access). *)
-  let gen_mem_chunk ctx : Instr.t list Gen.t =
-    let open Gen in
-    int_bound (ctx.arr_size - 1) >>= fun off ->
-    pick_ivar ctx >>= fun iv ->
-    pick_fvar ctx >>= fun fv ->
-    oneofl
-      [
-        (* int load *)
-        (let base = Builder.ireg ctx.builder in
-         [ Instr.laddr base ctx.int_arr; Instr.loadi iv base off ]);
-        (* float load *)
-        (let base = Builder.ireg ctx.builder in
-         [ Instr.laddr base ctx.float_arr; Instr.loadi fv base off ]);
-        (* int store *)
-        (let base = Builder.ireg ctx.builder in
-         [ Instr.laddr base ctx.int_arr; Instr.storei ~value:iv ~base ~off ]);
-        (* float store *)
-        (let base = Builder.ireg ctx.builder in
-         [ Instr.laddr base ctx.float_arr; Instr.storei ~value:fv ~base ~off ]);
-      ]
-
-  let gen_chunk ctx : Instr.t list Gen.t =
-    let open Gen in
-    int_range 1 6 >>= fun len ->
-    let rec go k itemps ftemps acc =
-      if k = 0 then return (List.rev acc)
-      else
-        frequency
-          [ (5, map Either.left (gen_instr ctx itemps ftemps));
-            (1, map Either.right (gen_mem_chunk ctx)) ]
-        >>= function
-        | Either.Left (i, fresh) ->
-            let itemps, ftemps =
-              match fresh with
-              | Some t when Reg.is_int t -> (t :: itemps, ftemps)
-              | Some t -> (itemps, t :: ftemps)
-              | None -> (itemps, ftemps)
-            in
-            go (k - 1) itemps ftemps (i :: acc)
-        | Either.Right instrs -> go (k - 1) itemps ftemps (List.rev_append instrs acc)
-    in
-    go len [] [] []
-
-  let rec gen_stmts ctx ~depth fuel : stmt list Gen.t =
-    let open Gen in
-    if fuel <= 0 then return []
-    else
-      let leaf = map (fun c -> Chunk c) (gen_chunk ctx) in
-      let stmt =
-        if depth >= 3 then leaf
-        else
-          frequency
-            [
-              (4, leaf);
-              ( 1,
-                pick_ivar ctx >>= fun c ->
-                gen_stmts ctx ~depth:(depth + 1) (fuel / 2) >>= fun th ->
-                gen_stmts ctx ~depth:(depth + 1) (fuel / 2) >|= fun el ->
-                If (c, th, el) );
-              ( 1,
-                (* The counter must be a dedicated register: loop bodies
-                   write pool variables freely, and a body that reset its
-                   own counter would never terminate. *)
-                int_range 1 5 >>= fun n ->
-                gen_stmts ctx ~depth:(depth + 1) (fuel / 2) >|= fun body ->
-                Loop (Builder.ireg ctx.builder, n, body) );
-            ]
-      in
-      stmt >>= fun s ->
-      gen_stmts ctx ~depth (fuel - 1) >|= fun rest -> s :: rest
-
-  (* Emit a statement tree through the block builder. *)
-  type emitter = {
-    mutable label : string;
-    mutable body_rev : Instr.t list;
-    mutable counter : int;
-  }
-
-  let fresh_label e prefix =
-    e.counter <- e.counter + 1;
-    Printf.sprintf "%s%d" prefix e.counter
-
-  let emit_all ctx e stmts =
-    let emit i = e.body_rev <- i :: e.body_rev in
-    let close term next =
-      Builder.block ctx.builder e.label (List.rev e.body_rev) ~term;
-      e.label <- next;
-      e.body_rev <- []
-    in
-    let rec stmt = function
-      | Chunk instrs -> List.iter emit instrs
-      | If (c, th, el) ->
-          let lt = fresh_label e "then"
-          and le = fresh_label e "else"
-          and lj = fresh_label e "join" in
-          let t = Builder.ireg ctx.builder in
-          let zero = Builder.ireg ctx.builder in
-          emit (Instr.ldi zero 0);
-          emit (Instr.cmp Instr.Ne t c zero);
-          close (Instr.cbr t lt le) lt;
-          List.iter stmt th;
-          close (Instr.jmp lj) le;
-          List.iter stmt el;
-          close (Instr.jmp lj) lj
-      | Loop (counter, n, body) ->
-          let lh = fresh_label e "head"
-          and lb = fresh_label e "body"
-          and lx = fresh_label e "exit" in
-          emit (Instr.ldi counter n);
-          close (Instr.jmp lh) lh;
-          let t = Builder.ireg ctx.builder in
-          let zero = Builder.ireg ctx.builder in
-          emit (Instr.ldi zero 0);
-          emit (Instr.cmp Instr.Gt t counter zero);
-          close (Instr.cbr t lb lx) lb;
-          List.iter stmt body;
-          emit (Instr.subi counter counter 1);
-          close (Instr.jmp lh) lx
-    in
-    List.iter stmt stmts
-
-  let gen_cfg : Cfg.t Gen.t =
-   fun st ->
-    let builder = Builder.create "generated" in
-    let arr_size = 8 in
-    Builder.data builder ~readonly:false
-      ~init:(Symbol.Int_elts (List.init arr_size (fun i -> i * 3)))
-      "wi" arr_size;
-    Builder.data builder ~readonly:false
-      ~init:(Symbol.Float_elts (List.init arr_size (fun i -> float_of_int i +. 0.5)))
-      "wf" arr_size;
-    Builder.data builder ~readonly:true
-      ~init:(Symbol.Int_elts (List.init arr_size (fun i -> (i * 11) - 4)))
-      "ro" arr_size;
-    let n_ivars = 3 + QCheck.Gen.int_bound 4 st in
-    let n_fvars = 2 + QCheck.Gen.int_bound 3 st in
-    let ivars = Array.init n_ivars (fun _ -> Builder.ireg builder) in
-    let fvars = Array.init n_fvars (fun _ -> Builder.freg builder) in
-    let ctx =
-      {
-        builder;
-        ivars;
-        fvars;
-        int_arr = "wi";
-        float_arr = "wf";
-        ro_arr = "ro";
-        arr_size;
-      }
-    in
-    let fuel = 4 + QCheck.Gen.int_bound 12 st in
-    let stmts = gen_stmts ctx ~depth:0 fuel st in
-    let e = { label = "entry"; body_rev = []; counter = 0 } in
-    (* Initialize the pools. *)
-    Array.iteri (fun i r -> e.body_rev <- Instr.ldi r (i + 1) :: e.body_rev) ivars;
-    Array.iteri
-      (fun i r -> e.body_rev <- Instr.lfi r (float_of_int i +. 0.25) :: e.body_rev)
-      fvars;
-    emit_all ctx e stmts;
-    (* Observe the final state. *)
-    Array.iter (fun r -> e.body_rev <- Instr.print_ r :: e.body_rev) ivars;
-    Array.iter (fun r -> e.body_rev <- Instr.print_ r :: e.body_rev) fvars;
-    Builder.block ctx.builder e.label (List.rev e.body_rev)
-      ~term:(Instr.ret (Some ivars.(0)));
-    Builder.finish ctx.builder
+  let gen_cfg : Cfg.t QCheck.Gen.t =
+   fun st -> Fuzz.Gen.generate (QCheck.Gen.int_bound 0x3FFFFFFF st)
 
   let arbitrary_cfg =
     QCheck.make gen_cfg ~print:(fun cfg -> Iloc.Printer.routine_to_string cfg)
 end
+
