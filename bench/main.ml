@@ -7,6 +7,7 @@
      bench/main.exe                run everything
      bench/main.exe table1         spill-cost comparison (Table 1)
      bench/main.exe table2         per-phase allocation times (Table 2)
+     bench/main.exe scale          coloring-core scaling, old vs new
      bench/main.exe fig1|fig2|fig3|fig4
      bench/main.exe ablation       splitting schemes of section 6
      bench/main.exe bechamel       micro-benchmarks only
@@ -46,6 +47,12 @@ let table2 ~repeats ~jobs () =
   close_out oc;
   Format.fprintf std "@.(per-phase timings and counters written to %s)@.@."
     json_path
+
+let scale ~repeats () =
+  let code =
+    Scale_bench.Scale.run ~repeats ~out:"BENCH_scale.json" std
+  in
+  if code <> 0 then exit code
 
 let ablation () =
   Format.fprintf std
@@ -228,6 +235,7 @@ let all ~repeats ~jobs () =
   figures `F4;
   table1 ();
   table2 ~repeats ~jobs ();
+  scale ~repeats:3 ();
   ablation ();
   baseline ();
   bechamel ()
@@ -278,13 +286,14 @@ let () =
           | "fig2" -> figures `F2
           | "fig3" -> figures `F3
           | "fig4" -> figures `F4
+          | "scale" -> scale ~repeats:(min repeats 3) ()
           | "ablation" -> ablation ()
           | "baseline" -> baseline ()
           | "bechamel" -> bechamel ()
           | other ->
               Format.eprintf
-                "unknown target %S (want table1 table2 fig1..fig4 ablation \
-                 bechamel)@."
+                "unknown target %S (want table1 table2 scale fig1..fig4 \
+                 ablation bechamel)@."
                 other;
               exit 2)
         targets

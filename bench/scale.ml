@@ -1,0 +1,392 @@
+(* Scale benchmark: the coloring-core phases (simplify, select, the
+   coalescing fixpoint) on Fuzz.Gen high-pressure routines of growing
+   size, old implementation vs new.
+
+   "Old" is the retained pre-optimization code (the [Reference] library:
+   whole-graph rescan per spill candidate, forbidden-color lists,
+   whole-CFG coalescing sweeps with an allocating Briggs test); "new" is
+   lib/core as built.  Both sides run on identical inputs and their
+   outputs are compared exactly, so every benchmark run doubles as a
+   differential test; the timing table then shows the asymptotic gap.
+   A full Remat.Allocator.run per size records end-to-end per-phase
+   seconds and minor-heap words through Stats. *)
+
+module Cfg = Iloc.Cfg
+module Gen = Fuzz.Gen
+module Interference = Remat.Interference
+
+let mode = Remat.Mode.Briggs_remat
+
+(* 8+8 registers: enough to color the trivial mass, small enough that a
+   high-pressure routine keeps simplify in its spill-candidate loop —
+   the loop whose former O(n) rescan this benchmark exists to expose. *)
+let machine = Remat.Machine.make ~name:"scale" ~k_int:8 ~k_float:8
+
+let config ~stmts =
+  {
+    Gen.high_pressure with
+    Gen.min_ivars = 20;
+    max_ivars = 26;
+    min_fvars = 12;
+    max_fvars = 16;
+    max_depth = 4;
+    min_stmts = stmts;
+    max_stmts = stmts;
+  }
+
+let n_instrs cfg =
+  let n = ref 0 in
+  Cfg.iter_blocks
+    (fun b -> n := !n + 1 + List.length b.Iloc.Block.body)
+    cfg;
+  !n
+
+let generate ~stmts seed = Gen.generate ~config:(config ~stmts) seed
+
+(* Instruction count grows superlinearly in the statement budget (nested
+   blocks redraw from the same stmt range), so a proportional controller
+   oscillates; bracket the target and binary-search instead, taking the
+   budget whose emitted count lands closest.  Returns the budget, not
+   the routine: callers regenerate from (seed, budget) whenever they
+   need a pristine copy. *)
+let stmts_for ~target seed =
+  let n_of stmts = n_instrs (generate ~stmts seed) in
+  if n_of 1 >= target then 1
+  else begin
+    let hi = ref 2 in
+    while n_of !hi < target && !hi < 1 lsl 20 do
+      hi := !hi * 2
+    done;
+    let lo = ref (!hi / 2) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if n_of mid < target then lo := mid else hi := mid
+    done;
+    if target - n_of !lo <= n_of !hi - target then !lo else !hi
+  end
+
+(* The allocator's own preprocessing, up to the first build–coalesce:
+   critical-edge splitting, loop analysis, renumbering. *)
+let fresh_ctx cfg =
+  let cfg0 = Cfg.split_critical_edges cfg in
+  let dom = Dataflow.Dominance.compute cfg0 in
+  let loops = Dataflow.Loops.compute cfg0 dom in
+  let rn = Remat.Renumber.run mode cfg0 in
+  Remat.Context.create ~mode ~machine ~loops ~tags:rn.Remat.Renumber.tags
+    ~split_pairs:rn.Remat.Renumber.split_pairs
+    ~stats:(Remat.Stats.create ()) rn.Remat.Renumber.cfg
+
+let time_min ~repeats f =
+  let best = ref infinity in
+  for _ = 1 to repeats do
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best
+
+type phase_times = { simplify : float; select : float; coalesce : float }
+
+type row = {
+  target : int;
+  instrs : int;
+  nodes : int;
+  edges : int;
+  old_t : phase_times;
+  new_t : phase_times;
+  alloc : (Remat.Stats.phase * float * float) list;
+      (** full-allocator per-phase (seconds, minor words), summed over
+          rounds *)
+}
+
+exception Divergence of string
+
+let check_equal what ok =
+  if not ok then
+    raise
+      (Divergence
+         (Printf.sprintf "scale bench: old and new %s disagree" what))
+
+let measure ~repeats ~target seed =
+  let stmts = stmts_for ~target seed in
+  let cfg () = generate ~stmts seed in
+  let instrs = n_instrs (cfg ()) in
+  (* Coalesce: the whole unrestricted+conservative fixpoint, fresh
+     context per repeat (it mutates the routine and the graph). *)
+  let time_coalesce runner =
+    let best = ref infinity in
+    for _ = 1 to repeats do
+      let ctx = fresh_ctx (cfg ()) in
+      let t0 = Unix.gettimeofday () in
+      runner ctx;
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let old_coalesce = time_coalesce Reference.Coalesce.fixpoint in
+  let new_coalesce = time_coalesce Remat.Allocator.build_coalesce in
+  let ctx_old = fresh_ctx (cfg ()) in
+  Reference.Coalesce.fixpoint ctx_old;
+  let ctx = fresh_ctx (cfg ()) in
+  Remat.Allocator.build_coalesce ctx;
+  check_equal "coalesced routines"
+    (Cfg.structural_equal ctx_old.Remat.Context.cfg ctx.Remat.Context.cfg);
+  (* Simplify and select run read-only on the post-coalesce graph, so
+     the same graph serves every repeat of both sides. *)
+  let g = Remat.Context.graph ctx in
+  let costs = Remat.Spill_cost.phase ctx in
+  let k = ctx.Remat.Context.k in
+  let old_stack = Reference.Simplify.run g ~k ~costs in
+  let new_stack = Remat.Simplify.run g ~k ~costs in
+  check_equal "simplify stacks" (old_stack = new_stack);
+  let old_simplify =
+    time_min ~repeats (fun () -> ignore (Reference.Simplify.run g ~k ~costs))
+  in
+  let new_simplify =
+    time_min ~repeats (fun () -> ignore (Remat.Simplify.run g ~k ~costs))
+  in
+  let order = new_stack in
+  let partners = Array.make (Interference.n_nodes g) [] in
+  List.iter
+    (fun (a, b) ->
+      match (Interference.index_opt g a, Interference.index_opt g b) with
+      | Some ia, Some ib ->
+          let ia = Interference.find g ia and ib = Interference.find g ib in
+          partners.(ia) <- ib :: partners.(ia);
+          partners.(ib) <- ia :: partners.(ib)
+      | _ -> ())
+    ctx.Remat.Context.split_pairs;
+  let old_sel = Reference.Select.run g ~k ~order ~partners in
+  let new_sel = Remat.Select.run g ~k ~order ~partners in
+  check_equal "select colorings"
+    (old_sel.Reference.Select.colors = new_sel.Remat.Select.colors
+    && old_sel.Reference.Select.spilled = new_sel.Remat.Select.spilled);
+  let old_select =
+    time_min ~repeats (fun () ->
+        ignore (Reference.Select.run g ~k ~order ~partners))
+  in
+  let new_select =
+    time_min ~repeats (fun () ->
+        ignore (Remat.Select.run g ~k ~order ~partners))
+  in
+  (* End-to-end allocation, instrumented: per-phase seconds and
+     minor-heap words summed over spill rounds. *)
+  let res = Remat.Allocator.run ~mode ~machine (cfg ()) in
+  let alloc =
+    let acc = Hashtbl.create 16 in
+    let order = ref [] in
+    List.iter
+      (fun (_, phase, s, w) ->
+        match Hashtbl.find_opt acc phase with
+        | Some (s0, w0) -> Hashtbl.replace acc phase (s0 +. s, w0 +. w)
+        | None ->
+            Hashtbl.add acc phase (s, w);
+            order := phase :: !order)
+      (Remat.Stats.by_phase res.Remat.Allocator.stats);
+    List.rev_map
+      (fun p ->
+        let s, w = Hashtbl.find acc p in
+        (p, s, w))
+      !order
+  in
+  {
+    target;
+    instrs;
+    nodes = Interference.n_nodes g;
+    edges = Interference.n_edges g;
+    old_t =
+      { simplify = old_simplify; select = old_select; coalesce = old_coalesce };
+    new_t =
+      { simplify = new_simplify; select = new_select; coalesce = new_coalesce };
+    alloc;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+
+let speedup o n = if n > 0. then o /. n else 0.
+
+let pp ppf rows =
+  Format.fprintf ppf
+    "=== Scale benchmark: coloring core, old vs new ===@.\
+     (Fuzz.Gen high-pressure routines on an %d+%d-register machine;@.\
+    \ seconds are the best of the repeats; outputs byte-compared)@.@."
+    machine.Remat.Machine.k_int machine.Remat.Machine.k_float;
+  Format.fprintf ppf "%8s %8s %8s %9s | %23s | %23s | %23s@." "target"
+    "instrs" "nodes" "edges" "simplify old/new" "select old/new"
+    "coalesce old/new";
+  Format.fprintf ppf "%s@." (String.make 114 '-');
+  List.iter
+    (fun r ->
+      let cell o n = Printf.sprintf "%9.6f/%9.6f %4.1fx" o n (speedup o n) in
+      Format.fprintf ppf "%8d %8d %8d %9d | %s | %s | %s@." r.target r.instrs
+        r.nodes r.edges
+        (cell r.old_t.simplify r.new_t.simplify)
+        (cell r.old_t.select r.new_t.select)
+        (cell r.old_t.coalesce r.new_t.coalesce))
+    rows;
+  Format.fprintf ppf
+    "@.full allocator (new), per-phase seconds and minor kwords:@.";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%8d |" r.target;
+      List.iter
+        (fun (p, s, w) ->
+          Format.fprintf ppf " %s %.4fs/%.0fkw"
+            (Remat.Stats.phase_to_string p)
+            s (w /. 1000.))
+        r.alloc;
+      Format.fprintf ppf "@.")
+    rows;
+  Format.fprintf ppf "@."
+
+let json ~repeats rows =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"bench\":\"scale\",\"machine\":{\"k_int\":%d,\"k_float\":%d},\"repeats\":%d,\"sizes\":["
+       machine.Remat.Machine.k_int machine.Remat.Machine.k_float repeats);
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char b ',';
+      let side t =
+        Printf.sprintf
+          "{\"simplify\":%.9f,\"select\":%.9f,\"coalesce\":%.9f}" t.simplify
+          t.select t.coalesce
+      in
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"target\":%d,\"instrs\":%d,\"nodes\":%d,\"edges\":%d,\"old\":%s,\"new\":%s,\"speedup\":{\"simplify\":%.2f,\"select\":%.2f,\"coalesce\":%.2f},\"alloc\":["
+           r.target r.instrs r.nodes r.edges (side r.old_t) (side r.new_t)
+           (speedup r.old_t.simplify r.new_t.simplify)
+           (speedup r.old_t.select r.new_t.select)
+           (speedup r.old_t.coalesce r.new_t.coalesce));
+      List.iteri
+        (fun j (p, s, w) ->
+          if j > 0 then Buffer.add_char b ',';
+          Buffer.add_string b
+            (Printf.sprintf
+               "{\"phase\":\"%s\",\"seconds\":%.9f,\"minor_words\":%.0f}"
+               (Remat.Stats.phase_to_string p)
+               s w))
+        r.alloc;
+      Buffer.add_string b "]}")
+    rows;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Baseline comparison (--check)                                       *)
+
+(* Minimal scanner for the JSON this module itself writes: no JSON
+   library in the tree, and the schema is ours, so substring navigation
+   is enough — find the size entry by its "target", enter its "new"
+   object, read one float per phase key. *)
+let scan_baseline text ~target phase =
+  let find sub from =
+    let n = String.length text and m = String.length sub in
+    let rec go i =
+      if i + m > n then None
+      else if String.sub text i m = sub then Some (i + m)
+      else go (i + 1)
+    in
+    go from
+  in
+  let ( let* ) = Option.bind in
+  let* p = find (Printf.sprintf "\"target\":%d," target) 0 in
+  let* p = find "\"new\":{" p in
+  let* p = find (Printf.sprintf "\"%s\":" phase) p in
+  let e = ref p in
+  while
+    !e < String.length text
+    && (match text.[!e] with
+       | '0' .. '9' | '.' | '-' | 'e' | '+' -> true
+       | _ -> false)
+  do
+    incr e
+  done;
+  float_of_string_opt (String.sub text p (!e - p))
+
+(* A phase regresses when it runs more than [factor] slower than the
+   checked-in baseline.  Sub-millisecond baselines are pure noise at CI
+   smoke sizes, so they are reported but never failed on. *)
+let check ~baseline rows ppf =
+  let factor = 2.0 and floor_s = 0.001 in
+  let failures = ref 0 in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (name, now) ->
+          match scan_baseline baseline ~target:r.target name with
+          | None ->
+              Format.fprintf ppf "check: %d/%s: no baseline entry, skipped@."
+                r.target name
+          | Some base when base < floor_s ->
+              Format.fprintf ppf
+                "check: %d/%s: baseline %.6fs below noise floor, skipped@."
+                r.target name base
+          | Some base ->
+              let ratio = if base > 0. then now /. base else 0. in
+              if now > factor *. base then begin
+                incr failures;
+                Format.fprintf ppf
+                  "check: %d/%s: REGRESSION %.6fs vs baseline %.6fs (%.1fx)@."
+                  r.target name now base ratio
+              end
+              else
+                Format.fprintf ppf "check: %d/%s: ok %.6fs vs %.6fs (%.1fx)@."
+                  r.target name now base ratio)
+        [
+          ("simplify", r.new_t.simplify);
+          ("select", r.new_t.select);
+          ("coalesce", r.new_t.coalesce);
+        ])
+    rows;
+  !failures = 0
+
+(* ------------------------------------------------------------------ *)
+
+let default_sizes = [ 1000; 5000; 20000 ]
+
+(* Entry point shared by bench/main.exe and `ralloc bench scale`.
+   Returns the process exit code: 0 clean, 1 on an old/new divergence or
+   a --check regression. *)
+let run ?(sizes = default_sizes) ?(repeats = 3) ?(seed = 42) ?out ?check_file
+    ppf =
+  match
+    List.map
+      (fun target ->
+        Format.fprintf ppf "; measuring %d instructions...@." target;
+        Format.pp_print_flush ppf ();
+        measure ~repeats ~target seed)
+      sizes
+  with
+  | exception Divergence msg ->
+      Format.fprintf ppf "%s@." msg;
+      1
+  | rows ->
+      pp ppf rows;
+      (match out with
+      | Some path ->
+          let oc = open_out path in
+          output_string oc (json ~repeats rows);
+          output_char oc '\n';
+          close_out oc;
+          Format.fprintf ppf "(written to %s)@." path
+      | None -> ());
+      (match check_file with
+      | None -> 0
+      | Some path ->
+          let ic = open_in_bin path in
+          let baseline =
+            Fun.protect
+              ~finally:(fun () -> close_in ic)
+              (fun () -> really_input_string ic (in_channel_length ic))
+          in
+          if check ~baseline rows ppf then begin
+            Format.fprintf ppf "check: no phase regressed more than 2x@.";
+            0
+          end
+          else 1)

@@ -6,7 +6,7 @@
      - [kernel:NAME]            : a routine from the built-in suite
 
    Subcommands: parse, opt, alloc, batch, run, kernels, dot, emit,
-   report, fuzz, reduce. *)
+   report, fuzz, bench, reduce. *)
 
 open Cmdliner
 
@@ -444,6 +444,73 @@ let fuzz_cmd =
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(const run $ runs $ seed $ jobs $ out $ no_reduce)
 
+let bench_cmd =
+  let run what sizes repeats seed out check =
+    or_die (fun () ->
+        match what with
+        | "scale" ->
+            let code =
+              Scale_bench.Scale.run ~sizes ~repeats ~seed ?out
+                ?check_file:check Format.std_formatter
+            in
+            if code <> 0 then exit code
+        | other ->
+            Fmt.epr "unknown benchmark %S (want: scale)@." other;
+            exit 2)
+  in
+  let what =
+    Arg.(
+      value & pos 0 string "scale"
+      & info [] ~docv:"BENCH"
+          ~doc:
+            "scale: coloring-core phases on generated routines of growing \
+             size, retained old implementation vs current, outputs \
+             byte-compared.")
+  in
+  let sizes =
+    Arg.(
+      value
+      & opt (list int) Scale_bench.Scale.default_sizes
+      & info [ "sizes" ] ~docv:"N,N,..."
+          ~doc:"Routine sizes in instructions.")
+  in
+  let repeats =
+    Arg.(
+      value & opt int 3
+      & info [ "repeats" ] ~docv:"N"
+          ~doc:"Timing repetitions; the best is reported.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"S" ~doc:"Generator seed.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) (Some "BENCH_scale.json")
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write machine-readable results to $(docv).")
+  in
+  let check =
+    Arg.(
+      value & opt (some string) None
+      & info [ "check" ] ~docv:"FILE"
+          ~doc:
+            "Compare against a baseline BENCH_scale.json; exit 1 if any \
+             phase of the current implementation runs more than twice as \
+             slow as its baseline entry (sub-millisecond baselines are \
+             skipped as noise).")
+  in
+  let doc =
+    "Run a performance benchmark.  $(b,scale) times simplify, select and \
+     the coalescing fixpoint on high-pressure generated routines at each \
+     requested size, old implementation against new, verifying outputs \
+     match; exits non-zero on divergence or (with --check) regression."
+  in
+  Cmd.v (Cmd.info "bench" ~doc)
+    Term.(const run $ what $ sizes $ repeats $ seed $ out $ check)
+
 let reduce_cmd =
   let run src =
     or_die (fun () ->
@@ -498,6 +565,7 @@ let commands =
     ("emit", "translate a routine to instrumented C", emit_cmd);
     ("report", "regenerate one of the paper's tables or figures", report_cmd);
     ("fuzz", "differential-fuzz the pipeline over many seeds", fuzz_cmd);
+    ("bench", "benchmark the coloring core at scale, old vs new", bench_cmd);
     ("reduce", "minimize a diverging routine to a small reproducer",
      reduce_cmd);
   ]

@@ -164,7 +164,7 @@ let run ?(mode = Mode.Briggs_remat) ?(machine = Machine.standard)
                   temps
                 |> List.sort_uniq Int.compare
               in
-              if victims = [] then
+              if List.is_empty victims then
                 raise
                   (Allocation_error
                      (Printf.sprintf

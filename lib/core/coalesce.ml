@@ -28,11 +28,52 @@ let merge_into (ctx : Context.t) g ~keep ~drop =
   if not (Reg.Tbl.mem infinite drop_reg) then Reg.Tbl.remove infinite keep_reg;
   Reg.Tbl.remove infinite drop_reg
 
+(* The copy worklist, harvested once per spill round (spill code can
+   introduce new copies; sweeps cannot): the (dst, src) pair of every
+   copy instruction, in block-and-body order — the order the former
+   whole-CFG rescan visited them in. *)
+let harvest (cfg : Iloc.Cfg.t) =
+  let acc = ref [] in
+  Iloc.Cfg.iter_blocks
+    (fun b ->
+      List.iter
+        (fun (i : Instr.t) ->
+          if Instr.is_copy i then
+            acc := (Option.get i.Instr.dst, i.Instr.srcs.(0)) :: !acc)
+        b.body)
+    cfg;
+  List.rev !acc
+
 let pass phase (ctx : Context.t) =
   let g = Context.graph ctx in
   let cfg = ctx.Context.cfg in
   Context.time ctx Stats.Coalesce (fun () ->
       Context.count ctx Stats.Coalesce_sweeps 1;
+      let worklist =
+        match ctx.Context.copies with
+        | Some l -> l
+        | None ->
+            let l = harvest cfg in
+            ctx.Context.copies <- Some l;
+            l
+      in
+      (* Canonicalize every entry through [find] before the first merge
+         of this sweep: that is exactly what the end-of-sweep rewrite
+         renamed the copy's text to, and the split-pair test below must
+         see the text as it stood at sweep start, not as mid-sweep
+         merges would rename it. *)
+      let entries =
+        List.map
+          (fun ((d0, s0) as e) ->
+            match
+              (Interference.index_opt g d0, Interference.index_opt g s0)
+            with
+            | Some di, Some si ->
+                ( Interference.reg g (Interference.find g di),
+                  Interference.reg g (Interference.find g si) )
+            | _ -> e)
+          worklist
+      in
       let split_set = Hashtbl.create 16 in
       List.iter
         (fun (a, b) -> Hashtbl.replace split_set (norm_pair a b) ())
@@ -41,52 +82,74 @@ let pass phase (ctx : Context.t) =
       (* Briggs' conservative test.  The graph is maintained in place
          after every merge, so — unlike the rebuild-between-sweeps
          scheme — the degrees consulted here are always current and
-         several conservative merges per sweep are sound. *)
+         several conservative merges per sweep are sound.
+
+         Fast path: the union of the two neighbor sets has at most
+         sig_neighbors(di) + sig_neighbors(si) significant members
+         (di ∉ adj(si) here, so neither count includes the other node),
+         and when even that bound is below k the merge is safe without
+         touching adjacency.  Otherwise one pass over both vectors
+         counts the union exactly, deduplicated by epoch-stamped marks
+         instead of sort_uniq on freshly allocated lists. *)
       let briggs_ok di si =
-        let cls = Reg.cls (Interference.reg g di) in
-        let nbrs =
-          List.sort_uniq Int.compare
-            (Interference.neighbors g di @ Interference.neighbors g si)
+        Context.count ctx Stats.Briggs_tests 1;
+        let kk = ctx.Context.k (Reg.cls (Interference.reg g di)) in
+        let ok =
+          Interference.sig_neighbors g di + Interference.sig_neighbors g si
+          < kk
+          ||
+          let marks, e = Context.fresh_marks ctx (Interference.n_nodes g) in
+          let significant = ref 0 in
+          let visit nb =
+            if
+              nb <> di && nb <> si && marks.(nb) <> e
+              && Interference.significant g nb
+            then begin
+              marks.(nb) <- e;
+              incr significant
+            end
+          in
+          Interference.iter_neighbors visit g di;
+          Interference.iter_neighbors visit g si;
+          !significant < kk
         in
-        let significant =
-          List.length
-            (List.filter
-               (fun nb ->
-                 nb <> di && nb <> si
-                 && Interference.degree g nb
-                    >= ctx.Context.k (Reg.cls (Interference.reg g nb)))
-               nbrs)
-        in
-        significant < ctx.Context.k cls
+        if not ok then Context.count ctx Stats.Briggs_denied 1;
+        ok
       in
       let coalesced = ref 0 in
-      Iloc.Cfg.iter_blocks
-        (fun b ->
-          List.iter
-            (fun (i : Instr.t) ->
-              if Instr.is_copy i then begin
-                let d = Option.get i.Instr.dst and s = i.Instr.srcs.(0) in
-                match
-                  (Interference.index_opt g d, Interference.index_opt g s)
-                with
-                | Some d0, Some s0 ->
-                    let di = Interference.find g d0
-                    and si = Interference.find g s0 in
-                    if di <> si && not (Interference.interfere g di si) then begin
-                      let ok =
-                        match phase with
-                        | Unrestricted -> not (is_split d s)
-                        | Conservative -> is_split d s && briggs_ok di si
-                      in
-                      if ok then begin
-                        merge_into ctx g ~keep:di ~drop:si;
-                        incr coalesced
-                      end
-                    end
-                | _ -> () (* not nodes: cannot happen for renumbered code *)
-              end)
-            b.body)
-        cfg;
+      let interfering = ref 0 in
+      let survivors = ref [] in
+      List.iter
+        (fun ((d, s) as e) ->
+          match (Interference.index_opt g d, Interference.index_opt g s) with
+          | Some d0, Some s0 ->
+              let di = Interference.find g d0
+              and si = Interference.find g s0 in
+              if di = si then ()
+                (* became an identity copy: the rewrite deletes it *)
+              else if Interference.interfere g di si then
+                (* interference between representatives only grows under
+                   merging, so this copy can never be coalesced: retire
+                   it from the worklist for good *)
+                incr interfering
+              else begin
+                let ok =
+                  match phase with
+                  | Unrestricted -> not (is_split d s)
+                  | Conservative -> is_split d s && briggs_ok di si
+                in
+                if ok then begin
+                  merge_into ctx g ~keep:di ~drop:si;
+                  incr coalesced
+                end
+                else survivors := e :: !survivors
+              end
+          | _ ->
+              (* not nodes: cannot happen for renumbered code *)
+              survivors := e :: !survivors)
+        entries;
+      ctx.Context.copies <- Some (List.rev !survivors);
+      Context.count ctx Stats.Interfering_copies !interfering;
       if !coalesced = 0 then { changed = false; coalesced = 0 }
       else begin
         let rename r =

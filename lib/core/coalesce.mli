@@ -27,7 +27,16 @@ type outcome = {
 }
 
 val pass : phase -> Context.t -> outcome
-(** One sweep over the routine's copies.  Mutates the context's routine,
-    graph, tag table, infinite-cost table and split pairs as described
-    above, and records [Coalesce] time plus sweep/merge counters in the
-    context's stats. *)
+(** One sweep over the copy {e worklist}.  The worklist is harvested
+    from the routine once per spill round (cached on the context;
+    dropped by {!Context.invalidate}) instead of re-scanning every block
+    each sweep, and it only shrinks: a copy leaves it when it is merged,
+    becomes an identity, or its live ranges are found to interfere —
+    interference between representatives only grows under merging, so
+    such a copy can never become coalescable again.  Entry registers are
+    canonicalized through {!Interference.find} at sweep start, which is
+    exactly the rename the previous sweep's rewrite applied to the text.
+
+    Mutates the context's routine, graph, tag table, infinite-cost table
+    and split pairs as described above, and records [Coalesce] time plus
+    sweep/merge/Briggs counters in the context's stats. *)

@@ -16,6 +16,9 @@ type t = {
   mutable live : Dataflow.Liveness.t option;
   mutable graph : Interference.t option;
   mutable matrix_scratch : Dataflow.Bitset.t option;
+  mutable copies : (Reg.t * Reg.t) list option;
+  mutable mark : int array;
+  mutable mark_epoch : int;
 }
 
 let create ~mode ~machine ~loops ~tags ~split_pairs ~stats cfg =
@@ -35,6 +38,9 @@ let create ~mode ~machine ~loops ~tags ~split_pairs ~stats cfg =
     live = None;
     graph = None;
     matrix_scratch = None;
+    copies = None;
+    mark = [||];
+    mark_epoch = 0;
   }
 
 let set_round t r = t.round <- r
@@ -69,7 +75,7 @@ let graph t =
       let l = liveness t in
       let g =
         time t Stats.Build (fun () ->
-            Interference.build ?matrix:t.matrix_scratch t.cfg l)
+            Interference.build ?matrix:t.matrix_scratch ~k:t.k t.cfg l)
       in
       count t Stats.Full_builds 1;
       t.graph <- Some g;
@@ -84,4 +90,15 @@ let invalidate_liveness t = t.live <- None
 let invalidate t =
   t.live <- None;
   t.graph <- None;
-  t.order <- None
+  t.order <- None;
+  t.copies <- None
+
+(* Epoch-stamped scratch: "clearing" is an epoch bump, so phases that
+   need a transient per-node mark (the Briggs union count, select's
+   forbidden colors) pay zero allocation and zero O(n) clears after the
+   array reaches graph size. *)
+let fresh_marks t n =
+  if Array.length t.mark < n then
+    t.mark <- Array.make (max n (2 * Array.length t.mark)) 0;
+  t.mark_epoch <- t.mark_epoch + 1;
+  (t.mark, t.mark_epoch)

@@ -40,6 +40,11 @@ type t = {
   mutable graph : Interference.t option;  (** cache; kept current *)
   mutable matrix_scratch : Dataflow.Bitset.t option;
       (** the last graph's bit matrix, recycled across rebuilds *)
+  mutable copies : (Iloc.Reg.t * Iloc.Reg.t) list option;
+      (** coalescing's copy worklist, harvested once per spill round;
+          dropped by {!invalidate} (spill code can introduce new copies) *)
+  mutable mark : int array;  (** see {!fresh_marks} *)
+  mutable mark_epoch : int;
 }
 
 val create :
@@ -76,3 +81,11 @@ val invalidate_liveness : t -> unit
 
 val invalidate : t -> unit
 (** The routine changed structurally (spill code): every cache drops. *)
+
+val fresh_marks : t -> int -> (int array * int)
+(** [fresh_marks t n] returns a scratch array of length ≥ [n] together
+    with a fresh epoch value: a slot is "marked" iff it holds the epoch.
+    Bumping the epoch invalidates all previous marks at once, so the
+    array is never cleared and (after it reaches size) never
+    reallocated.  Each call invalidates the marks of every earlier call,
+    so at most one user may be live at a time. *)

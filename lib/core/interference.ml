@@ -12,6 +12,8 @@ type t = {
   degree : int array;
   alive : bool array;
   forward : int array;
+  thresh : int array;
+  sig_nb : int array;
   mutable n_edges : int;
   mutable n_alive : int;
 }
@@ -35,6 +37,8 @@ let n_nodes t = t.n
 let n_edges t = t.n_edges
 let alive t i = t.alive.(i)
 let n_alive t = t.n_alive
+let significant t i = t.degree.(i) >= t.thresh.(i)
+let sig_neighbors t i = t.sig_nb.(i)
 
 let rec find t i =
   if t.alive.(i) then i
@@ -48,25 +52,52 @@ let rec find t i =
 (* The matrix membership test keeps adjacency vectors deduplicated: an
    edge is appended to the two vectors exactly once, when its bit first
    turns on, so [degree] is always the vector's length and [n_edges] can
-   be maintained as a counter instead of a fold over degrees. *)
+   be maintained as a counter instead of a fold over degrees.
+
+   [sig_nb] is kept exact under every mutation: inserting or deleting an
+   edge adjusts the two endpoints for each other's significance, and an
+   endpoint whose own degree change moved it across its threshold
+   propagates the flip to its (other) current neighbors.  Degrees move
+   by one per edge operation, so at most one flip per endpoint per
+   operation. *)
 let add_edge t i j =
   if i <> j && not (Bitset.unsafe_mem t.matrix (tri i j)) then begin
     Bitset.unsafe_add t.matrix (tri i j);
+    let was_i = significant t i and was_j = significant t j in
     Int_vec.push t.adj.(i) j;
     Int_vec.push t.adj.(j) i;
     t.degree.(i) <- t.degree.(i) + 1;
     t.degree.(j) <- t.degree.(j) + 1;
-    t.n_edges <- t.n_edges + 1
+    t.n_edges <- t.n_edges + 1;
+    if (not was_i) && significant t i then
+      Int_vec.iter
+        (fun x -> if x <> j then t.sig_nb.(x) <- t.sig_nb.(x) + 1)
+        t.adj.(i);
+    if (not was_j) && significant t j then
+      Int_vec.iter
+        (fun x -> if x <> i then t.sig_nb.(x) <- t.sig_nb.(x) + 1)
+        t.adj.(j);
+    if significant t j then t.sig_nb.(i) <- t.sig_nb.(i) + 1;
+    if significant t i then t.sig_nb.(j) <- t.sig_nb.(j) + 1
   end
 
 let remove_edge t i j =
   if i <> j && Bitset.unsafe_mem t.matrix (tri i j) then begin
     Bitset.unsafe_remove t.matrix (tri i j);
+    let was_i = significant t i and was_j = significant t j in
     Int_vec.remove_value t.adj.(i) j;
     Int_vec.remove_value t.adj.(j) i;
     t.degree.(i) <- t.degree.(i) - 1;
     t.degree.(j) <- t.degree.(j) - 1;
-    t.n_edges <- t.n_edges - 1
+    t.n_edges <- t.n_edges - 1;
+    (* The counts held the partner per its pre-removal significance; the
+       flip loops then see adjacency that no longer contains it. *)
+    if was_j then t.sig_nb.(i) <- t.sig_nb.(i) - 1;
+    if was_i then t.sig_nb.(j) <- t.sig_nb.(j) - 1;
+    if was_i && not (significant t i) then
+      Int_vec.iter (fun x -> t.sig_nb.(x) <- t.sig_nb.(x) - 1) t.adj.(i);
+    if was_j && not (significant t j) then
+      Int_vec.iter (fun x -> t.sig_nb.(x) <- t.sig_nb.(x) - 1) t.adj.(j)
   end
 
 let merge t ~keep ~drop =
@@ -77,22 +108,34 @@ let merge t ~keep ~drop =
      of the two neighbor sets.  Moving [drop]'s edges through [add_edge]
      dedups against [keep]'s existing adjacency via the bit matrix.
      [drop]'s own vector is only read here — [add_edge] touches the
-     vectors of [keep] and [x], never [drop]'s. *)
+     vectors of [keep] and [x], never [drop]'s.
+
+     [drop]'s degree (hence significance) is frozen during the loop: its
+     pre-merge contribution to each neighbor's significant count is
+     retired edge by edge, and flips are only processed for the
+     surviving side, so [sig_nb] is exact for every alive node when the
+     loop ends. *)
+  let drop_was_sig = significant t drop in
   Int_vec.iter
     (fun x ->
       Bitset.unsafe_remove t.matrix (tri drop x);
       Int_vec.remove_value t.adj.(x) drop;
+      let was_x = significant t x in
       t.degree.(x) <- t.degree.(x) - 1;
       t.n_edges <- t.n_edges - 1;
+      if drop_was_sig then t.sig_nb.(x) <- t.sig_nb.(x) - 1;
+      if was_x && not (significant t x) then
+        Int_vec.iter (fun y -> t.sig_nb.(y) <- t.sig_nb.(y) - 1) t.adj.(x);
       if x <> keep then add_edge t keep x)
     t.adj.(drop);
   Int_vec.clear t.adj.(drop);
   t.degree.(drop) <- 0;
+  t.sig_nb.(drop) <- 0;
   t.alive.(drop) <- false;
   t.forward.(drop) <- keep;
   t.n_alive <- t.n_alive - 1
 
-let make ?matrix regs n =
+let make ?matrix ?k regs n =
   let bits = n * (n - 1) / 2 in
   let matrix =
     (* Recycle the caller's scratch buffer (cleared) when it is big
@@ -104,6 +147,11 @@ let make ?matrix regs n =
         | None -> Bitset.create bits)
     | None -> Bitset.create bits
   in
+  let thresh =
+    match k with
+    | Some k -> Array.init n (fun i -> k (Reg.cls (Reg_index.reg regs i)))
+    | None -> Array.make n max_int
+  in
   {
     regs;
     n;
@@ -114,22 +162,24 @@ let make ?matrix regs n =
     degree = Array.make n 0;
     alive = Array.make n true;
     forward = Array.init n (fun i -> i);
+    thresh;
+    sig_nb = Array.make n 0;
     n_edges = 0;
     n_alive = n;
   }
 
-let of_edges n edges =
+let of_edges ?k n edges =
   let regs =
     Reg_index.of_regs (List.init n (fun i -> Reg.make i Reg.Int))
   in
-  let t = make regs n in
+  let t = make ?k regs n in
   List.iter (fun (i, j) -> add_edge t i j) edges;
   t
 
-let build ?matrix (cfg : Iloc.Cfg.t) (live : Dataflow.Liveness.t) =
+let build ?matrix ?k (cfg : Iloc.Cfg.t) (live : Dataflow.Liveness.t) =
   let regs = live.Dataflow.Liveness.regs in
   let n = Reg_index.count regs in
-  let t = make ?matrix regs n in
+  let t = make ?matrix ?k regs n in
   (* Edges only connect registers of the same class, so instead of a
      class lookup per live bit the defining register's candidates are
      narrowed word-parallel: live_now ∩ class-mask, then the iteration

@@ -28,11 +28,20 @@ type t = {
   degree : int array;
   alive : bool array;  (** false once merged away *)
   forward : int array;  (** merged-into pointer; see {!find} *)
+  thresh : int array;
+      (** per-node significance threshold: k of the node's class, or
+          [max_int] when the graph was built without [?k] *)
+  sig_nb : int array;  (** see {!sig_neighbors} *)
   mutable n_edges : int;
   mutable n_alive : int;
 }
 
-val build : ?matrix:Dataflow.Bitset.t -> Iloc.Cfg.t -> Dataflow.Liveness.t -> t
+val build :
+  ?matrix:Dataflow.Bitset.t ->
+  ?k:(Iloc.Reg.cls -> int) ->
+  Iloc.Cfg.t ->
+  Dataflow.Liveness.t ->
+  t
 (** One backward pass per block, seeded with the block's live-out set.
     [matrix], when given, is a scratch buffer from an earlier build: if
     its storage can hold the n(n−1)/2 triangular bits it is cleared and
@@ -41,7 +50,7 @@ val build : ?matrix:Dataflow.Bitset.t -> Iloc.Cfg.t -> Dataflow.Liveness.t -> t
     threads its previous matrix through here on every spill-round
     rebuild. *)
 
-val of_edges : int -> (int * int) list -> t
+val of_edges : ?k:(Iloc.Reg.cls -> int) -> int -> (int * int) list -> t
 (** A graph over [n] fresh integer-class nodes with the given edges
     (self-loops and duplicates ignored) — for tests and experiments. *)
 
@@ -65,6 +74,18 @@ val n_edges : t -> int
 
 val alive : t -> int -> bool
 val n_alive : t -> int
+
+val significant : t -> int -> bool
+(** [degree ≥ k] for the node's class — the Briggs criterion's notion of
+    a constrained node.  Always [false] when the graph was built without
+    [?k]. *)
+
+val sig_neighbors : t -> int -> int
+(** Number of {e currently significant} neighbors, maintained
+    incrementally (exactly) by {!add_edge}, {!remove_edge} and {!merge}.
+    The conservative-coalescing fast path reads this instead of scanning
+    adjacency: the union of two neighbor sets has at most
+    [sig_neighbors a + sig_neighbors b] significant members. *)
 
 val find : t -> int -> int
 (** Current representative of a node: itself while alive, else the node

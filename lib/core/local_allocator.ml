@@ -99,7 +99,7 @@ let run ?(machine = Machine.standard) (input : Cfg.t) =
       let choose st ~pos ~pinned =
         let free = ref None in
         for i = st.k - 1 downto 0 do
-          if st.preg_holds.(i) = None && not (List.mem i pinned) then
+          if Option.is_none st.preg_holds.(i) && not (List.memq i pinned) then
             free := Some i
         done;
         match !free with
@@ -108,7 +108,7 @@ let run ?(machine = Machine.standard) (input : Cfg.t) =
             let best = ref (-1) in
             let best_score = ref (-1) in
             for i = 0 to st.k - 1 do
-              if not (List.mem i pinned) then begin
+              if not (List.memq i pinned) then begin
                 let v = Option.get st.preg_holds.(i) in
                 let dist = min (next_use_after pos v) 1_000_000 in
                 let score =

@@ -17,6 +17,10 @@ type t = {
   spilled : int list;
       (** uncolored members of the coloring order, ascending — nodes
           merged away by coalescing are not spills *)
+  partner_hits : int;  (** nodes that took a colored partner's color *)
+  lookahead_hits : int;
+      (** nodes colored via the uncolored-partner lookahead *)
+  fallback_hits : int;  (** nodes that took the plain lowest color *)
 }
 
 val run :
@@ -27,4 +31,5 @@ val run :
   t
 
 val phase : Context.t -> order:int list -> partners:int list array -> t
-(** {!run} on the context's graph and machine, timed as [Select]. *)
+(** {!run} on the context's graph and machine, timed as [Select]; the
+    bias-outcome tallies are recorded as [Select_*] counters. *)

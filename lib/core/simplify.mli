@@ -8,7 +8,14 @@
     whether the candidate actually receives a color.
 
     Nodes merged away by coalescing ([Interference.alive g i = false])
-    never appear in the order. *)
+    never appear in the order.
+
+    Degree-< k nodes drain through a FIFO (its pop order is observable:
+    it fixes the coloring order), and spill candidates sit in a lazy
+    min-heap ({!Dataflow.Worklist.Heap}) keyed by (cost/degree, degree
+    descending, index) — the rescan that made each candidate pick O(n)
+    is gone, but the node chosen, and hence the whole stack, is
+    identical. *)
 
 val run :
   Interference.t -> k:(Iloc.Reg.cls -> int) -> costs:float array -> int list

@@ -17,8 +17,19 @@ type counter =
   | Coalesced_copies
   | Node_merges
   | Spilled_ranges
+  | Briggs_tests
+  | Briggs_denied
+  | Interfering_copies
+  | Select_partner_hits
+  | Select_lookahead_hits
+  | Select_fallbacks
 
-type row = { round : int; phase : phase; seconds : float }
+type row = {
+  round : int;
+  phase : phase;
+  seconds : float;
+  minor_words : float;
+}
 
 type t = {
   mutable rows_rev : row list;
@@ -30,10 +41,12 @@ let create () =
   { rows_rev = []; counts = Hashtbl.create 16; count_order_rev = [] }
 
 let time t ~round phase f =
+  let words0 = Gc.minor_words () in
   let start = Unix.gettimeofday () in
   let finish () =
     let seconds = Unix.gettimeofday () -. start in
-    t.rows_rev <- { round; phase; seconds } :: t.rows_rev
+    let minor_words = Gc.minor_words () -. words0 in
+    t.rows_rev <- { round; phase; seconds; minor_words } :: t.rows_rev
   in
   match f () with
   | v ->
@@ -94,6 +107,12 @@ let counter_to_string = function
   | Coalesced_copies -> "coalesced-copies"
   | Node_merges -> "node-merges"
   | Spilled_ranges -> "spilled-ranges"
+  | Briggs_tests -> "briggs-tests"
+  | Briggs_denied -> "briggs-denied"
+  | Interfering_copies -> "copies-interfering"
+  | Select_partner_hits -> "select-partner"
+  | Select_lookahead_hits -> "select-lookahead"
+  | Select_fallbacks -> "select-fallback"
 
 let by_phase t =
   let tbl = Hashtbl.create 16 in
@@ -102,17 +121,23 @@ let by_phase t =
     (fun r ->
       let key = (r.round, r.phase) in
       match Hashtbl.find_opt tbl key with
-      | Some s -> Hashtbl.replace tbl key (s +. r.seconds)
+      | Some (s, w) ->
+          Hashtbl.replace tbl key (s +. r.seconds, w +. r.minor_words)
       | None ->
-          Hashtbl.add tbl key r.seconds;
+          Hashtbl.add tbl key (r.seconds, r.minor_words);
           order := key :: !order)
     (rows t);
-  List.rev_map (fun (round, phase) -> (round, phase, Hashtbl.find tbl (round, phase))) !order
+  List.rev_map
+    (fun (round, phase) ->
+      let s, w = Hashtbl.find tbl (round, phase) in
+      (round, phase, s, w))
+    !order
 
 let pp ppf t =
   List.iter
-    (fun (round, phase, s) ->
-      Format.fprintf ppf "round %d %-8s %8.5fs@." round (phase_to_string phase) s)
+    (fun (round, phase, s, w) ->
+      Format.fprintf ppf "round %d %-8s %8.5fs %12.0fw@." round
+        (phase_to_string phase) s w)
     (by_phase t);
   Format.fprintf ppf "total %16.5fs@." (total t);
   match counters t with

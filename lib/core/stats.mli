@@ -33,8 +33,22 @@ type counter =
   | Coalesced_copies  (** copy instructions removed by coalescing *)
   | Node_merges  (** in-place {!Interference.merge} operations *)
   | Spilled_ranges  (** live ranges handed to spill-code insertion *)
+  | Briggs_tests  (** conservative-coalescing criterion evaluations *)
+  | Briggs_denied  (** Briggs tests that rejected the merge *)
+  | Interfering_copies
+      (** copies retired from the coalescing worklist because their live
+          ranges interfere (interference only grows under merging) *)
+  | Select_partner_hits  (** nodes colored with a colored partner's color *)
+  | Select_lookahead_hits
+      (** nodes colored via the uncolored-partner lookahead *)
+  | Select_fallbacks  (** nodes colored with the plain lowest color *)
 
-type row = { round : int; phase : phase; seconds : float }
+type row = {
+  round : int;
+  phase : phase;
+  seconds : float;
+  minor_words : float;  (** minor-heap words allocated during the phase *)
+}
 type t
 
 val create : unit -> t
@@ -53,7 +67,8 @@ val total : t -> float
 val phase_to_string : phase -> string
 val counter_to_string : counter -> string
 
-val by_phase : t -> (int * phase * float) list
-(** Same as {!rows} but summed per (round, phase) pair, ordered. *)
+val by_phase : t -> (int * phase * float * float) list
+(** Same as {!rows} but summed per (round, phase) pair, ordered:
+    [(round, phase, seconds, minor_words)]. *)
 
 val pp : Format.formatter -> t -> unit

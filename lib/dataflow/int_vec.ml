@@ -24,6 +24,11 @@ let remove_value t x =
     t.data.(i) <- t.data.(t.len)
   end
 
+let pop t =
+  if t.len = 0 then invalid_arg "Int_vec.pop";
+  t.len <- t.len - 1;
+  Array.unsafe_get t.data t.len
+
 let clear t = t.len <- 0
 
 let iter f t =

@@ -20,6 +20,10 @@ val remove_value : t -> int -> unit
 (** Remove the first occurrence of the value, if present, by swapping
     the last element into its slot (order-destroying, O(length)). *)
 
+val pop : t -> int
+(** Remove and return the last element; raises [Invalid_argument] when
+    empty. *)
+
 val clear : t -> unit
 val iter : (int -> unit) -> t -> unit
 val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a

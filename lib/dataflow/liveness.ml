@@ -32,43 +32,50 @@ let compute ?order (cfg : Iloc.Cfg.t) =
     cfg;
   let live_in = Array.init nb (fun _ -> Bitset.create nr) in
   let live_out = Array.init nb (fun _ -> Bitset.create nr) in
-  (* Worklist iteration, seeded in postorder: for this backward problem a
-     block's successors are (back edges aside) visited first, so most
-     blocks settle in one pass.  After the seed sweep a block is
-     re-examined only when [live_in] of one of its successors grew —
-     the invariant is that any block off the worklist has
+  (* Priority worklist, keyed by postorder position: for this backward
+     problem a block's successors are (back edges aside) visited first,
+     so most blocks settle in one pass.  After the seed sweep a block is
+     re-examined only when [live_in] of one of its successors grew — the
+     invariant is that any block off the worklist has
      [live_in = ue ∪ (live_out \ kill)] with [live_out] current w.r.t.
-     its successors' [live_in].  Unreachable blocks are not in the
-     postorder and keep empty sets; edges from them are ignored. *)
+     its successors' [live_in].  Unlike a FIFO, the bucket worklist
+     always resumes at the pending block earliest in the postorder, so a
+     re-queued loop body is reprocessed before work queued behind it;
+     the fixpoint is unique, so only convergence speed depends on this
+     order.  Unreachable blocks are not in the postorder and keep empty
+     sets; edges from them are ignored. *)
   let po = match order with Some o -> o | None -> Order.postorder cfg in
-  let in_order = Array.make nb false in
-  Array.iter (fun b -> in_order.(b) <- true) po;
+  let pos = Array.make nb (-1) in
+  Array.iteri (fun i b -> pos.(b) <- i) po;
   let queued = Array.make nb false in
-  let q = Queue.create () in
-  Array.iter
-    (fun b ->
-      Queue.add b q;
+  let q = Worklist.Buckets.create ~keys:(max nb 1) in
+  Array.iteri
+    (fun i b ->
+      Worklist.Buckets.push q ~key:i b;
       queued.(b) <- true)
     po;
   let tmp = Bitset.create nr in
-  while not (Queue.is_empty q) do
-    let b = Queue.pop q in
-    queued.(b) <- false;
-    List.iter
-      (fun s -> ignore (Bitset.union_into ~dst:live_out.(b) live_in.(s)))
-      (Iloc.Cfg.succs cfg b);
-    Bitset.clear tmp;
-    ignore (Bitset.union_into ~dst:tmp live_out.(b));
-    ignore (Bitset.diff_into ~dst:tmp kill.(b));
-    ignore (Bitset.union_into ~dst:tmp ue.(b));
-    if Bitset.union_into ~dst:live_in.(b) tmp then
-      List.iter
-        (fun p ->
-          if in_order.(p) && not queued.(p) then begin
-            Queue.add p q;
-            queued.(p) <- true
-          end)
-        (Iloc.Cfg.preds cfg b)
+  let continue = ref true in
+  while !continue do
+    match Worklist.Buckets.pop_min q with
+    | None -> continue := false
+    | Some b ->
+        queued.(b) <- false;
+        List.iter
+          (fun s -> ignore (Bitset.union_into ~dst:live_out.(b) live_in.(s)))
+          (Iloc.Cfg.succs cfg b);
+        Bitset.clear tmp;
+        ignore (Bitset.union_into ~dst:tmp live_out.(b));
+        ignore (Bitset.diff_into ~dst:tmp kill.(b));
+        ignore (Bitset.union_into ~dst:tmp ue.(b));
+        if Bitset.union_into ~dst:live_in.(b) tmp then
+          List.iter
+            (fun p ->
+              if pos.(p) >= 0 && not queued.(p) then begin
+                Worklist.Buckets.push q ~key:pos.(p) p;
+                queued.(p) <- true
+              end)
+            (Iloc.Cfg.preds cfg b)
   done;
   { regs; live_in; live_out; ue; kill }
 

@@ -109,8 +109,9 @@ let pp_table1 ppf rows =
 
 type table2_column = {
   t2_kernel : Kernels.kernel;
-  old_rows : (int * Remat.Stats.phase * float) list;
-  new_rows : (int * Remat.Stats.phase * float) list;
+  old_rows : (int * Remat.Stats.phase * float * float) list;
+      (** (round, phase, seconds, minor words), averaged *)
+  new_rows : (int * Remat.Stats.phase * float * float) list;
   old_counters : (int * Remat.Stats.counter * int) list;
   new_counters : (int * Remat.Stats.counter * int) list;
   old_total : float;
@@ -118,8 +119,9 @@ type table2_column = {
 }
 
 let averaged_phases ~repeats mode cfg =
-  (* Average per-(round, phase) wall time over [repeats] runs.  The event
-     counters are deterministic, so the last run's suffice. *)
+  (* Average per-(round, phase) wall time and minor-heap allocation over
+     [repeats] runs.  The event counters are deterministic, so the last
+     run's suffice. *)
   let acc = Hashtbl.create 32 in
   let order = ref [] in
   let counters = ref [] in
@@ -127,18 +129,20 @@ let averaged_phases ~repeats mode cfg =
     let res = Remat.Allocator.run ~mode ~machine:Machine.standard cfg in
     counters := Remat.Stats.counters res.Remat.Allocator.stats;
     List.iter
-      (fun (round, phase, s) ->
+      (fun (round, phase, s, w) ->
         let key = (round, phase) in
         match Hashtbl.find_opt acc key with
-        | Some t -> Hashtbl.replace acc key (t +. s)
+        | Some (t, tw) -> Hashtbl.replace acc key (t +. s, tw +. w)
         | None ->
-            Hashtbl.add acc key s;
+            Hashtbl.add acc key (s, w);
             order := key :: !order)
       (Remat.Stats.by_phase res.Remat.Allocator.stats)
   done;
+  let r = float_of_int repeats in
   ( List.rev_map
       (fun (round, phase) ->
-        (round, phase, Hashtbl.find acc (round, phase) /. float_of_int repeats))
+        let s, w = Hashtbl.find acc (round, phase) in
+        (round, phase, s /. r, w /. r))
       !order,
     !counters )
 
@@ -152,7 +156,7 @@ let table2 ?(repeats = 10) ?(jobs = 1) names =
     let new_rows, new_counters =
       averaged_phases ~repeats Mode.Briggs_remat cfg
     in
-    let total rows = List.fold_left (fun a (_, _, s) -> a +. s) 0. rows in
+    let total rows = List.fold_left (fun a (_, _, s, _) -> a +. s) 0. rows in
     {
       t2_kernel = kernel;
       old_rows;
@@ -186,38 +190,49 @@ let pp_table2 ppf cols =
       (fun acc c ->
         let ks =
           List.sort_uniq compare
-            (List.map (fun (r, p, _) -> (r, p)) (c.old_rows @ c.new_rows))
+            (List.map (fun (r, p, _, _) -> (r, p)) (c.old_rows @ c.new_rows))
         in
         if List.length ks > List.length acc then ks else acc)
       [] cols
   in
-  List.iter
-    (fun (round, phase) ->
-      Format.fprintf ppf "%-14s"
-        (Printf.sprintf "%d:%s" round (Remat.Stats.phase_to_string phase));
-      List.iter
-        (fun c ->
-          let get rows =
-            List.find_map
-              (fun (r, p, s) -> if (r, p) = (round, phase) then Some s else None)
-              rows
-          in
-          let cell v =
-            match v with
-            | Some s -> Printf.sprintf "%10.5f" s
-            | None -> Printf.sprintf "%10s" ""
-          in
-          Format.fprintf ppf " | %s %s" (cell (get c.old_rows))
-            (cell (get c.new_rows)))
-        cols;
-      Format.fprintf ppf "@.")
-    keys;
+  let phase_section ~fmt ~suffix project =
+    List.iter
+      (fun (round, phase) ->
+        Format.fprintf ppf "%-14s"
+          (Printf.sprintf "%d:%s%s" round
+             (Remat.Stats.phase_to_string phase)
+             suffix);
+        List.iter
+          (fun c ->
+            let get rows =
+              List.find_map
+                (fun (r, p, s, w) ->
+                  if (r, p) = (round, phase) then Some (project s w) else None)
+                rows
+            in
+            let cell v =
+              match v with
+              | Some x -> Printf.sprintf fmt x
+              | None -> Printf.sprintf "%10s" ""
+            in
+            Format.fprintf ppf " | %s %s" (cell (get c.old_rows))
+              (cell (get c.new_rows)))
+          cols;
+        Format.fprintf ppf "@.")
+      keys
+  in
+  phase_section ~fmt:"%10.5f" ~suffix:"" (fun s _ -> s);
   Format.fprintf ppf "%-14s" "total";
   List.iter
     (fun c ->
       Format.fprintf ppf " | %10.5f %10.5f" c.old_total c.new_total)
     cols;
   Format.fprintf ppf "@.";
+  (* Same layout again for minor-heap allocation, in kwords: a phase
+     whose words column collapses after an optimization proves the win
+     came from allocation, not just constant factors. *)
+  Format.fprintf ppf "%s@." (String.make (14 + (25 * List.length cols)) '-');
+  phase_section ~fmt:"%10.1f" ~suffix:"/kw" (fun _ w -> w /. 1000.);
   (* Event counters, same column layout.  full-builds stays at 1 per
      spill round: the coalescer updates the graph in place. *)
   let counter_keys =
@@ -275,13 +290,14 @@ let table2_json cols =
   let side rows counters total =
     Buffer.add_string b "{\"phases\":[";
     List.iteri
-      (fun i (round, phase, s) ->
+      (fun i (round, phase, s, w) ->
         if i > 0 then Buffer.add_char b ',';
         Buffer.add_string b
-          (Printf.sprintf "{\"round\":%d,\"phase\":\"%s\",\"seconds\":%.9f}"
+          (Printf.sprintf
+             "{\"round\":%d,\"phase\":\"%s\",\"seconds\":%.9f,\"minor_words\":%.0f}"
              round
              (Remat.Stats.phase_to_string phase)
-             s))
+             s w))
       rows;
     Buffer.add_string b "],\"counters\":[";
     List.iteri

@@ -48,13 +48,15 @@ val table1 :
 
 val pp_table1 : Format.formatter -> table1_row list -> unit
 
-(** Table 2: per-phase allocation times, Old (Chaitin) vs New (Briggs),
-    plus the allocator's event counters (full graph builds, liveness
-    runs, coalesce sweeps, node merges, spilled ranges). *)
+(** Table 2: per-phase allocation times and minor-heap allocation, Old
+    (Chaitin) vs New (Briggs), plus the allocator's event counters (full
+    graph builds, liveness runs, coalesce sweeps, node merges, spilled
+    ranges, Briggs tests, biased-coloring hits). *)
 type table2_column = {
   t2_kernel : Kernels.kernel;
-  old_rows : (int * Remat.Stats.phase * float) list;
-  new_rows : (int * Remat.Stats.phase * float) list;
+  old_rows : (int * Remat.Stats.phase * float * float) list;
+      (** (round, phase, seconds, minor words), averaged over repeats *)
+  new_rows : (int * Remat.Stats.phase * float * float) list;
   old_counters : (int * Remat.Stats.counter * int) list;
   new_counters : (int * Remat.Stats.counter * int) list;
   old_total : float;
