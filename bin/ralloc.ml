@@ -50,6 +50,10 @@ let or_die f =
   | Remat.Allocator.Allocation_error msg ->
       Fmt.epr "allocation failed: %s@." msg;
       exit 1
+  | Remat.Allocator.Verification_error msgs ->
+      Fmt.epr "static verification failed:@.";
+      List.iter (fun m -> Fmt.epr "  %s@." m) msgs;
+      exit 1
   | Remat.Spill_code.Pressure_too_high msg ->
       Fmt.epr "allocation failed: %s@." msg;
       exit 1
@@ -122,11 +126,11 @@ let opt_cmd =
   Cmd.v (Cmd.info "opt" ~doc) Term.(const run $ source)
 
 let alloc_cmd =
-  let run src opt_flag mode k_int k_float verbose stats =
+  let run src opt_flag mode k_int k_float verify verbose stats =
     or_die (fun () ->
         let cfg = prepare src opt_flag in
         let machine = Remat.Machine.make ~name:"cli" ~k_int ~k_float in
-        let res = Remat.Allocator.run ~mode ~machine cfg in
+        let res = Remat.Allocator.allocate ~verify ~mode ~machine cfg in
         (match Remat.Allocator.check res with
         | Ok () -> ()
         | Error es ->
@@ -146,6 +150,17 @@ let alloc_cmd =
           Fmt.pr "; phase times and counters:@.%a" Remat.Dump.stats
             res.Remat.Allocator.stats)
   in
+  let verify =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "Statically verify the allocation before printing it: an \
+             independent translation validator proves every physical \
+             register, spill slot and rematerialization sequence carries \
+             the source value it replaces.  Exits 1 with the offending \
+             block and instruction otherwise.")
+  in
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print phase timings.")
   in
@@ -162,7 +177,67 @@ let alloc_cmd =
   Cmd.v
     (Cmd.info "alloc" ~doc)
     Term.(
-      const run $ source $ optimize $ mode $ k_int $ k_float $ verbose $ stats)
+      const run $ source $ optimize $ mode $ k_int $ k_float $ verify $ verbose
+      $ stats)
+
+let verify_cmd =
+  let run in_src out_src k_int k_float quiet =
+    or_die (fun () ->
+        let input = load_source in_src in
+        let output = load_source out_src in
+        let validate what cfg =
+          match Iloc.Validate.routine cfg with
+          | Ok () -> ()
+          | Error es ->
+              Fmt.epr "%s is not valid ILOC:@." what;
+              List.iter
+                (fun e -> Fmt.epr "  %s@." (Iloc.Validate.error_to_string e))
+                es;
+              exit 2
+        in
+        validate "input routine" input;
+        validate "allocated routine" output;
+        match
+          Verify.Check.routine ~input ~output ~k_int ~k_float
+        with
+        | Ok report ->
+            if not quiet then
+              Fmt.pr "%s: verified (%s)@." output.Iloc.Cfg.name
+                (Verify.Check.report_to_string report)
+        | Error es when List.for_all Verify.Error.is_unsupported es ->
+            Fmt.epr "not verifiable:@.";
+            List.iter
+              (fun e -> Fmt.epr "  %s@." (Verify.Error.to_string e))
+              es;
+            exit 2
+        | Error es ->
+            Fmt.epr "verification failed:@.";
+            List.iter
+              (fun e -> Fmt.epr "  %s@." (Verify.Error.to_string e))
+              es;
+            exit 1)
+  in
+  let in_src =
+    let doc = "Source routine (before allocation)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"IN" ~doc)
+  in
+  let out_src =
+    let doc = "Allocated routine (the allocator's output)." in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"OUT" ~doc)
+  in
+  let quiet =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Print nothing on success.")
+  in
+  let doc =
+    "Statically prove an allocated routine faithful to its source.  A \
+     forward dataflow analysis maps every physical register, spill slot \
+     and rematerialization sequence of OUT back to the virtual value of \
+     IN it must carry; exits 0 on proof, 1 with the offending block and \
+     instruction on rejection, 2 if the pair is invalid or outside the \
+     checker's domain."
+  in
+  Cmd.v (Cmd.info "verify" ~doc)
+    Term.(const run $ in_src $ out_src $ k_int $ k_float $ quiet)
 
 let batch_cmd =
   let run sources all_kernels opt_flag mode k_int k_float jobs =
@@ -558,6 +633,8 @@ let commands =
     ("parse", "parse (or compile) a routine and print its ILOC", parse_cmd);
     ("opt", "optimize a routine (LVN, DCE, LICM)", opt_cmd);
     ("alloc", "allocate registers and print the rewritten routine", alloc_cmd);
+    ("verify", "statically prove an allocation faithful to its source",
+     verify_cmd);
     ("batch", "allocate many routines on a multicore worker pool", batch_cmd);
     ("run", "interpret a routine; print output and dynamic counts", run_cmd);
     ("kernels", "list the built-in workload kernels", kernels_cmd);

@@ -3,6 +3,7 @@ module Reg = Iloc.Reg
 module Instr = Iloc.Instr
 
 exception Allocation_error of string
+exception Verification_error of string list
 
 type result = {
   cfg : Iloc.Cfg.t;
@@ -64,8 +65,8 @@ let rewrite_physical (cfg : Cfg.t) (g : Interference.t)
       b.Iloc.Block.term <- Instr.map_regs rename b.Iloc.Block.term)
     cfg
 
-let run ?(mode = Mode.Briggs_remat) ?(machine = Machine.standard)
-    ?(max_rounds = 64) (input : Cfg.t) =
+let allocate ?(verify = false) ?(mode = Mode.Briggs_remat)
+    ?(machine = Machine.standard) ?(max_rounds = 64) (input : Cfg.t) =
   (match Iloc.Validate.routine input with
   | Ok () -> ()
   | Error es ->
@@ -188,6 +189,18 @@ let run ?(mode = Mode.Briggs_remat) ?(machine = Machine.standard)
         round (r + 1)
   in
   let rounds = round 1 in
+  if verify then
+    (match
+       Verify.Check.routine ~input ~output:cfg
+         ~k_int:machine.Machine.k_int ~k_float:machine.Machine.k_float
+     with
+    | Ok _ -> ()
+    | Error errs when List.for_all Verify.Error.is_unsupported errs ->
+        (* Outside the checker's domain (e.g. the input already carried
+           spill code); nothing is proved, nothing is rejected. *)
+        ()
+    | Error errs ->
+        raise (Verification_error (List.map Verify.Error.to_string errs)));
   {
     cfg;
     mode;
@@ -201,6 +214,9 @@ let run ?(mode = Mode.Briggs_remat) ?(machine = Machine.standard)
     coalesced_copies = ctx.Context.coalesced;
     stats;
   }
+
+let run ?mode ?machine ?max_rounds input =
+  allocate ?mode ?machine ?max_rounds input
 
 let check (res : result) =
   let errs = ref [] in

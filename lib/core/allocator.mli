@@ -15,6 +15,11 @@
 
 exception Allocation_error of string
 
+exception Verification_error of string list
+(** Raised by {!allocate} with [~verify:true] when the independent
+    static checker ({!Verify.Check}) rejects the allocation.  Each
+    string names the offending output block and instruction. *)
+
 type result = {
   cfg : Iloc.Cfg.t;  (** allocated code, physical registers *)
   mode : Mode.t;
@@ -44,7 +49,8 @@ val rewrite_physical :
     copy instructions whose source and destination received the same
     color — the deletions biased coloring works for). *)
 
-val run :
+val allocate :
+  ?verify:bool ->
   ?mode:Mode.t ->
   ?machine:Machine.t ->
   ?max_rounds:int ->
@@ -56,7 +62,22 @@ val run :
     critical-edge-split copy).  Raises {!Allocation_error} when the input
     is invalid or the round limit is hit, and
     {!Spill_code.Pressure_too_high} when the register set is too small for
-    the routine. *)
+    the routine.
+
+    With [~verify:true] (default false), the result is handed to the
+    independent translation validator before being returned: a
+    rejection raises {!Verification_error}.  Pairs the checker declines
+    to judge (kind [Unsupported] — e.g. an input that already contains
+    spill code) pass silently. *)
+
+val run :
+  ?mode:Mode.t ->
+  ?machine:Machine.t ->
+  ?max_rounds:int ->
+  Iloc.Cfg.t ->
+  result
+(** [allocate] without verification, kept as the historical entry
+    point. *)
 
 val check : result -> (unit, string list) Result.t
 (** Post-allocation sanity check: the code is valid ILOC and every

@@ -7,6 +7,16 @@ exception Pressure_too_high of string
    never written by library code. *)
 let fault_reload_skew = ref 0
 
+(* Second planted fault (see mli): integer-immediate rematerialization
+   sequences recompute a biased constant. *)
+let fault_remat_bias = ref 0
+
+let biased op =
+  match (op, !fault_remat_bias) with
+  | _, 0 -> op
+  | Instr.Ldi n, b -> Instr.Ldi (n + b)
+  | _ -> op
+
 type stats = {
   remat_lrs : int;
   memory_lrs : int;
@@ -74,11 +84,11 @@ let insert (cfg : Iloc.Cfg.t) ~tags ~infinite ~spilled ~slot_counter =
             match tag_of s with Tag.Inst op -> op | _ -> assert false
           in
           match Reg.Set.mem d spilled_set with
-          | false -> [ Instr.make op ~dst:d [] ]
+          | false -> [ Instr.make (biased op) ~dst:d [] ]
           | true ->
               memory_lrs := Reg.Set.add d !memory_lrs;
               let t = fresh_temp d Tag.Bottom in
-              [ Instr.make op ~dst:t []; Instr.spill t (slot_of d) ])
+              [ Instr.make (biased op) ~dst:t []; Instr.spill t (slot_of d) ])
       | _ ->
       let pre = ref [] in
       let substs = ref [] in
@@ -92,7 +102,7 @@ let insert (cfg : Iloc.Cfg.t) ~tags ~infinite ~spilled ~slot_counter =
           | Tag.Inst op ->
               remat_lrs := Reg.Set.add u !remat_lrs;
               let t = fresh_temp u (Tag.Inst op) in
-              pre := Instr.make op ~dst:t [] :: !pre;
+              pre := Instr.make (biased op) ~dst:t [] :: !pre;
               substs := (u, t) :: !substs
           | Tag.Bottom | Tag.Top ->
               memory_lrs := Reg.Set.add u !memory_lrs;

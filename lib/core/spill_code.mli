@@ -30,6 +30,17 @@ val fault_reload_skew : int ref
     [test/test_fuzz.ml].  Never set outside tests; restore to [0]
     afterwards. *)
 
+val fault_remat_bias : int ref
+(** Second test-only fault: every rematerialization sequence emitted for
+    an integer immediate recomputes [Ldi (n + !fault_remat_bias)] instead
+    of [Ldi n].  Default [0] (sound).  Because the bias is applied only to
+    the {e emitted} sequence — the tag table keeps the true expression —
+    it models an allocator whose spill-code emitter drifts from its own
+    analysis: exactly the class of bug the static verifier catches by
+    re-deriving tags itself ([Verify.Check]), and which dynamic testing
+    misses whenever the biased constant does not change the observable
+    outcome.  Never set outside tests; restore to [0] afterwards. *)
+
 type stats = {
   remat_lrs : int;  (** live ranges spilled by rematerialization *)
   memory_lrs : int;  (** live ranges spilled through memory *)

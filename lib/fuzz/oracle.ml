@@ -6,6 +6,7 @@ type divergence =
   | Crash of { phase : string; exn : string }
   | Validator_rejection of Iloc.Validate.error list
   | Over_k of string list
+  | Static_rejection of Verify.Error.t list
   | Sim_error of string
   | Wrong_outcome of string
 
@@ -36,6 +37,7 @@ let class_of = function
   | Crash _ -> "crash"
   | Validator_rejection _ -> "validator-rejection"
   | Over_k _ -> "over-k"
+  | Static_rejection _ -> "static"
   | Sim_error _ -> "runtime-error"
   | Wrong_outcome _ -> "wrong-outcome"
 
@@ -56,6 +58,9 @@ let describe = function
            (String.concat "; " (List.map Iloc.Validate.error_to_string es)))
   | Over_k rs ->
       Printf.sprintf "registers above k in output: %s" (String.concat " " rs)
+  | Static_rejection es ->
+      Printf.sprintf "static verifier rejected the allocation: %s"
+        (first_line (String.concat "; " (List.map Verify.Error.to_string es)))
   | Sim_error m -> Printf.sprintf "allocated code failed to run: %s" m
   | Wrong_outcome m -> m
 
@@ -150,6 +155,18 @@ let check_config ?(fuel = 200_000) ~reference cfg config =
               match List.sort_uniq String.compare !over with
               | _ :: _ as rs -> Some (Over_k rs)
               | [] -> (
+                  (* Static translation validation: independent of the
+                     simulator, so a bad allocation is caught even when no
+                     dynamic input exercises the broken path. *)
+                  match
+                    Verify.Check.routine ~input:prepared ~output:out
+                      ~k_int:config.machine.Remat.Machine.k_int
+                      ~k_float:config.machine.Remat.Machine.k_float
+                  with
+                  | Error es
+                    when not (List.for_all Verify.Error.is_unsupported es) ->
+                      Some (Static_rejection es)
+                  | Ok _ | Error _ -> (
                   match Sim.Interp.run ~fuel out with
                   | exception Sim.Interp.Runtime_error m -> Some (Sim_error m)
                   | exception e ->
@@ -157,7 +174,7 @@ let check_config ?(fuel = 200_000) ~reference cfg config =
                   | outcome ->
                       if Sim.Interp.outcome_equal reference outcome then None
                       else Some (Wrong_outcome (outcome_diff reference outcome))
-                  ))))
+                  )))))
 
 let check ?fuel ?(matrix = default_matrix) cfg =
   match reference ?fuel cfg with

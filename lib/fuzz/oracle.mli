@@ -17,6 +17,9 @@ type divergence =
       (** the allocated routine fails {!Iloc.Validate.routine} *)
   | Over_k of string list
       (** registers above the machine's [k] survive in the output *)
+  | Static_rejection of Verify.Error.t list
+      (** the independent translation validator ({!Verify.Check}) cannot
+          prove the allocation faithful — caught with no simulator run *)
   | Sim_error of string
       (** the allocated routine raises {!Sim.Interp.Runtime_error} even
           though the original runs cleanly *)
@@ -43,7 +46,7 @@ val default_matrix : config list
 
 val class_of : divergence -> string
 (** Bucket class: ["crash"], ["validator-rejection"], ["over-k"],
-    ["runtime-error"] or ["wrong-outcome"]. *)
+    ["static"], ["runtime-error"] or ["wrong-outcome"]. *)
 
 val fingerprint : divergence -> string
 (** [class_of] refined with the failing phase, e.g. ["crash:alloc"]. *)

@@ -1,0 +1,413 @@
+open Iloc
+
+type report = {
+  blocks_checked : int;
+  instrs_matched : int;
+  uses_checked : int;
+  remats_checked : int;
+  copies_skipped : int;
+}
+
+let report_to_string r =
+  Printf.sprintf
+    "%d blocks, %d instructions matched, %d uses proved, %d remats, %d moves"
+    r.blocks_checked r.instrs_matched r.uses_checked r.remats_checked
+    r.copies_skipped
+
+type stats = {
+  mutable blocks : int;
+  mutable matched : int;
+  mutable uses : int;
+  mutable remats : int;
+  mutable moves : int;
+}
+
+let fresh_stats () = { blocks = 0; matched = 0; uses = 0; remats = 0; moves = 0 }
+
+(* ------------------------------------------------------------------ *)
+(* Instruction classification.                                         *)
+
+(* Source instructions the allocator may delete: coalesced copies and
+   never-killed definitions replaced by rematerialization. *)
+let input_skippable (i : Instr.t) =
+  match i.op with Instr.Copy -> true | op -> Instr.never_killed op
+
+(* Output instructions the allocator may insert. *)
+let output_skippable (i : Instr.t) =
+  match i.op with
+  | Instr.Copy | Instr.Spill _ | Instr.Reload _ -> true
+  | op -> Instr.never_killed op
+
+let apply_input_skip st (i : Instr.t) =
+  match (i.op, i.dst) with
+  | Instr.Copy, Some d -> State.input_copy st ~dst:d ~src:i.srcs.(0)
+  | op, Some d when Instr.never_killed op -> State.input_const st ~vreg:d ~op
+  | _ -> st
+
+let apply_output_skip stats st (i : Instr.t) =
+  match (i.op, i.dst) with
+  | Instr.Copy, Some d ->
+      stats.moves <- stats.moves + 1;
+      State.loc_copy st ~src:(Loc.Reg i.srcs.(0)) ~dst:(Loc.Reg d)
+  | Instr.Spill slot, None ->
+      stats.moves <- stats.moves + 1;
+      State.loc_copy st ~src:(Loc.Reg i.srcs.(0)) ~dst:(Loc.Slot slot)
+  | Instr.Reload slot, Some d ->
+      stats.moves <- stats.moves + 1;
+      State.loc_copy st ~src:(Loc.Slot slot) ~dst:(Loc.Reg d)
+  | op, Some d when Instr.never_killed op ->
+      stats.remats <- stats.remats + 1;
+      State.remat st ~loc:(Loc.Reg d) ~op
+  | _ -> st
+
+(* ------------------------------------------------------------------ *)
+(* The lockstep walk over one anchored block pair.                     *)
+
+type ctx = {
+  name : string;
+  emit : Error.t -> unit;
+  stats : stats;
+  is_input_label : string -> bool;
+  out_block : string -> Block.t option;
+}
+
+let check_uses ctx ~label ~index st (vin : Instr.t) (vout : Instr.t) =
+  Array.iteri
+    (fun i p ->
+      let v = vin.Instr.srcs.(i) in
+      ctx.stats.uses <- ctx.stats.uses + 1;
+      if not (State.holds st v (Loc.Reg p)) then
+        ctx.emit
+          (Error.instr_err ctx.name ~label ~index Error.Wrong_value
+             (Printf.sprintf
+                "`%s`: operand %d must carry the value of source register \
+                 %s, but %s cannot be proved to hold it"
+                (Instr.to_string vout) i (Reg.to_string v) (Reg.to_string p))))
+    vout.Instr.srcs
+
+let kill_out_def st (o : Instr.t) =
+  match o.Instr.dst with
+  | Some pd -> State.kill_loc st (Loc.Reg pd)
+  | None -> st
+
+let kill_in_def st (i : Instr.t) =
+  match i.Instr.dst with Some vd -> State.kill_vreg st vd | None -> st
+
+(* Walk the two bodies.  Source-side skippables are folded first: a
+   coalesced copy or a tag-recording never-killed definition commutes
+   with any inserted output code, and folding it eagerly only adds
+   facts the later checks may rely on. *)
+let walk_bodies ctx ~label st (ib : Block.t) (ob : Block.t) =
+  let rec go st ins outs index =
+    match (ins, outs) with
+    | i :: ins', _ when input_skippable i ->
+        ctx.stats.moves <- ctx.stats.moves + 1;
+        go (apply_input_skip st i) ins' outs index
+    | _, o :: outs' when output_skippable o ->
+        go (apply_output_skip ctx.stats st o) ins outs' (index + 1)
+    | i :: ins', o :: outs' ->
+        if i.Instr.op = o.Instr.op then (
+          check_uses ctx ~label ~index st i o;
+          ctx.stats.matched <- ctx.stats.matched + 1;
+          let st =
+            match (i.Instr.dst, o.Instr.dst) with
+            | Some vd, Some pd -> State.bind_def st ~vreg:vd ~loc:(Loc.Reg pd)
+            | _ -> st
+          in
+          go st ins' outs' (index + 1))
+        else (
+          ctx.emit
+            (Error.instr_err ctx.name ~label ~index Error.Unmatched
+               (Printf.sprintf
+                  "`%s` does not correspond to source instruction `%s`"
+                  (Instr.to_string o) (Instr.to_string i)));
+          go (kill_in_def (kill_out_def st o) i) ins' outs' (index + 1))
+    | [], o :: outs' ->
+        ctx.emit
+          (Error.instr_err ctx.name ~label ~index Error.Unmatched
+             (Printf.sprintf "`%s` has no counterpart in the source block"
+                (Instr.to_string o)));
+        go (kill_out_def st o) [] outs' (index + 1)
+    | i :: ins', [] ->
+        ctx.emit
+          (Error.instr_err ctx.name ~label ~index Error.Unmatched
+             (Printf.sprintf
+                "source instruction `%s` has no counterpart in the allocated \
+                 block"
+                (Instr.to_string i)));
+        go (kill_in_def st i) ins' [] index
+    | [], [] -> st
+  in
+  go st ib.Block.body ob.Block.body 0
+
+(* Resolve an output branch target through any chain of
+   allocator-inserted forwarding blocks (critical-edge splits),
+   applying their inserted instructions to the edge state, until a
+   source-labelled block is reached. *)
+let resolve ctx st label0 =
+  let rec go visited st label =
+    if ctx.is_input_label label then Ok (label, st)
+    else if List.mem label visited then
+      Error
+        (Error.routine_err ctx.name Error.Structure
+           (Printf.sprintf
+              "branch never reaches a source block: cycle through \
+               allocator-inserted blocks at %s"
+              label))
+    else
+      match ctx.out_block label with
+      | None ->
+          Error
+            (Error.routine_err ctx.name Error.Structure
+               (Printf.sprintf "branch target %s is not a block" label))
+      | Some b ->
+          let rec body st index = function
+            | [] -> Ok st
+            | o :: rest ->
+                if output_skippable o then
+                  body (apply_output_skip ctx.stats st o) (index + 1) rest
+                else
+                  Error
+                    (Error.instr_err ctx.name ~label:b.Block.label ~index
+                       Error.Structure
+                       (Printf.sprintf
+                          "allocator-inserted block contains `%s`, which the \
+                           allocator never inserts"
+                          (Instr.to_string o)))
+          in
+          (match body st 0 b.Block.body with
+          | Error e -> Error e
+          | Ok st -> (
+              match b.Block.term.Instr.op with
+              | Instr.Jmp next -> go (label :: visited) st next
+              | _ ->
+                  Error
+                    (Error.instr_err ctx.name ~label:b.Block.label
+                       ~index:(List.length b.Block.body) Error.Structure
+                       (Printf.sprintf
+                          "allocator-inserted block must end in jmp, not `%s`"
+                          (Instr.to_string b.Block.term)))))
+  in
+  go [] st label0
+
+(* Match terminators and compute the outgoing edges: pairs of (source
+   label, state at entry to that block). *)
+let match_terms ctx ~label st (ib : Block.t) (ob : Block.t) =
+  let index = List.length ob.Block.body in
+  let it = ib.Block.term and ot = ob.Block.term in
+  let bad_target resolved wanted =
+    ctx.emit
+      (Error.instr_err ctx.name ~label ~index Error.Structure
+         (Printf.sprintf
+            "`%s` reaches source block %s, but the source terminator `%s` \
+             names %s"
+            (Instr.to_string ot) resolved (Instr.to_string it) wanted))
+  in
+  let edge wanted target =
+    match resolve ctx st target with
+    | Ok (a, st') when String.equal a wanted -> [ (a, st') ]
+    | Ok (a, _) ->
+        bad_target a wanted;
+        []
+    | Error e ->
+        ctx.emit e;
+        []
+  in
+  let check_cond () =
+    ctx.stats.uses <- ctx.stats.uses + 1;
+    let v = it.Instr.srcs.(0) and p = ot.Instr.srcs.(0) in
+    if not (State.holds st v (Loc.Reg p)) then
+      ctx.emit
+        (Error.instr_err ctx.name ~label ~index Error.Wrong_value
+           (Printf.sprintf
+              "branch condition must carry the value of source register %s, \
+               but %s cannot be proved to hold it"
+              (Reg.to_string v) (Reg.to_string p)))
+  in
+  match (it.Instr.op, ot.Instr.op) with
+  | Instr.Jmp li, Instr.Jmp lo -> edge li lo
+  | Instr.Cbr (t, f), Instr.Jmp lo when String.equal t f ->
+      (* the allocator normalizes a degenerate conditional branch *)
+      edge t lo
+  | Instr.Cbr (t, f), Instr.Cbr (to_, fo) ->
+      check_cond ();
+      edge t to_ @ edge f fo
+  | Instr.Ret, Instr.Ret -> (
+      match (it.Instr.srcs, ot.Instr.srcs) with
+      | [||], [||] -> []
+      | [| v |], [| p |] ->
+          ctx.stats.uses <- ctx.stats.uses + 1;
+          if not (State.holds st v (Loc.Reg p)) then
+            ctx.emit
+              (Error.instr_err ctx.name ~label ~index Error.Wrong_value
+                 (Printf.sprintf
+                    "return value must carry source register %s, but %s \
+                     cannot be proved to hold it"
+                    (Reg.to_string v) (Reg.to_string p)));
+          []
+      | _ ->
+          ctx.emit
+            (Error.instr_err ctx.name ~label ~index Error.Structure
+               "return value arity differs from the source");
+          [])
+  | _ ->
+      ctx.emit
+        (Error.instr_err ctx.name ~label ~index Error.Structure
+           (Printf.sprintf
+              "terminator `%s` does not correspond to source terminator `%s`"
+              (Instr.to_string ot) (Instr.to_string it)));
+      []
+
+let check_block ctx st (ib : Block.t) (ob : Block.t) =
+  ctx.stats.blocks <- ctx.stats.blocks + 1;
+  let label = ob.Block.label in
+  let st = walk_bodies ctx ~label st ib ob in
+  match_terms ctx ~label st ib ob
+
+(* ------------------------------------------------------------------ *)
+(* Whole-routine checks.                                               *)
+
+let check_over_k ~k_int ~k_float ~name errs (output : Cfg.t) =
+  let k_of r = match Reg.cls r with Reg.Int -> k_int | Reg.Float -> k_float in
+  Cfg.iter_blocks
+    (fun b ->
+      List.iteri
+        (fun index (i : Instr.t) ->
+          let bad r =
+            errs :=
+              Error.instr_err name ~label:b.Block.label ~index Error.Over_k
+                (Printf.sprintf
+                   "`%s` mentions %s, beyond the %d available %s registers"
+                   (Instr.to_string i) (Reg.to_string r) (k_of r)
+                   (Reg.cls_to_string (Reg.cls r)))
+              :: !errs
+          in
+          List.iter (fun r -> if Reg.id r >= k_of r then bad r) (Instr.defs i);
+          List.iter (fun r -> if Reg.id r >= k_of r then bad r) (Instr.uses i))
+        (Block.instrs b))
+    output
+
+let has_spill_ops cfg =
+  let found = ref false in
+  Cfg.iter_instrs
+    (fun _ (i : Instr.t) ->
+      match i.Instr.op with
+      | Instr.Spill _ | Instr.Reload _ -> found := true
+      | _ -> ())
+    cfg;
+  !found
+
+let unsupported name what = [ Error.routine_err name Error.Unsupported what ]
+
+let routine ~(input : Cfg.t) ~(output : Cfg.t) ~k_int ~k_float =
+  let name = output.Cfg.name in
+  if Cfg.in_ssa input then
+    Result.Error (unsupported name "source routine is in SSA form")
+  else if Cfg.in_ssa output then
+    Result.Error (unsupported name "allocated routine is in SSA form")
+  else if has_spill_ops input then
+    Result.Error
+      (unsupported name "source routine already contains spill/reload code")
+  else begin
+    let errs = ref [] in
+    if not (String.equal input.Cfg.name output.Cfg.name) then
+      errs :=
+        Error.routine_err name Error.Structure
+          (Printf.sprintf "routine is named %s, but the source is named %s"
+             output.Cfg.name input.Cfg.name)
+        :: !errs;
+    if input.Cfg.symbols <> output.Cfg.symbols then
+      errs :=
+        Error.routine_err name Error.Structure
+          "static data symbols differ from the source"
+        :: !errs;
+    check_over_k ~k_int ~k_float ~name errs output;
+    let in_labels = Hashtbl.create 16 in
+    Cfg.iter_blocks
+      (fun b -> Hashtbl.replace in_labels b.Block.label b)
+      input;
+    let out_labels = Hashtbl.create 16 in
+    Cfg.iter_blocks
+      (fun b -> Hashtbl.replace out_labels b.Block.label b)
+      output;
+    let entry_ok =
+      String.equal (Cfg.entry_block input).Block.label
+        (Cfg.entry_block output).Block.label
+    in
+    if not entry_ok then
+      errs :=
+        Error.routine_err name Error.Structure
+          (Printf.sprintf "entry block %s does not carry the source entry \
+                           label %s"
+             (Cfg.entry_block output).Block.label
+             (Cfg.entry_block input).Block.label)
+        :: !errs;
+    let make_ctx emit stats =
+      {
+        name;
+        emit;
+        stats;
+        is_input_label = Hashtbl.mem in_labels;
+        out_block = Hashtbl.find_opt out_labels;
+      }
+    in
+    (* Fixpoint: propagate states silently until they stabilise.  The
+       meet only shrinks states, so any check that would fail at the
+       fixpoint also fails when re-run — errors are gathered in a
+       final, deterministic reporting pass. *)
+    let in_states : State.t option array =
+      Array.make (Cfg.n_blocks output) None
+    in
+    let anchored label = Hashtbl.mem in_labels label in
+    let silent = make_ctx (fun _ -> ()) (fresh_stats ()) in
+    let pending = Queue.create () in
+    let propagate (label, st) =
+      let id = (Hashtbl.find out_labels label).Block.id in
+      match in_states.(id) with
+      | None ->
+          in_states.(id) <- Some st;
+          Queue.add id pending
+      | Some old ->
+          let met = State.meet old st in
+          if not (State.equal met old) then begin
+            in_states.(id) <- Some met;
+            Queue.add id pending
+          end
+    in
+    if entry_ok then begin
+      let entry = Cfg.entry_block output in
+      if anchored entry.Block.label then
+        propagate (entry.Block.label, State.empty)
+    end;
+    while not (Queue.is_empty pending) do
+      let id = Queue.pop pending in
+      let ob = Cfg.block output id in
+      match (in_states.(id), Hashtbl.find_opt in_labels ob.Block.label) with
+      | Some st, Some ib -> List.iter propagate (check_block silent st ib ob)
+      | _ -> ()
+    done;
+    (* Reporting pass over the fixpoint states. *)
+    let stats = fresh_stats () in
+    let ctx = make_ctx (fun e -> errs := e :: !errs) stats in
+    Array.iteri
+      (fun id st ->
+        match st with
+        | None -> ()
+        | Some st -> (
+            let ob = Cfg.block output id in
+            match Hashtbl.find_opt in_labels ob.Block.label with
+            | Some ib -> ignore (check_block ctx st ib ob)
+            | None -> ()))
+      in_states;
+    match List.rev !errs with
+    | [] ->
+        Result.Ok
+          {
+            blocks_checked = stats.blocks;
+            instrs_matched = stats.matched;
+            uses_checked = stats.uses;
+            remats_checked = stats.remats;
+            copies_skipped = stats.moves;
+          }
+    | errors -> Result.Error errors
+  end

@@ -1,0 +1,52 @@
+(** The translation validator.
+
+    [routine ~input ~output ~k_int ~k_float] proves — or refuses to
+    prove — that [output] is a faithful allocation of [input]: same
+    observable behaviour, at most [k_int] integer and [k_float]
+    floating-point registers.  It is a forward dataflow analysis over
+    the allocated code (see {!State}) combined with a lockstep walk
+    that aligns each output block with the source block of the same
+    label:
+
+    - source-only instructions must be ones the allocator may delete
+      (copies, never-killed definitions); their effect is folded into
+      the abstract state;
+    - output-only instructions must be ones the allocator may insert
+      (copies, spills, reloads, never-killed rematerializations);
+    - everything else must match the next source instruction
+      structurally, and every register operand must be proved to carry
+      the corresponding source value;
+    - branches may pass through allocator-inserted forwarding blocks
+      (critical-edge splits), but must reach the same source label the
+      source terminator names.
+
+    The checker shares no code with the allocator: it never reads
+    {!Core} tags, costs, or interference information, only the two
+    routines.  A clean run is a proof relative to the stated abstract
+    domain (see DESIGN.md §12 for exactly what is and is not covered);
+    a rejection names the offending output block and instruction. *)
+
+open Iloc
+
+type report = {
+  blocks_checked : int;  (** anchored (source-labelled) blocks verified *)
+  instrs_matched : int;  (** hard instructions matched 1:1 *)
+  uses_checked : int;  (** register operands proved to carry source values *)
+  remats_checked : int;  (** rematerializations folded into the state *)
+  copies_skipped : int;
+      (** allocator-inserted copies/spills/reloads, plus source-only
+          copies and never-killed definitions *)
+}
+
+val report_to_string : report -> string
+
+val routine :
+  input:Cfg.t ->
+  output:Cfg.t ->
+  k_int:int ->
+  k_float:int ->
+  (report, Error.t list) result
+(** Errors of kind {!Error.Unsupported} mean the pair is outside the
+    checker's domain (SSA form, or spill opcodes already present in the
+    input); nothing is proved either way.  Any other kind is a genuine
+    rejection. *)

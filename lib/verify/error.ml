@@ -1,0 +1,47 @@
+type kind = Unsupported | Structure | Unmatched | Wrong_value | Over_k
+
+type t = {
+  where : string;
+  block : string option;
+  index : int option;
+  kind : kind;
+  what : string;
+}
+
+let routine_err name kind what =
+  { where = name; block = None; index = None; kind; what }
+
+let block_err name ~label kind what =
+  {
+    where = Printf.sprintf "%s/%s" name label;
+    block = Some label;
+    index = None;
+    kind;
+    what;
+  }
+
+let instr_err name ~label ~index kind what =
+  {
+    where = Printf.sprintf "%s/%s" name label;
+    block = Some label;
+    index = Some index;
+    kind;
+    what;
+  }
+
+let is_unsupported e = e.kind = Unsupported
+
+let kind_to_string = function
+  | Unsupported -> "unsupported"
+  | Structure -> "structure"
+  | Unmatched -> "unmatched"
+  | Wrong_value -> "wrong-value"
+  | Over_k -> "over-k"
+
+let pp ppf e =
+  (match e.index with
+  | Some i -> Format.fprintf ppf "%s#%d" e.where i
+  | None -> Format.pp_print_string ppf e.where);
+  Format.fprintf ppf ": [%s] %s" (kind_to_string e.kind) e.what
+
+let to_string e = Format.asprintf "%a" pp e

@@ -339,7 +339,9 @@ let stats_tests =
     test_case "phase rows carry non-negative allocation counts" `Quick
       (fun () ->
         let cfg = Suite.Kernels.cfg_of (Suite.Kernels.find "repvid") in
-        let res = Remat.Allocator.run cfg in
+        (* ~verify: the whole coloring stack feeds the allocation this
+           checks, so run it under the static translation validator. *)
+        let res = Remat.Allocator.allocate ~verify:true cfg in
         let rows = Remat.Stats.by_phase res.Remat.Allocator.stats in
         check bool "has rows" true (rows <> []);
         List.iter

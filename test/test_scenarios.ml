@@ -1,0 +1,140 @@
+(* Allocator-quality scenarios, promoted from the former scratch
+   drivers debug_fig1, debug_kernel and debug_pressure so they run (and
+   assert) under `dune runtest` instead of bit-rotting as orphan
+   executables.  The fourth driver, debug_incr, diagnosed
+   incremental-vs-rebuilt interference graphs and is fully subsumed by
+   test_incremental.ml.
+
+   Every allocation goes through Testutil.alloc and is therefore also
+   statically verified by lib/verify. *)
+
+let tc name f = Alcotest.test_case name `Quick f
+let check = Alcotest.check
+
+module Mode = Remat.Mode
+module Machine = Remat.Machine
+
+(* Dynamic spill cost of one mode on one routine: cycles on the target
+   machine minus cycles on the (nearly spill-free) huge machine, §5.2.
+   Also asserts both allocations preserve the observable outcome. *)
+let spill_cycles ~mode ~machine cfg =
+  let std = Testutil.alloc ~mode ~machine cfg in
+  let huge = Testutil.alloc ~mode ~machine:Machine.huge cfg in
+  Testutil.assert_equiv ~what:"target machine" cfg std.Remat.Allocator.cfg;
+  Testutil.assert_equiv ~what:"huge machine" cfg huge.Remat.Allocator.cfg;
+  let ct = (Testutil.run_ok std.Remat.Allocator.cfg).Sim.Interp.counts in
+  let ch = (Testutil.run_ok huge.Remat.Allocator.cfg).Sim.Interp.counts in
+  (std, huge, Sim.Counts.cycles_signed (Sim.Counts.sub ct ch))
+
+(* --- the paper's Figure 1 fixture, per mode, std vs huge --- *)
+
+let fig1_tests =
+  [
+    tc "every mode preserves outcomes and pays no negative spill cost"
+      (fun () ->
+        let cfg = Testutil.fig1 () in
+        List.iter
+          (fun mode ->
+            let std, huge, cost =
+              spill_cycles ~mode ~machine:Machine.standard cfg
+            in
+            check Alcotest.bool
+              (Printf.sprintf "%s: huge machine never spills"
+                 (Mode.to_string mode))
+              true
+              (huge.Remat.Allocator.spilled_memory = 0
+              && huge.Remat.Allocator.spilled_remat = 0);
+            check Alcotest.bool
+              (Printf.sprintf "%s: spill cost %d >= 0" (Mode.to_string mode)
+                 cost)
+              true (cost >= 0);
+            check Alcotest.bool
+              (Printf.sprintf "%s: some rounds ran" (Mode.to_string mode))
+              true
+              (std.Remat.Allocator.rounds >= 1))
+          [ Mode.No_remat; Mode.Chaitin_remat; Mode.Briggs_remat ]);
+    tc "briggs rematerializes the label addresses instead of storing them"
+      (fun () ->
+        let cfg = Testutil.fig1 () in
+        let res = Testutil.alloc ~mode:Mode.Briggs_remat cfg in
+        check Alcotest.bool "rematerialized live ranges exist" true
+          (res.Remat.Allocator.spilled_remat > 0));
+  ]
+
+(* --- suite kernels across modes (the debug_kernel sweep) --- *)
+
+let kernel_modes =
+  [
+    Mode.No_remat; Mode.Chaitin_remat; Mode.Briggs_remat;
+    Mode.Briggs_remat_phi_splits;
+  ]
+
+let kernel_tests =
+  [
+    tc "ptrsweep preserves outcomes under every mode, std and huge"
+      (fun () ->
+        let cfg = Suite.Kernels.cfg_of (Suite.Kernels.find "ptrsweep") in
+        List.iter
+          (fun mode ->
+            let _, _, cost =
+              spill_cycles ~mode ~machine:Machine.standard cfg
+            in
+            check Alcotest.bool
+              (Printf.sprintf "%s: spill cost %d >= 0" (Mode.to_string mode)
+                 cost)
+              true (cost >= 0))
+          kernel_modes);
+    tc "rematerialization does not lose to no-remat on ptrsweep" (fun () ->
+        let cfg = Suite.Kernels.cfg_of (Suite.Kernels.find "ptrsweep") in
+        let _, _, none =
+          spill_cycles ~mode:Mode.No_remat ~machine:Machine.standard cfg
+        in
+        let _, _, briggs =
+          spill_cycles ~mode:Mode.Briggs_remat ~machine:Machine.standard cfg
+        in
+        check Alcotest.bool
+          (Printf.sprintf "briggs %d <= no_remat %d" briggs none)
+          true (briggs <= none));
+  ]
+
+(* --- constrained register sets (the debug_pressure loop) --- *)
+
+let pressure_tests =
+  [
+    tc "ptrsweep allocates and runs at k=8/8" (fun () ->
+        let cfg = Suite.Kernels.cfg_of (Suite.Kernels.find "ptrsweep") in
+        let machine = Machine.make ~name:"k8" ~k_int:8 ~k_float:8 in
+        let res = Testutil.alloc ~machine cfg in
+        Testutil.assert_equiv ~what:"ptrsweep@8/8" cfg
+          res.Remat.Allocator.cfg;
+        Iloc.Cfg.iter_instrs
+          (fun _ i ->
+            List.iter
+              (fun r -> check Alcotest.bool "register below 8" true
+                  (Iloc.Reg.id r < 8))
+              (Iloc.Instr.defs i @ Iloc.Instr.uses i))
+          res.Remat.Allocator.cfg);
+    tc "every kernel allocates and runs at k=8/8" (fun () ->
+        let machine = Machine.make ~name:"k8" ~k_int:8 ~k_float:8 in
+        List.iter
+          (fun k ->
+            let cfg = Suite.Kernels.cfg_of k in
+            match Testutil.alloc ~machine cfg with
+            | res ->
+                Testutil.assert_equiv
+                  ~what:(k.Suite.Kernels.name ^ "@8/8")
+                  cfg res.Remat.Allocator.cfg
+            | exception Remat.Spill_code.Pressure_too_high _ ->
+                (* A principled refusal is acceptable on a small machine;
+                   silent miscompilation is not. *)
+                ())
+          Suite.Kernels.all);
+  ]
+
+let () =
+  Alcotest.run "scenarios"
+    [
+      ("fig1", fig1_tests);
+      ("kernels", kernel_tests);
+      ("pressure", pressure_tests);
+    ]

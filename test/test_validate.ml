@@ -1,0 +1,251 @@
+(* Directed coverage of every Validate.error shape: one deliberately
+   malformed routine per invariant, asserting that the reported block
+   label and instruction index pinpoint the planted fault.  Constructor
+   checks (Instr.make, Block.make, Cfg.make) normally make these states
+   unrepresentable, so each test either builds the bad instruction as a
+   raw record or mutates a valid routine in place — exactly what a buggy
+   allocator pass would do, and the reason Validate re-checks what the
+   constructors already enforced. *)
+
+module I = Iloc.Instr
+module R = Iloc.Reg
+module V = Iloc.Validate
+
+let tc name f = Alcotest.test_case name `Quick f
+let check = Alcotest.check
+let ri n = R.make n R.Int
+let rf n = R.make n R.Float
+
+let blk id label ?(phis = []) body term =
+  Iloc.Block.make ~id ~label ~phis ~body ~term ()
+
+let cfg ?symbols blocks = Iloc.Cfg.make ~name:"bad" ?symbols blocks
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* The routine must produce exactly one error, attached to the expected
+   block and index and mentioning [what]. *)
+let expect ?ssa ~block ~index ~what c =
+  match V.routine ?ssa c with
+  | Ok () -> Alcotest.failf "expected %S, but the routine validated" what
+  | Error [ e ] ->
+      check Alcotest.(option string) "offending block" block e.V.block;
+      check Alcotest.(option int) "offending index" index e.V.index;
+      check Alcotest.bool
+        (Printf.sprintf "%S appears in %S" what e.V.what)
+        true
+        (contains e.V.what what)
+  | Error es ->
+      Alcotest.failf "expected exactly one error, got %d: %s" (List.length es)
+        (String.concat "; " (List.map V.error_to_string es))
+
+(* --- instruction-level invariants (re-run Instr.make) --- *)
+
+let instr_tests =
+  [
+    tc "operand arity" (fun () ->
+        (* add with one source instead of two. *)
+        let bad = { I.op = I.Add; dst = Some (ri 2); srcs = [| ri 0 |] } in
+        let c =
+          cfg [ blk 0 "entry" [ I.ldi (ri 0) 1; bad ] (I.ret None) ]
+        in
+        expect ~block:(Some "entry") ~index:(Some 1) ~what:"source arity" c);
+    tc "ret arity" (fun () ->
+        let bad = { I.op = I.Ret; dst = None; srcs = [| ri 0; ri 1 |] } in
+        let c =
+          cfg [ blk 0 "entry" [ I.ldi (ri 0) 1; I.ldi (ri 1) 2 ] bad ]
+        in
+        expect ~block:(Some "entry") ~index:(Some 2)
+          ~what:"ret takes at most one source" c);
+    tc "source register class" (fun () ->
+        (* integer add fed a float source. *)
+        let bad = { I.op = I.Add; dst = Some (ri 2); srcs = [| ri 0; rf 1 |] } in
+        let c =
+          cfg
+            [
+              blk 0 "entry"
+                [ I.ldi (ri 0) 1; I.lfi (rf 1) 2.0; bad ]
+                (I.ret None);
+            ]
+        in
+        expect ~block:(Some "entry") ~index:(Some 2)
+          ~what:"source register class" c);
+    tc "destination register class" (fun () ->
+        let bad = { I.op = I.Add; dst = Some (rf 2); srcs = [| ri 0; ri 1 |] } in
+        let c =
+          cfg
+            [
+              blk 0 "entry"
+                [ I.ldi (ri 0) 1; I.ldi (ri 1) 2; bad ]
+                (I.ret None);
+            ]
+        in
+        expect ~block:(Some "entry") ~index:(Some 2)
+          ~what:"destination register class" c);
+    tc "cross-class copy" (fun () ->
+        let bad = { I.op = I.Copy; dst = Some (rf 1); srcs = [| ri 0 |] } in
+        let c = cfg [ blk 0 "entry" [ I.ldi (ri 0) 1; bad ] (I.ret None) ] in
+        expect ~block:(Some "entry") ~index:(Some 1)
+          ~what:"copy must stay within a register class" c);
+    tc "terminator in block body" (fun () ->
+        let c = cfg [ blk 0 "entry" [ I.ldi (ri 0) 1 ] (I.ret None) ] in
+        (* Block.make refuses this, so plant it by mutation. *)
+        let b = Iloc.Cfg.block c 0 in
+        b.Iloc.Block.body <- b.Iloc.Block.body @ [ I.jmp "entry" ];
+        expect ~block:(Some "entry") ~index:(Some 1)
+          ~what:"terminator in block body" c);
+  ]
+
+(* --- symbol references --- *)
+
+let symbol_tests =
+  [
+    tc "unknown symbol" (fun () ->
+        let c = cfg [ blk 0 "entry" [ I.laddr (ri 0) "ghost" ] (I.ret None) ] in
+        expect ~block:(Some "entry") ~index:(Some 0)
+          ~what:"unknown symbol @ghost" c);
+    tc "ldro from a writable symbol" (fun () ->
+        let buf = Iloc.Symbol.make ~readonly:false "buf" 4 in
+        let c =
+          cfg ~symbols:[ buf ]
+            [ blk 0 "entry" [ I.ldro (ri 0) "buf" 0 ] (I.ret None) ]
+        in
+        expect ~block:(Some "entry") ~index:(Some 0)
+          ~what:"ldro from writable symbol @buf" c);
+    tc "ldro offset out of bounds" (fun () ->
+        let tab = Iloc.Symbol.make ~readonly:true "tab" 4 in
+        let c =
+          cfg ~symbols:[ tab ]
+            [ blk 0 "entry" [ I.ldro (ri 0) "tab" 9 ] (I.ret None) ]
+        in
+        expect ~block:(Some "entry") ~index:(Some 0)
+          ~what:"ldro offset 9 out of bounds for @tab" c);
+  ]
+
+(* --- definite assignment --- *)
+
+let flow_tests =
+  [
+    tc "use of a possibly-undefined register" (fun () ->
+        (* r1 is assigned on the path through "def" but not on the direct
+           edge entry -> use, so the join only may-defines it. *)
+        let c =
+          cfg
+            [
+              blk 0 "entry" [ I.ldi (ri 0) 1 ] (I.cbr (ri 0) "def" "use");
+              blk 1 "def" [ I.ldi (ri 1) 5 ] (I.jmp "use");
+              blk 2 "use" [ I.print_ (ri 1) ] (I.ret None);
+            ]
+        in
+        expect ~block:(Some "use") ~index:(Some 0)
+          ~what:"use of possibly-undefined r1" c);
+    tc "unreachable blocks are not reported" (fun () ->
+        (* Same undefined use, but in a block nothing jumps to: no error. *)
+        let c =
+          cfg
+            [
+              blk 0 "entry" [ I.ldi (ri 0) 1 ] (I.ret None);
+              blk 1 "dead" [ I.print_ (ri 9) ] (I.ret None);
+            ]
+        in
+        check Alcotest.bool "validates" true (V.routine c = Ok ()));
+  ]
+
+(* --- SSA form --- *)
+
+let phi r args = Iloc.Phi.make r args
+
+let ssa_tests =
+  [
+    tc "phi outside SSA form" (fun () ->
+        let c =
+          cfg
+            [
+              blk 0 "entry" [ I.ldi (ri 0) 1 ] (I.jmp "m");
+              blk 1 "m"
+                ~phis:[ phi (ri 1) [ (0, ri 0) ] ]
+                [ I.print_ (ri 1) ] (I.ret None);
+            ]
+        in
+        (* Without ~ssa:true the mere presence of a phi is the fault. *)
+        expect ~block:(Some "m") ~index:None ~what:"phi outside SSA form" c);
+    tc "register defined more than once" (fun () ->
+        let c =
+          cfg
+            [
+              blk 0 "entry"
+                [ I.ldi (ri 0) 1; I.ldi (ri 0) 2; I.print_ (ri 0) ]
+                (I.ret None);
+            ]
+        in
+        expect ~ssa:true ~block:(Some "entry") ~index:None
+          ~what:"r0 defined more than once" c);
+    tc "phi argument list does not match predecessors" (fun () ->
+        (* "loop" has two predecessors (entry and itself) but the phi only
+           carries an argument for the entry edge. *)
+        let c =
+          cfg
+            [
+              blk 0 "entry" [ I.ldi (ri 0) 1 ] (I.jmp "loop");
+              blk 1 "loop"
+                ~phis:[ phi (ri 1) [ (0, ri 0) ] ]
+                [] (I.cbr (ri 1) "loop" "exit");
+              blk 2 "exit" [] (I.ret None);
+            ]
+        in
+        expect ~ssa:true ~block:(Some "loop") ~index:None
+          ~what:"phi for r1 does not match predecessors" c);
+    tc "phi argument undefined on its edge" (fun () ->
+        let c =
+          cfg
+            [
+              blk 0 "entry" [ I.ldi (ri 0) 1 ] (I.jmp "m");
+              blk 1 "m"
+                ~phis:[ phi (ri 2) [ (0, ri 9) ] ]
+                [ I.print_ (ri 2) ] (I.ret None);
+            ]
+        in
+        expect ~ssa:true ~block:(Some "m") ~index:None
+          ~what:"phi argument r9 not defined on edge from B0" c);
+  ]
+
+(* --- routine-level label resolution --- *)
+
+let routine_tests =
+  [
+    tc "dangling branch target" (fun () ->
+        let c = cfg [ blk 0 "entry" [ I.ldi (ri 0) 1 ] (I.ret None) ] in
+        (Iloc.Cfg.block c 0).Iloc.Block.term <- I.jmp "nowhere";
+        expect ~block:None ~index:None ~what:"dangling label nowhere" c);
+    tc "duplicate block label" (fun () ->
+        let c =
+          cfg
+            [
+              blk 0 "entry" [ I.ldi (ri 0) 1 ] (I.jmp "next");
+              blk 1 "next" [] (I.ret None);
+            ]
+        in
+        (* Rebuild block 1 under the entry's label; Cfg.make would refuse
+           this, so overwrite the block array directly. *)
+        c.Iloc.Cfg.blocks.(1) <- blk 1 "entry" [] (I.ret None);
+        match V.routine c with
+        | Ok () -> Alcotest.fail "duplicate label accepted"
+        | Error (e :: _) ->
+            check Alcotest.(option string) "routine-level" None e.V.block;
+            check Alcotest.bool "names the label" true
+              (contains e.V.what "duplicate label entry")
+        | Error [] -> assert false);
+  ]
+
+let () =
+  Alcotest.run "validate"
+    [
+      ("instr", instr_tests);
+      ("symbols", symbol_tests);
+      ("flow", flow_tests);
+      ("ssa", ssa_tests);
+      ("routine", routine_tests);
+    ]

@@ -1,0 +1,423 @@
+(* Tests for lib/verify, the static translation validator.
+
+   Three layers: clean allocations across fixtures/modes/machines must
+   verify; hand-built allocated routines with planted mistakes must be
+   rejected with errors naming the fault; and the two spill-code fault
+   injections must be rejected statically — with no simulator run — one
+   of them even though the dynamic oracle's inputs cannot see it. *)
+
+let tc name f = Alcotest.test_case name `Quick f
+let check = Alcotest.check
+
+module Cfg = Iloc.Cfg
+module Instr = Iloc.Instr
+module Reg = Iloc.Reg
+module Block = Iloc.Block
+module Builder = Iloc.Builder
+
+let verify ?(machine = Remat.Machine.standard) input output =
+  Verify.Check.routine ~input ~output ~k_int:machine.Remat.Machine.k_int
+    ~k_float:machine.Remat.Machine.k_float
+
+let assert_verified ~what ?machine input output =
+  match verify ?machine input output with
+  | Ok _ -> ()
+  | Error es ->
+      Alcotest.failf "%s: static verifier rejected a sound allocation:\n%s"
+        what
+        (String.concat "\n" (List.map Verify.Error.to_string es))
+
+let alloc_verified ~what ?mode ?machine input =
+  let res = Remat.Allocator.run ?mode ?machine input in
+  assert_verified ~what ?machine input res.Remat.Allocator.cfg;
+  res
+
+(* --- clean allocations verify --- *)
+
+let tiny = Remat.Machine.make ~name:"tiny" ~k_int:4 ~k_float:4
+
+let fixture_tests =
+  [
+    tc "every fixture, mode and machine verifies" (fun () ->
+        List.iter
+          (fun (name, cfg) ->
+            List.iter
+              (fun mode ->
+                List.iter
+                  (fun machine ->
+                    let what =
+                      Printf.sprintf "%s under %s@%d/%d" name
+                        (Remat.Mode.to_string mode)
+                        machine.Remat.Machine.k_int
+                        machine.Remat.Machine.k_float
+                    in
+                    match
+                      alloc_verified ~what ~mode ~machine cfg
+                    with
+                    | _ -> ()
+                    | exception Remat.Spill_code.Pressure_too_high _ ->
+                        (* A legitimate refusal on the smallest machine
+                           is not a verification failure. *)
+                        ())
+                  [ Remat.Machine.standard; Remat.Machine.huge; tiny ])
+              Remat.Mode.all)
+          (Testutil.all_fixed ()));
+    tc "allocate ~verify:true accepts the fixtures" (fun () ->
+        List.iter
+          (fun (_, cfg) ->
+            ignore (Remat.Allocator.allocate ~verify:true cfg))
+          (Testutil.all_fixed ()));
+    tc "generated routines verify across modes and machines" (fun () ->
+        for seed = 0 to 39 do
+          let cfg = Fuzz.Gen.generate seed in
+          List.iter
+            (fun mode ->
+              List.iter
+                (fun machine ->
+                  let what =
+                    Printf.sprintf "seed %d under %s@%d/%d" seed
+                      (Remat.Mode.to_string mode) machine.Remat.Machine.k_int
+                      machine.Remat.Machine.k_float
+                  in
+                  ignore (alloc_verified ~what ~mode ~machine cfg))
+                [ Remat.Machine.standard; Fuzz.Oracle.tight ])
+            Remat.Mode.all
+        done);
+    tc "high-pressure generated routines verify" (fun () ->
+        for seed = 0 to 9 do
+          let cfg = Fuzz.Gen.generate ~config:Fuzz.Gen.high_pressure seed in
+          List.iter
+            (fun mode ->
+              let what =
+                Printf.sprintf "high-pressure seed %d under %s" seed
+                  (Remat.Mode.to_string mode)
+              in
+              ignore
+                (alloc_verified ~what ~mode ~machine:Fuzz.Oracle.tight cfg))
+            Remat.Mode.core
+        done);
+  ]
+
+(* --- hand-built accept/reject --- *)
+
+(* input:  v2 := 1 + 2, printed and returned.
+   output: the same computation on two physical registers. *)
+let hand_input () =
+  let v0 = Reg.make 10 Reg.Int
+  and v1 = Reg.make 11 Reg.Int
+  and v2 = Reg.make 12 Reg.Int in
+  Cfg.make ~name:"hand"
+    [
+      Block.make ~id:0 ~label:"entry"
+        ~body:
+          [
+            Instr.ldi v0 1; Instr.ldi v1 2; Instr.add v2 v0 v1;
+            Instr.print_ v2;
+          ]
+        ~term:(Instr.ret (Some v2)) ();
+    ]
+
+let hand_output body ~ret =
+  Cfg.make ~name:"hand"
+    [ Block.make ~id:0 ~label:"entry" ~body ~term:(Instr.ret ret) () ]
+
+let r0 = Reg.make 0 Reg.Int
+let r1 = Reg.make 1 Reg.Int
+
+let hand_tests =
+  [
+    tc "faithful hand allocation is accepted with counters" (fun () ->
+        let output =
+          hand_output
+            [
+              Instr.ldi r0 1; Instr.ldi r1 2; Instr.add r0 r0 r1;
+              Instr.print_ r0;
+            ]
+            ~ret:(Some r0)
+        in
+        match verify (hand_input ()) output with
+        | Error es ->
+            Alcotest.failf "rejected: %s"
+              (String.concat "; " (List.map Verify.Error.to_string es))
+        | Ok r ->
+            check Alcotest.int "blocks" 1 r.Verify.Check.blocks_checked;
+            check Alcotest.int "matched" 2 r.Verify.Check.instrs_matched;
+            (* add (2) + print (1) + ret (1) *)
+            check Alcotest.int "uses" 4 r.Verify.Check.uses_checked;
+            check Alcotest.int "remats" 2 r.Verify.Check.remats_checked);
+    tc "swapped operand is rejected at the faulty instruction" (fun () ->
+        let output =
+          hand_output
+            [
+              Instr.ldi r0 1; Instr.ldi r1 2;
+              (* operand 0 should carry v10's value (1), not v11's *)
+              Instr.add r0 r1 r1; Instr.print_ r0;
+            ]
+            ~ret:(Some r0)
+        in
+        match verify (hand_input ()) output with
+        | Ok _ -> Alcotest.fail "verifier accepted a wrong operand"
+        | Error es ->
+            let e = List.hd es in
+            check Alcotest.string "kind" "wrong-value"
+              (Verify.Error.kind_to_string e.Verify.Error.kind);
+            check
+              Alcotest.(option string)
+              "block" (Some "entry") e.Verify.Error.block;
+            check Alcotest.(option int) "index" (Some 2) e.Verify.Error.index);
+    tc "wrong rematerialized constant is rejected" (fun () ->
+        let output =
+          hand_output
+            [
+              Instr.ldi r0 1; Instr.ldi r1 3 (* should be 2 *);
+              Instr.add r0 r0 r1; Instr.print_ r0;
+            ]
+            ~ret:(Some r0)
+        in
+        match verify (hand_input ()) output with
+        | Ok _ -> Alcotest.fail "verifier accepted a wrong constant"
+        | Error es ->
+            let e = List.hd es in
+            check Alcotest.string "kind" "wrong-value"
+              (Verify.Error.kind_to_string e.Verify.Error.kind);
+            check Alcotest.(option int) "index" (Some 2) e.Verify.Error.index);
+    tc "spill/reload slot agreement is required" (fun () ->
+        (* Spill r0 to slot 0 but reload from slot 1. *)
+        let output =
+          hand_output
+            [
+              Instr.ldi r0 1; Instr.spill r0 0; Instr.ldi r1 2;
+              Instr.reload r0 1; Instr.add r0 r0 r1; Instr.print_ r0;
+            ]
+            ~ret:(Some r0)
+        in
+        match verify (hand_input ()) output with
+        | Ok _ -> Alcotest.fail "verifier accepted a skewed reload"
+        | Error es ->
+            let e = List.hd es in
+            check Alcotest.string "kind" "wrong-value"
+              (Verify.Error.kind_to_string e.Verify.Error.kind));
+    tc "matching spill/reload through a slot is accepted" (fun () ->
+        let output =
+          hand_output
+            [
+              Instr.ldi r0 1; Instr.spill r0 0; Instr.ldi r1 2;
+              Instr.reload r0 0; Instr.add r0 r0 r1; Instr.print_ r0;
+            ]
+            ~ret:(Some r0)
+        in
+        assert_verified ~what:"spill round trip" (hand_input ()) output);
+    tc "dropped computation is rejected as unmatched" (fun () ->
+        let output =
+          hand_output
+            [ Instr.ldi r0 1; Instr.ldi r1 2; Instr.print_ r0 ]
+            ~ret:(Some r0)
+        in
+        match verify (hand_input ()) output with
+        | Ok _ -> Alcotest.fail "verifier accepted a dropped instruction"
+        | Error es ->
+            check Alcotest.bool "some unmatched error" true
+              (List.exists
+                 (fun (e : Verify.Error.t) ->
+                   e.Verify.Error.kind = Verify.Error.Unmatched)
+                 es));
+    tc "register above k is rejected" (fun () ->
+        let big = Reg.make 9 Reg.Int in
+        let output =
+          hand_output
+            [
+              Instr.ldi r0 1; Instr.ldi big 2; Instr.add r0 r0 big;
+              Instr.print_ r0;
+            ]
+            ~ret:(Some r0)
+        in
+        let machine = Remat.Machine.make ~name:"k4" ~k_int:4 ~k_float:4 in
+        match verify ~machine (hand_input ()) output with
+        | Ok _ -> Alcotest.fail "verifier accepted r9 on a 4-register machine"
+        | Error es ->
+            check Alcotest.bool "over-k reported" true
+              (List.exists
+                 (fun (e : Verify.Error.t) ->
+                   e.Verify.Error.kind = Verify.Error.Over_k)
+                 es));
+    tc "branch retarget is rejected" (fun () ->
+        let v = Reg.make 10 Reg.Int in
+        let input =
+          Cfg.make ~name:"branchy"
+            [
+              Block.make ~id:0 ~label:"entry" ~body:[ Instr.ldi v 1 ]
+                ~term:(Instr.cbr v "a" "b") ();
+              Block.make ~id:1 ~label:"a" ~body:[ Instr.print_ v ]
+                ~term:(Instr.ret None) ();
+              Block.make ~id:2 ~label:"b" ~body:[]
+                ~term:(Instr.ret None) ();
+            ]
+        in
+        let output =
+          Cfg.make ~name:"branchy"
+            [
+              Block.make ~id:0 ~label:"entry" ~body:[ Instr.ldi r0 1 ]
+                ~term:(Instr.cbr r0 "b" "a") (* arms swapped *) ();
+              Block.make ~id:1 ~label:"a" ~body:[ Instr.print_ r0 ]
+                ~term:(Instr.ret None) ();
+              Block.make ~id:2 ~label:"b" ~body:[]
+                ~term:(Instr.ret None) ();
+            ]
+        in
+        match verify input output with
+        | Ok _ -> Alcotest.fail "verifier accepted swapped branch arms"
+        | Error es ->
+            check Alcotest.bool "structure error" true
+              (List.exists
+                 (fun (e : Verify.Error.t) ->
+                   e.Verify.Error.kind = Verify.Error.Structure)
+                 es));
+  ]
+
+(* --- the two planted spill-code faults, caught with no simulator --- *)
+
+let with_fault cell v f =
+  cell := v;
+  Fun.protect ~finally:(fun () -> cell := 0) f
+
+(* A routine whose spilled integer constant feeds only a comparison it
+   can never tip: the sum of m's elements stays far below both 100000
+   and 100001, so the dynamic outcome is identical with and without the
+   remat bias — only the static checker sees the drift. *)
+let bias_victim ?(n = 14) () =
+  let b = Builder.create "bias_victim" in
+  Builder.data b ~readonly:false
+    ~init:(Iloc.Symbol.Int_elts (List.init n (fun i -> i + 1)))
+    "m" n;
+  let limit = Builder.ireg b in
+  let base = Builder.ireg b in
+  let vs = List.init n (fun _ -> Builder.ireg b) in
+  let acc = Builder.ireg b in
+  let t = Builder.ireg b in
+  Builder.block b "entry"
+    ([ Instr.ldi limit 100000; Instr.laddr base "m" ]
+    @ List.concat (List.mapi (fun k v -> [ Instr.loadi v base k ]) vs)
+    @ (Instr.ldi acc 0 :: List.map (fun v -> Instr.add acc acc v) vs)
+    @ [ Instr.cmp Instr.Lt t acc limit ])
+    ~term:(Instr.cbr t "small" "big");
+  Builder.block b "small" [ Instr.print_ acc ] ~term:(Instr.ret (Some acc));
+  Builder.block b "big" [ Instr.print_ acc ] ~term:(Instr.ret (Some acc));
+  Builder.finish b
+
+let static_only reference cfg machine mode =
+  (* Allocate and split the oracle's verdict into its static and dynamic
+     halves: returns (static rejection?, dynamic divergence?). *)
+  let res = Remat.Allocator.run ~mode ~machine cfg in
+  let out = res.Remat.Allocator.cfg in
+  let static =
+    match
+      Verify.Check.routine ~input:cfg ~output:out
+        ~k_int:machine.Remat.Machine.k_int
+        ~k_float:machine.Remat.Machine.k_float
+    with
+    | Ok _ -> None
+    | Error es -> Some es
+  in
+  let dynamic =
+    match Sim.Interp.run out with
+    | outcome ->
+        if Sim.Interp.outcome_equal reference outcome then None
+        else Some "wrong outcome"
+    | exception Sim.Interp.Runtime_error m -> Some m
+  in
+  (res, static, dynamic)
+
+let planted_tests =
+  [
+    tc "reload skew is rejected statically, no simulator" (fun () ->
+        let cfg = Testutil.high_pressure () in
+        with_fault Remat.Spill_code.fault_reload_skew 1 (fun () ->
+            let res = Remat.Allocator.run ~machine:tiny cfg in
+            check Alcotest.bool "scenario spills through memory" true
+              (res.Remat.Allocator.spilled_memory > 0);
+            match
+              verify ~machine:tiny cfg res.Remat.Allocator.cfg
+            with
+            | Ok _ -> Alcotest.fail "verifier accepted the skewed reloads"
+            | Error es ->
+                let e = List.hd es in
+                check Alcotest.bool "fault is located" true
+                  (e.Verify.Error.block <> None
+                  && e.Verify.Error.index <> None)));
+    tc "allocate ~verify:true raises on the reload skew" (fun () ->
+        let cfg = Testutil.high_pressure () in
+        with_fault Remat.Spill_code.fault_reload_skew 1 (fun () ->
+            match
+              Remat.Allocator.allocate ~verify:true ~machine:tiny cfg
+            with
+            | _ -> Alcotest.fail "allocate ~verify did not raise"
+            | exception Remat.Allocator.Verification_error (msg :: _) ->
+                check Alcotest.bool "error names the routine" true
+                  (String.length msg > 0
+                  && String.sub msg 0 13 = "high_pressure")
+            | exception Remat.Allocator.Verification_error [] ->
+                Alcotest.fail "empty verification error"));
+    tc "remat bias: dynamically invisible, statically rejected" (fun () ->
+        let cfg = bias_victim () in
+        let reference =
+          match Fuzz.Oracle.reference cfg with
+          | Ok r -> r
+          | Error m -> Alcotest.failf "reference failed: %s" m
+        in
+        (* Sound allocator first: clean both ways, and the scenario
+           really rematerializes. *)
+        let res, static, dynamic =
+          static_only reference cfg tiny Remat.Mode.Briggs_remat
+        in
+        check Alcotest.bool "scenario rematerializes" true
+          (res.Remat.Allocator.spilled_remat > 0);
+        (match static with
+        | None -> ()
+        | Some es ->
+            Alcotest.failf "clean build rejected: %s"
+              (String.concat "; " (List.map Verify.Error.to_string es)));
+        check Alcotest.(option string) "clean build runs clean" None dynamic;
+        (* Armed: the simulator sees nothing, the checker rejects. *)
+        with_fault Remat.Spill_code.fault_remat_bias 1 (fun () ->
+            let _, static, dynamic =
+              static_only reference cfg tiny Remat.Mode.Briggs_remat
+            in
+            check
+              Alcotest.(option string)
+              "bias invisible to the dynamic oracle" None dynamic;
+            match static with
+            | None -> Alcotest.fail "verifier accepted the biased remat"
+            | Some es ->
+                let e = List.hd es in
+                check Alcotest.string "kind" "wrong-value"
+                  (Verify.Error.kind_to_string e.Verify.Error.kind);
+                check Alcotest.bool "fault is located" true
+                  (e.Verify.Error.block <> None
+                  && e.Verify.Error.index <> None)));
+    tc "fuzz oracle reports the static class for the remat bias" (fun () ->
+        let cfg = bias_victim () in
+        with_fault Remat.Spill_code.fault_remat_bias 1 (fun () ->
+            let config =
+              {
+                Fuzz.Oracle.optimize = false;
+                mode = Remat.Mode.Briggs_remat;
+                machine = tiny;
+              }
+            in
+            match Fuzz.Oracle.reference cfg with
+            | Error m -> Alcotest.failf "reference failed: %s" m
+            | Ok reference -> (
+                match Fuzz.Oracle.check_config ~reference cfg config with
+                | Some d ->
+                    check Alcotest.string "class" "static"
+                      (Fuzz.Oracle.class_of d)
+                | None -> Alcotest.fail "oracle missed the biased remat")));
+  ]
+
+let () =
+  Alcotest.run "verify"
+    [
+      ("fixtures", fixture_tests);
+      ("hand", hand_tests);
+      ("planted", planted_tests);
+    ]

@@ -150,8 +150,17 @@ let assert_equiv ~what reference candidate =
     Alcotest.failf "%s: allocated code diverges from original (%s)" what
       reference.Cfg.name
 
+(* Every test allocation runs under the static translation validator:
+   an unfaithful allocation fails the suite even when no execution
+   exercises the broken path. *)
 let alloc ?mode ?machine cfg =
-  let res = Remat.Allocator.run ?mode ?machine cfg in
+  let res =
+    match Remat.Allocator.allocate ~verify:true ?mode ?machine cfg with
+    | res -> res
+    | exception Remat.Allocator.Verification_error es ->
+        Alcotest.failf "static verification failed for %s: %s" cfg.Cfg.name
+          (String.concat "; " es)
+  in
   (match Remat.Allocator.check res with
   | Ok () -> ()
   | Error es ->
