@@ -34,6 +34,19 @@ let config ~stmts =
     max_stmts = stmts;
   }
 
+(* Sizes at or above this run the flat-substrate tier instead of the
+   old-vs-new coloring comparison: the Reference implementations (and
+   dense per-register rows) were never meant for 10^5-10^6
+   instructions. *)
+let big_threshold = 50_000
+
+(* At the million-instruction tier the depth-4 generator's instruction
+   count explodes far faster than the statement budget can resolve
+   (adjacent budgets jump past the target by hundreds of thousands), so
+   the big tier above ~200k statements flattens nesting to depth 2,
+   where the search converges. *)
+let big_config ~stmts = { (config ~stmts) with Gen.max_depth = 2 }
+
 let n_instrs cfg =
   let n = ref 0 in
   Cfg.iter_blocks
@@ -49,8 +62,8 @@ let generate ~stmts seed = Gen.generate ~config:(config ~stmts) seed
    budget whose emitted count lands closest.  Returns the budget, not
    the routine: callers regenerate from (seed, budget) whenever they
    need a pristine copy. *)
-let stmts_for ~target seed =
-  let n_of stmts = n_instrs (generate ~stmts seed) in
+let stmts_for ?(mk = config) ~target seed =
+  let n_of stmts = n_instrs (Gen.generate ~config:(mk ~stmts) seed) in
   if n_of 1 >= target then 1
   else begin
     let hi = ref 2 in
@@ -95,9 +108,23 @@ type row = {
   edges : int;
   old_t : phase_times;
   new_t : phase_times;
-  alloc : (Remat.Stats.phase * float * float) list;
-      (** full-allocator per-phase (seconds, minor words), summed over
-          rounds *)
+  alloc : (Remat.Stats.phase * float * float * float) list;
+      (** full-allocator per-phase (seconds, minor words, major words),
+          summed over rounds *)
+}
+
+(* At and above [big_threshold] sizes run as this row instead: the flat
+   substrate alone (arena encode, dense liveness where it fits, boundary
+   liveness), with the flat and structured forms byte-compared through
+   the printer.  [u] is |U|, the upward-exposed universe boundary
+   liveness compresses its rows to. *)
+type big_row = {
+  btarget : int;
+  binstrs : int;
+  bblocks : int;
+  bregs : int;
+  u : int;
+  bphases : (string * float) list;
 }
 
 exception Divergence of string
@@ -171,24 +198,35 @@ let measure ~repeats ~target seed =
     time_min ~repeats (fun () ->
         ignore (Remat.Select.run g ~k ~order ~partners))
   in
-  (* End-to-end allocation, instrumented: per-phase seconds and
-     minor-heap words summed over spill rounds. *)
+  (* End-to-end allocation, instrumented: per-phase seconds and heap
+     words summed over spill rounds.  The same input also runs with the
+     flat substrate disabled and the two results are byte-compared, so
+     every benchmark run re-proves the flat path's output identity at
+     benchmark (not unit-test) sizes. *)
   let res = Remat.Allocator.run ~mode ~machine (cfg ()) in
+  let res_struct =
+    Remat.Allocator.run ~mode ~machine ~use_flat:false (cfg ())
+  in
+  check_equal "flat vs structured allocations"
+    (String.equal
+       (Cfg.to_string res.Remat.Allocator.cfg)
+       (Cfg.to_string res_struct.Remat.Allocator.cfg));
   let alloc =
     let acc = Hashtbl.create 16 in
     let order = ref [] in
     List.iter
-      (fun (_, phase, s, w) ->
+      (fun (_, phase, s, w, mj) ->
         match Hashtbl.find_opt acc phase with
-        | Some (s0, w0) -> Hashtbl.replace acc phase (s0 +. s, w0 +. w)
+        | Some (s0, w0, mj0) ->
+            Hashtbl.replace acc phase (s0 +. s, w0 +. w, mj0 +. mj)
         | None ->
-            Hashtbl.add acc phase (s, w);
+            Hashtbl.add acc phase (s, w, mj);
             order := phase :: !order)
       (Remat.Stats.by_phase res.Remat.Allocator.stats);
     List.rev_map
       (fun p ->
-        let s, w = Hashtbl.find acc p in
-        (p, s, w))
+        let s, w, mj = Hashtbl.find acc p in
+        (p, s, w, mj))
       !order
   in
   {
@@ -201,6 +239,47 @@ let measure ~repeats ~target seed =
     new_t =
       { simplify = new_simplify; select = new_select; coalesce = new_coalesce };
     alloc;
+  }
+
+(* Dense liveness keeps |blocks| x |regs|-bit rows per family; at 100k
+   instructions that is a few hundred MB and worth timing, at 1M it
+   would be gigabytes, so the dense sweep stops here and only boundary
+   liveness (rows |U| bits wide) runs above. *)
+let dense_cutoff = 200_000
+
+let measure_big ~repeats ~target seed =
+  let mk = if target > dense_cutoff then big_config else config in
+  let stmts = stmts_for ~mk ~target seed in
+  let cfg = Gen.generate ~config:(mk ~stmts) seed in
+  let instrs = n_instrs cfg in
+  let fl = Iloc.Flat.of_routine cfg in
+  check_equal "flat round-trip printouts"
+    (String.equal (Cfg.to_string cfg)
+       (Cfg.to_string (Iloc.Flat.to_routine fl)));
+  let encode =
+    time_min ~repeats (fun () -> ignore (Iloc.Flat.of_routine cfg))
+  in
+  let phases = ref [ ("encode", encode) ] in
+  if target <= dense_cutoff then begin
+    let live =
+      time_min ~repeats (fun () ->
+          ignore (Dataflow.Liveness.compute_flat fl))
+    in
+    phases := ("live", live) :: !phases
+  end;
+  let boundary =
+    time_min ~repeats (fun () ->
+        ignore (Dataflow.Liveness.Boundary.compute fl))
+  in
+  phases := ("boundary", boundary) :: !phases;
+  let bl = Dataflow.Liveness.Boundary.compute fl in
+  {
+    btarget = target;
+    binstrs = instrs;
+    bblocks = Iloc.Flat.n_blocks fl;
+    bregs = Dataflow.Reg_index.count (Dataflow.Reg_index.of_flat fl);
+    u = Dataflow.Reg_index.count bl.Dataflow.Liveness.Boundary.uindex;
+    bphases = List.rev !phases;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -228,21 +307,41 @@ let pp ppf rows =
         (cell r.old_t.coalesce r.new_t.coalesce))
     rows;
   Format.fprintf ppf
-    "@.full allocator (new), per-phase seconds and minor kwords:@.";
+    "@.full allocator (new), per-phase seconds, minor/major kwords:@.";
   List.iter
     (fun r ->
       Format.fprintf ppf "%8d |" r.target;
       List.iter
-        (fun (p, s, w) ->
-          Format.fprintf ppf " %s %.4fs/%.0fkw"
+        (fun (p, s, w, mj) ->
+          Format.fprintf ppf " %s %.4fs/%.0fkw/%.0fkW"
             (Remat.Stats.phase_to_string p)
-            s (w /. 1000.))
+            s (w /. 1000.) (mj /. 1000.))
         r.alloc;
       Format.fprintf ppf "@.")
     rows;
   Format.fprintf ppf "@."
 
-let json ~repeats rows =
+let pp_big ppf rows =
+  Format.fprintf ppf
+    "=== Flat substrate at scale ===@.\
+     (arena encode + liveness on the packed form; flat and structured@.\
+    \ printouts byte-compared; dense rows skipped above %d instrs)@.@."
+    dense_cutoff;
+  Format.fprintf ppf "%8s %9s %7s %7s %6s | %s@." "target" "instrs" "blocks"
+    "regs" "|U|" "phase seconds (best of repeats)";
+  Format.fprintf ppf "%s@." (String.make 78 '-');
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%8d %9d %7d %7d %6d |" r.btarget r.binstrs
+        r.bblocks r.bregs r.u;
+      List.iter
+        (fun (name, s) -> Format.fprintf ppf " %s %.4fs" name s)
+        r.bphases;
+      Format.fprintf ppf "@.")
+    rows;
+  Format.fprintf ppf "@."
+
+let json ~repeats rows big_rows =
   let b = Buffer.create 1024 in
   Buffer.add_string b
     (Printf.sprintf
@@ -264,16 +363,33 @@ let json ~repeats rows =
            (speedup r.old_t.select r.new_t.select)
            (speedup r.old_t.coalesce r.new_t.coalesce));
       List.iteri
-        (fun j (p, s, w) ->
+        (fun j (p, s, w, mj) ->
           if j > 0 then Buffer.add_char b ',';
           Buffer.add_string b
             (Printf.sprintf
-               "{\"phase\":\"%s\",\"seconds\":%.9f,\"minor_words\":%.0f}"
+               "{\"phase\":\"%s\",\"seconds\":%.9f,\"minor_words\":%.0f,\"major_words\":%.0f}"
                (Remat.Stats.phase_to_string p)
-               s w))
+               s w mj))
         r.alloc;
       Buffer.add_string b "]}")
     rows;
+  Buffer.add_string b "],\"big\":[";
+  (* Same "target":N,..."new":{...} shape as the small entries so
+     [scan_baseline] reads both tiers with one scanner. *)
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"target\":%d,\"instrs\":%d,\"blocks\":%d,\"regs\":%d,\"u\":%d,\"new\":{"
+           r.btarget r.binstrs r.bblocks r.bregs r.u);
+      List.iteri
+        (fun j (name, s) ->
+          if j > 0 then Buffer.add_char b ',';
+          Buffer.add_string b (Printf.sprintf "\"%s\":%.9f" name s))
+        r.bphases;
+      Buffer.add_string b "}}")
+    big_rows;
   Buffer.add_string b "]}";
   Buffer.contents b
 
@@ -312,66 +428,84 @@ let scan_baseline text ~target phase =
 (* A phase regresses when it runs more than [factor] slower than the
    checked-in baseline.  Sub-millisecond baselines are pure noise at CI
    smoke sizes, so they are reported but never failed on. *)
-let check ~baseline rows ppf =
+let check ~baseline rows big_rows ppf =
   let factor = 2.0 and floor_s = 0.001 in
   let failures = ref 0 in
+  let check_one target (name, now) =
+    match scan_baseline baseline ~target name with
+    | None ->
+        Format.fprintf ppf "check: %d/%s: no baseline entry, skipped@." target
+          name
+    | Some base when base < floor_s ->
+        Format.fprintf ppf
+          "check: %d/%s: baseline %.6fs below noise floor, skipped@." target
+          name base
+    | Some base ->
+        let ratio = if base > 0. then now /. base else 0. in
+        if now > factor *. base then begin
+          incr failures;
+          Format.fprintf ppf
+            "check: %d/%s: REGRESSION %.6fs vs baseline %.6fs (%.1fx)@."
+            target name now base ratio
+        end
+        else
+          Format.fprintf ppf "check: %d/%s: ok %.6fs vs %.6fs (%.1fx)@."
+            target name now base ratio
+  in
   List.iter
     (fun r ->
-      List.iter
-        (fun (name, now) ->
-          match scan_baseline baseline ~target:r.target name with
-          | None ->
-              Format.fprintf ppf "check: %d/%s: no baseline entry, skipped@."
-                r.target name
-          | Some base when base < floor_s ->
-              Format.fprintf ppf
-                "check: %d/%s: baseline %.6fs below noise floor, skipped@."
-                r.target name base
-          | Some base ->
-              let ratio = if base > 0. then now /. base else 0. in
-              if now > factor *. base then begin
-                incr failures;
-                Format.fprintf ppf
-                  "check: %d/%s: REGRESSION %.6fs vs baseline %.6fs (%.1fx)@."
-                  r.target name now base ratio
-              end
-              else
-                Format.fprintf ppf "check: %d/%s: ok %.6fs vs %.6fs (%.1fx)@."
-                  r.target name now base ratio)
+      List.iter (check_one r.target)
         [
           ("simplify", r.new_t.simplify);
           ("select", r.new_t.select);
           ("coalesce", r.new_t.coalesce);
         ])
     rows;
+  List.iter (fun r -> List.iter (check_one r.btarget) r.bphases) big_rows;
   !failures = 0
 
 (* ------------------------------------------------------------------ *)
 
-let default_sizes = [ 1000; 5000; 20000 ]
+let default_sizes = [ 1000; 5000; 20000; 100_000; 1_000_000 ]
 
 (* Entry point shared by bench/main.exe and `ralloc bench scale`.
-   Returns the process exit code: 0 clean, 1 on an old/new divergence or
-   a --check regression. *)
+   Returns the process exit code: 0 clean, 1 on an old/new divergence, a
+   flat-vs-structured mismatch, or a --check regression. *)
 let run ?(sizes = default_sizes) ?(repeats = 3) ?(seed = 42) ?out ?check_file
     ppf =
+  let small_sizes, big_sizes =
+    List.partition (fun s -> s < big_threshold) sizes
+  in
   match
-    List.map
-      (fun target ->
-        Format.fprintf ppf "; measuring %d instructions...@." target;
-        Format.pp_print_flush ppf ();
-        measure ~repeats ~target seed)
-      sizes
+    let rows =
+      List.map
+        (fun target ->
+          Format.fprintf ppf "; measuring %d instructions...@." target;
+          Format.pp_print_flush ppf ();
+          measure ~repeats ~target seed)
+        small_sizes
+    in
+    let big_rows =
+      List.map
+        (fun target ->
+          Format.fprintf ppf "; measuring %d instructions (flat tier)...@."
+            target;
+          Format.pp_print_flush ppf ();
+          measure_big ~repeats ~target seed)
+        big_sizes
+    in
+    (rows, big_rows)
   with
   | exception Divergence msg ->
       Format.fprintf ppf "%s@." msg;
       1
-  | rows ->
-      pp ppf rows;
+  | rows, big_rows ->
+      if rows <> [] then pp ppf rows;
+      if big_rows <> [] then pp_big ppf big_rows;
       (match out with
       | Some path ->
           let oc = open_out path in
-          output_string oc (json ~repeats rows);
+          output_string oc (json ~repeats rows big_rows);
           output_char oc '\n';
           close_out oc;
           Format.fprintf ppf "(written to %s)@." path
@@ -385,7 +519,7 @@ let run ?(sizes = default_sizes) ?(repeats = 3) ?(seed = 42) ?out ?check_file
               ~finally:(fun () -> close_in ic)
               (fun () -> really_input_string ic (in_channel_length ic))
           in
-          if check ~baseline rows ppf then begin
+          if check ~baseline rows big_rows ppf then begin
             Format.fprintf ppf "check: no phase regressed more than 2x@.";
             0
           end

@@ -66,7 +66,8 @@ let rewrite_physical (cfg : Cfg.t) (g : Interference.t)
     cfg
 
 let allocate ?(verify = false) ?(mode = Mode.Briggs_remat)
-    ?(machine = Machine.standard) ?(max_rounds = 64) (input : Cfg.t) =
+    ?(machine = Machine.standard) ?(max_rounds = 64) ?(use_flat = true)
+    (input : Cfg.t) =
   (match Iloc.Validate.routine input with
   | Ok () -> ()
   | Error es ->
@@ -89,7 +90,7 @@ let allocate ?(verify = false) ?(mode = Mode.Briggs_remat)
     Stats.time stats ~round:0 Stats.Renum (fun () -> Renumber.run mode cfg0)
   in
   let ctx =
-    Context.create ~mode ~machine ~loops ~tags:rn.Renumber.tags
+    Context.create ~use_flat ~mode ~machine ~loops ~tags:rn.Renumber.tags
       ~split_pairs:rn.Renumber.split_pairs ~stats rn.Renumber.cfg
   in
   let cfg = ctx.Context.cfg in
@@ -175,17 +176,41 @@ let allocate ?(verify = false) ?(mode = Mode.Briggs_remat)
               victims
         in
         Context.count ctx Stats.Spilled_ranges (List.length spilled_nodes);
+        let respliced = ref None in
         Context.time ctx Stats.Spill (fun () ->
             let spilled = List.map (Interference.reg g) spilled_nodes in
             let st =
-              Spill_code.insert cfg ~tags:ctx.Context.tags ~infinite ~spilled
-                ~slot_counter
+              if use_flat then begin
+                (* Splice spill code into the arena, then write the
+                   result back through the structured view: blocks and
+                   edges are unchanged, only instruction lists move. *)
+                let st, fl =
+                  Spill_code.insert_flat (Context.flat ctx)
+                    ~tags:ctx.Context.tags ~infinite ~spilled ~slot_counter
+                in
+                let ncfg = Iloc.Flat.to_routine fl in
+                Cfg.iter_blocks
+                  (fun b ->
+                    let nb = Cfg.block ncfg b.Iloc.Block.id in
+                    b.Iloc.Block.body <- nb.Iloc.Block.body;
+                    b.Iloc.Block.term <- nb.Iloc.Block.term)
+                  cfg;
+                Reg.Supply.advance cfg.Cfg.supply fl.Iloc.Flat.supply_last;
+                respliced := Some fl;
+                st
+              end
+              else
+                Spill_code.insert cfg ~tags:ctx.Context.tags ~infinite ~spilled
+                  ~slot_counter
             in
             spilled_memory := !spilled_memory + st.Spill_code.memory_lrs;
             spilled_remat := !spilled_remat + st.Spill_code.remat_lrs);
         (* Spill code changed the routine structurally: both derived
            structures are rebuilt next round (the round's one build). *)
         Context.invalidate ctx;
+        (* The spliced arena already equals the written-back routine;
+           keep it so the next round skips one re-encoding. *)
+        Option.iter (Context.set_flat ctx) !respliced;
         round (r + 1)
   in
   let rounds = round 1 in
@@ -215,8 +240,8 @@ let allocate ?(verify = false) ?(mode = Mode.Briggs_remat)
     stats;
   }
 
-let run ?mode ?machine ?max_rounds input =
-  allocate ?mode ?machine ?max_rounds input
+let run ?mode ?machine ?max_rounds ?use_flat input =
+  allocate ?mode ?machine ?max_rounds ?use_flat input
 
 let check (res : result) =
   let errs = ref [] in

@@ -54,10 +54,17 @@ val allocate :
   ?mode:Mode.t ->
   ?machine:Machine.t ->
   ?max_rounds:int ->
+  ?use_flat:bool ->
   Iloc.Cfg.t ->
   result
 (** [mode] defaults to {!Mode.Briggs_remat}, [machine] to
-    {!Machine.standard}, [max_rounds] to 64.  The input routine must pass
+    {!Machine.standard}, [max_rounds] to 64.  [use_flat] (default true)
+    runs liveness, interference construction and spill insertion on the
+    flat arena form ({!Iloc.Flat}); [false] keeps the structured path.
+    The two settings produce {e identical} output — same allocation,
+    same statistics — differing only in allocation behavior of the
+    phases themselves (checked by test_flat's A/B property).
+    The input routine must pass
     {!Iloc.Validate.routine}; it is not mutated (allocation works on a
     critical-edge-split copy).  Raises {!Allocation_error} when the input
     is invalid or the round limit is hit, and
@@ -74,6 +81,7 @@ val run :
   ?mode:Mode.t ->
   ?machine:Machine.t ->
   ?max_rounds:int ->
+  ?use_flat:bool ->
   Iloc.Cfg.t ->
   result
 (** [allocate] without verification, kept as the historical entry

@@ -9,6 +9,7 @@ type t = {
   infinite : unit Reg.Tbl.t;
   loops : Dataflow.Loops.t;
   stats : Stats.t;
+  use_flat : bool;
   mutable round : int;
   mutable split_pairs : (Reg.t * Reg.t) list;
   mutable coalesced : int;
@@ -17,11 +18,13 @@ type t = {
   mutable graph : Interference.t option;
   mutable matrix_scratch : Dataflow.Bitset.t option;
   mutable copies : (Reg.t * Reg.t) list option;
+  mutable flat : Iloc.Flat.t option;
   mutable mark : int array;
   mutable mark_epoch : int;
 }
 
-let create ~mode ~machine ~loops ~tags ~split_pairs ~stats cfg =
+let create ?(use_flat = true) ~mode ~machine ~loops ~tags ~split_pairs ~stats
+    cfg =
   {
     cfg;
     mode;
@@ -31,6 +34,7 @@ let create ~mode ~machine ~loops ~tags ~split_pairs ~stats cfg =
     infinite = Reg.Tbl.create 16;
     loops;
     stats;
+    use_flat;
     round = 0;
     split_pairs;
     coalesced = 0;
@@ -39,6 +43,7 @@ let create ~mode ~machine ~loops ~tags ~split_pairs ~stats cfg =
     graph = None;
     matrix_scratch = None;
     copies = None;
+    flat = None;
     mark = [||];
     mark_epoch = 0;
   }
@@ -55,6 +60,16 @@ let block_order t =
       t.order <- Some o;
       o
 
+let flat t =
+  match t.flat with
+  | Some f -> f
+  | None ->
+      let f = Iloc.Flat.of_routine t.cfg in
+      t.flat <- Some f;
+      f
+
+let set_flat t f = t.flat <- Some f
+
 let liveness t =
   match t.live with
   | Some l -> l
@@ -62,7 +77,8 @@ let liveness t =
       let order = block_order t in
       let l =
         time t Stats.Liveness (fun () ->
-            Dataflow.Liveness.compute ~order t.cfg)
+            if t.use_flat then Dataflow.Liveness.compute_flat ~order (flat t)
+            else Dataflow.Liveness.compute ~order t.cfg)
       in
       count t Stats.Liveness_runs 1;
       t.live <- Some l;
@@ -75,7 +91,10 @@ let graph t =
       let l = liveness t in
       let g =
         time t Stats.Build (fun () ->
-            Interference.build ?matrix:t.matrix_scratch ~k:t.k t.cfg l)
+            if t.use_flat then
+              Interference.build_flat ?matrix:t.matrix_scratch ~k:t.k (flat t)
+                l
+            else Interference.build ?matrix:t.matrix_scratch ~k:t.k t.cfg l)
       in
       count t Stats.Full_builds 1;
       t.graph <- Some g;
@@ -85,13 +104,18 @@ let graph t =
       t.matrix_scratch <- Some g.Interference.matrix;
       g
 
-let invalidate_liveness t = t.live <- None
+let invalidate_liveness t =
+  t.live <- None;
+  (* Coalescing rewrote instructions in place; the arena is a copy of
+     instruction contents, so it staled with liveness. *)
+  t.flat <- None
 
 let invalidate t =
   t.live <- None;
   t.graph <- None;
   t.order <- None;
-  t.copies <- None
+  t.copies <- None;
+  t.flat <- None
 
 (* Epoch-stamped scratch: "clearing" is an epoch bump, so phases that
    need a transient per-node mark (the Briggs union count, select's

@@ -32,6 +32,10 @@ type t = {
       (** spill temporaries from earlier rounds (never re-spilled) *)
   loops : Dataflow.Loops.t;
   stats : Stats.t;
+  use_flat : bool;
+      (** run liveness, graph construction and spill insertion on the
+          flat arena form (the default); [false] keeps every phase on
+          the structured view — the A/B baseline *)
   mutable round : int;
   mutable split_pairs : (Iloc.Reg.t * Iloc.Reg.t) list;
   mutable coalesced : int;  (** copies removed by coalescing, total *)
@@ -43,11 +47,15 @@ type t = {
   mutable copies : (Iloc.Reg.t * Iloc.Reg.t) list option;
       (** coalescing's copy worklist, harvested once per spill round;
           dropped by {!invalidate} (spill code can introduce new copies) *)
+  mutable flat : Iloc.Flat.t option;
+      (** cached flat encoding of [cfg]; dropped by {e both} invalidation
+          entry points (any instruction rewrite stales it) *)
   mutable mark : int array;  (** see {!fresh_marks} *)
   mutable mark_epoch : int;
 }
 
 val create :
+  ?use_flat:bool ->
   mode:Mode.t ->
   machine:Machine.t ->
   loops:Dataflow.Loops.t ->
@@ -65,6 +73,14 @@ val block_order : t -> int array
 (** Cached {!Dataflow.Order.postorder} of [cfg].  Valid as long as the
     CFG's shape is unchanged — coalescing only rewrites instructions in
     place, so only {!invalidate} (spill insertion) drops it. *)
+
+val flat : t -> Iloc.Flat.t
+(** Cached {!Iloc.Flat.of_routine} of [cfg], encoded on demand.  Current
+    by construction: both invalidation entry points drop it. *)
+
+val set_flat : t -> Iloc.Flat.t -> unit
+(** Prime the cache with an arena known to equal the current [cfg] —
+    the spliced result of flat spill insertion, after its write-back. *)
 
 val liveness : t -> Dataflow.Liveness.t
 (** Cached global liveness of [cfg]; recomputed (timed and counted,

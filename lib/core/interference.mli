@@ -50,6 +50,18 @@ val build :
     threads its previous matrix through here on every spill-round
     rebuild. *)
 
+val build_flat :
+  ?matrix:Dataflow.Bitset.t ->
+  ?k:(Iloc.Reg.cls -> int) ->
+  Iloc.Flat.t ->
+  Dataflow.Liveness.t ->
+  t
+(** Same pass over the flat arena form, with one reused live-now row and
+    no per-instruction allocation.  [live] must come from
+    {!Dataflow.Liveness.compute_flat} on the same arena (the register
+    numbering is shared); the resulting graph is identical — same edges,
+    inserted in the same order — to {!build} on the bridged routine. *)
+
 val of_edges : ?k:(Iloc.Reg.cls -> int) -> int -> (int * int) list -> t
 (** A graph over [n] fresh integer-class nodes with the given edges
     (self-loops and duplicates ignored) — for tests and experiments. *)

@@ -9,40 +9,85 @@ let run (_cfg : Iloc.Cfg.t) (vals : Values.t) =
     | Values.Def_instr { instr; _ } -> tags.(v) <- Tag.initial instr.op
     | Values.Def_phi _ -> tags.(v) <- Tag.Top
   done;
-  (* Sparse edges: consumers.(v) lists the values whose tag depends
-     directly on v's tag — copy destinations and φ results. *)
-  let consumers = Array.make n [] in
-  let inputs v =
+  (* Sparse SSA edges, CSR in both directions: inputs.(v) are the values
+     v's tag is the meet of (copy source, φ arguments), consumers the
+     transpose.  Built once into int arrays — the fixpoint below
+     re-reads the input lists on every evaluation, so allocating them
+     per visit (the previous list-based form) made this pass one of
+     renumbering's biggest minor-heap spenders. *)
+  let in_deg = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    match Values.def vals v with
+    | Values.Def_instr { instr = { op = Iloc.Instr.Copy; _ }; _ } ->
+        in_deg.(v) <- 1
+    | Values.Def_instr _ -> ()
+    | Values.Def_phi { phi; _ } -> in_deg.(v) <- List.length phi.args
+  done;
+  let in_idx = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    in_idx.(v + 1) <- in_idx.(v) + in_deg.(v)
+  done;
+  let n_edges = in_idx.(n) in
+  let in_edges = Array.make (max 1 n_edges) 0 in
+  let out_deg = Array.make (n + 1) 0 in
+  let fill = Array.copy in_idx in
+  for v = 0 to n - 1 do
+    let edge src =
+      in_edges.(fill.(v)) <- src;
+      fill.(v) <- fill.(v) + 1;
+      out_deg.(src) <- out_deg.(src) + 1
+    in
     match Values.def vals v with
     | Values.Def_instr { instr = { op = Iloc.Instr.Copy; srcs; _ }; _ } ->
-        [ Values.index vals srcs.(0) ]
-    | Values.Def_instr _ -> []
+        edge (Values.index vals srcs.(0))
+    | Values.Def_instr _ -> ()
     | Values.Def_phi { phi; _ } ->
-        List.map (fun (_, a) -> Values.index vals a) phi.args
-  in
+        List.iter (fun (_, a) -> edge (Values.index vals a)) phi.args
+  done;
+  let out_idx = Array.make (n + 1) 0 in
   for v = 0 to n - 1 do
-    List.iter
-      (fun src -> consumers.(src) <- v :: consumers.(src))
-      (inputs v)
+    out_idx.(v + 1) <- out_idx.(v) + out_deg.(v)
+  done;
+  let out_edges = Array.make (max 1 n_edges) 0 in
+  let fill = Array.copy out_idx in
+  for v = 0 to n - 1 do
+    for e = in_idx.(v) to in_idx.(v + 1) - 1 do
+      let src = in_edges.(e) in
+      out_edges.(fill.(src)) <- v;
+      fill.(src) <- fill.(src) + 1
+    done
   done;
   let evaluate v =
-    match inputs v with
-    | [] -> tags.(v)
-    | ins -> List.fold_left (fun acc a -> Tag.meet acc tags.(a)) Tag.Top ins
+    if in_idx.(v) = in_idx.(v + 1) then tags.(v)
+    else begin
+      let acc = ref Tag.Top in
+      for e = in_idx.(v) to in_idx.(v + 1) - 1 do
+        acc := Tag.meet !acc tags.(in_edges.(e))
+      done;
+      !acc
+    end
   in
-  let work = Queue.create () in
+  (* Chaotic iteration over a height-2 lattice with a monotone transfer:
+     the fixpoint is unique, so the worklist discipline (an unboxed
+     vector with a read cursor, replacing the cell-per-push queue) is
+     free to differ from processing order without changing the tags. *)
+  let work = Dataflow.Int_vec.create ~cap:(2 * n) () in
   for v = 0 to n - 1 do
-    Queue.add v work
+    Dataflow.Int_vec.push work v
   done;
-  while not (Queue.is_empty work) do
-    let v = Queue.pop work in
+  let cursor = ref 0 in
+  while !cursor < Dataflow.Int_vec.length work do
+    let v = Dataflow.Int_vec.get work !cursor in
+    incr cursor;
     let nv = evaluate v in
     if not (Tag.equal nv tags.(v)) then begin
       (* The lattice has height 2, so each value enters the queue O(1)
          times and propagation is linear in the number of SSA edges. *)
       assert (Tag.leq nv tags.(v));
       tags.(v) <- nv;
-      List.iter (fun c -> Queue.add c work) consumers.(v)
+      for e = out_idx.(v) to out_idx.(v + 1) - 1 do
+        Dataflow.Int_vec.push work out_edges.(e)
+      done
     end
   done;
   Array.map (function Tag.Top -> Tag.Bottom | t -> t) tags

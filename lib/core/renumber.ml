@@ -63,18 +63,19 @@ let run mode (cfg : Cfg.t) =
           List.iter
             (fun (pred, arg) ->
               let va = Values.index vals arg in
-              let unite () = ignore (Union_find.union uf vr va) in
-              let split () = pending_splits := (pred, vr, va) :: !pending_splits in
-              match mode with
-              | Mode.No_remat | Mode.Chaitin_remat -> unite ()
-              | Mode.Briggs_remat | Mode.Briggs_split_all_loops
-              | Mode.Briggs_split_outer_loops | Mode.Briggs_split_unreferenced
-                ->
-                  (* Identical tags (including both-Bottom) merge; the
-                     Minimal column of Figure 3. *)
-                  if Tag.equal tags.(vr) tags.(va) then unite () else split ()
-              | Mode.Briggs_remat_phi_splits ->
-                  if both_inst_equal vr va then unite () else split ())
+              let merge =
+                match mode with
+                | Mode.No_remat | Mode.Chaitin_remat -> true
+                | Mode.Briggs_remat | Mode.Briggs_split_all_loops
+                | Mode.Briggs_split_outer_loops
+                | Mode.Briggs_split_unreferenced ->
+                    (* Identical tags (including both-Bottom) merge; the
+                       Minimal column of Figure 3. *)
+                    Tag.equal tags.(vr) tags.(va)
+                | Mode.Briggs_remat_phi_splits -> both_inst_equal vr va
+              in
+              if merge then ignore (Union_find.union uf vr va)
+              else pending_splits := (pred, vr, va) :: !pending_splits)
             p.args)
         b.phis)
     ssa;
@@ -88,7 +89,7 @@ let run mode (cfg : Cfg.t) =
   let tags_out : Tag.t Reg.Tbl.t = Reg.Tbl.create 64 in
   for v = 0 to n - 1 do
     let r = rep v in
-    let old = Option.value (Reg.Tbl.find_opt tags_out r) ~default:Tag.Top in
+    let old = try Reg.Tbl.find tags_out r with Not_found -> Tag.Top in
     Reg.Tbl.replace tags_out r (Tag.meet old tags.(v))
   done;
   (* Materialize: rename operands, drop φ-nodes and self-copies, insert

@@ -151,3 +151,207 @@ let insert (cfg : Iloc.Cfg.t) ~tags ~infinite ~spilled ~slot_counter =
     memory_lrs = Reg.Set.cardinal !memory_lrs;
     new_slots = !new_slots;
   }
+
+module Flat = Iloc.Flat
+
+(* The same rewrite over the flat arena, splicing into a fresh code
+   buffer with zero per-instruction allocation on the untouched path
+   (the overwhelmingly common one).  Equivalent to [insert] followed by
+   re-encoding — same spill decisions, same temporary numbering, same
+   slot assignment order, same stats — which the allocator's A/B test
+   checks end to end. *)
+let insert_flat (fl : Flat.t) ~tags ~infinite ~spilled ~slot_counter =
+  List.iter
+    (fun r ->
+      if Reg.Tbl.mem infinite r then
+        raise
+          (Pressure_too_high
+             (Printf.sprintf
+                "spill temporary %s selected for spilling; %s has too few registers"
+                (Reg.to_string r) fl.Flat.name)))
+    spilled;
+  let b = Flat.Splice.create fl in
+  (* Packed-indexed classification of the spilled set: '\001' = memory
+     (Bottom/Top tag, spilled to a stack slot), '\002' = recomputable
+     (Inst tag); '\000' = not spilled.  Remat payloads are encoded once
+     per live range here — every recompute site reuses the (tag, ex)
+     pair, where [insert] builds a fresh identical [Instr.t]. *)
+  let bound =
+    List.fold_left (fun m r -> max m (Flat.packed_of_reg r + 1)) 0 spilled
+  in
+  let mark = Bytes.make bound '\000' in
+  let remat_tag = Array.make bound 0 in
+  let remat_ex = Array.make bound 0 in
+  let remat_op = Array.make bound Instr.Nop in
+  let bias = !fault_remat_bias in
+  let tag_of r = Option.value (Reg.Tbl.find_opt tags r) ~default:Tag.Bottom in
+  List.iter
+    (fun r ->
+      let p = Flat.packed_of_reg r in
+      match tag_of r with
+      | Tag.Inst op ->
+          Bytes.set mark p '\002';
+          remat_op.(p) <- op;
+          let t, e =
+            match op with
+            | Instr.Ldi k -> (Flat.Tag.ldi, k + bias)
+            | Instr.Lfi x -> (Flat.Tag.lfi, Flat.Splice.intern_float b x)
+            | Instr.Lfp off -> (Flat.Tag.lfp, off)
+            | Instr.Laddr (s, off) ->
+                ( Flat.Tag.laddr,
+                  Flat.Splice.emit_pair b (Flat.Splice.intern_sym b s) off )
+            | Instr.Ldro (s, off) ->
+                ( Flat.Tag.ldro,
+                  Flat.Splice.emit_pair b (Flat.Splice.intern_sym b s) off )
+            | _ ->
+                (* Tag soundness: an Inst tag is a never-killed opcode. *)
+                invalid_arg
+                  (Printf.sprintf "Spill_code.insert_flat: bad remat tag for %s"
+                     (Reg.to_string r))
+          in
+          remat_tag.(p) <- t;
+          remat_ex.(p) <- e
+      | Tag.Bottom | Tag.Top -> Bytes.set mark p '\001')
+    spilled;
+  let m p = if p >= 0 && p < bound then Bytes.get mark p else '\000' in
+  (* Distinct-live-range stats, counted at first touch. *)
+  let seen_remat = Bytes.make bound '\000' in
+  let seen_mem = Bytes.make bound '\000' in
+  let n_remat = ref 0 and n_mem = ref 0 in
+  let note seen n p =
+    if Bytes.get seen p = '\000' then begin
+      Bytes.set seen p '\001';
+      incr n
+    end
+  in
+  let note_remat = note seen_remat n_remat and note_mem = note seen_mem n_mem in
+  let slots = Array.make bound (-1) in
+  let new_slots = ref 0 in
+  let slot_of p =
+    let s = slots.(p) in
+    if s >= 0 then s
+    else begin
+      let s = !slot_counter in
+      incr slot_counter;
+      incr new_slots;
+      slots.(p) <- s;
+      s
+    end
+  in
+  let supply = ref fl.Flat.supply_last in
+  let fresh_temp src_packed tag =
+    incr supply;
+    let cls = if src_packed land 1 = 0 then Reg.Int else Reg.Float in
+    let r = Reg.make !supply cls in
+    Reg.Tbl.replace tags r tag;
+    Reg.Tbl.replace infinite r ();
+    (2 * !supply) + (src_packed land 1)
+  in
+  let code = fl.Flat.code in
+  (* Scratch for the ≤3 distinct spilled uses of one record and their
+     replacement temporaries. *)
+  let us = Array.make 3 0 and ts = Array.make 3 0 in
+  let rewrite slot =
+    let o = slot * Flat.stride in
+    let tg = Array.unsafe_get code (o + Flat.f_tag) in
+    let d = Array.unsafe_get code (o + Flat.f_dst) in
+    let s0 = Array.unsafe_get code (o + Flat.f_s0) in
+    let s1 = Array.unsafe_get code (o + Flat.f_s1) in
+    let s2 = Array.unsafe_get code (o + Flat.f_s2) in
+    if m d = '\002' then begin
+      (* The whole definition is recomputable at each use; by tag
+         soundness it must be a never-killed instruction or a copy, both
+         side-effect free, so it is simply deleted. *)
+      assert (Flat.Tag.never_killed tg || Flat.Tag.is_copy tg);
+      note_remat d
+    end
+    else if Flat.Tag.is_copy tg && m s0 = '\002' then begin
+      (* Chaitin's refinement (§3): an uncoalesced copy of a
+         never-killed value is eliminated by recomputing directly into
+         the desired register. *)
+      note_remat s0;
+      if m d = '\001' then begin
+        note_mem d;
+        let t = fresh_temp d Tag.Bottom in
+        Flat.Splice.emit b ~tag:remat_tag.(s0) ~dst:t ~s0:(-1) ~s1:(-1)
+          ~s2:(-1) ~ex:remat_ex.(s0);
+        Flat.Splice.emit b ~tag:Flat.Tag.spill ~dst:(-1) ~s0:t ~s1:(-1)
+          ~s2:(-1) ~ex:(slot_of d)
+      end
+      else
+        Flat.Splice.emit b ~tag:remat_tag.(s0) ~dst:d ~s0:(-1) ~s1:(-1)
+          ~s2:(-1) ~ex:remat_ex.(s0)
+    end
+    else begin
+      (* Distinct spilled uses in ascending packed order — the order
+         [insert] visits them (sort_uniq by Reg.compare), which fixes
+         both temporary numbering and slot assignment. *)
+      let nu = ref 0 in
+      let add_use p =
+        if m p <> '\000' then begin
+          let i = ref 0 in
+          while !i < !nu && us.(!i) < p do
+            incr i
+          done;
+          if !i = !nu || us.(!i) <> p then begin
+            for j = !nu downto !i + 1 do
+              us.(j) <- us.(j - 1)
+            done;
+            us.(!i) <- p;
+            incr nu
+          end
+        end
+      in
+      if s0 >= 0 then add_use s0;
+      if s1 >= 0 then add_use s1;
+      if s2 >= 0 then add_use s2;
+      if !nu = 0 && m d <> '\001' then Flat.Splice.emit_slot b slot
+      else begin
+        for i = 0 to !nu - 1 do
+          let u = us.(i) in
+          if m u = '\002' then begin
+            note_remat u;
+            let t = fresh_temp u (Tag.Inst remat_op.(u)) in
+            ts.(i) <- t;
+            Flat.Splice.emit b ~tag:remat_tag.(u) ~dst:t ~s0:(-1) ~s1:(-1)
+              ~s2:(-1) ~ex:remat_ex.(u)
+          end
+          else begin
+            note_mem u;
+            let t = fresh_temp u Tag.Bottom in
+            ts.(i) <- t;
+            Flat.Splice.emit b ~tag:Flat.Tag.reload ~dst:t ~s0:(-1) ~s1:(-1)
+              ~s2:(-1) ~ex:(slot_of u + !fault_reload_skew)
+          end
+        done;
+        let sub p =
+          let r = ref p in
+          for i = 0 to !nu - 1 do
+            if us.(i) = p then r := ts.(i)
+          done;
+          !r
+        in
+        if m d = '\001' then begin
+          note_mem d;
+          let t = fresh_temp d Tag.Bottom in
+          Flat.Splice.emit b ~tag:tg ~dst:t ~s0:(sub s0) ~s1:(sub s1)
+            ~s2:(sub s2)
+            ~ex:(Array.unsafe_get code (o + Flat.f_ex));
+          Flat.Splice.emit b ~tag:Flat.Tag.spill ~dst:(-1) ~s0:t ~s1:(-1)
+            ~s2:(-1) ~ex:(slot_of d)
+        end
+        else Flat.Splice.emit_slot_subst b slot ~s0:(sub s0) ~s1:(sub s1)
+               ~s2:(sub s2)
+      end
+    end
+  in
+  for blk = 0 to Flat.n_blocks fl - 1 do
+    (* The terminator only uses registers (never defines), so its
+       reloads land just before it and nothing follows it. *)
+    for slot = Flat.block_first fl blk to Flat.block_term fl blk do
+      rewrite slot
+    done;
+    Flat.Splice.close_block b
+  done;
+  ( { remat_lrs = !n_remat; memory_lrs = !n_mem; new_slots = !new_slots },
+    Flat.Splice.finish b ~supply_last:!supply )

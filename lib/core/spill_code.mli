@@ -55,3 +55,19 @@ val insert :
   slot_counter:int ref ->
   stats
 (** Mutates the routine in place. *)
+
+val insert_flat :
+  Iloc.Flat.t ->
+  tags:Tag.t Iloc.Reg.Tbl.t ->
+  infinite:unit Iloc.Reg.Tbl.t ->
+  spilled:Iloc.Reg.t list ->
+  slot_counter:int ref ->
+  stats * Iloc.Flat.t
+(** The same rewrite over the flat arena form, splicing the new code
+    buffer instead of rebuilding instruction lists: untouched records
+    are block-copied, so a round that spills few ranges in a large
+    routine allocates almost nothing.  Produces the exact sequence
+    [insert] would — same temporary numbering (continuing from the
+    arena's supply watermark), same slot assignment, same stats — and
+    registers fresh temporaries in [tags]/[infinite] identically.  The
+    fault-injection hooks above apply to this path too. *)

@@ -29,6 +29,7 @@ type row = {
   phase : phase;
   seconds : float;
   minor_words : float;
+  major_words : float;
 }
 
 type t = {
@@ -42,11 +43,14 @@ let create () =
 
 let time t ~round phase f =
   let words0 = Gc.minor_words () in
+  let major0 = (Gc.quick_stat ()).Gc.major_words in
   let start = Unix.gettimeofday () in
   let finish () =
     let seconds = Unix.gettimeofday () -. start in
     let minor_words = Gc.minor_words () -. words0 in
-    t.rows_rev <- { round; phase; seconds; minor_words } :: t.rows_rev
+    let major_words = (Gc.quick_stat ()).Gc.major_words -. major0 in
+    t.rows_rev <-
+      { round; phase; seconds; minor_words; major_words } :: t.rows_rev
   in
   match f () with
   | v ->
@@ -121,23 +125,24 @@ let by_phase t =
     (fun r ->
       let key = (r.round, r.phase) in
       match Hashtbl.find_opt tbl key with
-      | Some (s, w) ->
-          Hashtbl.replace tbl key (s +. r.seconds, w +. r.minor_words)
+      | Some (s, w, mj) ->
+          Hashtbl.replace tbl key
+            (s +. r.seconds, w +. r.minor_words, mj +. r.major_words)
       | None ->
-          Hashtbl.add tbl key (r.seconds, r.minor_words);
+          Hashtbl.add tbl key (r.seconds, r.minor_words, r.major_words);
           order := key :: !order)
     (rows t);
   List.rev_map
     (fun (round, phase) ->
-      let s, w = Hashtbl.find tbl (round, phase) in
-      (round, phase, s, w))
+      let s, w, mj = Hashtbl.find tbl (round, phase) in
+      (round, phase, s, w, mj))
     !order
 
 let pp ppf t =
   List.iter
-    (fun (round, phase, s, w) ->
-      Format.fprintf ppf "round %d %-8s %8.5fs %12.0fw@." round
-        (phase_to_string phase) s w)
+    (fun (round, phase, s, w, mj) ->
+      Format.fprintf ppf "round %d %-8s %8.5fs %12.0fw %12.0fW@." round
+        (phase_to_string phase) s w mj)
     (by_phase t);
   Format.fprintf ppf "total %16.5fs@." (total t);
   match counters t with

@@ -48,6 +48,10 @@ type row = {
   phase : phase;
   seconds : float;
   minor_words : float;  (** minor-heap words allocated during the phase *)
+  major_words : float;
+      (** words allocated directly on or promoted to the major heap —
+          the flat phases trade minor churn for a few large long-lived
+          buffers, and this column is what shows it *)
 }
 type t
 
@@ -67,8 +71,8 @@ val total : t -> float
 val phase_to_string : phase -> string
 val counter_to_string : counter -> string
 
-val by_phase : t -> (int * phase * float * float) list
+val by_phase : t -> (int * phase * float * float * float) list
 (** Same as {!rows} but summed per (round, phase) pair, ordered:
-    [(round, phase, seconds, minor_words)]. *)
+    [(round, phase, seconds, minor_words, major_words)]. *)
 
 val pp : Format.formatter -> t -> unit

@@ -18,7 +18,11 @@
 external unsafe_get_64 : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
 external unsafe_set_64 : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64u"
 
-type t = { words : Bytes.t; capacity : int }
+(* [off] is a byte offset into [words], always a multiple of 8, so that
+   many rows can share one backing buffer (see [slab]) while every loop
+   below still walks whole aligned 64-bit words.  A plain [create]d set
+   has [off = 0]. *)
+type t = { words : Bytes.t; off : int; capacity : int }
 
 (* Number of bytes of [t.words] actually used for [capacity] bits; a
    [view] may sit in a larger buffer, so loops must bound themselves by
@@ -27,17 +31,26 @@ let used_bytes capacity = ((capacity + 63) lsr 6) * 8
 
 let create capacity =
   if capacity < 0 then invalid_arg "Bitset.create";
-  { words = Bytes.make (used_bytes capacity) '\000'; capacity }
+  { words = Bytes.make (used_bytes capacity) '\000'; off = 0; capacity }
+
+(* One backing buffer for [rows] sets of [capacity] bits each.  Large
+   liveness problems allocate rows*used_bytes bytes here in a single
+   major-heap block instead of [rows] separate minor-heap Bytes. *)
+let slab ~rows ~capacity =
+  if rows < 0 || capacity < 0 then invalid_arg "Bitset.slab";
+  let nb = used_bytes capacity in
+  let words = Bytes.make (rows * nb) '\000' in
+  Array.init rows (fun r -> { words; off = r * nb; capacity })
 
 let capacity t = t.capacity
 
 let view buf capacity =
   if capacity < 0 then invalid_arg "Bitset.view";
   let nb = used_bytes capacity in
-  if nb > Bytes.length buf.words then None
+  if buf.off <> 0 || nb > Bytes.length buf.words then None
   else begin
     Bytes.fill buf.words 0 nb '\000';
-    Some { words = buf.words; capacity }
+    Some { words = buf.words; off = 0; capacity }
   end
 
 let check t i =
@@ -45,17 +58,20 @@ let check t i =
     invalid_arg (Printf.sprintf "Bitset: index %d out of [0,%d)" i t.capacity)
 
 let unsafe_add t i =
-  let b = Char.code (Bytes.unsafe_get t.words (i lsr 3)) in
-  Bytes.unsafe_set t.words (i lsr 3)
-    (Char.unsafe_chr (b lor (1 lsl (i land 7))))
+  let byte = t.off + (i lsr 3) in
+  let b = Char.code (Bytes.unsafe_get t.words byte) in
+  Bytes.unsafe_set t.words byte (Char.unsafe_chr (b lor (1 lsl (i land 7))))
 
 let unsafe_remove t i =
-  let b = Char.code (Bytes.unsafe_get t.words (i lsr 3)) in
-  Bytes.unsafe_set t.words (i lsr 3)
+  let byte = t.off + (i lsr 3) in
+  let b = Char.code (Bytes.unsafe_get t.words byte) in
+  Bytes.unsafe_set t.words byte
     (Char.unsafe_chr (b land lnot (1 lsl (i land 7))))
 
 let unsafe_mem t i =
-  Char.code (Bytes.unsafe_get t.words (i lsr 3)) land (1 lsl (i land 7)) <> 0
+  Char.code (Bytes.unsafe_get t.words (t.off + (i lsr 3)))
+  land (1 lsl (i land 7))
+  <> 0
 
 let add t i =
   check t i;
@@ -70,9 +86,9 @@ let mem t i =
   unsafe_mem t i
 
 let is_empty t =
-  let n = used_bytes t.capacity in
+  let n = t.off + used_bytes t.capacity in
   let rec go o = o >= n || (Int64.equal (unsafe_get_64 t.words o) 0L && go (o + 8)) in
-  go 0
+  go t.off
 
 (* Straight-line SWAR popcount; ocamlopt keeps the intermediate int64s
    unboxed.  The final byte-sum multiply truncates to 63 bits, which is
@@ -89,27 +105,27 @@ let[@inline] popcount64 (x : int64) =
   to_int (shift_right_logical (mul x 0x0101010101010101L) 56) land 0x7f
 
 let cardinal t =
-  let n = used_bytes t.capacity in
+  let n = t.off + used_bytes t.capacity in
   let c = ref 0 in
-  let o = ref 0 in
+  let o = ref t.off in
   while !o < n do
     c := !c + popcount64 (unsafe_get_64 t.words !o);
     o := !o + 8
   done;
   !c
 
-let clear t = Bytes.fill t.words 0 (used_bytes t.capacity) '\000'
+let clear t = Bytes.fill t.words t.off (used_bytes t.capacity) '\000'
 
 let copy t =
   let nb = used_bytes t.capacity in
   let words = Bytes.make nb '\000' in
-  Bytes.blit t.words 0 words 0 nb;
-  { words; capacity = t.capacity }
+  Bytes.blit t.words t.off words 0 nb;
+  { words; off = 0; capacity = t.capacity }
 
 let assign ~dst src =
   if dst.capacity <> src.capacity then
     invalid_arg "Bitset.assign: capacity mismatch";
-  Bytes.blit src.words 0 dst.words 0 (used_bytes src.capacity)
+  Bytes.blit src.words src.off dst.words dst.off (used_bytes src.capacity)
 
 let equal a b =
   a.capacity = b.capacity
@@ -117,7 +133,9 @@ let equal a b =
   let n = used_bytes a.capacity in
   let rec go o =
     o >= n
-    || (Int64.equal (unsafe_get_64 a.words o) (unsafe_get_64 b.words o)
+    || (Int64.equal
+          (unsafe_get_64 a.words (a.off + o))
+          (unsafe_get_64 b.words (b.off + o))
        && go (o + 8))
   in
   go 0
@@ -136,10 +154,10 @@ let union_into ~dst src =
   let changed = ref false in
   let o = ref 0 in
   while !o < n do
-    let old = unsafe_get_64 dst.words !o in
-    let v = Int64.logor old (unsafe_get_64 src.words !o) in
+    let old = unsafe_get_64 dst.words (dst.off + !o) in
+    let v = Int64.logor old (unsafe_get_64 src.words (src.off + !o)) in
     if not (Int64.equal v old) then begin
-      unsafe_set_64 dst.words !o v;
+      unsafe_set_64 dst.words (dst.off + !o) v;
       changed := true
     end;
     o := !o + 8
@@ -152,10 +170,10 @@ let inter_into ~dst src =
   let changed = ref false in
   let o = ref 0 in
   while !o < n do
-    let old = unsafe_get_64 dst.words !o in
-    let v = Int64.logand old (unsafe_get_64 src.words !o) in
+    let old = unsafe_get_64 dst.words (dst.off + !o) in
+    let v = Int64.logand old (unsafe_get_64 src.words (src.off + !o)) in
     if not (Int64.equal v old) then begin
-      unsafe_set_64 dst.words !o v;
+      unsafe_set_64 dst.words (dst.off + !o) v;
       changed := true
     end;
     o := !o + 8
@@ -168,10 +186,10 @@ let diff_into ~dst src =
   let changed = ref false in
   let o = ref 0 in
   while !o < n do
-    let old = unsafe_get_64 dst.words !o in
-    let v = Int64.logand old (Int64.lognot (unsafe_get_64 src.words !o)) in
+    let old = unsafe_get_64 dst.words (dst.off + !o) in
+    let v = Int64.logand old (Int64.lognot (unsafe_get_64 src.words (src.off + !o))) in
     if not (Int64.equal v old) then begin
-      unsafe_set_64 dst.words !o v;
+      unsafe_set_64 dst.words (dst.off + !o) v;
       changed := true
     end;
     o := !o + 8
@@ -188,14 +206,14 @@ let ntz8 =
   tbl
 
 let iter f t =
-  let n = used_bytes t.capacity in
-  let o = ref 0 in
+  let n = t.off + used_bytes t.capacity in
+  let o = ref t.off in
   while !o < n do
     if not (Int64.equal (unsafe_get_64 t.words !o) 0L) then
       for byte = !o to !o + 7 do
         let b = ref (Char.code (Bytes.unsafe_get t.words byte)) in
         if !b <> 0 then begin
-          let base = byte lsl 3 in
+          let base = (byte - t.off) lsl 3 in
           while !b <> 0 do
             f (base + Array.unsafe_get ntz8 !b);
             b := !b land (!b - 1)

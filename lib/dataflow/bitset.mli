@@ -16,6 +16,13 @@ type t
 val create : int -> t
 (** All bits clear. *)
 
+val slab : rows:int -> capacity:int -> t array
+(** [slab ~rows ~capacity] is [rows] independent cleared bitsets of the
+    given capacity packed back-to-back in {e one} shared byte buffer.
+    Semantically each row behaves exactly like a [create]d set; the point
+    is allocation: a liveness problem with thousands of rows costs one
+    large major-heap block instead of thousands of minor-heap ones. *)
+
 val capacity : t -> int
 
 val view : t -> int -> t option

@@ -101,7 +101,10 @@ let strictly_dominates t a b = a <> b && dominates t a b
 
 let frontiers (cfg : Iloc.Cfg.t) t =
   let n = Iloc.Cfg.n_blocks cfg in
-  let df = Array.init n (fun _ -> Bitset.create n) in
+  (* One shared buffer for all n rows: frontier sets are consumed en
+     masse right after construction (φ insertion), so per-row minor
+     blocks would be pure churn. *)
+  let df = Bitset.slab ~rows:n ~capacity:n in
   for b = 0 to n - 1 do
     let preds = Iloc.Cfg.preds cfg b in
     if List.length preds >= 2 && t.idom.(b) <> -1 then
@@ -118,28 +121,56 @@ let frontiers (cfg : Iloc.Cfg.t) t =
   done;
   df
 
-let iterated_frontier ~n df seeds =
-  let result = Bitset.create n in
-  let worklist = Queue.create () in
-  let enqueued = Bitset.create n in
-  List.iter
-    (fun b ->
-      if not (Bitset.mem enqueued b) then begin
-        Bitset.add enqueued b;
-        Queue.add b worklist
-      end)
-    seeds;
-  while not (Queue.is_empty worklist) do
-    let b = Queue.pop worklist in
-    Bitset.iter
-      (fun d ->
-        if not (Bitset.mem result d) then begin
-          Bitset.add result d;
-          if not (Bitset.mem enqueued d) then begin
-            Bitset.add enqueued d;
-            Queue.add d worklist
-          end
-        end)
-      df.(b)
-  done;
-  result
+module Idf = struct
+  type state = {
+    result : Bitset.t;
+    enqueued : Bitset.t;
+    worklist : Int_vec.t;
+    touched : Int_vec.t;
+        (* every block ever enqueued since the last reset; result ⊆
+           enqueued, so clearing along [touched] resets both sets in
+           O(touched) instead of O(n) *)
+  }
+
+  let create ~n =
+    {
+      result = Bitset.create n;
+      enqueued = Bitset.create n;
+      worklist = Int_vec.create ();
+      touched = Int_vec.create ();
+    }
+
+  let enqueue st b =
+    if not (Bitset.mem st.enqueued b) then begin
+      Bitset.add st.enqueued b;
+      Int_vec.push st.touched b;
+      Int_vec.push st.worklist b
+    end
+
+  (* DF+ is a set fixpoint, so the processing discipline (here a LIFO
+     Int_vec instead of a queue) cannot change the result.  This runs
+     once per register of the routine, so the body is closure-free: even
+     one closure per call shows up in renumbering's allocation row. *)
+  let compute st df seeds =
+    for k = 0 to Int_vec.length st.touched - 1 do
+      let b = Int_vec.get st.touched k in
+      Bitset.remove st.result b;
+      Bitset.remove st.enqueued b
+    done;
+    Int_vec.clear st.touched;
+    Int_vec.clear st.worklist;
+    List.iter (enqueue st) seeds;
+    let visit d =
+      if not (Bitset.mem st.result d) then begin
+        Bitset.add st.result d;
+        enqueue st d
+      end
+    in
+    while Int_vec.length st.worklist > 0 do
+      let b = Int_vec.pop st.worklist in
+      Bitset.iter visit df.(b)
+    done;
+    st.result
+end
+
+let iterated_frontier ~n df seeds = Idf.compute (Idf.create ~n) df seeds

@@ -39,3 +39,18 @@ val iterated_frontier : n:int -> Bitset.t array -> int list -> Bitset.t
 (** DF+ of a set of seed blocks: the fixpoint of the frontier map, the set
     of blocks where φ-nodes are required for a variable defined in the
     seeds (before pruning). *)
+
+(** Reusable scratch for computing one DF+ per register: φ insertion
+    calls {!iterated_frontier} once per variable, and at 10⁴-instruction
+    routines the per-call bitsets and queue cells used to dominate
+    renumbering's allocation. *)
+module Idf : sig
+  type state
+
+  val create : n:int -> state
+
+  val compute : state -> Bitset.t array -> int list -> Bitset.t
+  (** Identical result to {!iterated_frontier}.  The returned set is the
+      state's own buffer — valid only until the next [compute] on the
+      same state. *)
+end

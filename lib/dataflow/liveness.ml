@@ -6,6 +6,42 @@ type t = {
   kill : Bitset.t array;
 }
 
+(* The worklist fixpoint, shared by every entry point.  [succs_iter]/
+   [preds_iter] abstract the edge representation (lists for the
+   structured view, CSR for the flat one); everything else — bucket
+   order, seed sweep, change propagation — is identical, so the flat
+   and structured paths converge to bit-identical sets. *)
+let solve ~nb ~nr ~po ~succs_iter ~preds_iter ~live_in ~live_out ~ue ~kill =
+  let pos = Array.make nb (-1) in
+  Array.iteri (fun i b -> pos.(b) <- i) po;
+  let queued = Array.make nb false in
+  let q = Worklist.Buckets.create ~keys:(max nb 1) in
+  Array.iteri
+    (fun i b ->
+      Worklist.Buckets.push q ~key:i b;
+      queued.(b) <- true)
+    po;
+  let tmp = Bitset.create nr in
+  let continue = ref true in
+  while !continue do
+    match Worklist.Buckets.pop_min q with
+    | None -> continue := false
+    | Some b ->
+        queued.(b) <- false;
+        succs_iter b (fun s ->
+            ignore (Bitset.union_into ~dst:live_out.(b) live_in.(s)));
+        Bitset.clear tmp;
+        ignore (Bitset.union_into ~dst:tmp live_out.(b));
+        ignore (Bitset.diff_into ~dst:tmp kill.(b));
+        ignore (Bitset.union_into ~dst:tmp ue.(b));
+        if Bitset.union_into ~dst:live_in.(b) tmp then
+          preds_iter b (fun p ->
+              if pos.(p) >= 0 && not queued.(p) then begin
+                Worklist.Buckets.push q ~key:pos.(p) p;
+                queued.(p) <- true
+              end)
+  done
+
 let compute ?order (cfg : Iloc.Cfg.t) =
   if Iloc.Cfg.in_ssa cfg then
     invalid_arg "Liveness.compute: routine is in SSA form";
@@ -45,38 +81,56 @@ let compute ?order (cfg : Iloc.Cfg.t) =
      order.  Unreachable blocks are not in the postorder and keep empty
      sets; edges from them are ignored. *)
   let po = match order with Some o -> o | None -> Order.postorder cfg in
-  let pos = Array.make nb (-1) in
-  Array.iteri (fun i b -> pos.(b) <- i) po;
-  let queued = Array.make nb false in
-  let q = Worklist.Buckets.create ~keys:(max nb 1) in
-  Array.iteri
-    (fun i b ->
-      Worklist.Buckets.push q ~key:i b;
-      queued.(b) <- true)
-    po;
-  let tmp = Bitset.create nr in
-  let continue = ref true in
-  while !continue do
-    match Worklist.Buckets.pop_min q with
-    | None -> continue := false
-    | Some b ->
-        queued.(b) <- false;
-        List.iter
-          (fun s -> ignore (Bitset.union_into ~dst:live_out.(b) live_in.(s)))
-          (Iloc.Cfg.succs cfg b);
-        Bitset.clear tmp;
-        ignore (Bitset.union_into ~dst:tmp live_out.(b));
-        ignore (Bitset.diff_into ~dst:tmp kill.(b));
-        ignore (Bitset.union_into ~dst:tmp ue.(b));
-        if Bitset.union_into ~dst:live_in.(b) tmp then
-          List.iter
-            (fun p ->
-              if pos.(p) >= 0 && not queued.(p) then begin
-                Worklist.Buckets.push q ~key:pos.(p) p;
-                queued.(p) <- true
-              end)
-            (Iloc.Cfg.preds cfg b)
+  solve ~nb ~nr ~po
+    ~succs_iter:(fun b f -> List.iter f (Iloc.Cfg.succs cfg b))
+    ~preds_iter:(fun b f -> List.iter f (Iloc.Cfg.preds cfg b))
+    ~live_in ~live_out ~ue ~kill;
+  { regs; live_in; live_out; ue; kill }
+
+(* CSR edge iteration over a flat arena: no list cells, no closures per
+   edge beyond the two allocated here per call. *)
+let[@inline] flat_succs_iter (fl : Iloc.Flat.t) b f =
+  for i = fl.Iloc.Flat.succ_idx.(b) to fl.Iloc.Flat.succ_idx.(b + 1) - 1 do
+    f fl.Iloc.Flat.succ.(i)
+  done
+
+let[@inline] flat_preds_iter (fl : Iloc.Flat.t) b f =
+  for i = fl.Iloc.Flat.pred_idx.(b) to fl.Iloc.Flat.pred_idx.(b + 1) - 1 do
+    f fl.Iloc.Flat.pred.(i)
+  done
+
+let compute_flat ?order (fl : Iloc.Flat.t) =
+  let regs = Reg_index.of_flat fl in
+  let nr = Reg_index.count regs in
+  let nb = Iloc.Flat.n_blocks fl in
+  let pmap = Reg_index.packed_map regs in
+  let ue = Bitset.slab ~rows:nb ~capacity:nr in
+  let kill = Bitset.slab ~rows:nb ~capacity:nr in
+  let code = fl.Iloc.Flat.code in
+  let stride = Iloc.Flat.stride in
+  for b = 0 to nb - 1 do
+    let ue_b = ue.(b) and kill_b = kill.(b) in
+    for slot = Iloc.Flat.block_first fl b to Iloc.Flat.block_term fl b do
+      let o = slot * stride in
+      (* Sources before the destination, as in the structured sweep: a
+         register both used and defined by one instruction is
+         upward-exposed. *)
+      for k = Iloc.Flat.f_s0 to Iloc.Flat.f_s2 do
+        let p = Array.unsafe_get code (o + k) in
+        if p >= 0 then begin
+          let ui = Array.unsafe_get pmap p in
+          if not (Bitset.unsafe_mem kill_b ui) then Bitset.unsafe_add ue_b ui
+        end
+      done;
+      let d = Array.unsafe_get code (o + Iloc.Flat.f_dst) in
+      if d >= 0 then Bitset.unsafe_add kill_b (Array.unsafe_get pmap d)
+    done
   done;
+  let live_in = Bitset.slab ~rows:nb ~capacity:nr in
+  let live_out = Bitset.slab ~rows:nb ~capacity:nr in
+  let po = match order with Some o -> o | None -> Order.postorder_flat fl in
+  solve ~nb ~nr ~po ~succs_iter:(flat_succs_iter fl)
+    ~preds_iter:(flat_preds_iter fl) ~live_in ~live_out ~ue ~kill;
   { regs; live_in; live_out; ue; kill }
 
 let to_regs t set =
@@ -94,3 +148,104 @@ let live_out_mem t b r =
   match Reg_index.index_opt t.regs r with
   | Some i -> Bitset.mem t.live_out.(b) i
   | None -> false
+
+module Boundary = struct
+  (* Block-boundary liveness over the upward-exposed universe.
+
+     Any register in any [live_in]/[live_out] set is upward-exposed in
+     some block (induction over the fixpoint: sets only grow by unioning
+     [ue] rows through [live_out \ kill]).  So the dense row width [nr]
+     — every register in the routine — is wasted on sets that can only
+     ever mention the usually-tiny universe [U] of upward-exposed
+     registers: generated million-instruction routines have hundreds of
+     thousands of registers but a few thousand members of [U], and dense
+     rows would cost gigabytes.  Rows here are [|U|] bits wide; the
+     result is exactly [compute_flat]'s boundary sets reindexed. *)
+  type nonrec t = {
+    uindex : Reg_index.t;  (** dense numbering of [U] only *)
+    live_in : Bitset.t array;
+    live_out : Bitset.t array;
+    ue : Bitset.t array;
+    kill : Bitset.t array;  (** per-block kills restricted to [U] *)
+  }
+
+  let compute ?order (fl : Iloc.Flat.t) =
+    let nb = Iloc.Flat.n_blocks fl in
+    let code = fl.Iloc.Flat.code in
+    let stride = Iloc.Flat.stride in
+    let n_ints = Array.length code in
+    let maxp = ref (-1) in
+    let o = ref 0 in
+    while !o < n_ints do
+      for k = Iloc.Flat.f_dst to Iloc.Flat.f_s2 do
+        let p = Array.unsafe_get code (!o + k) in
+        if p > !maxp then maxp := p
+      done;
+      o := !o + stride
+    done;
+    let cap = !maxp + 2 in
+    (* Pass 1: members of U — used before any same-block definition.
+       [defined] is an epoch array keyed by block id, so there is no
+       per-block clearing. *)
+    let defined = Array.make cap (-1) in
+    let in_u = Bytes.make cap '\000' in
+    let members = ref [] in
+    let nu = ref 0 in
+    for b = 0 to nb - 1 do
+      for slot = Iloc.Flat.block_first fl b to Iloc.Flat.block_term fl b do
+        let o = slot * stride in
+        for k = Iloc.Flat.f_s0 to Iloc.Flat.f_s2 do
+          let p = Array.unsafe_get code (o + k) in
+          if p >= 0 && Array.unsafe_get defined p <> b
+             && Bytes.unsafe_get in_u p = '\000'
+          then begin
+            Bytes.unsafe_set in_u p '\001';
+            members := p :: !members;
+            incr nu
+          end
+        done;
+        let d = Array.unsafe_get code (o + Iloc.Flat.f_dst) in
+        if d >= 0 then Array.unsafe_set defined d b
+      done
+    done;
+    (* Ascending packed order = ascending [Reg.compare] order, matching
+       every other register numbering in the repo. *)
+    let packed = List.sort Int.compare !members in
+    let uindex =
+      Reg_index.of_regs
+        (List.map
+           (fun p ->
+             Iloc.Reg.make (p lsr 1)
+               (if p land 1 = 0 then Iloc.Reg.Int else Iloc.Reg.Float))
+           packed)
+    in
+    let umap = Array.make cap (-1) in
+    List.iteri (fun i p -> umap.(p) <- i) packed;
+    let nr = !nu in
+    let ue = Bitset.slab ~rows:nb ~capacity:nr in
+    let kill = Bitset.slab ~rows:nb ~capacity:nr in
+    Array.fill defined 0 cap (-1);
+    for b = 0 to nb - 1 do
+      let ue_b = ue.(b) and kill_b = kill.(b) in
+      for slot = Iloc.Flat.block_first fl b to Iloc.Flat.block_term fl b do
+        let o = slot * stride in
+        for k = Iloc.Flat.f_s0 to Iloc.Flat.f_s2 do
+          let p = Array.unsafe_get code (o + k) in
+          if p >= 0 && Array.unsafe_get defined p <> b then
+            Bitset.unsafe_add ue_b (Array.unsafe_get umap p)
+        done;
+        let d = Array.unsafe_get code (o + Iloc.Flat.f_dst) in
+        if d >= 0 then begin
+          Array.unsafe_set defined d b;
+          let ud = Array.unsafe_get umap d in
+          if ud >= 0 then Bitset.unsafe_add kill_b ud
+        end
+      done
+    done;
+    let live_in = Bitset.slab ~rows:nb ~capacity:nr in
+    let live_out = Bitset.slab ~rows:nb ~capacity:nr in
+    let po = match order with Some o -> o | None -> Order.postorder_flat fl in
+    solve ~nb ~nr ~po ~succs_iter:(flat_succs_iter fl)
+      ~preds_iter:(flat_preds_iter fl) ~live_in ~live_out ~ue ~kill;
+    { uindex; live_in; live_out; ue; kill }
+end

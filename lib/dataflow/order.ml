@@ -27,6 +27,11 @@ let reverse_postorder (cfg : Iloc.Cfg.t) =
   let n = Array.length po in
   Array.init n (fun i -> po.(n - 1 - i))
 
+let postorder_flat (f : Iloc.Flat.t) =
+  fst
+    (dfs_postorder ~n:(Iloc.Flat.n_blocks f) ~entry:f.Iloc.Flat.entry
+       ~succs:(Iloc.Flat.succs_list f))
+
 let reachable (cfg : Iloc.Cfg.t) =
   snd
     (dfs_postorder ~n:(Iloc.Cfg.n_blocks cfg) ~entry:cfg.entry

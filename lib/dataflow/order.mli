@@ -5,6 +5,11 @@
     blocks. *)
 
 val postorder : Iloc.Cfg.t -> int array
+
+val postorder_flat : Iloc.Flat.t -> int array
+(** Same traversal over a flat arena's CSR edges; identical to
+    {!postorder} of the bridged routine. *)
+
 val reverse_postorder : Iloc.Cfg.t -> int array
 val reachable : Iloc.Cfg.t -> bool array
 

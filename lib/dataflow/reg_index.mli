@@ -6,6 +6,14 @@
 type t
 
 val of_cfg : Iloc.Cfg.t -> t
+(** Registers in ascending [Reg.compare] order, φ operands included.
+    Built by an allocation-free presence sweep, not a [Reg.Set]. *)
+
+val of_flat : Iloc.Flat.t -> t
+(** Same numbering as {!of_cfg} of the bridged routine (flat arenas
+    carry no φ-nodes, and neither do the routines the allocator hands to
+    {!of_cfg}). *)
+
 val of_regs : Iloc.Reg.t list -> t
 val count : t -> int
 val index : t -> Iloc.Reg.t -> int
@@ -15,3 +23,8 @@ val index_opt : t -> Iloc.Reg.t -> int option
 val reg : t -> int -> Iloc.Reg.t
 val mem : t -> Iloc.Reg.t -> bool
 val iter : (int -> Iloc.Reg.t -> unit) -> t -> unit
+
+val packed_map : t -> int array
+(** Inverse mapping for flat-form sweeps: an array [m] with
+    [m.(Reg.hash r) = index t r] for every indexed register and [-1]
+    elsewhere.  Allocated per call — cache it across a phase. *)

@@ -217,14 +217,6 @@ let split_critical_edges t =
   cfg
 
 let structural_equal a b =
-  let instr_equal (i : Instr.t) (j : Instr.t) =
-    (* Polymorphic compare: ops carry only ints, floats and strings, and
-       compare is total on floats (unlike [=] under NaN). *)
-    compare i.Instr.op j.Instr.op = 0
-    && Option.equal Reg.equal i.dst j.dst
-    && Array.length i.srcs = Array.length j.srcs
-    && Array.for_all2 Reg.equal i.srcs j.srcs
-  in
   let phi_equal (p : Phi.t) (q : Phi.t) =
     Reg.equal p.dst q.dst
     && List.equal
@@ -235,12 +227,12 @@ let structural_equal a b =
     x.id = y.id
     && String.equal x.label y.label
     && List.equal phi_equal x.phis y.phis
-    && List.equal instr_equal x.body y.body
-    && instr_equal x.term y.term
+    && List.equal Instr.equal x.body y.body
+    && Instr.equal x.term y.term
   in
   String.equal a.name b.name
   && a.entry = b.entry
-  && List.equal (fun s s' -> compare (s : Symbol.t) s' = 0) a.symbols b.symbols
+  && List.equal Symbol.equal a.symbols b.symbols
   && Array.length a.blocks = Array.length b.blocks
   && Array.for_all2 block_equal a.blocks b.blocks
 

@@ -115,6 +115,22 @@ val defs : t -> Reg.t list
 val uses : t -> Reg.t list
 val is_terminator : t -> bool
 val is_copy : t -> bool
+
+val equal_op : op -> op -> bool
+(** Structural opcode equality, payload by payload.  Float payloads
+    compare with [Float.equal] (NaN equals itself, +0 equals -0) — the
+    same identification polymorphic compare makes, without the generic
+    traversal. *)
+
+val equal : t -> t -> bool
+(** {!equal_op} on the opcodes plus register-for-register equality of
+    destination and sources. *)
+
+val hash : t -> int
+(** Compatible with {!equal}: equal instructions hash equally (float
+    payloads are normalized the same way [Float.equal] identifies
+    them). *)
+
 val never_killed : op -> bool
 (** Instructions the paper classes as never-killed: immediate loads, label
     addresses, frame-pointer offsets, and loads from constant locations. *)

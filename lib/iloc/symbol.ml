@@ -23,6 +23,19 @@ let make ?(readonly = false) ?(init = Uninit) name size =
       if List.length l > size then invalid_arg "Symbol.make: too many elements");
   { name; size; init; readonly }
 
+let equal_init a b =
+  match (a, b) with
+  | Uninit, Uninit -> true
+  | Int_elts x, Int_elts y -> List.equal Int.equal x y
+  | Float_elts x, Float_elts y -> List.equal Float.equal x y
+  | _ -> false
+
+let equal a b =
+  String.equal a.name b.name
+  && a.size = b.size
+  && equal_init a.init b.init
+  && Bool.equal a.readonly b.readonly
+
 let pp ppf t =
   Format.fprintf ppf "%s%s[%d]" (if t.readonly then "const " else "") t.name
     t.size

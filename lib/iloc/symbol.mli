@@ -19,4 +19,8 @@ val make : ?readonly:bool -> ?init:init -> string -> int -> t
 (** Raises [Invalid_argument] on a non-positive size or an initializer
     longer than the symbol. *)
 
+val equal : t -> t -> bool
+(** Structural equality; float initializer elements compare with
+    [Float.equal]. *)
+
 val pp : Format.formatter -> t -> unit

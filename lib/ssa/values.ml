@@ -10,15 +10,20 @@ type t = {
 let analyze (cfg : Iloc.Cfg.t) =
   let index = Dataflow.Reg_index.of_cfg cfg in
   let n = Dataflow.Reg_index.count index in
-  let defs : def option array = Array.make n None in
+  (* A sentinel plus a seen-byte per value stands in for a [def option]
+     array: one SSA value per register means one [Some] box per value,
+     noticeable at renumbering's call rate. *)
+  let dummy = Def_instr { block = -1; instr = Iloc.Instr.make Iloc.Instr.Nop [] } in
+  let defs : def array = Array.make n dummy in
+  let seen = Bytes.make (max n 1) '\000' in
   let record r d =
     let i = Dataflow.Reg_index.index index r in
-    match defs.(i) with
-    | Some _ ->
-        invalid_arg
-          (Printf.sprintf "Ssa.Values.analyze: %s defined twice"
-             (Iloc.Reg.to_string r))
-    | None -> defs.(i) <- Some d
+    if Bytes.get seen i <> '\000' then
+      invalid_arg
+        (Printf.sprintf "Ssa.Values.analyze: %s defined twice"
+           (Iloc.Reg.to_string r));
+    Bytes.set seen i '\001';
+    defs.(i) <- d
   in
   Iloc.Cfg.iter_blocks
     (fun b ->
@@ -28,22 +33,17 @@ let analyze (cfg : Iloc.Cfg.t) =
         b.phis;
       Iloc.Block.iter_instrs
         (fun i ->
-          List.iter
-            (fun d -> record d (Def_instr { block = b.id; instr = i }))
-            (Iloc.Instr.defs i))
+          match i.Iloc.Instr.dst with
+          | None -> ()
+          | Some d -> record d (Def_instr { block = b.id; instr = i }))
         b)
     cfg;
-  let defs =
-    Array.mapi
-      (fun i d ->
-        match d with
-        | Some d -> d
-        | None ->
-            invalid_arg
-              (Printf.sprintf "Ssa.Values.analyze: %s has no definition"
-                 (Iloc.Reg.to_string (Dataflow.Reg_index.reg index i))))
-      defs
-  in
+  for i = 0 to n - 1 do
+    if Bytes.get seen i = '\000' then
+      invalid_arg
+        (Printf.sprintf "Ssa.Values.analyze: %s has no definition"
+           (Iloc.Reg.to_string (Dataflow.Reg_index.reg index i)))
+  done;
   { index; defs }
 
 let count t = Array.length t.defs

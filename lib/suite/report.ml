@@ -109,9 +109,9 @@ let pp_table1 ppf rows =
 
 type table2_column = {
   t2_kernel : Kernels.kernel;
-  old_rows : (int * Remat.Stats.phase * float * float) list;
-      (** (round, phase, seconds, minor words), averaged *)
-  new_rows : (int * Remat.Stats.phase * float * float) list;
+  old_rows : (int * Remat.Stats.phase * float * float * float) list;
+      (** (round, phase, seconds, minor words, major words), averaged *)
+  new_rows : (int * Remat.Stats.phase * float * float * float) list;
   old_counters : (int * Remat.Stats.counter * int) list;
   new_counters : (int * Remat.Stats.counter * int) list;
   old_total : float;
@@ -119,7 +119,7 @@ type table2_column = {
 }
 
 let averaged_phases ~repeats mode cfg =
-  (* Average per-(round, phase) wall time and minor-heap allocation over
+  (* Average per-(round, phase) wall time and heap allocation over
      [repeats] runs.  The event counters are deterministic, so the last
      run's suffice. *)
   let acc = Hashtbl.create 32 in
@@ -129,20 +129,21 @@ let averaged_phases ~repeats mode cfg =
     let res = Remat.Allocator.run ~mode ~machine:Machine.standard cfg in
     counters := Remat.Stats.counters res.Remat.Allocator.stats;
     List.iter
-      (fun (round, phase, s, w) ->
+      (fun (round, phase, s, w, mj) ->
         let key = (round, phase) in
         match Hashtbl.find_opt acc key with
-        | Some (t, tw) -> Hashtbl.replace acc key (t +. s, tw +. w)
+        | Some (t, tw, tm) ->
+            Hashtbl.replace acc key (t +. s, tw +. w, tm +. mj)
         | None ->
-            Hashtbl.add acc key (s, w);
+            Hashtbl.add acc key (s, w, mj);
             order := key :: !order)
       (Remat.Stats.by_phase res.Remat.Allocator.stats)
   done;
   let r = float_of_int repeats in
   ( List.rev_map
       (fun (round, phase) ->
-        let s, w = Hashtbl.find acc (round, phase) in
-        (round, phase, s /. r, w /. r))
+        let s, w, mj = Hashtbl.find acc (round, phase) in
+        (round, phase, s /. r, w /. r, mj /. r))
       !order,
     !counters )
 
@@ -156,7 +157,9 @@ let table2 ?(repeats = 10) ?(jobs = 1) names =
     let new_rows, new_counters =
       averaged_phases ~repeats Mode.Briggs_remat cfg
     in
-    let total rows = List.fold_left (fun a (_, _, s, _) -> a +. s) 0. rows in
+    let total rows =
+      List.fold_left (fun a (_, _, s, _, _) -> a +. s) 0. rows
+    in
     {
       t2_kernel = kernel;
       old_rows;
@@ -190,7 +193,8 @@ let pp_table2 ppf cols =
       (fun acc c ->
         let ks =
           List.sort_uniq compare
-            (List.map (fun (r, p, _, _) -> (r, p)) (c.old_rows @ c.new_rows))
+            (List.map (fun (r, p, _, _, _) -> (r, p))
+               (c.old_rows @ c.new_rows))
         in
         if List.length ks > List.length acc then ks else acc)
       [] cols
@@ -206,8 +210,9 @@ let pp_table2 ppf cols =
           (fun c ->
             let get rows =
               List.find_map
-                (fun (r, p, s, w) ->
-                  if (r, p) = (round, phase) then Some (project s w) else None)
+                (fun (r, p, s, w, mj) ->
+                  if (r, p) = (round, phase) then Some (project s w mj)
+                  else None)
                 rows
             in
             let cell v =
@@ -221,7 +226,7 @@ let pp_table2 ppf cols =
         Format.fprintf ppf "@.")
       keys
   in
-  phase_section ~fmt:"%10.5f" ~suffix:"" (fun s _ -> s);
+  phase_section ~fmt:"%10.5f" ~suffix:"" (fun s _ _ -> s);
   Format.fprintf ppf "%-14s" "total";
   List.iter
     (fun c ->
@@ -230,9 +235,13 @@ let pp_table2 ppf cols =
   Format.fprintf ppf "@.";
   (* Same layout again for minor-heap allocation, in kwords: a phase
      whose words column collapses after an optimization proves the win
-     came from allocation, not just constant factors. *)
+     came from allocation, not just constant factors.  And once more for
+     major-heap words — the flat phases move their footprint here, into
+     a few large arena buffers. *)
   Format.fprintf ppf "%s@." (String.make (14 + (25 * List.length cols)) '-');
-  phase_section ~fmt:"%10.1f" ~suffix:"/kw" (fun _ w -> w /. 1000.);
+  phase_section ~fmt:"%10.1f" ~suffix:"/kw" (fun _ w _ -> w /. 1000.);
+  Format.fprintf ppf "%s@." (String.make (14 + (25 * List.length cols)) '-');
+  phase_section ~fmt:"%10.1f" ~suffix:"/kW" (fun _ _ mj -> mj /. 1000.);
   (* Event counters, same column layout.  full-builds stays at 1 per
      spill round: the coalescer updates the graph in place. *)
   let counter_keys =
@@ -290,14 +299,14 @@ let table2_json cols =
   let side rows counters total =
     Buffer.add_string b "{\"phases\":[";
     List.iteri
-      (fun i (round, phase, s, w) ->
+      (fun i (round, phase, s, w, mj) ->
         if i > 0 then Buffer.add_char b ',';
         Buffer.add_string b
           (Printf.sprintf
-             "{\"round\":%d,\"phase\":\"%s\",\"seconds\":%.9f,\"minor_words\":%.0f}"
+             "{\"round\":%d,\"phase\":\"%s\",\"seconds\":%.9f,\"minor_words\":%.0f,\"major_words\":%.0f}"
              round
              (Remat.Stats.phase_to_string phase)
-             s w))
+             s w mj))
       rows;
     Buffer.add_string b "],\"counters\":[";
     List.iteri

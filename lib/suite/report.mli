@@ -54,9 +54,10 @@ val pp_table1 : Format.formatter -> table1_row list -> unit
     ranges, Briggs tests, biased-coloring hits). *)
 type table2_column = {
   t2_kernel : Kernels.kernel;
-  old_rows : (int * Remat.Stats.phase * float * float) list;
-      (** (round, phase, seconds, minor words), averaged over repeats *)
-  new_rows : (int * Remat.Stats.phase * float * float) list;
+  old_rows : (int * Remat.Stats.phase * float * float * float) list;
+      (** (round, phase, seconds, minor words, major words), averaged
+          over repeats *)
+  new_rows : (int * Remat.Stats.phase * float * float * float) list;
   old_counters : (int * Remat.Stats.counter * int) list;
   new_counters : (int * Remat.Stats.counter * int) list;
   old_total : float;

@@ -345,10 +345,11 @@ let stats_tests =
         let rows = Remat.Stats.by_phase res.Remat.Allocator.stats in
         check bool "has rows" true (rows <> []);
         List.iter
-          (fun (round, _, seconds, words) ->
+          (fun (round, _, seconds, words, major) ->
             check bool "round non-negative" true (round >= 0);
             check bool "seconds non-negative" true (seconds >= 0.0);
-            check bool "minor words non-negative" true (words >= 0.0))
+            check bool "minor words non-negative" true (words >= 0.0);
+            check bool "major words non-negative" true (major >= 0.0))
           rows);
   ]
 

@@ -1,0 +1,385 @@
+(* The flat arena bridge: [Flat.to_routine (Flat.of_routine r)] must be
+   structurally identical to [r] for every routine the generator can
+   produce, and for directed corners the generator is unlikely to hit
+   (empty blocks, three-source instructions, float immediates including
+   NaN, every opcode).  Also covers the explicit [Instr.equal]/
+   [Instr.hash] pair the bridge's interning relies on. *)
+
+module Cfg = Iloc.Cfg
+module Block = Iloc.Block
+module Instr = Iloc.Instr
+module Reg = Iloc.Reg
+module Flat = Iloc.Flat
+module Symbol = Iloc.Symbol
+
+let roundtrip cfg = Flat.to_routine (Flat.of_routine cfg)
+
+let check_roundtrip name cfg =
+  let back = roundtrip cfg in
+  if not (Cfg.structural_equal back cfg) then
+    Alcotest.failf "%s: round-trip not structurally equal:@.%s@.vs@.%s" name
+      (Cfg.to_string cfg) (Cfg.to_string back)
+
+(* --- directed: one routine exercising every opcode ------------------- *)
+
+let ri n = Reg.make n Reg.Int
+let rf n = Reg.make n Reg.Float
+
+let every_opcode_cfg () =
+  let a = ri 1 and b = ri 2 and c = ri 3 in
+  let x = rf 4 and y = rf 5 and z = rf 6 in
+  let sym = Symbol.make "tab" 8 in
+  let ro = Symbol.make ~readonly:true ~init:(Symbol.Int_elts [ 7 ]) "ktab" 4 in
+  let b0 =
+    Block.make ~id:0 ~label:"entry"
+      ~body:
+        [
+          Instr.ldi a 42;
+          Instr.lfi x 3.5;
+          Instr.lfi y Float.nan;
+          Instr.laddr b ~off:3 "tab";
+          Instr.lfp c 16;
+          Instr.ldro b "ktab" 2;
+          Instr.add c a b;
+          Instr.sub c a b;
+          Instr.mul c a b;
+          Instr.div c a b;
+          Instr.rem c a b;
+          Instr.cmp Instr.Lt c a b;
+          Instr.addi c a 5;
+          Instr.subi c a (-5);
+          Instr.muli c a 7;
+          Instr.fadd z x y;
+          Instr.fsub z x y;
+          Instr.fmul z x y;
+          Instr.fdiv z x y;
+          Instr.fcmp Instr.Ge c x y;
+          Instr.fneg z x;
+          Instr.fabs z x;
+          Instr.itof z a;
+          Instr.ftoi c x;
+          Instr.copy b a;
+          Instr.load c a;
+          Instr.loadx c a b;
+          Instr.loadi c a 1;
+          Instr.store ~value:c ~addr:a;
+          Instr.storex ~value:z ~base:a ~idx:b;
+          Instr.storei ~value:c ~base:a ~off:2;
+          Instr.spill c 0;
+          Instr.reload c 0;
+          Instr.print_ c;
+          Instr.nop;
+        ]
+      ~term:(Instr.cbr a "left" "right") ()
+  in
+  let b1 = Block.make ~id:1 ~label:"left" ~body:[] ~term:(Instr.jmp "join") () in
+  let b2 =
+    Block.make ~id:2 ~label:"right" ~body:[] ~term:(Instr.jmp "join") ()
+  in
+  let b3 =
+    Block.make ~id:3 ~label:"join"
+      ~body:[ Instr.copy c a ]
+      ~term:(Instr.ret (Some c)) ()
+  in
+  Cfg.make ~name:"every_opcode" ~symbols:[ sym; ro ] [ b0; b1; b2; b3 ]
+
+let test_every_opcode () = check_roundtrip "every_opcode" (every_opcode_cfg ())
+
+let test_empty_blocks () =
+  (* Blocks whose body is empty, a cbr with equal arms, and a bare ret. *)
+  let a = ri 1 in
+  let b0 =
+    Block.make ~id:0 ~label:"entry" ~body:[ Instr.ldi a 1 ]
+      ~term:(Instr.cbr a "mid" "mid") ()
+  in
+  let b1 = Block.make ~id:1 ~label:"mid" ~body:[] ~term:(Instr.jmp "out") () in
+  let b2 = Block.make ~id:2 ~label:"out" ~body:[] ~term:(Instr.ret None) () in
+  check_roundtrip "empty_blocks" (Cfg.make ~name:"empty_blocks" [ b0; b1; b2 ])
+
+let test_float_immediates () =
+  let x = rf 1 in
+  let specials =
+    [ 0.0; -0.0; Float.nan; Float.infinity; Float.neg_infinity; 1e308; 2.5 ]
+  in
+  let body = List.map (Instr.lfi x) specials @ [ Instr.print_ x ] in
+  let b0 = Block.make ~id:0 ~label:"entry" ~body ~term:(Instr.ret None) () in
+  let cfg = Cfg.make ~name:"floats" [ b0 ] in
+  check_roundtrip "float_immediates" cfg;
+  (* Interning must not identify distinct bit patterns (-0.0 vs 0.0) and
+     must identify repeated ones. *)
+  let f = Flat.of_routine cfg in
+  if Array.length f.Flat.floats <> List.length specials then
+    Alcotest.failf "float pool has %d entries, expected %d"
+      (Array.length f.Flat.floats) (List.length specials)
+
+let test_supply_preserved () =
+  let cfg = every_opcode_cfg () in
+  ignore (Cfg.fresh_reg cfg Reg.Int);
+  ignore (Cfg.fresh_reg cfg Reg.Float);
+  let before = Reg.Supply.last cfg.Cfg.supply in
+  let back = roundtrip cfg in
+  Alcotest.(check int) "supply watermark" before
+    (Reg.Supply.last back.Cfg.supply)
+
+let test_edges_match () =
+  let cfg = every_opcode_cfg () in
+  let f = Flat.of_routine cfg in
+  for b = 0 to Cfg.n_blocks cfg - 1 do
+    Alcotest.(check (list int))
+      (Printf.sprintf "succs of %d" b)
+      (Cfg.succs cfg b) (Flat.succs_list f b);
+    Alcotest.(check (list int))
+      (Printf.sprintf "preds of %d" b)
+      (Cfg.preds cfg b) (Flat.preds_list f b)
+  done
+
+let test_splice_identity () =
+  (* Copying every slot through a Splice builder must reproduce the
+     arena exactly. *)
+  let cfg = every_opcode_cfg () in
+  let f = Flat.of_routine cfg in
+  let b = Flat.Splice.create f in
+  for blk = 0 to Flat.n_blocks f - 1 do
+    for slot = Flat.block_first f blk to Flat.block_term f blk do
+      Flat.Splice.emit_slot b slot
+    done;
+    Flat.Splice.close_block b
+  done;
+  let f' = Flat.Splice.finish b ~supply_last:f.Flat.supply_last in
+  if not (Cfg.structural_equal (Flat.to_routine f') cfg) then
+    Alcotest.fail "splice identity: decoded routine differs"
+
+let test_rejects_ssa () =
+  (* A diamond with a redefinition on each arm, so construction has to
+     place a φ at the join. *)
+  let a = ri 1 in
+  let b0 =
+    Block.make ~id:0 ~label:"entry" ~body:[ Instr.ldi a 0 ]
+      ~term:(Instr.cbr a "l" "r") ()
+  in
+  let b1 =
+    Block.make ~id:1 ~label:"l" ~body:[ Instr.ldi a 1 ]
+      ~term:(Instr.jmp "j") ()
+  in
+  let b2 =
+    Block.make ~id:2 ~label:"r" ~body:[ Instr.ldi a 2 ]
+      ~term:(Instr.jmp "j") ()
+  in
+  let b3 = Block.make ~id:3 ~label:"j" ~body:[] ~term:(Instr.ret (Some a)) () in
+  let cfg = Ssa.Construct.run (Cfg.make ~name:"diamond" [ b0; b1; b2; b3 ]) in
+  if not (Cfg.in_ssa cfg) then Alcotest.fail "expected a φ at the join";
+  match Flat.of_routine cfg with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "of_routine accepted an SSA routine"
+
+(* --- Instr.equal / Instr.hash ---------------------------------------- *)
+
+let test_instr_equal () =
+  let a = ri 1 and b = ri 2 in
+  let x = rf 3 in
+  let checks =
+    [
+      (Instr.ldi a 4, Instr.ldi a 4, true);
+      (Instr.ldi a 4, Instr.ldi a 5, false);
+      (Instr.ldi a 4, Instr.ldi b 4, false);
+      (Instr.ldi a 4, Instr.addi a a 4, false);
+      (Instr.lfi x Float.nan, Instr.lfi x Float.nan, true);
+      (Instr.lfi x 0.0, Instr.lfi x (-0.0), true);
+      (* Float.equal semantics *)
+      (Instr.lfi x 1.0, Instr.lfi x 2.0, false);
+      (Instr.laddr a "s", Instr.laddr a "s", true);
+      (Instr.laddr a "s", Instr.laddr a "t", false);
+      (Instr.laddr a ~off:1 "s", Instr.laddr a ~off:2 "s", false);
+      (Instr.cmp Instr.Lt a a b, Instr.cmp Instr.Lt a a b, true);
+      (Instr.cmp Instr.Lt a a b, Instr.cmp Instr.Le a a b, false);
+      (Instr.add a a b, Instr.add a a b, true);
+      (Instr.add a a b, Instr.add a b a, false);
+      (Instr.jmp "l", Instr.jmp "l", true);
+      (Instr.jmp "l", Instr.jmp "m", false);
+      (Instr.cbr a "l" "m", Instr.cbr a "l" "m", true);
+      (Instr.cbr a "l" "m", Instr.cbr a "m" "l", false);
+      (Instr.ret None, Instr.ret None, true);
+      (Instr.ret None, Instr.ret (Some a), false);
+      (Instr.spill a 1, Instr.spill a 1, true);
+      (Instr.spill a 1, Instr.spill a 2, false);
+    ]
+  in
+  List.iteri
+    (fun k (i, j, expect) ->
+      if Instr.equal i j <> expect then
+        Alcotest.failf "equal case %d (%s vs %s): expected %b" k
+          (Instr.to_string i) (Instr.to_string j) expect;
+      if expect && Instr.hash i <> Instr.hash j then
+        Alcotest.failf "hash case %d: equal instructions hash differently" k)
+    checks
+
+let test_hash_spreads () =
+  (* Not a correctness requirement, but catches a degenerate hash. *)
+  let a = ri 1 in
+  let hs =
+    List.init 64 (fun n -> Instr.hash (Instr.ldi a n))
+    |> List.sort_uniq Int.compare
+  in
+  if List.length hs < 32 then Alcotest.fail "Instr.hash collapses immediates"
+
+(* --- QCheck round-trip over generated routines ----------------------- *)
+
+let gen_configs =
+  [
+    ("default", Fuzz.Gen.default);
+    ("high_pressure", Fuzz.Gen.high_pressure);
+    ( "deep",
+      { Fuzz.Gen.default with Fuzz.Gen.max_depth = 4; max_stmts = 24 } );
+    ( "mem_heavy",
+      { Fuzz.Gen.high_pressure with Fuzz.Gen.mem_weight = 12 } );
+    ( "nk_heavy",
+      { Fuzz.Gen.default with Fuzz.Gen.never_killed_weight = 12 } );
+  ]
+
+let roundtrip_prop (name, config) =
+  QCheck.Test.make ~count:100
+    ~name:(Printf.sprintf "flat round-trip (%s)" name)
+    QCheck.(make Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let cfg = Fuzz.Gen.generate ~config seed in
+      let back = roundtrip cfg in
+      if not (Cfg.structural_equal back cfg) then
+        QCheck.Test.fail_reportf "seed %d: round-trip differs" seed
+      else true)
+
+let liveness_flat_prop (name, config) =
+  QCheck.Test.make ~count:40
+    ~name:(Printf.sprintf "flat liveness ≡ structured (%s)" name)
+    QCheck.(make Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let cfg = Fuzz.Gen.generate ~config seed in
+      let fl = Flat.of_routine cfg in
+      let dense = Dataflow.Liveness.compute cfg in
+      let flat = Dataflow.Liveness.compute_flat fl in
+      let bound = Dataflow.Liveness.Boundary.compute fl in
+      for b = 0 to Cfg.n_blocks cfg - 1 do
+        let open Dataflow.Liveness in
+        if
+          not
+            (Dataflow.Bitset.equal dense.live_in.(b) flat.live_in.(b)
+            && Dataflow.Bitset.equal dense.live_out.(b) flat.live_out.(b)
+            && Dataflow.Bitset.equal dense.ue.(b) flat.ue.(b)
+            && Dataflow.Bitset.equal dense.kill.(b) flat.kill.(b))
+        then
+          QCheck.Test.fail_reportf "seed %d: flat sets differ at block %d" seed
+            b;
+        (* Boundary sets, reindexed through [uindex], must equal the
+           dense boundary sets exactly. *)
+        let to_regs uindex set =
+          Dataflow.Bitset.fold
+            (fun i acc -> Dataflow.Reg_index.reg uindex i :: acc)
+            set []
+          |> List.rev
+        in
+        let eq_regs a b = List.equal Reg.equal a b in
+        if
+          not
+            (eq_regs (live_in dense b)
+               (to_regs bound.Boundary.uindex bound.Boundary.live_in.(b))
+            && eq_regs (live_out dense b)
+                 (to_regs bound.Boundary.uindex bound.Boundary.live_out.(b)))
+        then
+          QCheck.Test.fail_reportf "seed %d: boundary sets differ at block %d"
+            seed b
+      done;
+      true)
+
+(* --- allocator A/B: flat vs structured must be byte-identical -------- *)
+
+let alloc_fingerprint ~use_flat ~mode ~machine cfg =
+  let res = Remat.Allocator.allocate ~mode ~machine ~use_flat cfg in
+  let open Remat.Allocator in
+  Printf.sprintf "%s\nrounds=%d mem=%d remat=%d slots=%d coalesced=%d"
+    (Cfg.to_string res.cfg) res.rounds res.spilled_memory res.spilled_remat
+    res.spill_slots res.coalesced_copies
+
+let ab_check ~what ~mode ~machine cfg =
+  let a = alloc_fingerprint ~use_flat:false ~mode ~machine cfg in
+  let b = alloc_fingerprint ~use_flat:true ~mode ~machine cfg in
+  if not (String.equal a b) then
+    Alcotest.failf "%s: flat allocation differs from structured:@.%s@.vs@.%s"
+      what a b
+
+let ab_machines =
+  [
+    Remat.Machine.make ~name:"tiny" ~k_int:6 ~k_float:4;
+    Remat.Machine.standard;
+  ]
+
+let test_allocator_ab () =
+  List.iter
+    (fun mode ->
+      List.iter
+        (fun machine ->
+          List.iter
+            (fun seed ->
+              let cfg = Fuzz.Gen.generate ~config:Fuzz.Gen.high_pressure seed in
+              ab_check
+                ~what:
+                  (Printf.sprintf "seed %d, %s, %s" seed
+                     (Remat.Mode.to_string mode)
+                     machine.Remat.Machine.name)
+                ~mode ~machine cfg)
+            [ 11; 42; 1234 ])
+        ab_machines)
+    [ Remat.Mode.Briggs_remat; Remat.Mode.Chaitin_remat; Remat.Mode.No_remat ]
+
+let allocator_ab_prop (name, config) =
+  QCheck.Test.make ~count:25
+    ~name:(Printf.sprintf "flat allocation ≡ structured (%s)" name)
+    QCheck.(make Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let cfg = Fuzz.Gen.generate ~config seed in
+      let machine = Remat.Machine.make ~name:"tiny" ~k_int:6 ~k_float:4 in
+      ab_check
+        ~what:(Printf.sprintf "seed %d" seed)
+        ~mode:Remat.Mode.Briggs_remat ~machine cfg;
+      true)
+
+let qcheck_cases =
+  List.map
+    (fun c -> QCheck_alcotest.to_alcotest (roundtrip_prop c))
+    gen_configs
+  @ List.map
+      (fun c -> QCheck_alcotest.to_alcotest (liveness_flat_prop c))
+      gen_configs
+  @ List.map
+      (fun c -> QCheck_alcotest.to_alcotest (allocator_ab_prop c))
+      gen_configs
+
+let () =
+  Alcotest.run "flat"
+    [
+      ( "directed",
+        [
+          Alcotest.test_case "every opcode round-trips" `Quick
+            test_every_opcode;
+          Alcotest.test_case "empty blocks round-trip" `Quick test_empty_blocks;
+          Alcotest.test_case "special float immediates" `Quick
+            test_float_immediates;
+          Alcotest.test_case "supply watermark preserved" `Quick
+            test_supply_preserved;
+          Alcotest.test_case "CSR edges match Cfg edges" `Quick
+            test_edges_match;
+          Alcotest.test_case "splice identity" `Quick test_splice_identity;
+          Alcotest.test_case "of_routine rejects SSA" `Quick test_rejects_ssa;
+        ] );
+      ( "instr-equal",
+        [
+          Alcotest.test_case "directed equal/hash pairs" `Quick
+            test_instr_equal;
+          Alcotest.test_case "hash spreads immediates" `Quick
+            test_hash_spreads;
+        ] );
+      ( "allocator-ab",
+        [
+          Alcotest.test_case "flat vs structured allocation" `Quick
+            test_allocator_ab;
+        ] );
+      ("roundtrip", qcheck_cases);
+    ]
