@@ -114,10 +114,11 @@ type row = {
 }
 
 (* At and above [big_threshold] sizes run as this row instead: the flat
-   substrate alone (arena encode, dense liveness where it fits, boundary
+   substrate (arena encode, dense liveness where it fits, boundary
    liveness), with the flat and structured forms byte-compared through
-   the printer.  [u] is |U|, the upward-exposed universe boundary
-   liveness compresses its rows to. *)
+   the printer, plus one instrumented end-to-end flat allocation.  [u]
+   is |U|, the upward-exposed universe boundary liveness compresses its
+   rows to. *)
 type big_row = {
   btarget : int;
   binstrs : int;
@@ -125,6 +126,9 @@ type big_row = {
   bregs : int;
   u : int;
   bphases : (string * float) list;
+  balloc : (Remat.Stats.phase * float * float * float) list;
+      (** end-to-end flat allocation, per-phase (seconds, minor words,
+          major words) summed over rounds *)
 }
 
 exception Divergence of string
@@ -134,6 +138,26 @@ let check_equal what ok =
     raise
       (Divergence
          (Printf.sprintf "scale bench: old and new %s disagree" what))
+
+(* Per-phase (seconds, minor words, major words) of one instrumented
+   allocation, summed over spill rounds, in first-seen phase order. *)
+let alloc_stats (res : Remat.Allocator.result) =
+  let acc = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (_, phase, s, w, mj) ->
+      match Hashtbl.find_opt acc phase with
+      | Some (s0, w0, mj0) ->
+          Hashtbl.replace acc phase (s0 +. s, w0 +. w, mj0 +. mj)
+      | None ->
+          Hashtbl.add acc phase (s, w, mj);
+          order := phase :: !order)
+    (Remat.Stats.by_phase res.Remat.Allocator.stats);
+  List.rev_map
+    (fun p ->
+      let s, w, mj = Hashtbl.find acc p in
+      (p, s, w, mj))
+    !order
 
 let measure ~repeats ~target seed =
   let stmts = stmts_for ~target seed in
@@ -211,24 +235,7 @@ let measure ~repeats ~target seed =
     (String.equal
        (Cfg.to_string res.Remat.Allocator.cfg)
        (Cfg.to_string res_struct.Remat.Allocator.cfg));
-  let alloc =
-    let acc = Hashtbl.create 16 in
-    let order = ref [] in
-    List.iter
-      (fun (_, phase, s, w, mj) ->
-        match Hashtbl.find_opt acc phase with
-        | Some (s0, w0, mj0) ->
-            Hashtbl.replace acc phase (s0 +. s, w0 +. w, mj0 +. mj)
-        | None ->
-            Hashtbl.add acc phase (s, w, mj);
-            order := phase :: !order)
-      (Remat.Stats.by_phase res.Remat.Allocator.stats);
-    List.rev_map
-      (fun p ->
-        let s, w, mj = Hashtbl.find acc p in
-        (p, s, w, mj))
-      !order
-  in
+  let alloc = alloc_stats res in
   {
     target;
     instrs;
@@ -273,6 +280,12 @@ let measure_big ~repeats ~target seed =
   in
   phases := ("boundary", boundary) :: !phases;
   let bl = Dataflow.Liveness.Boundary.compute fl in
+  (* End-to-end flat allocation, instrumented, once (a full run at these
+     sizes is minutes of work; phase words don't vary across repeats).
+     No structured counterpart runs here — dense rows and the structured
+     renumber were never meant for this tier; output identity is proven
+     by the small tier's byte-compare and the A/B property tests. *)
+  let res = Remat.Allocator.run ~mode ~machine cfg in
   {
     btarget = target;
     binstrs = instrs;
@@ -280,6 +293,7 @@ let measure_big ~repeats ~target seed =
     bregs = Dataflow.Reg_index.count (Dataflow.Reg_index.of_flat fl);
     u = Dataflow.Reg_index.count bl.Dataflow.Liveness.Boundary.uindex;
     bphases = List.rev !phases;
+    balloc = alloc_stats res;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -339,7 +353,31 @@ let pp_big ppf rows =
         r.bphases;
       Format.fprintf ppf "@.")
     rows;
+  Format.fprintf ppf
+    "@.end-to-end flat allocation, per-phase seconds, minor/major kwords:@.";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%8d |" r.btarget;
+      List.iter
+        (fun (p, s, w, mj) ->
+          Format.fprintf ppf " %s %.4fs/%.0fkw/%.0fkW"
+            (Remat.Stats.phase_to_string p)
+            s (w /. 1000.) (mj /. 1000.))
+        r.balloc;
+      Format.fprintf ppf "@.")
+    rows;
   Format.fprintf ppf "@."
+
+let alloc_json b alloc =
+  List.iteri
+    (fun j (p, s, w, mj) ->
+      if j > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"phase\":\"%s\",\"seconds\":%.9f,\"minor_words\":%.0f,\"major_words\":%.0f}"
+           (Remat.Stats.phase_to_string p)
+           s w mj))
+    alloc
 
 let json ~repeats rows big_rows =
   let b = Buffer.create 1024 in
@@ -362,20 +400,13 @@ let json ~repeats rows big_rows =
            (speedup r.old_t.simplify r.new_t.simplify)
            (speedup r.old_t.select r.new_t.select)
            (speedup r.old_t.coalesce r.new_t.coalesce));
-      List.iteri
-        (fun j (p, s, w, mj) ->
-          if j > 0 then Buffer.add_char b ',';
-          Buffer.add_string b
-            (Printf.sprintf
-               "{\"phase\":\"%s\",\"seconds\":%.9f,\"minor_words\":%.0f,\"major_words\":%.0f}"
-               (Remat.Stats.phase_to_string p)
-               s w mj))
-        r.alloc;
+      alloc_json b r.alloc;
       Buffer.add_string b "]}")
     rows;
   Buffer.add_string b "],\"big\":[";
-  (* Same "target":N,..."new":{...} shape as the small entries so
-     [scan_baseline] reads both tiers with one scanner. *)
+  (* Same "target":N,..."new":{...},"alloc":[...] shape as the small
+     entries so [scan_baseline]/[scan_alloc] read both tiers with one
+     scanner each. *)
   List.iteri
     (fun i r ->
       if i > 0 then Buffer.add_char b ',';
@@ -388,7 +419,9 @@ let json ~repeats rows big_rows =
           if j > 0 then Buffer.add_char b ',';
           Buffer.add_string b (Printf.sprintf "\"%s\":%.9f" name s))
         r.bphases;
-      Buffer.add_string b "}}")
+      Buffer.add_string b "},\"alloc\":[";
+      alloc_json b r.balloc;
+      Buffer.add_string b "]}")
     big_rows;
   Buffer.add_string b "]}";
   Buffer.contents b
@@ -400,20 +433,16 @@ let json ~repeats rows big_rows =
    library in the tree, and the schema is ours, so substring navigation
    is enough — find the size entry by its "target", enter its "new"
    object, read one float per phase key. *)
-let scan_baseline text ~target phase =
-  let find sub from =
-    let n = String.length text and m = String.length sub in
-    let rec go i =
-      if i + m > n then None
-      else if String.sub text i m = sub then Some (i + m)
-      else go (i + 1)
-    in
-    go from
+let scan_find text sub from =
+  let n = String.length text and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub text i m = sub then Some (i + m)
+    else go (i + 1)
   in
-  let ( let* ) = Option.bind in
-  let* p = find (Printf.sprintf "\"target\":%d," target) 0 in
-  let* p = find "\"new\":{" p in
-  let* p = find (Printf.sprintf "\"%s\":" phase) p in
+  go from
+
+let scan_float text p =
   let e = ref p in
   while
     !e < String.length text
@@ -425,12 +454,59 @@ let scan_baseline text ~target phase =
   done;
   float_of_string_opt (String.sub text p (!e - p))
 
+let scan_baseline text ~target phase =
+  let ( let* ) = Option.bind in
+  let* p = scan_find text (Printf.sprintf "\"target\":%d," target) 0 in
+  let* p = scan_find text "\"new\":{" p in
+  let* p = scan_find text (Printf.sprintf "\"%s\":" phase) p in
+  scan_float text p
+
+(* One allocation-phase figure ("seconds", "minor_words" or
+   "major_words") from a size entry's "alloc" array. *)
+let scan_alloc text ~target ~phase key =
+  let ( let* ) = Option.bind in
+  let* p = scan_find text (Printf.sprintf "\"target\":%d," target) 0 in
+  let* p = scan_find text "\"alloc\":[" p in
+  let* p = scan_find text (Printf.sprintf "{\"phase\":\"%s\"" phase) p in
+  let* p = scan_find text (Printf.sprintf "\"%s\":" key) p in
+  scan_float text p
+
 (* A phase regresses when it runs more than [factor] slower than the
    checked-in baseline.  Sub-millisecond baselines are pure noise at CI
-   smoke sizes, so they are reported but never failed on. *)
+   smoke sizes, so they are reported but never failed on.  Allocation
+   heap words are gated the same way: words are deterministic per input
+   (unlike CI seconds), so a >2x jump above the noise floor means a code
+   path started allocating where it did not before. *)
 let check ~baseline rows big_rows ppf =
   let factor = 2.0 and floor_s = 0.001 in
+  let floor_w = 1_000_000. in
   let failures = ref 0 in
+  let check_words target phase (key, now) =
+    match scan_alloc baseline ~target ~phase key with
+    | None ->
+        Format.fprintf ppf "check: %d/%s.%s: no baseline entry, skipped@."
+          target phase key
+    | Some base when base < floor_w && now < floor_w -> ()
+    | Some base ->
+        let ratio = if base > 0. then now /. base else infinity in
+        if now > factor *. base && now > floor_w then begin
+          incr failures;
+          Format.fprintf ppf
+            "check: %d/%s.%s: REGRESSION %.0f words vs baseline %.0f (%.1fx)@."
+            target phase key now base ratio
+        end
+        else
+          Format.fprintf ppf "check: %d/%s.%s: ok %.0f vs %.0f words (%.1fx)@."
+            target phase key now base ratio
+  in
+  let check_alloc target alloc =
+    List.iter
+      (fun (p, _, w, mj) ->
+        let phase = Remat.Stats.phase_to_string p in
+        List.iter (check_words target phase)
+          [ ("minor_words", w); ("major_words", mj) ])
+      alloc
+  in
   let check_one target (name, now) =
     match scan_baseline baseline ~target name with
     | None ->
@@ -459,9 +535,14 @@ let check ~baseline rows big_rows ppf =
           ("simplify", r.new_t.simplify);
           ("select", r.new_t.select);
           ("coalesce", r.new_t.coalesce);
-        ])
+        ];
+      check_alloc r.target r.alloc)
     rows;
-  List.iter (fun r -> List.iter (check_one r.btarget) r.bphases) big_rows;
+  List.iter
+    (fun r ->
+      List.iter (check_one r.btarget) r.bphases;
+      check_alloc r.btarget r.balloc)
+    big_rows;
   !failures = 0
 
 (* ------------------------------------------------------------------ *)

@@ -86,13 +86,35 @@ let allocate ?(verify = false) ?(mode = Mode.Briggs_remat)
         let dom = Dataflow.Dominance.compute cfg0 in
         Dataflow.Loops.compute cfg0 dom)
   in
+  let renamed_fl = ref None in
   let rn =
-    Stats.time stats ~round:0 Stats.Renum (fun () -> Renumber.run mode cfg0)
+    Stats.time stats ~round:0 Stats.Renum (fun () ->
+        if use_flat then begin
+          (* Flat-native renumbering: encode once, rename on the arena,
+             bridge the result back for the structured consumers
+             (splitting, rewrite, verification).  Output is
+             byte-identical to [Renumber.run] of the same routine. *)
+          let fr = Renumber.run_flat mode (Iloc.Flat.of_routine cfg0) in
+          renamed_fl := Some fr.Renumber.fl;
+          {
+            Renumber.cfg = Iloc.Flat.to_routine fr.Renumber.fl;
+            tags = fr.Renumber.f_tags;
+            split_pairs = fr.Renumber.f_split_pairs;
+            n_values = fr.Renumber.f_n_values;
+            n_live_ranges = fr.Renumber.f_n_live_ranges;
+          }
+        end
+        else Renumber.run mode cfg0)
   in
   let ctx =
     Context.create ~use_flat ~mode ~machine ~loops ~tags:rn.Renumber.tags
       ~split_pairs:rn.Renumber.split_pairs ~stats rn.Renumber.cfg
   in
+  (* The renamed arena equals an encode of the bridged routine, so prime
+     the context's cache with it and skip one re-encoding.  Splitting
+     schemes invalidate the whole context when they rewrite the routine,
+     so a stale arena cannot survive them. *)
+  Option.iter (Context.set_flat ctx) !renamed_fl;
   let cfg = ctx.Context.cfg in
   (* §6 loop-boundary splitting schemes, layered after renumber. *)
   (match Mode.loop_scheme mode with

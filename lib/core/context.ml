@@ -15,6 +15,8 @@ type t = {
   mutable coalesced : int;
   mutable order : int array option;
   mutable live : Dataflow.Liveness.t option;
+  mutable boundary : Dataflow.Liveness.Boundary.t option;
+  mutable lr_index : Dataflow.Reg_index.t option;
   mutable graph : Interference.t option;
   mutable matrix_scratch : Dataflow.Bitset.t option;
   mutable copies : (Reg.t * Reg.t) list option;
@@ -40,6 +42,8 @@ let create ?(use_flat = true) ~mode ~machine ~loops ~tags ~split_pairs ~stats
     coalesced = 0;
     order = None;
     live = None;
+    boundary = None;
+    lr_index = None;
     graph = None;
     matrix_scratch = None;
     copies = None;
@@ -84,38 +88,81 @@ let liveness t =
       t.live <- Some l;
       l
 
+let boundary t =
+  match t.boundary with
+  | Some bl -> bl
+  | None ->
+      let order = block_order t in
+      let fl = flat t in
+      let bl =
+        time t Stats.Liveness (fun () ->
+            Dataflow.Liveness.Boundary.compute ~order fl)
+      in
+      count t Stats.Liveness_runs 1;
+      t.boundary <- Some bl;
+      bl
+
+let lr_index t =
+  match t.lr_index with
+  | Some ri -> ri
+  | None ->
+      (* The compaction pass: post-renumber register names are sparse in
+         id space (live-range representatives survive unioning), so the
+         coloring pipeline indexes nodes through this dense live-range
+         numbering rather than anything id-width. *)
+      let ri = Dataflow.Reg_index.of_flat (flat t) in
+      t.lr_index <- Some ri;
+      ri
+
 let graph t =
   match t.graph with
   | Some g -> g
   | None ->
-      let l = liveness t in
       let g =
-        time t Stats.Build (fun () ->
-            if t.use_flat then
-              Interference.build_flat ?matrix:t.matrix_scratch ~k:t.k (flat t)
-                l
-            else Interference.build ?matrix:t.matrix_scratch ~k:t.k t.cfg l)
+        if t.use_flat then begin
+          (* Boundary rows feed the build directly: dense liveness (rows
+             as wide as the live-range count, per block) is never
+             materialized on the flat path. *)
+          let regs = lr_index t in
+          let fl = flat t in
+          let bl = boundary t in
+          time t Stats.Build (fun () ->
+              Interference.build_flat_boundary ?matrix:t.matrix_scratch
+                ~k:t.k regs fl bl)
+        end
+        else
+          let l = liveness t in
+          time t Stats.Build (fun () ->
+              Interference.build ?matrix:t.matrix_scratch ~k:t.k t.cfg l)
       in
       count t Stats.Full_builds 1;
       t.graph <- Some g;
       (* Keep the (possibly freshly grown) matrix for the next round's
          rebuild; the node count only grows as spill code adds
-         temporaries, so the newest matrix is always the largest. *)
-      t.matrix_scratch <- Some g.Interference.matrix;
+         temporaries, so the newest matrix is always the largest.  A
+         sparse graph has no matrix to harvest — keep the old scratch. *)
+      (match Interference.scratch_matrix g with
+      | Some m -> t.matrix_scratch <- Some m
+      | None -> ());
       g
 
 let invalidate_liveness t =
   t.live <- None;
+  t.boundary <- None;
   (* Coalescing rewrote instructions in place; the arena is a copy of
-     instruction contents, so it staled with liveness. *)
-  t.flat <- None
+     instruction contents, so it staled with liveness — and with it the
+     live-range numbering (merged ranges drop out of the code). *)
+  t.flat <- None;
+  t.lr_index <- None
 
 let invalidate t =
   t.live <- None;
+  t.boundary <- None;
   t.graph <- None;
   t.order <- None;
   t.copies <- None;
-  t.flat <- None
+  t.flat <- None;
+  t.lr_index <- None
 
 (* Epoch-stamped scratch: "clearing" is an epoch bump, so phases that
    need a transient per-node mark (the Briggs union count, select's

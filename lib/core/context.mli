@@ -15,9 +15,9 @@
     edges); spill-code insertion calls {!invalidate} (everything).
 
     Rebuilds also recycle storage: the triangular bit matrix of the
-    previous round's graph is kept as a scratch buffer and handed back
-    to {!Interference.build}, so a spill round reuses the n(n−1)/2 bits
-    instead of reallocating them.
+    previous round's graph (when it was dense) is kept as a scratch
+    buffer and handed back to the next build, so a spill round reuses
+    the n(n−1)/2 bits instead of reallocating them.
 
     All timing and event counting goes through {!time} and {!count},
     which stamp the context's current round. *)
@@ -41,9 +41,13 @@ type t = {
   mutable coalesced : int;  (** copies removed by coalescing, total *)
   mutable order : int array option;  (** postorder cache; see {!block_order} *)
   mutable live : Dataflow.Liveness.t option;  (** cache; may be stale *)
+  mutable boundary : Dataflow.Liveness.Boundary.t option;
+      (** |U|-compressed boundary liveness cache; see {!boundary} *)
+  mutable lr_index : Dataflow.Reg_index.t option;
+      (** dense live-range numbering cache; see {!lr_index} *)
   mutable graph : Interference.t option;  (** cache; kept current *)
   mutable matrix_scratch : Dataflow.Bitset.t option;
-      (** the last graph's bit matrix, recycled across rebuilds *)
+      (** the last dense graph's bit matrix, recycled across rebuilds *)
   mutable copies : (Iloc.Reg.t * Iloc.Reg.t) list option;
       (** coalescing's copy worklist, harvested once per spill round;
           dropped by {!invalidate} (spill code can introduce new copies) *)
@@ -84,7 +88,20 @@ val set_flat : t -> Iloc.Flat.t -> unit
 
 val liveness : t -> Dataflow.Liveness.t
 (** Cached global liveness of [cfg]; recomputed (timed and counted,
-    reusing {!block_order}) when a phase has invalidated it. *)
+    reusing {!block_order}) when a phase has invalidated it.  The
+    structured pipeline's view; the flat pipeline uses {!boundary} and
+    never materializes dense rows. *)
+
+val boundary : t -> Dataflow.Liveness.Boundary.t
+(** Cached {!Dataflow.Liveness.Boundary.compute} of the arena — rows
+    |U| bits wide instead of |LR|.  Timed and counted like {!liveness};
+    staled by exactly what stales it. *)
+
+val lr_index : t -> Dataflow.Reg_index.t
+(** Cached dense numbering of the registers occurring in the arena —
+    the compaction pass mapping the sparse post-renumber register
+    universe to live-range indices.  The flat-mode graph build and its
+    consumers size every per-node structure by this index's count. *)
 
 val graph : t -> Interference.t
 (** Cached interference graph; built from scratch (timed and counted as

@@ -1,13 +1,16 @@
 module Bitset = Dataflow.Bitset
+module Hash_set = Dataflow.Hash_set
 module Int_vec = Dataflow.Int_vec
 module Reg_index = Dataflow.Reg_index
 module Reg = Iloc.Reg
 module Instr = Iloc.Instr
 
+type edges = Dense of Bitset.t | Sparse of Hash_set.t
+
 type t = {
   regs : Reg_index.t;
   n : int;
-  matrix : Bitset.t;
+  edges : edges;
   adj : Int_vec.t array;
   degree : int array;
   alive : bool array;
@@ -19,13 +22,30 @@ type t = {
 }
 
 (* Triangular index for an unordered pair (i <> j).  For i, j < n the
-   result is < n(n-1)/2 = the matrix capacity, so matrix accesses below
-   use the unchecked bitset operations. *)
+   result is < n(n-1)/2 = the dense matrix capacity, so dense accesses
+   below use the unchecked bitset operations. *)
 let tri i j =
   let hi, lo = if i > j then (i, j) else (j, i) in
   (hi * (hi - 1) / 2) + lo
 
-let interfere t i j = i <> j && Bitset.unsafe_mem t.matrix (tri i j)
+let edge_mem t idx =
+  match t.edges with
+  | Dense m -> Bitset.unsafe_mem m idx
+  | Sparse h -> Hash_set.mem h idx
+
+let edge_add t idx =
+  match t.edges with
+  | Dense m -> Bitset.unsafe_add m idx
+  | Sparse h -> Hash_set.add h idx
+
+let edge_remove t idx =
+  match t.edges with
+  | Dense m -> Bitset.unsafe_remove m idx
+  | Sparse h -> Hash_set.remove h idx
+
+let scratch_matrix t = match t.edges with Dense m -> Some m | Sparse _ -> None
+
+let interfere t i j = i <> j && edge_mem t (tri i j)
 let neighbors t i = Int_vec.to_list t.adj.(i)
 let iter_neighbors f t i = Int_vec.iter f t.adj.(i)
 let fold_neighbors f t i init = Int_vec.fold f t.adj.(i) init
@@ -49,7 +69,7 @@ let rec find t i =
     r
   end
 
-(* The matrix membership test keeps adjacency vectors deduplicated: an
+(* The edge-set membership test keeps adjacency vectors deduplicated: an
    edge is appended to the two vectors exactly once, when its bit first
    turns on, so [degree] is always the vector's length and [n_edges] can
    be maintained as a counter instead of a fold over degrees.
@@ -61,8 +81,8 @@ let rec find t i =
    by one per edge operation, so at most one flip per endpoint per
    operation. *)
 let add_edge t i j =
-  if i <> j && not (Bitset.unsafe_mem t.matrix (tri i j)) then begin
-    Bitset.unsafe_add t.matrix (tri i j);
+  if i <> j && not (edge_mem t (tri i j)) then begin
+    edge_add t (tri i j);
     let was_i = significant t i and was_j = significant t j in
     Int_vec.push t.adj.(i) j;
     Int_vec.push t.adj.(j) i;
@@ -82,8 +102,8 @@ let add_edge t i j =
   end
 
 let remove_edge t i j =
-  if i <> j && Bitset.unsafe_mem t.matrix (tri i j) then begin
-    Bitset.unsafe_remove t.matrix (tri i j);
+  if i <> j && edge_mem t (tri i j) then begin
+    edge_remove t (tri i j);
     let was_i = significant t i and was_j = significant t j in
     Int_vec.remove_value t.adj.(i) j;
     Int_vec.remove_value t.adj.(j) i;
@@ -118,7 +138,7 @@ let merge t ~keep ~drop =
   let drop_was_sig = significant t drop in
   Int_vec.iter
     (fun x ->
-      Bitset.unsafe_remove t.matrix (tri drop x);
+      edge_remove t (tri drop x);
       Int_vec.remove_value t.adj.(x) drop;
       let was_x = significant t x in
       t.degree.(x) <- t.degree.(x) - 1;
@@ -135,17 +155,33 @@ let merge t ~keep ~drop =
   t.forward.(drop) <- keep;
   t.n_alive <- t.n_alive - 1
 
+(* Above this node count the triangular matrix goes quadratic in memory
+   (32768 nodes is a 64 MB matrix; renumbered million-instruction
+   routines reach ~390k nodes, which would need ~9.5 GB) while the edge
+   count stays near-linear in code size, so larger graphs keep their
+   edges in an open-addressing set of triangular indices instead.  Both
+   representations answer membership identically, so graph construction
+   and coalescing are byte-for-byte unaffected by the switch. *)
+let dense_node_limit = 32768
+
 let make ?matrix ?k regs n =
-  let bits = n * (n - 1) / 2 in
-  let matrix =
-    (* Recycle the caller's scratch buffer (cleared) when it is big
-       enough; the previous round's graph must no longer be in use. *)
-    match matrix with
-    | Some buf -> (
-        match Bitset.view buf bits with
-        | Some m -> m
+  let edges =
+    if n > dense_node_limit then
+      (* Size for the suite's ~16 average neighbors (8n edges) at 3/4
+         load; the table still grows if the graph is denser. *)
+      Sparse (Hash_set.create ~cap:(12 * n) ())
+    else
+      let bits = n * (n - 1) / 2 in
+      Dense
+        ((* Recycle the caller's scratch buffer (cleared) when it is big
+            enough; the previous round's graph must no longer be in
+            use. *)
+         match matrix with
+        | Some buf -> (
+            match Bitset.view buf bits with
+            | Some m -> m
+            | None -> Bitset.create bits)
         | None -> Bitset.create bits)
-    | None -> Bitset.create bits
   in
   let thresh =
     match k with
@@ -155,7 +191,7 @@ let make ?matrix ?k regs n =
   {
     regs;
     n;
-    matrix;
+    edges;
     (* Pre-size for the typical degree so the build loop's pushes rarely
        grow: allocator graphs on the suite average ~16 neighbors. *)
     adj = Array.init n (fun _ -> Int_vec.create ~cap:16 ());
@@ -268,5 +304,79 @@ let build_flat ?matrix ?k (fl : Iloc.Flat.t) (live : Dataflow.Liveness.t) =
         if p >= 0 then Bitset.unsafe_add live_now (Array.unsafe_get pmap p)
       done
     done
+  done;
+  t
+
+let build_flat_boundary ?matrix ?k regs (fl : Iloc.Flat.t)
+    (bl : Dataflow.Liveness.Boundary.t) =
+  let n = Reg_index.count regs in
+  let t = make ?matrix ?k regs n in
+  let pmap = Reg_index.packed_map regs in
+  let int_mask = Bitset.create n and float_mask = Bitset.create n in
+  Reg_index.iter
+    (fun i r ->
+      match Reg.cls r with
+      | Reg.Int -> Bitset.unsafe_add int_mask i
+      | Reg.Float -> Bitset.unsafe_add float_mask i)
+    regs;
+  let candidates = Bitset.create n in
+  let live_now = Bitset.create n in
+  (* Boundary rows speak u-indices; node numbering speaks [regs]
+     indices.  Every upward-exposed register occurs in the arena, so the
+     translation is total. *)
+  let uindex = bl.Dataflow.Liveness.Boundary.uindex in
+  let unode =
+    Array.init (Reg_index.count uindex) (fun u ->
+        Array.unsafe_get pmap (Reg.hash (Reg_index.reg uindex u)))
+  in
+  let code = fl.Iloc.Flat.code in
+  let stride = Iloc.Flat.stride in
+  for b = 0 to Iloc.Flat.n_blocks fl - 1 do
+    let lout = bl.Dataflow.Liveness.Boundary.live_out.(b) in
+    (* Seeding through [unode] yields the same live_now bit-set the
+       dense row would assign: live_out can only mention upward-exposed
+       registers, so nothing is lost to the |U|-compression. *)
+    Bitset.iter
+      (fun u -> Bitset.unsafe_add live_now (Array.unsafe_get unode u))
+      lout;
+    let first = Iloc.Flat.block_first fl b in
+    let term = Iloc.Flat.block_term fl b in
+    for slot = term downto first do
+      let o = slot * stride in
+      let d = Array.unsafe_get code (o + Iloc.Flat.f_dst) in
+      if d >= 0 then begin
+        let di = Array.unsafe_get pmap d in
+        let skip =
+          if Iloc.Flat.Tag.is_copy (Array.unsafe_get code (o + Iloc.Flat.f_tag))
+          then Array.unsafe_get pmap (Array.unsafe_get code (o + Iloc.Flat.f_s0))
+          else -1
+        in
+        Bitset.assign ~dst:candidates live_now;
+        ignore
+          (Bitset.inter_into ~dst:candidates
+             (if d land 1 = 0 then int_mask else float_mask));
+        Bitset.iter
+          (fun l -> if l <> di && l <> skip then add_edge t di l)
+          candidates;
+        Bitset.unsafe_remove live_now di
+      end;
+      for sk = Iloc.Flat.f_s0 to Iloc.Flat.f_s2 do
+        let p = Array.unsafe_get code (o + sk) in
+        if p >= 0 then Bitset.unsafe_add live_now (Array.unsafe_get pmap p)
+      done
+    done;
+    (* Clear live_now in O(block) rather than O(n/64): everything it can
+       hold is either a seeded live-out bit or an operand of this block,
+       and removing a clear bit is a no-op. *)
+    for slot = first to term do
+      let o = slot * stride in
+      for fd = Iloc.Flat.f_dst to Iloc.Flat.f_s2 do
+        let p = Array.unsafe_get code (o + fd) in
+        if p >= 0 then Bitset.unsafe_remove live_now (Array.unsafe_get pmap p)
+      done
+    done;
+    Bitset.iter
+      (fun u -> Bitset.unsafe_remove live_now (Array.unsafe_get unode u))
+      lout
   done;
   t

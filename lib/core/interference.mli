@@ -1,6 +1,13 @@
 (** The interference graph, in Chaitin's dual representation (§2):
-    a triangular bit matrix for O(1) membership tests and adjacency
-    vectors for iteration.
+    an O(1)-membership edge set and adjacency vectors for iteration.
+
+    The edge set is the triangular bit matrix while the node count keeps
+    it affordable, and an open-addressing set of triangular indices
+    above {!dense_node_limit} — the matrix is quadratic in the live-range
+    count, the edge count near-linear in code size, so renumbered
+    million-instruction routines (~390k live ranges) would pay gigabytes
+    for matrix bits they never set.  Membership answers are identical
+    either way; nothing downstream can observe the representation.
 
     Nodes are the live ranges of a renumbered routine (one per register
     name).  An edge joins two live ranges that are simultaneously live at
@@ -19,10 +26,14 @@
     [n_edges] is maintained as a counter under both {!add_edge} and
     {!merge}. *)
 
+type edges =
+  | Dense of Dataflow.Bitset.t  (** triangular bit matrix *)
+  | Sparse of Dataflow.Hash_set.t  (** set of triangular indices *)
+
 type t = {
   regs : Dataflow.Reg_index.t;
   n : int;
-  matrix : Dataflow.Bitset.t;  (** triangular; see {!interfere} *)
+  edges : edges;  (** see {!interfere} *)
   adj : Dataflow.Int_vec.t array;
       (** deduplicated; alive neighbors only; unordered *)
   degree : int array;
@@ -36,6 +47,10 @@ type t = {
   mutable n_alive : int;
 }
 
+val dense_node_limit : int
+(** Node count above which {!build}/{!build_flat}/{!build_flat_boundary}
+    switch the edge set from [Dense] to [Sparse]. *)
+
 val build :
   ?matrix:Dataflow.Bitset.t ->
   ?k:(Iloc.Reg.cls -> int) ->
@@ -44,11 +59,11 @@ val build :
   t
 (** One backward pass per block, seeded with the block's live-out set.
     [matrix], when given, is a scratch buffer from an earlier build: if
-    its storage can hold the n(n−1)/2 triangular bits it is cleared and
-    recycled (via {!Dataflow.Bitset.view}) instead of allocating fresh —
-    the earlier graph must no longer be in use.  The allocation context
-    threads its previous matrix through here on every spill-round
-    rebuild. *)
+    the graph is dense and the buffer's storage can hold the n(n−1)/2
+    triangular bits it is cleared and recycled (via
+    {!Dataflow.Bitset.view}) instead of allocating fresh — the earlier
+    graph must no longer be in use.  The allocation context threads its
+    previous matrix through here on every spill-round rebuild. *)
 
 val build_flat :
   ?matrix:Dataflow.Bitset.t ->
@@ -62,11 +77,33 @@ val build_flat :
     numbering is shared); the resulting graph is identical — same edges,
     inserted in the same order — to {!build} on the bridged routine. *)
 
+val build_flat_boundary :
+  ?matrix:Dataflow.Bitset.t ->
+  ?k:(Iloc.Reg.cls -> int) ->
+  Dataflow.Reg_index.t ->
+  Iloc.Flat.t ->
+  Dataflow.Liveness.Boundary.t ->
+  t
+(** The flat pass fed by |U|-compressed boundary liveness instead of
+    dense rows: per block, the live-now row is seeded from the boundary
+    live-out (translated u-index → node index) and cleared again in
+    O(block size) by re-sweeping what the block could have set, so no
+    structure wider than [|U|] per block is ever materialized.  The node
+    index must be [Dataflow.Reg_index.of_flat] of the same arena —
+    precisely what {!Dataflow.Liveness.compute_flat} would build — and
+    the boundary must come from {!Dataflow.Liveness.Boundary.compute} on
+    it; the graph is then identical, edge order included, to
+    {!build_flat} with dense liveness. *)
+
 val of_edges : ?k:(Iloc.Reg.cls -> int) -> int -> (int * int) list -> t
 (** A graph over [n] fresh integer-class nodes with the given edges
     (self-loops and duplicates ignored) — for tests and experiments. *)
 
 val interfere : t -> int -> int -> bool
+
+val scratch_matrix : t -> Dataflow.Bitset.t option
+(** The dense bit matrix, for recycling into a later build's [?matrix];
+    [None] when the graph is sparse. *)
 
 val neighbors : t -> int -> int list
 (** Fresh list; prefer {!iter_neighbors}/{!fold_neighbors} on hot

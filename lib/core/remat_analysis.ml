@@ -1,5 +1,69 @@
 module Values = Ssa.Values
 
+(* Solve the tag equations over an in-edge CSR: [in_edges.(in_idx.(v)
+   .. in_idx.(v+1)-1)] are the values v's tag is the meet of (copy
+   source, φ arguments), and values with no in-edges keep their initial
+   tag.  [tags] is updated in place and residual [Top]s lowered to
+   [Bottom].  Shared by the structured pass below and the flat-native
+   renumbering — the transfer is monotone over a height-2 lattice, so
+   the fixpoint is unique and independent of how either caller orders
+   values or edges. *)
+let fixpoint tags ~in_idx ~in_edges =
+  let n = Array.length tags in
+  let n_edges = in_idx.(n) in
+  let out_deg = Array.make (n + 1) 0 in
+  for e = 0 to n_edges - 1 do
+    let src = in_edges.(e) in
+    out_deg.(src) <- out_deg.(src) + 1
+  done;
+  let out_idx = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    out_idx.(v + 1) <- out_idx.(v) + out_deg.(v)
+  done;
+  let out_edges = Array.make (max 1 n_edges) 0 in
+  let fill = Array.copy out_idx in
+  for v = 0 to n - 1 do
+    for e = in_idx.(v) to in_idx.(v + 1) - 1 do
+      let src = in_edges.(e) in
+      out_edges.(fill.(src)) <- v;
+      fill.(src) <- fill.(src) + 1
+    done
+  done;
+  let evaluate v =
+    if in_idx.(v) = in_idx.(v + 1) then tags.(v)
+    else begin
+      let acc = ref Tag.Top in
+      for e = in_idx.(v) to in_idx.(v + 1) - 1 do
+        acc := Tag.meet !acc tags.(in_edges.(e))
+      done;
+      !acc
+    end
+  in
+  (* Chaotic iteration: an unboxed vector with a read cursor replaces
+     the cell-per-push queue. *)
+  let work = Dataflow.Int_vec.create ~cap:(2 * n) () in
+  for v = 0 to n - 1 do
+    Dataflow.Int_vec.push work v
+  done;
+  let cursor = ref 0 in
+  while !cursor < Dataflow.Int_vec.length work do
+    let v = Dataflow.Int_vec.get work !cursor in
+    incr cursor;
+    let nv = evaluate v in
+    if not (Tag.equal nv tags.(v)) then begin
+      (* The lattice has height 2, so each value enters the queue O(1)
+         times and propagation is linear in the number of SSA edges. *)
+      assert (Tag.leq nv tags.(v));
+      tags.(v) <- nv;
+      for e = out_idx.(v) to out_idx.(v + 1) - 1 do
+        Dataflow.Int_vec.push work out_edges.(e)
+      done
+    end
+  done;
+  for v = 0 to n - 1 do
+    match tags.(v) with Tag.Top -> tags.(v) <- Tag.Bottom | _ -> ()
+  done
+
 let run (_cfg : Iloc.Cfg.t) (vals : Values.t) =
   let n = Values.count vals in
   let tags = Array.make n Tag.Top in
@@ -44,50 +108,5 @@ let run (_cfg : Iloc.Cfg.t) (vals : Values.t) =
     | Values.Def_phi { phi; _ } ->
         List.iter (fun (_, a) -> edge (Values.index vals a)) phi.args
   done;
-  let out_idx = Array.make (n + 1) 0 in
-  for v = 0 to n - 1 do
-    out_idx.(v + 1) <- out_idx.(v) + out_deg.(v)
-  done;
-  let out_edges = Array.make (max 1 n_edges) 0 in
-  let fill = Array.copy out_idx in
-  for v = 0 to n - 1 do
-    for e = in_idx.(v) to in_idx.(v + 1) - 1 do
-      let src = in_edges.(e) in
-      out_edges.(fill.(src)) <- v;
-      fill.(src) <- fill.(src) + 1
-    done
-  done;
-  let evaluate v =
-    if in_idx.(v) = in_idx.(v + 1) then tags.(v)
-    else begin
-      let acc = ref Tag.Top in
-      for e = in_idx.(v) to in_idx.(v + 1) - 1 do
-        acc := Tag.meet !acc tags.(in_edges.(e))
-      done;
-      !acc
-    end
-  in
-  (* Chaotic iteration over a height-2 lattice with a monotone transfer:
-     the fixpoint is unique, so the worklist discipline (an unboxed
-     vector with a read cursor, replacing the cell-per-push queue) is
-     free to differ from processing order without changing the tags. *)
-  let work = Dataflow.Int_vec.create ~cap:(2 * n) () in
-  for v = 0 to n - 1 do
-    Dataflow.Int_vec.push work v
-  done;
-  let cursor = ref 0 in
-  while !cursor < Dataflow.Int_vec.length work do
-    let v = Dataflow.Int_vec.get work !cursor in
-    incr cursor;
-    let nv = evaluate v in
-    if not (Tag.equal nv tags.(v)) then begin
-      (* The lattice has height 2, so each value enters the queue O(1)
-         times and propagation is linear in the number of SSA edges. *)
-      assert (Tag.leq nv tags.(v));
-      tags.(v) <- nv;
-      for e = out_idx.(v) to out_idx.(v + 1) - 1 do
-        Dataflow.Int_vec.push work out_edges.(e)
-      done
-    end
-  done;
-  Array.map (function Tag.Top -> Tag.Bottom | t -> t) tags
+  fixpoint tags ~in_idx ~in_edges;
+  tags

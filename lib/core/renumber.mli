@@ -40,3 +40,22 @@ type result = {
 }
 
 val run : Mode.t -> Iloc.Cfg.t -> result
+
+type flat_result = {
+  fl : Iloc.Flat.t;  (** live-range-named arena, no structured detour *)
+  f_tags : Tag.t Iloc.Reg.Tbl.t;
+  f_split_pairs : (Iloc.Reg.t * Iloc.Reg.t) list;
+  f_n_values : int;
+  f_n_live_ranges : int;
+}
+
+val run_flat : Mode.t -> Iloc.Flat.t -> flat_result
+(** [run] routine-in/routine-out on the flat arena: dominance, pruned φ
+    placement and renaming operate on packed records and side arrays —
+    SSA exists only as per-slot value indices, never as a routine — and
+    a {!Iloc.Flat.Splice} builder re-emits the renamed arena.  Output is
+    byte-identical to [run] of the bridged routine: [Flat.to_routine
+    r.fl] structurally equals [run mode (Flat.to_routine fl0)].cfg with
+    the same supply watermark, tags, split pairs and counts.  Like
+    [run], requires critical edges split (and, being flat, no φ-nodes in
+    the input). *)

@@ -5,7 +5,7 @@ let load_store_cycles = 2
 let remat_cycles = 1
 
 let compute (cfg : Iloc.Cfg.t) (loops : Dataflow.Loops.t) (g : Interference.t)
-    ~(live : Dataflow.Liveness.t) ~tags ~infinite =
+    ~(live_in_iter : int -> (Reg.t -> unit) -> unit) ~tags ~infinite =
   let n = Interference.n_nodes g in
   let costs = Array.make n 0. in
   let tag_of r = Option.value (Reg.Tbl.find_opt tags r) ~default:Tag.Bottom in
@@ -32,13 +32,10 @@ let compute (cfg : Iloc.Cfg.t) (loops : Dataflow.Loops.t) (g : Interference.t)
         b)
     cfg;
   for b = 0 to Iloc.Cfg.n_blocks cfg - 1 do
-    Dataflow.Bitset.iter
-      (fun li ->
-        let r = Dataflow.Reg_index.reg live.Dataflow.Liveness.regs li in
+    live_in_iter b (fun r ->
         match Dataflow.Reg_index.index_opt g.Interference.regs r with
         | Some ri -> crosses.(ri) <- true
         | None -> ())
-      live.Dataflow.Liveness.live_in.(b)
   done;
   let tiny ri =
     (not crosses.(ri))
@@ -82,8 +79,27 @@ let phase (ctx : Context.t) =
   let g = Context.graph ctx in
   (* Fetched after coalescing: the context recomputes liveness when the
      coalescer invalidated it, so crossing-block detection sees the
-     merged live ranges. *)
-  let live = Context.liveness ctx in
+     merged live ranges.  Crossing only asks for set membership, so the
+     |U|-compressed boundary rows answer it exactly on the flat path —
+     dense rows exist only for the structured baseline. *)
+  let live_in_iter =
+    if ctx.Context.use_flat then begin
+      let bl = Context.boundary ctx in
+      fun b f ->
+        Dataflow.Bitset.iter
+          (fun u ->
+            f
+              (Dataflow.Reg_index.reg bl.Dataflow.Liveness.Boundary.uindex u))
+          bl.Dataflow.Liveness.Boundary.live_in.(b)
+    end
+    else begin
+      let live = Context.liveness ctx in
+      fun b f ->
+        Dataflow.Bitset.iter
+          (fun li -> f (Dataflow.Reg_index.reg live.Dataflow.Liveness.regs li))
+          live.Dataflow.Liveness.live_in.(b)
+    end
+  in
   Context.time ctx Stats.Costs (fun () ->
-      compute ctx.Context.cfg ctx.Context.loops g ~live ~tags:ctx.Context.tags
-        ~infinite:ctx.Context.infinite)
+      compute ctx.Context.cfg ctx.Context.loops g ~live_in_iter
+        ~tags:ctx.Context.tags ~infinite:ctx.Context.infinite)

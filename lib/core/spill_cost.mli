@@ -15,20 +15,25 @@ val compute :
   Iloc.Cfg.t ->
   Dataflow.Loops.t ->
   Interference.t ->
-  live:Dataflow.Liveness.t ->
+  live_in_iter:(int -> (Iloc.Reg.t -> unit) -> unit) ->
   tags:Tag.t Iloc.Reg.Tbl.t ->
   infinite:unit Iloc.Reg.Tbl.t ->
   float array
-(** Cost per interference-graph node.  Two kinds of live range are marked
-    [infinity]: spill temporaries from earlier rounds (the [infinite]
-    table), and {e tiny} ranges — confined to one block with all
-    occurrences within two instructions of each other — whose spilling
-    would insert a load or store adjacent to every occurrence without
-    shortening the range (Chaitin's classic futile-spill guard). *)
+(** Cost per interference-graph node.  [live_in_iter b f] must apply [f]
+    to every register in block [b]'s live-in set (any order; it only
+    feeds crossing-block detection) — dense liveness rows or the
+    |U|-compressed boundary rows both qualify.  Two kinds of live range
+    are marked [infinity]: spill temporaries from earlier rounds (the
+    [infinite] table), and {e tiny} ranges — confined to one block with
+    all occurrences within two instructions of each other — whose
+    spilling would insert a load or store adjacent to every occurrence
+    without shortening the range (Chaitin's classic futile-spill
+    guard). *)
 
 val phase : Context.t -> float array
-(** {!compute} on the context's routine, graph and (fresh) liveness,
-    timed as [Costs]. *)
+(** {!compute} on the context's routine, graph and (fresh) liveness —
+    boundary rows when the context runs flat, dense rows on the
+    structured baseline — timed as [Costs]. *)
 
 val load_store_cycles : int
 (** Cycles charged per inserted load or store (2, matching §5.1). *)

@@ -55,22 +55,40 @@ let compute_generic ~n ~entry ~succs ~preds =
         children.(idom.(b)) <- b :: children.(idom.(b)))
     rpo;
   Array.iteri (fun i l -> children.(i) <- List.rev l) children;
-  (* Preorder intervals for O(1) dominance queries. *)
+  (* Preorder intervals for O(1) dominance queries.  Iterative walk:
+     dominator trees of straight-line routines are paths, so recursion
+     depth would be the block count. *)
   let tin = Array.make n (-1) and tout = Array.make n (-1) in
   let clock = ref 0 in
-  let rec walk b =
-    tin.(b) <- !clock;
+  if idom.(entry) <> -1 then begin
+    let stack = ref [ (entry, children.(entry)) ] in
+    tin.(entry) <- !clock;
     incr clock;
-    List.iter walk children.(b);
-    tout.(b) <- !clock;
-    incr clock
-  in
-  if idom.(entry) <> -1 then walk entry;
+    let continue = ref true in
+    while !continue do
+      match !stack with
+      | [] -> continue := false
+      | (b, []) :: rest ->
+          tout.(b) <- !clock;
+          incr clock;
+          stack := rest
+      | (b, c :: more) :: rest ->
+          stack := (c, children.(c)) :: (b, more) :: rest;
+          tin.(c) <- !clock;
+          incr clock
+    done
+  end;
   { idom; children; order = rpo; tin; tout }
 
 let compute (cfg : Iloc.Cfg.t) =
   compute_generic ~n:(Iloc.Cfg.n_blocks cfg) ~entry:cfg.entry
     ~succs:(Iloc.Cfg.succs cfg) ~preds:(Iloc.Cfg.preds cfg)
+
+let compute_flat (fl : Iloc.Flat.t) =
+  (* The CSR edge lists are deduplicated/sorted exactly like the
+     structured accessors, so this is [compute] of the bridged routine. *)
+  compute_generic ~n:(Iloc.Flat.n_blocks fl) ~entry:fl.Iloc.Flat.entry
+    ~succs:(Iloc.Flat.succs_list fl) ~preds:(Iloc.Flat.preds_list fl)
 
 let postdominators (cfg : Iloc.Cfg.t) =
   let n = Iloc.Cfg.n_blocks cfg in
@@ -121,6 +139,26 @@ let frontiers (cfg : Iloc.Cfg.t) t =
   done;
   df
 
+let frontiers_flat (fl : Iloc.Flat.t) t =
+  let n = Iloc.Flat.n_blocks fl in
+  let df = Bitset.slab ~rows:n ~capacity:n in
+  let pred_idx = fl.Iloc.Flat.pred_idx and pred = fl.Iloc.Flat.pred in
+  for b = 0 to n - 1 do
+    let lo = pred_idx.(b) and hi = pred_idx.(b + 1) in
+    if hi - lo >= 2 && t.idom.(b) <> -1 then
+      for i = lo to hi - 1 do
+        let p = pred.(i) in
+        if t.idom.(p) <> -1 then begin
+          let runner = ref p in
+          while !runner <> t.idom.(b) do
+            Bitset.add df.(!runner) b;
+            runner := t.idom.(!runner)
+          done
+        end
+      done
+  done;
+  df
+
 module Idf = struct
   type state = {
     result : Bitset.t;
@@ -147,19 +185,20 @@ module Idf = struct
       Int_vec.push st.worklist b
     end
 
-  (* DF+ is a set fixpoint, so the processing discipline (here a LIFO
-     Int_vec instead of a queue) cannot change the result.  This runs
-     once per register of the routine, so the body is closure-free: even
-     one closure per call shows up in renumbering's allocation row. *)
-  let compute st df seeds =
+  let reset st =
     for k = 0 to Int_vec.length st.touched - 1 do
       let b = Int_vec.get st.touched k in
       Bitset.remove st.result b;
       Bitset.remove st.enqueued b
     done;
     Int_vec.clear st.touched;
-    Int_vec.clear st.worklist;
-    List.iter (enqueue st) seeds;
+    Int_vec.clear st.worklist
+
+  (* DF+ is a set fixpoint, so the processing discipline (here a LIFO
+     Int_vec instead of a queue) cannot change the result.  This runs
+     once per register of the routine, so the body is closure-free: even
+     one closure per call shows up in renumbering's allocation row. *)
+  let fixpoint st df =
     let visit d =
       if not (Bitset.mem st.result d) then begin
         Bitset.add st.result d;
@@ -171,6 +210,21 @@ module Idf = struct
       Bitset.iter visit df.(b)
     done;
     st.result
+
+  let compute st df seeds =
+    reset st;
+    List.iter (enqueue st) seeds;
+    fixpoint st df
+
+  (* Same computation with seeds taken from an array slice — the flat
+     renumbering keeps definition blocks in one CSR buffer, and going
+     through lists here would rebuild them per register. *)
+  let compute_slice st df seeds ~lo ~hi =
+    reset st;
+    for i = lo to hi - 1 do
+      enqueue st seeds.(i)
+    done;
+    fixpoint st df
 end
 
 let iterated_frontier ~n df seeds = Idf.compute (Idf.create ~n) df seeds

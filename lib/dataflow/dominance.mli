@@ -19,6 +19,10 @@ type t = {
 
 val compute : Iloc.Cfg.t -> t
 
+val compute_flat : Iloc.Flat.t -> t
+(** Same tree computed from the flat arena's CSR edges — identical to
+    [compute (Flat.to_routine fl)] without bridging. *)
+
 val compute_generic :
   n:int -> entry:int -> succs:(int -> int list) -> preds:(int -> int list) -> t
 (** Shared core, also used for postdominators on the reversed graph. *)
@@ -34,6 +38,10 @@ val dominates : t -> int -> int -> bool
 val strictly_dominates : t -> int -> int -> bool
 
 val frontiers : Iloc.Cfg.t -> t -> Bitset.t array
+
+val frontiers_flat : Iloc.Flat.t -> t -> Bitset.t array
+(** {!frontiers} over the flat arena's CSR predecessors; bit-identical
+    rows. *)
 
 val iterated_frontier : n:int -> Bitset.t array -> int list -> Bitset.t
 (** DF+ of a set of seed blocks: the fixpoint of the frontier map, the set
@@ -53,4 +61,10 @@ module Idf : sig
   (** Identical result to {!iterated_frontier}.  The returned set is the
       state's own buffer — valid only until the next [compute] on the
       same state. *)
+
+  val compute_slice :
+    state -> Bitset.t array -> int array -> lo:int -> hi:int -> Bitset.t
+  (** [compute] with seeds [seeds.(lo) .. seeds.(hi - 1)] — the flat
+      renumbering's definition blocks live in one CSR buffer, sliced per
+      register. *)
 end

@@ -1,0 +1,24 @@
+(** Open-addressing set of non-negative ints.
+
+    Backs the sparse interference edge set: at the million-instruction
+    tier the triangular adjacency bitmatrix over live ranges would still
+    be quadratic in [|LR|], while the edge count stays near-linear, so
+    edges above a node-count threshold live here instead.  Linear
+    probing from a Fibonacci-mixed home slot, tombstone deletion, and a
+    fixed (non-randomized) hash keep membership O(1) amortized and every
+    operation deterministic. *)
+
+type t
+
+val create : ?cap:int -> unit -> t
+(** [cap] is a capacity hint; the table grows as needed. *)
+
+val mem : t -> int -> bool
+val add : t -> int -> unit
+val remove : t -> int -> unit
+val cardinal : t -> int
+val clear : t -> unit
+
+val iter : (int -> unit) -> t -> unit
+(** Iteration order is the internal table order — deterministic for a
+    given insertion/removal history, but not sorted. *)

@@ -189,7 +189,6 @@ module Boundary = struct
        per-block clearing. *)
     let defined = Array.make cap (-1) in
     let in_u = Bytes.make cap '\000' in
-    let members = ref [] in
     let nu = ref 0 in
     for b = 0 to nb - 1 do
       for slot = Iloc.Flat.block_first fl b to Iloc.Flat.block_term fl b do
@@ -200,7 +199,6 @@ module Boundary = struct
              && Bytes.unsafe_get in_u p = '\000'
           then begin
             Bytes.unsafe_set in_u p '\001';
-            members := p :: !members;
             incr nu
           end
         done;
@@ -208,19 +206,18 @@ module Boundary = struct
         if d >= 0 then Array.unsafe_set defined d b
       done
     done;
-    (* Ascending packed order = ascending [Reg.compare] order, matching
-       every other register numbering in the repo. *)
-    let packed = List.sort Int.compare !members in
-    let uindex =
-      Reg_index.of_regs
-        (List.map
-           (fun p ->
-             Iloc.Reg.make (p lsr 1)
-               (if p land 1 = 0 then Iloc.Reg.Int else Iloc.Reg.Float))
-           packed)
-    in
+    (* Presence sweep enumerates ascending packed order = ascending
+       [Reg.compare] order, matching every other register numbering in
+       the repo — no member list, no sort. *)
+    let uindex = Reg_index.of_presence in_u cap !nu in
     let umap = Array.make cap (-1) in
-    List.iteri (fun i p -> umap.(p) <- i) packed;
+    let next = ref 0 in
+    for p = 0 to cap - 1 do
+      if Bytes.unsafe_get in_u p <> '\000' then begin
+        Array.unsafe_set umap p !next;
+        incr next
+      end
+    done;
     let nr = !nu in
     let ue = Bitset.slab ~rows:nb ~capacity:nr in
     let kill = Bitset.slab ~rows:nb ~capacity:nr in
@@ -248,4 +245,16 @@ module Boundary = struct
     solve ~nb ~nr ~po ~succs_iter:(flat_succs_iter fl)
       ~preds_iter:(flat_preds_iter fl) ~live_in ~live_out ~ue ~kill;
     { uindex; live_in; live_out; ue; kill }
+
+  (* A register outside U is outside every boundary set — [false] here is
+     the dense computation's answer, not an approximation. *)
+  let live_in_mem t b r =
+    match Reg_index.index_opt t.uindex r with
+    | Some i -> Bitset.mem t.live_in.(b) i
+    | None -> false
+
+  let live_out_mem t b r =
+    match Reg_index.index_opt t.uindex r with
+    | Some i -> Bitset.mem t.live_out.(b) i
+    | None -> false
 end

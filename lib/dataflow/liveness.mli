@@ -60,4 +60,9 @@ module Boundary : sig
   }
 
   val compute : ?order:int array -> Iloc.Flat.t -> t
+
+  val live_in_mem : t -> int -> Iloc.Reg.t -> bool
+  val live_out_mem : t -> int -> Iloc.Reg.t -> bool
+  (** Membership against the boundary rows; a register outside [U] is in
+      no boundary set, so the answers equal the dense computation's. *)
 end

@@ -15,6 +15,15 @@ val of_flat : Iloc.Flat.t -> t
     {!of_cfg}). *)
 
 val of_regs : Iloc.Reg.t list -> t
+
+val of_presence : Bytes.t -> int -> int -> t
+(** [of_presence present cap count]: the registers whose packed id [p]
+    (= [Reg.hash]) has [present.[p] <> '\000'] for [p < cap], in
+    ascending packed order — [count] must equal the number of marked
+    bytes.  The list-free constructor behind {!of_cfg}/{!of_flat} for
+    callers that already hold a presence sweep. *)
+
+
 val count : t -> int
 val index : t -> Iloc.Reg.t -> int
 (** Raises [Not_found] for a register outside the routine. *)

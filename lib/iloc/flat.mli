@@ -134,6 +134,12 @@ val ex : t -> int -> int
 val succs_list : t -> int -> int list
 val preds_list : t -> int -> int list
 
+val decode_op : t -> int -> Instr.op
+(** Decode one slot's opcode, payloads included, without touching the
+    operand fields — rematerialization tags carry the op alone (register
+    operands live outside it), so the flat renumbering initializes tags
+    from this directly. *)
+
 val to_instr : t -> int -> Instr.t
 (** Decode one slot to a structured instruction. *)
 

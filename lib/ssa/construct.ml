@@ -13,7 +13,11 @@ let run (cfg : Cfg.t) =
      on large routines this dominates renumber's footprint.  The result
      is bit-identical to the structured computation. *)
   let fl = Iloc.Flat.of_routine cfg in
-  let live = Dataflow.Liveness.compute_flat fl in
+  (* Boundary rows suffice: φ pruning only ever asks live_in membership,
+     and boundary sets agree with the dense ones on every register.  At
+     10⁵-instruction routines the |U|-wide rows are what keep this pass
+     in megabytes rather than hundreds of them. *)
+  let live = Dataflow.Liveness.Boundary.compute fl in
   let dom = Dataflow.Dominance.compute cfg in
   let df = Dataflow.Dominance.frontiers cfg dom in
   (* Definition blocks per register. *)
@@ -35,13 +39,29 @@ let run (cfg : Cfg.t) =
       let idf = Dataflow.Dominance.Idf.compute idf_state df blocks in
       Dataflow.Bitset.iter
         (fun b ->
-          if Dataflow.Liveness.live_in_mem live b v then begin
+          if Dataflow.Liveness.Boundary.live_in_mem live b v then begin
             let blk = Cfg.block cfg b in
             let args = List.map (fun p -> (p, v)) (Cfg.preds cfg b) in
             blk.phis <- Phi.make v args :: blk.phis
           end)
         idf)
     def_blocks;
+  (* [def_blocks] is iterated in hash-table order, so without this sort
+     the φ list of a block — and with it the order fresh names are
+     handed out during renaming — would depend on Reg.Tbl internals.
+     Canonicalize to ascending original destination; one φ per original
+     per block, so the order is total.  The flat-native renumbering
+     produces φs in exactly this order by construction. *)
+  Cfg.iter_blocks
+    (fun b ->
+      match b.phis with
+      | [] | [ _ ] -> ()
+      | ps ->
+          b.phis <-
+            List.sort
+              (fun (p : Phi.t) (q : Phi.t) -> Reg.compare p.dst q.dst)
+              ps)
+    cfg;
   (* Renaming: one walk over the dominator tree with a stack of current
      names per original register. *)
   let stacks : Reg.t list ref Reg.Tbl.t = Reg.Tbl.create 64 in
@@ -112,4 +132,20 @@ let run (cfg : Cfg.t) =
     List.iter (fun v -> let s = stack_of v in s := List.tl !s) !pushed
   in
   rename cfg.entry;
+  (* [Phi.set_arg] re-adds each argument at the front, so after renaming
+     the argument list order is an artifact of pred processing order.
+     Restore ascending predecessor order — the order the φ was created
+     with — so every downstream walk (renumber's split recording, SSA
+     destruction) sees a canonical list. *)
+  Cfg.iter_blocks
+    (fun b ->
+      List.iter
+        (fun (p : Phi.t) ->
+          match p.args with
+          | [] | [ _ ] -> ()
+          | args ->
+              p.args <-
+                List.sort (fun (i, _) (j, _) -> Int.compare i j) args)
+        b.phis)
+    cfg;
   cfg

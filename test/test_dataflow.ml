@@ -455,6 +455,185 @@ let liveness_unit =
         with Invalid_argument _ -> ());
   ]
 
+(* --- boundary liveness: |U|-compressed rows vs the dense rows --- *)
+
+(* A routine whose second block upward-exposes exactly [k] integer
+   registers, so the boundary universe has exactly [k] members — sized
+   to straddle the bitset word width. *)
+let k_crossing_routine k =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "routine x\nentry:\n";
+  for i = 1 to k do
+    Buffer.add_string buf (Printf.sprintf "  r%d <- ldi %d\n" i i)
+  done;
+  Buffer.add_string buf "  jmp next\nnext:\n";
+  for i = 1 to k do
+    Buffer.add_string buf (Printf.sprintf "  print r%d\n" i)
+  done;
+  Buffer.add_string buf "  ret\n";
+  Iloc.Parser.routine (Buffer.contents buf)
+
+let boundary_agrees what cfg =
+  let fl = Iloc.Flat.of_routine cfg in
+  let dense = Dataflow.Liveness.compute_flat fl in
+  let bound = Dataflow.Liveness.Boundary.compute fl in
+  let regs = Cfg.all_regs cfg in
+  for b = 0 to Cfg.n_blocks cfg - 1 do
+    Iloc.Reg.Set.iter
+      (fun r ->
+        check Alcotest.bool
+          (Printf.sprintf "%s: live-in b%d %s" what b (Iloc.Reg.to_string r))
+          (Dataflow.Liveness.live_in_mem dense b r)
+          (Dataflow.Liveness.Boundary.live_in_mem bound b r);
+        check Alcotest.bool
+          (Printf.sprintf "%s: live-out b%d %s" what b (Iloc.Reg.to_string r))
+          (Dataflow.Liveness.live_out_mem dense b r)
+          (Dataflow.Liveness.Boundary.live_out_mem bound b r))
+      regs
+  done;
+  bound
+
+let boundary_unit =
+  [
+    tc "empty universe" (fun () ->
+        (* Everything is defined before use within its block, so nothing
+           is upward-exposed and every row is empty. *)
+        let cfg =
+          Iloc.Parser.routine
+            "routine x\n\
+             entry:\n\
+            \  r1 <- ldi 1\n\
+            \  print r1\n\
+            \  jmp next\n\
+             next:\n\
+            \  r2 <- ldi 2\n\
+            \  print r2\n\
+            \  ret\n"
+        in
+        let bound = boundary_agrees "empty" cfg in
+        check Alcotest.int "universe size" 0
+          (Dataflow.Reg_index.count
+             bound.Dataflow.Liveness.Boundary.uindex));
+    tc "single-block routine" (fun () ->
+        let cfg =
+          Iloc.Parser.routine
+            "routine x\nentry:\n  r1 <- ldi 1\n  print r1\n  ret\n"
+        in
+        let bound = boundary_agrees "single" cfg in
+        check Alcotest.int "universe size" 0
+          (Dataflow.Reg_index.count
+             bound.Dataflow.Liveness.Boundary.uindex);
+        check Alcotest.bool "r1 not boundary-live" false
+          (Dataflow.Liveness.Boundary.live_in_mem bound 0
+             (Iloc.Reg.make 1 Iloc.Reg.Int)));
+    tc "universe at the word edges" (fun () ->
+        (* |U| = 63, 64, 65: one below, exactly at, and one above the
+           bitset word width, where row-width bugs would bite. *)
+        List.iter
+          (fun k ->
+            let cfg = k_crossing_routine k in
+            let bound =
+              boundary_agrees (Printf.sprintf "|U|=%d" k) cfg
+            in
+            check Alcotest.int
+              (Printf.sprintf "universe size %d" k)
+              k
+              (Dataflow.Reg_index.count
+                 bound.Dataflow.Liveness.Boundary.uindex))
+          [ 63; 64; 65 ]);
+  ]
+
+(* --- open-addressing int set --- *)
+
+let hash_set_unit =
+  [
+    tc "add/mem/remove/cardinal" (fun () ->
+        let h = Dataflow.Hash_set.create () in
+        check Alcotest.bool "empty" false (Dataflow.Hash_set.mem h 7);
+        Dataflow.Hash_set.add h 7;
+        Dataflow.Hash_set.add h 0;
+        Dataflow.Hash_set.add h 7;
+        check Alcotest.bool "mem 7" true (Dataflow.Hash_set.mem h 7);
+        check Alcotest.bool "mem 0" true (Dataflow.Hash_set.mem h 0);
+        check Alcotest.int "cardinal dedups" 2 (Dataflow.Hash_set.cardinal h);
+        Dataflow.Hash_set.remove h 7;
+        check Alcotest.bool "removed" false (Dataflow.Hash_set.mem h 7);
+        check Alcotest.int "cardinal after remove" 1
+          (Dataflow.Hash_set.cardinal h));
+    tc "growth keeps members" (fun () ->
+        let h = Dataflow.Hash_set.create ~cap:4 () in
+        for i = 0 to 999 do
+          Dataflow.Hash_set.add h (i * 17)
+        done;
+        check Alcotest.int "cardinal" 1000 (Dataflow.Hash_set.cardinal h);
+        for i = 0 to 999 do
+          if not (Dataflow.Hash_set.mem h (i * 17)) then
+            Alcotest.failf "lost key %d" (i * 17)
+        done;
+        check Alcotest.bool "absent key" false (Dataflow.Hash_set.mem h 1));
+    tc "tombstone churn" (fun () ->
+        (* Insert/remove cycles over a small key range force tombstone
+           reuse and same-size rehashes. *)
+        let h = Dataflow.Hash_set.create ~cap:16 () in
+        for round = 0 to 99 do
+          for i = 0 to 19 do
+            Dataflow.Hash_set.add h i
+          done;
+          for i = 0 to 19 do
+            if (i + round) mod 2 = 0 then Dataflow.Hash_set.remove h i
+          done
+        done;
+        for i = 0 to 19 do
+          check Alcotest.bool
+            (Printf.sprintf "key %d" i)
+            ((i + 99) mod 2 <> 0)
+            (Dataflow.Hash_set.mem h i)
+        done);
+    tc "clear empties" (fun () ->
+        let h = Dataflow.Hash_set.create () in
+        Dataflow.Hash_set.add h 3;
+        Dataflow.Hash_set.clear h;
+        check Alcotest.int "cardinal" 0 (Dataflow.Hash_set.cardinal h);
+        check Alcotest.bool "mem" false (Dataflow.Hash_set.mem h 3));
+    tc "negative key rejected" (fun () ->
+        let h = Dataflow.Hash_set.create () in
+        try
+          Dataflow.Hash_set.add h (-1);
+          Alcotest.fail "accepted a negative key"
+        with Invalid_argument _ -> ());
+    tc "iter visits each member once" (fun () ->
+        let h = Dataflow.Hash_set.create () in
+        List.iter (Dataflow.Hash_set.add h) [ 5; 9; 5; 123; 64 ];
+        Dataflow.Hash_set.remove h 9;
+        let seen = ref [] in
+        Dataflow.Hash_set.iter (fun k -> seen := k :: !seen) h;
+        check
+          (Alcotest.list Alcotest.int)
+          "members" [ 5; 64; 123 ]
+          (List.sort Int.compare !seen));
+  ]
+
+let hash_set_prop =
+  QCheck.Test.make ~count:200 ~name:"hash set matches reference set"
+    QCheck.(list (pair (int_bound 2) (int_bound 100)))
+    (fun ops ->
+      let module IS = Set.Make (Int) in
+      let h = Dataflow.Hash_set.create ~cap:4 () in
+      let model = ref IS.empty in
+      List.for_all
+        (fun (op, key) ->
+          (match op with
+          | 0 ->
+              Dataflow.Hash_set.add h key;
+              model := IS.add key !model
+          | 1 ->
+              Dataflow.Hash_set.remove h key;
+              model := IS.remove key !model
+          | _ -> ());
+          Dataflow.Hash_set.mem h key = IS.mem key !model
+          && Dataflow.Hash_set.cardinal h = IS.cardinal !model)
+        ops)
+
 (* naive per-register liveness for the property test: r is live-in at b
    iff some path from b reaches a use of r with no intervening def. *)
 let naive_live_in (cfg : Cfg.t) (r : Iloc.Reg.t) =
@@ -652,7 +831,7 @@ let postdom_prop =
 let props = List.map QCheck_alcotest.to_alcotest
     [ bitset_prop; bitset_binop_prop; bitset_edge_prop; bitset_edge_binop_prop;
       union_find_prop; liveness_prop; worklist_vs_round_robin_prop;
-      order_prop; dominance_prop; loops_prop; postdom_prop ]
+      order_prop; dominance_prop; loops_prop; postdom_prop; hash_set_prop ]
 
 let () =
   Alcotest.run "dataflow"
@@ -662,5 +841,7 @@ let () =
       ("dominance", dominance_unit);
       ("loops", loops_unit);
       ("liveness", liveness_unit);
+      ("boundary", boundary_unit);
+      ("hash-set", hash_set_unit);
       ("properties", props);
     ]

@@ -289,6 +289,110 @@ let liveness_flat_prop (name, config) =
       done;
       true)
 
+(* --- renumber A/B: flat-native pass vs structured must agree exactly - *)
+
+let tag_list tbl =
+  Reg.Tbl.fold (fun r t acc -> (r, t) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Reg.compare a b)
+  |> List.map (fun (r, t) ->
+         Printf.sprintf "%s:%s" (Reg.to_string r) (Remat.Tag.to_string t))
+
+let renumber_ab_check ~what ~mode cfg =
+  let cfg = Cfg.split_critical_edges cfg in
+  let s = Remat.Renumber.run mode cfg in
+  let f = Remat.Renumber.run_flat mode (Flat.of_routine cfg) in
+  let fcfg = Flat.to_routine f.Remat.Renumber.fl in
+  if not (Cfg.structural_equal fcfg s.Remat.Renumber.cfg) then
+    Alcotest.failf "%s: flat renumber differs:@.%s@.vs@.%s" what
+      (Cfg.to_string s.Remat.Renumber.cfg)
+      (Cfg.to_string fcfg);
+  Alcotest.(check int)
+    (what ^ ": supply watermark")
+    (Reg.Supply.last s.Remat.Renumber.cfg.Cfg.supply)
+    (Reg.Supply.last fcfg.Cfg.supply);
+  Alcotest.(check int) (what ^ ": n_values") s.Remat.Renumber.n_values
+    f.Remat.Renumber.f_n_values;
+  Alcotest.(check int)
+    (what ^ ": n_live_ranges")
+    s.Remat.Renumber.n_live_ranges f.Remat.Renumber.f_n_live_ranges;
+  let pair (d, sr) = Printf.sprintf "%s<-%s" (Reg.to_string d) (Reg.to_string sr) in
+  Alcotest.(check (list string))
+    (what ^ ": split pairs")
+    (List.map pair s.Remat.Renumber.split_pairs)
+    (List.map pair f.Remat.Renumber.f_split_pairs);
+  Alcotest.(check (list string))
+    (what ^ ": tags")
+    (tag_list s.Remat.Renumber.tags)
+    (tag_list f.Remat.Renumber.f_tags)
+
+let renumber_modes =
+  [
+    Remat.Mode.No_remat;
+    Remat.Mode.Chaitin_remat;
+    Remat.Mode.Briggs_remat;
+    Remat.Mode.Briggs_remat_phi_splits;
+  ]
+
+let renumber_ab_prop (name, config) =
+  QCheck.Test.make ~count:40
+    ~name:(Printf.sprintf "flat renumber ≡ structured (%s)" name)
+    QCheck.(make Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let cfg = Fuzz.Gen.generate ~config seed in
+      List.iter
+        (fun mode ->
+          renumber_ab_check
+            ~what:
+              (Printf.sprintf "seed %d, %s" seed (Remat.Mode.to_string mode))
+            ~mode (Cfg.copy cfg))
+        renumber_modes;
+      true)
+
+(* --- graph A/B: boundary-fed build ≡ dense-fed build ----------------- *)
+
+let graph_fingerprint g =
+  let n = Remat.Interference.n_nodes g in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "n=%d e=%d\n" n (Remat.Interference.n_edges g));
+  for i = 0 to n - 1 do
+    Buffer.add_string buf (Reg.to_string (Remat.Interference.reg g i));
+    Buffer.add_char buf ':';
+    Buffer.add_string buf
+      (string_of_int (Remat.Interference.sig_neighbors g i));
+    (* Adjacency is compared in vector order: the boundary-fed build must
+       insert the same edges in the same sequence, not just the same
+       set. *)
+    List.iter
+      (fun j -> Buffer.add_string buf (Printf.sprintf " %d" j))
+      (Remat.Interference.neighbors g i);
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let graph_boundary_prop (name, config) =
+  QCheck.Test.make ~count:40
+    ~name:(Printf.sprintf "boundary-fed graph ≡ dense-fed (%s)" name)
+    QCheck.(make Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let cfg = Fuzz.Gen.generate ~config seed in
+      let fl = Flat.of_routine cfg in
+      let dense = Dataflow.Liveness.compute_flat fl in
+      let bound = Dataflow.Liveness.Boundary.compute fl in
+      let regs = Dataflow.Reg_index.of_flat fl in
+      let k =
+        Remat.Machine.k_for
+          (Remat.Machine.make ~name:"tiny" ~k_int:6 ~k_float:4)
+      in
+      let a = graph_fingerprint (Remat.Interference.build_flat ~k fl dense) in
+      let b =
+        graph_fingerprint
+          (Remat.Interference.build_flat_boundary ~k regs fl bound)
+      in
+      if not (String.equal a b) then
+        QCheck.Test.fail_reportf "seed %d: graphs differ:@.%s@.vs@.%s" seed a b
+      else true)
+
 (* --- allocator A/B: flat vs structured must be byte-identical -------- *)
 
 let alloc_fingerprint ~use_flat ~mode ~machine cfg =
@@ -347,6 +451,12 @@ let qcheck_cases =
     gen_configs
   @ List.map
       (fun c -> QCheck_alcotest.to_alcotest (liveness_flat_prop c))
+      gen_configs
+  @ List.map
+      (fun c -> QCheck_alcotest.to_alcotest (renumber_ab_prop c))
+      gen_configs
+  @ List.map
+      (fun c -> QCheck_alcotest.to_alcotest (graph_boundary_prop c))
       gen_configs
   @ List.map
       (fun c -> QCheck_alcotest.to_alcotest (allocator_ab_prop c))

@@ -362,9 +362,51 @@ let interference_unit =
               (Remat.Interference.interfere g j i)
           done
         done);
+    tc "sparse edge set is representation-transparent" (fun () ->
+        (* The same edge list through a graph small enough for the bit
+           matrix and one node past the sparse threshold: every
+           observable — membership, degrees, adjacency order, merge
+           results — must be identical on the shared nodes. *)
+        let edges =
+          List.concat_map
+            (fun i -> [ (i, (i + 7) mod 60); (i, (i * 13 + 1) mod 60) ])
+            (List.init 60 Fun.id)
+        in
+        let small = Remat.Interference.of_edges 60 edges in
+        let big =
+          Remat.Interference.of_edges
+            (Remat.Interference.dense_node_limit + 1)
+            edges
+        in
+        check Alcotest.bool "small is dense" true
+          (Option.is_some (Remat.Interference.scratch_matrix small));
+        check Alcotest.bool "big is sparse" true
+          (Option.is_none (Remat.Interference.scratch_matrix big));
+        check Alcotest.int "edge count"
+          (Remat.Interference.n_edges small)
+          (Remat.Interference.n_edges big);
+        for i = 0 to 59 do
+          check (Alcotest.list Alcotest.int)
+            (Printf.sprintf "adjacency of %d" i)
+            (Remat.Interference.neighbors small i)
+            (Remat.Interference.neighbors big i)
+        done;
+        Remat.Interference.merge small ~keep:0 ~drop:1;
+        Remat.Interference.merge big ~keep:0 ~drop:1;
+        for i = 0 to 59 do
+          check (Alcotest.list Alcotest.int)
+            (Printf.sprintf "post-merge adjacency of %d" i)
+            (Remat.Interference.neighbors small i)
+            (Remat.Interference.neighbors big i)
+        done);
   ]
 
 (* --- spill costs --- *)
+
+let dense_live_in_iter (live : Dataflow.Liveness.t) b f =
+  Dataflow.Bitset.iter
+    (fun li -> f (Dataflow.Reg_index.reg live.Dataflow.Liveness.regs li))
+    live.Dataflow.Liveness.live_in.(b)
 
 let spill_cost_unit =
   [
@@ -377,7 +419,7 @@ let spill_cost_unit =
         let live = Dataflow.Liveness.compute c in
         let g = Remat.Interference.build c live in
         let costs =
-          Remat.Spill_cost.compute c loops g ~live ~tags:rn.Remat.Renumber.tags
+          Remat.Spill_cost.compute c loops g ~live_in_iter:(dense_live_in_iter live) ~tags:rn.Remat.Renumber.tags
             ~infinite:(Reg.Tbl.create 1)
         in
         (* the accumulator lives in the loop: cost must include 10x
@@ -407,12 +449,12 @@ let spill_cost_unit =
         let live = Dataflow.Liveness.compute c in
         let g = Remat.Interference.build c live in
         let briggs_costs =
-          Remat.Spill_cost.compute c loops g ~live ~tags:rn.Remat.Renumber.tags
+          Remat.Spill_cost.compute c loops g ~live_in_iter:(dense_live_in_iter live) ~tags:rn.Remat.Renumber.tags
             ~infinite:(Reg.Tbl.create 1)
         in
         let bottom_tags = Reg.Tbl.create 8 in
         let no_remat_costs =
-          Remat.Spill_cost.compute c loops g ~live ~tags:bottom_tags
+          Remat.Spill_cost.compute c loops g ~live_in_iter:(dense_live_in_iter live) ~tags:bottom_tags
             ~infinite:(Reg.Tbl.create 1)
         in
         (* Renumber renames registers, so locate the laddr-tagged live
@@ -440,7 +482,7 @@ let spill_cost_unit =
         let infinite = Reg.Tbl.create 4 in
         Reg.Tbl.replace infinite (Reg.make 1 Reg.Int) ();
         let costs =
-          Remat.Spill_cost.compute cfg loops g ~live ~tags:(Reg.Tbl.create 1) ~infinite
+          Remat.Spill_cost.compute cfg loops g ~live_in_iter:(dense_live_in_iter live) ~tags:(Reg.Tbl.create 1) ~infinite
         in
         let i1 = Remat.Interference.index g (Reg.make 1 Reg.Int) in
         check Alcotest.bool "infinite" true (costs.(i1) = infinity));
