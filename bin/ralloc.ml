@@ -520,17 +520,55 @@ let fuzz_cmd =
     Term.(const run $ runs $ seed $ jobs $ out $ no_reduce)
 
 let bench_cmd =
-  let run what sizes repeats seed out check =
+  let run what sizes repeats seed out check requests distinct edit_rate jobs
+      wave cache min_hit_rate =
     or_die (fun () ->
         match what with
         | "scale" ->
+            let out = Some (Option.value out ~default:"BENCH_scale.json") in
             let code =
               Scale_bench.Scale.run ~sizes ~repeats ~seed ?out
                 ?check_file:check Format.std_formatter
             in
             if code <> 0 then exit code
+        | "serve" ->
+            let jobs = if jobs = 0 then Suite.Pool.default_jobs () else jobs in
+            let cfg =
+              {
+                Serve.Loadgen.default with
+                requests;
+                distinct;
+                edit_rate;
+                seed;
+                jobs;
+                wave;
+                cache_capacity = cache;
+              }
+            in
+            let s = Serve.Loadgen.run cfg in
+            print_string (Serve.Loadgen.summary_to_json s);
+            let out = Option.value out ~default:"BENCH_serve.json" in
+            Serve.Loadgen.save out s;
+            Fmt.epr "; bench serve: wrote %s@." out;
+            let fail fmt = Fmt.epr ("; bench serve: FAIL: " ^^ fmt ^^ "@.") in
+            let failed = ref false in
+            if s.Serve.Loadgen.s_errors > 0 then begin
+              fail "%d error response(s)" s.Serve.Loadgen.s_errors;
+              failed := true
+            end;
+            if s.Serve.Loadgen.s_incremental_rebuilds > 0 then begin
+              fail "%d incremental response(s) did a full rebuild"
+                s.Serve.Loadgen.s_incremental_rebuilds;
+              failed := true
+            end;
+            if s.Serve.Loadgen.s_hit_rate < min_hit_rate then begin
+              fail "hit rate %.4f below required %.4f"
+                s.Serve.Loadgen.s_hit_rate min_hit_rate;
+              failed := true
+            end;
+            if !failed then exit 1
         | other ->
-            Fmt.epr "unknown benchmark %S (want: scale)@." other;
+            Fmt.epr "unknown benchmark %S (want: scale | serve)@." other;
             exit 2)
   in
   let what =
@@ -540,7 +578,9 @@ let bench_cmd =
           ~doc:
             "scale: coloring-core phases on generated routines of growing \
              size, retained old implementation vs current, outputs \
-             byte-compared.")
+             byte-compared.  serve: replay a deterministic request stream \
+             (repeats plus seeded edits) through the allocation server, \
+             reporting latency, throughput and cache hit rate.")
   in
   let sizes =
     Arg.(
@@ -563,9 +603,11 @@ let bench_cmd =
   let out =
     Arg.(
       value
-      & opt (some string) (Some "BENCH_scale.json")
+      & opt (some string) None
       & info [ "out" ] ~docv:"FILE"
-          ~doc:"Write machine-readable results to $(docv).")
+          ~doc:
+            "Write machine-readable results to $(docv) (default \
+             BENCH_scale.json or BENCH_serve.json by benchmark).")
   in
   let check =
     Arg.(
@@ -577,14 +619,144 @@ let bench_cmd =
              slow as its baseline entry (sub-millisecond baselines are \
              skipped as noise).")
   in
+  let requests =
+    Arg.(
+      value & opt int 1000
+      & info [ "requests" ] ~docv:"N" ~doc:"serve: requests to replay.")
+  in
+  let distinct =
+    Arg.(
+      value & opt int 32
+      & info [ "distinct" ] ~docv:"N"
+          ~doc:"serve: distinct base routines behind the stream.")
+  in
+  let edit_rate =
+    Arg.(
+      value & opt float 0.3
+      & info [ "edit-rate" ] ~docv:"R"
+          ~doc:"serve: fraction of requests that are seeded edits.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "serve: worker domains; 0 picks the machine's recommended \
+             count.  The response byte stream (and its digest in the \
+             summary) is identical for every value of $(docv).")
+  in
+  let wave =
+    Arg.(
+      value & opt int 32
+      & info [ "wave" ] ~docv:"N" ~doc:"serve: requests per wave.")
+  in
+  let cache =
+    Arg.(
+      value & opt int 512
+      & info [ "cache" ] ~docv:"N" ~doc:"serve: LRU cache capacity.")
+  in
+  let min_hit_rate =
+    Arg.(
+      value & opt float 0.
+      & info [ "min-hit-rate" ] ~docv:"R"
+          ~doc:"serve: exit 1 if the cache hit rate ends below $(docv).")
+  in
   let doc =
     "Run a performance benchmark.  $(b,scale) times simplify, select and \
      the coalescing fixpoint on high-pressure generated routines at each \
      requested size, old implementation against new, verifying outputs \
-     match; exits non-zero on divergence or (with --check) regression."
+     match; exits non-zero on divergence or (with --check) regression.  \
+     $(b,serve) drives the allocation server with a deterministic mix of \
+     repeated and edited routines and writes latency percentiles, \
+     throughput and cache counters to BENCH_serve.json; exits non-zero on \
+     any error response, any non-incremental rebuild on the incremental \
+     path, or a hit rate below --min-hit-rate."
   in
   Cmd.v (Cmd.info "bench" ~doc)
-    Term.(const run $ what $ sizes $ repeats $ seed $ out $ check)
+    Term.(
+      const run $ what $ sizes $ repeats $ seed $ out $ check $ requests
+      $ distinct $ edit_rate $ jobs $ wave $ cache $ min_hit_rate)
+
+let serve_cmd =
+  let run socket jobs cache no_snapshots max_frame batch =
+    or_die (fun () ->
+        let jobs = if jobs = 0 then Suite.Pool.default_jobs () else jobs in
+        let config =
+          {
+            Serve.Server.jobs;
+            cache_capacity = cache;
+            snapshots = not no_snapshots;
+            max_frame;
+            batch_limit = max 1 batch;
+          }
+        in
+        let server = Serve.Server.create ~config () in
+        Fun.protect
+          ~finally:(fun () -> Serve.Server.shutdown server)
+          (fun () ->
+            match socket with
+            | Some path ->
+                Fmt.epr "; ralloc serve: listening on %s (%d jobs)@." path jobs;
+                Serve.Server.serve_socket server path
+            | None ->
+                Serve.Server.serve_fds server ~in_fd:Unix.stdin
+                  ~out_fd:Unix.stdout))
+  in
+  let socket =
+    Arg.(
+      value & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix-domain socket at $(docv) (one connection at \
+             a time) instead of serving stdin/stdout.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for each request wave; 0 picks the machine's \
+             recommended count.  Responses are byte-identical for every \
+             value of $(docv).")
+  in
+  let cache =
+    Arg.(
+      value & opt int 512
+      & info [ "cache" ] ~docv:"N"
+          ~doc:"Memo-table capacity in entries (LRU eviction).")
+  in
+  let no_snapshots =
+    Arg.(
+      value & flag
+      & info [ "no-snapshots" ]
+          ~doc:
+            "Do not capture allocator snapshots on cold allocations; edit \
+             requests then always re-allocate from scratch.")
+  in
+  let max_frame =
+    Arg.(
+      value
+      & opt int Serve.Frame.default_max_frame
+      & info [ "max-frame" ] ~docv:"BYTES"
+          ~doc:"Reject request frames larger than $(docv) as corrupt.")
+  in
+  let batch =
+    Arg.(
+      value & opt int 64
+      & info [ "batch" ] ~docv:"N"
+          ~doc:"Maximum requests drained into one wave.")
+  in
+  let doc =
+    "Run the persistent allocation service.  Requests (length-prefixed \
+     frames, see DESIGN.md §15) arrive on stdin or a Unix socket; \
+     allocations fan out across a worker pool, results are memoized by \
+     routine content hash, and edited routines re-allocate incrementally \
+     from the cached context.  Responses are deterministic: byte-identical \
+     for any --jobs value."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ socket $ jobs $ cache $ no_snapshots $ max_frame $ batch)
 
 let reduce_cmd =
   let run src =
@@ -642,7 +814,9 @@ let commands =
     ("emit", "translate a routine to instrumented C", emit_cmd);
     ("report", "regenerate one of the paper's tables or figures", report_cmd);
     ("fuzz", "differential-fuzz the pipeline over many seeds", fuzz_cmd);
-    ("bench", "benchmark the coloring core at scale, old vs new", bench_cmd);
+    ("bench", "benchmark the coloring core or the allocation server",
+     bench_cmd);
+    ("serve", "run the persistent allocation service", serve_cmd);
     ("reduce", "minimize a diverging routine to a small reproducer",
      reduce_cmd);
   ]

@@ -65,69 +65,21 @@ let rewrite_physical (cfg : Cfg.t) (g : Interference.t)
       b.Iloc.Block.term <- Instr.map_regs rename b.Iloc.Block.term)
     cfg
 
-let allocate ?(verify = false) ?(mode = Mode.Briggs_remat)
-    ?(machine = Machine.standard) ?(max_rounds = 64) ?(use_flat = true)
-    (input : Cfg.t) =
-  (match Iloc.Validate.routine input with
-  | Ok () -> ()
-  | Error es ->
-      raise
-        (Allocation_error
-           (Printf.sprintf "invalid input routine: %s"
-              (String.concat "; "
-                 (List.map Iloc.Validate.error_to_string es)))));
-  let stats = Stats.create () in
-  let cfg0 = Cfg.split_critical_edges input in
-  (* Control-flow analysis: dominators and loop structure.  Renumber and
-     the splitting schemes do not add or remove blocks, so loop depths
-     computed here remain valid throughout allocation. *)
-  let loops =
-    Stats.time stats ~round:0 Stats.Cfa (fun () ->
-        let dom = Dataflow.Dominance.compute cfg0 in
-        Dataflow.Loops.compute cfg0 dom)
-  in
-  let renamed_fl = ref None in
-  let rn =
-    Stats.time stats ~round:0 Stats.Renum (fun () ->
-        if use_flat then begin
-          (* Flat-native renumbering: encode once, rename on the arena,
-             bridge the result back for the structured consumers
-             (splitting, rewrite, verification).  Output is
-             byte-identical to [Renumber.run] of the same routine. *)
-          let fr = Renumber.run_flat mode (Iloc.Flat.of_routine cfg0) in
-          renamed_fl := Some fr.Renumber.fl;
-          {
-            Renumber.cfg = Iloc.Flat.to_routine fr.Renumber.fl;
-            tags = fr.Renumber.f_tags;
-            split_pairs = fr.Renumber.f_split_pairs;
-            n_values = fr.Renumber.f_n_values;
-            n_live_ranges = fr.Renumber.f_n_live_ranges;
-          }
-        end
-        else Renumber.run mode cfg0)
-  in
-  let ctx =
-    Context.create ~use_flat ~mode ~machine ~loops ~tags:rn.Renumber.tags
-      ~split_pairs:rn.Renumber.split_pairs ~stats rn.Renumber.cfg
-  in
-  (* The renamed arena equals an encode of the bridged routine, so prime
-     the context's cache with it and skip one re-encoding.  Splitting
-     schemes invalidate the whole context when they rewrite the routine,
-     so a stale arena cannot survive them. *)
-  Option.iter (Context.set_flat ctx) !renamed_fl;
+(* The spill-round loop, shared by [allocate] (cold, caches empty) and
+   [allocate_incremental] (caches primed from a snapshot).  Colors
+   [ctx.cfg] in place and returns (rounds, spilled_memory, spilled_remat,
+   spill_slots). *)
+let color_rounds ~name ~max_rounds (ctx : Context.t) =
+  let use_flat = ctx.Context.use_flat in
+  let machine = ctx.Context.machine in
   let cfg = ctx.Context.cfg in
-  (* §6 loop-boundary splitting schemes, layered after renumber. *)
-  (match Mode.loop_scheme mode with
-  | Some scheme -> Splitting.phase scheme ctx
-  | None -> ());
   let slot_counter = ref 0 in
   let spilled_memory = ref 0 and spilled_remat = ref 0 in
   let rec round r =
     if r > max_rounds then
       raise
         (Allocation_error
-           (Printf.sprintf "%s: no coloring after %d rounds"
-              input.Cfg.name max_rounds));
+           (Printf.sprintf "%s: no coloring after %d rounds" name max_rounds));
     Context.set_round ctx r;
     build_coalesce ctx;
     let g = Context.graph ctx in
@@ -192,9 +144,8 @@ let allocate ?(verify = false) ?(mode = Mode.Briggs_remat)
                 raise
                   (Allocation_error
                      (Printf.sprintf
-                        "%s: register pressure irreducible at k=%d/%d"
-                        input.Cfg.name machine.Machine.k_int
-                        machine.Machine.k_float));
+                        "%s: register pressure irreducible at k=%d/%d" name
+                        machine.Machine.k_int machine.Machine.k_float));
               victims
         in
         Context.count ctx Stats.Spilled_ranges (List.length spilled_nodes);
@@ -236,31 +187,266 @@ let allocate ?(verify = false) ?(mode = Mode.Briggs_remat)
         round (r + 1)
   in
   let rounds = round 1 in
-  if verify then
-    (match
-       Verify.Check.routine ~input ~output:cfg
-         ~k_int:machine.Machine.k_int ~k_float:machine.Machine.k_float
-     with
-    | Ok _ -> ()
-    | Error errs when List.for_all Verify.Error.is_unsupported errs ->
-        (* Outside the checker's domain (e.g. the input already carried
-           spill code); nothing is proved, nothing is rejected. *)
-        ()
-    | Error errs ->
-        raise (Verification_error (List.map Verify.Error.to_string errs)));
+  (rounds, !spilled_memory, !spilled_remat, !slot_counter)
+
+let validate_input input =
+  match Iloc.Validate.routine input with
+  | Ok () -> ()
+  | Error es ->
+      raise
+        (Allocation_error
+           (Printf.sprintf "invalid input routine: %s"
+              (String.concat "; " (List.map Iloc.Validate.error_to_string es))))
+
+let verify_output ~input ~output ~(machine : Machine.t) =
+  match
+    Verify.Check.routine ~input ~output ~k_int:machine.Machine.k_int
+      ~k_float:machine.Machine.k_float
+  with
+  | Ok _ -> ()
+  | Error errs when List.for_all Verify.Error.is_unsupported errs ->
+      (* Outside the checker's domain (e.g. the input already carried
+         spill code); nothing is proved, nothing is rejected. *)
+      ()
+  | Error errs ->
+      raise (Verification_error (List.map Verify.Error.to_string errs))
+
+let allocate ?(verify = false) ?(mode = Mode.Briggs_remat)
+    ?(machine = Machine.standard) ?(max_rounds = 64) ?(use_flat = true)
+    (input : Cfg.t) =
+  validate_input input;
+  let stats = Stats.create () in
+  let cfg0 = Cfg.split_critical_edges input in
+  (* Control-flow analysis: dominators and loop structure.  Renumber and
+     the splitting schemes do not add or remove blocks, so loop depths
+     computed here remain valid throughout allocation. *)
+  let loops =
+    Stats.time stats ~round:0 Stats.Cfa (fun () ->
+        let dom = Dataflow.Dominance.compute cfg0 in
+        Dataflow.Loops.compute cfg0 dom)
+  in
+  let renamed_fl = ref None in
+  let rn =
+    Stats.time stats ~round:0 Stats.Renum (fun () ->
+        if use_flat then begin
+          (* Flat-native renumbering: encode once, rename on the arena,
+             bridge the result back for the structured consumers
+             (splitting, rewrite, verification).  Output is
+             byte-identical to [Renumber.run] of the same routine. *)
+          let fr = Renumber.run_flat mode (Iloc.Flat.of_routine cfg0) in
+          renamed_fl := Some fr.Renumber.fl;
+          {
+            Renumber.cfg = Iloc.Flat.to_routine fr.Renumber.fl;
+            tags = fr.Renumber.f_tags;
+            split_pairs = fr.Renumber.f_split_pairs;
+            n_values = fr.Renumber.f_n_values;
+            n_live_ranges = fr.Renumber.f_n_live_ranges;
+          }
+        end
+        else Renumber.run mode cfg0)
+  in
+  let ctx =
+    Context.create ~use_flat ~mode ~machine ~loops ~tags:rn.Renumber.tags
+      ~split_pairs:rn.Renumber.split_pairs ~stats rn.Renumber.cfg
+  in
+  (* The renamed arena equals an encode of the bridged routine, so prime
+     the context's cache with it and skip one re-encoding.  Splitting
+     schemes invalidate the whole context when they rewrite the routine,
+     so a stale arena cannot survive them. *)
+  Option.iter (Context.set_flat ctx) !renamed_fl;
+  let cfg = ctx.Context.cfg in
+  (* §6 loop-boundary splitting schemes, layered after renumber. *)
+  (match Mode.loop_scheme mode with
+  | Some scheme -> Splitting.phase scheme ctx
+  | None -> ());
+  let rounds, spilled_memory, spilled_remat, spill_slots =
+    color_rounds ~name:input.Cfg.name ~max_rounds ctx
+  in
+  if verify then verify_output ~input ~output:cfg ~machine;
   {
     cfg;
     mode;
     machine;
     rounds;
-    spilled_memory = !spilled_memory;
-    spilled_remat = !spilled_remat;
-    spill_slots = !slot_counter;
+    spilled_memory;
+    spilled_remat;
+    spill_slots;
     n_values = rn.Renumber.n_values;
     n_live_ranges = rn.Renumber.n_live_ranges;
     coalesced_copies = ctx.Context.coalesced;
     stats;
   }
+
+(* Incremental re-allocation.
+
+   A snapshot captures everything a {e small edit} of the routine leaves
+   valid: the renumbered code (pristine, before any coalescing), global
+   liveness and the freshly built interference graph.  Liveness and the
+   graph depend only on which registers each instruction defines and
+   uses, on which instructions are copies, and on terminator targets —
+   never on immediate/offset payloads or source-operand order — so an
+   edit that preserves that skeleton (after renumbering) can skip the
+   from-scratch liveness + build and go straight to coalescing on a
+   private copy of the cached graph.
+
+   Renumbering itself is {e not} skipped: tag unioning can coincide
+   differently under a payload change (two values whose remat tags were
+   accidentally equal stop being unioned, or start), which changes the
+   live-range skeleton.  The skeleton check below detects exactly that
+   and the caller falls back to a cold allocation, so reuse is always
+   sound: primed caches are used only when they provably describe the
+   edited routine too. *)
+
+type snapshot = {
+  snap_mode : Mode.t;
+  snap_machine : Machine.t;
+  snap_loops : Dataflow.Loops.t;
+  snap_cfg : Cfg.t;  (* pristine renumbered routine *)
+  snap_split_pairs : (Reg.t * Reg.t) list;
+  snap_live : Dataflow.Liveness.t;
+  snap_graph : Interference.t;
+}
+
+let snapshot ?(mode = Mode.Briggs_remat) ?(machine = Machine.standard)
+    (input : Cfg.t) =
+  validate_input input;
+  let cfg0 = Cfg.split_critical_edges input in
+  let dom = Dataflow.Dominance.compute cfg0 in
+  let loops = Dataflow.Loops.compute cfg0 dom in
+  let rn = Renumber.run mode cfg0 in
+  (* A throwaway context forces liveness and the graph through the same
+     code paths a structured allocation uses; nothing here mutates
+     [rn.cfg], so it is stored pristine. *)
+  let ctx =
+    Context.create ~use_flat:false ~mode ~machine ~loops ~tags:rn.Renumber.tags
+      ~split_pairs:rn.Renumber.split_pairs ~stats:(Stats.create ())
+      rn.Renumber.cfg
+  in
+  let live = Context.liveness ctx in
+  let graph = Context.graph ctx in
+  {
+    snap_mode = mode;
+    snap_machine = machine;
+    snap_loops = loops;
+    snap_cfg = rn.Renumber.cfg;
+    snap_split_pairs = rn.Renumber.split_pairs;
+    snap_live = live;
+    snap_graph = graph;
+  }
+
+(* Opcode equality modulo the payloads liveness and the interference
+   graph cannot observe.  Branch targets and symbol names are kept (they
+   shape the CFG resp. stay conservative); numeric, float and relation
+   payloads are erased. *)
+let erase_payload (o : Instr.op) : Instr.op =
+  match o with
+  | Instr.Ldi _ -> Instr.Ldi 0
+  | Instr.Lfi _ -> Instr.Lfi 0.
+  | Instr.Laddr (s, _) -> Instr.Laddr (s, 0)
+  | Instr.Lfp _ -> Instr.Lfp 0
+  | Instr.Ldro (s, _) -> Instr.Ldro (s, 0)
+  | Instr.Cmp _ -> Instr.Cmp Instr.Eq
+  | Instr.Fcmp _ -> Instr.Fcmp Instr.Eq
+  | Instr.Addi _ -> Instr.Addi 0
+  | Instr.Subi _ -> Instr.Subi 0
+  | Instr.Muli _ -> Instr.Muli 0
+  | Instr.Loadi _ -> Instr.Loadi 0
+  | Instr.Storei _ -> Instr.Storei 0
+  | Instr.Spill _ -> Instr.Spill 0
+  | Instr.Reload _ -> Instr.Reload 0
+  | o -> o
+
+let sorted_srcs (i : Instr.t) =
+  let a = Array.copy i.Instr.srcs in
+  Array.sort Reg.compare a;
+  a
+
+(* Same live-range skeleton: block-for-block labels, instruction-for-
+   instruction destinations, source multisets (order is invisible to
+   liveness and the build) and payload-erased opcodes.  φ-free by
+   construction (both are renumbered routines). *)
+let skeleton_equal (a : Cfg.t) (b : Cfg.t) =
+  let instr_equal (x : Instr.t) (y : Instr.t) =
+    Instr.equal_op (erase_payload x.Instr.op) (erase_payload y.Instr.op)
+    && Option.equal Reg.equal x.Instr.dst y.Instr.dst
+    && Array.length x.Instr.srcs = Array.length y.Instr.srcs
+    && Array.for_all2 Reg.equal (sorted_srcs x) (sorted_srcs y)
+  in
+  let block_equal (x : Iloc.Block.t) (y : Iloc.Block.t) =
+    x.Iloc.Block.id = y.Iloc.Block.id
+    && String.equal x.Iloc.Block.label y.Iloc.Block.label
+    && x.Iloc.Block.phis = [] && y.Iloc.Block.phis = []
+    && List.equal instr_equal x.Iloc.Block.body y.Iloc.Block.body
+    && instr_equal x.Iloc.Block.term y.Iloc.Block.term
+  in
+  a.Cfg.entry = b.Cfg.entry
+  && Array.length a.Cfg.blocks = Array.length b.Cfg.blocks
+  && Array.for_all2 block_equal a.Cfg.blocks b.Cfg.blocks
+
+let allocate_incremental ?(verify = false) ?(max_rounds = 64)
+    (snap : snapshot) (input : Cfg.t) =
+  validate_input input;
+  let mode = snap.snap_mode and machine = snap.snap_machine in
+  if Mode.loop_scheme mode <> None then None
+    (* Splitting schemes rewrite the routine after renumber, staling the
+       snapshot's liveness and graph before the first round. *)
+  else begin
+    let stats = Stats.create () in
+    let cfg0 = Cfg.split_critical_edges input in
+    let rn =
+      Stats.time stats ~round:0 Stats.Renum (fun () -> Renumber.run mode cfg0)
+    in
+    if
+      not
+        (skeleton_equal snap.snap_cfg rn.Renumber.cfg
+        && List.equal
+             (fun (a, b) (c, d) -> Reg.equal a c && Reg.equal b d)
+             snap.snap_split_pairs rn.Renumber.split_pairs)
+    then None
+    else begin
+      let ctx =
+        Context.create ~use_flat:false ~mode ~machine ~loops:snap.snap_loops
+          ~tags:rn.Renumber.tags ~split_pairs:rn.Renumber.split_pairs ~stats
+          rn.Renumber.cfg
+      in
+      (* Prime the caches: liveness is shared read-only (no phase ever
+         writes a row), the graph is deep-copied because coalescing will
+         mutate it.  Round 1 then performs no Liveness_runs and no
+         Full_builds — the observable signature of the incremental
+         path. *)
+      ctx.Context.live <- Some snap.snap_live;
+      ctx.Context.graph <- Some (Interference.copy snap.snap_graph);
+      (* Pristine copy of the edited routine's renumbered form, captured
+         before coloring mutates [ctx.cfg]: the derived snapshot reuses
+         this run's liveness/graph for the {e edited} routine's future
+         edits. *)
+      let pristine = Cfg.copy rn.Renumber.cfg in
+      let rounds, spilled_memory, spilled_remat, spill_slots =
+        color_rounds ~name:input.Cfg.name ~max_rounds ctx
+      in
+      let cfg = ctx.Context.cfg in
+      if verify then verify_output ~input ~output:cfg ~machine;
+      let result =
+        {
+          cfg;
+          mode;
+          machine;
+          rounds;
+          spilled_memory;
+          spilled_remat;
+          spill_slots;
+          n_values = rn.Renumber.n_values;
+          n_live_ranges = rn.Renumber.n_live_ranges;
+          coalesced_copies = ctx.Context.coalesced;
+          stats;
+        }
+      in
+      let snap' =
+        { snap with snap_cfg = pristine; snap_split_pairs = rn.Renumber.split_pairs }
+      in
+      Some (result, snap')
+    end
+  end
 
 let run ?mode ?machine ?max_rounds ?use_flat input =
   allocate ?mode ?machine ?max_rounds ?use_flat input

@@ -77,6 +77,44 @@ val allocate :
     to judge (kind [Unsupported] — e.g. an input that already contains
     spill code) pass silently. *)
 
+type snapshot
+(** Everything a small edit of a routine leaves valid: the pristine
+    renumbered code, global liveness, and a freshly built interference
+    graph.  Liveness and the graph see only def/use registers, copies
+    and terminator targets — never immediate payloads or source-operand
+    order — so an edit preserving that skeleton reuses both.  A snapshot
+    is immutable once built: concurrent {!allocate_incremental} calls
+    may share one (each takes a private graph copy). *)
+
+val snapshot :
+  ?mode:Mode.t -> ?machine:Machine.t -> Iloc.Cfg.t -> snapshot
+(** Renumber the routine and force liveness + graph construction,
+    capturing all three for later {!allocate_incremental} calls.  Costs
+    roughly the pre-coloring front half of an allocation.  The input
+    must pass {!Iloc.Validate.routine}. *)
+
+val allocate_incremental :
+  ?verify:bool ->
+  ?max_rounds:int ->
+  snapshot ->
+  Iloc.Cfg.t ->
+  (result * snapshot) option
+(** Allocate an edited variant of the snapshotted routine, skipping the
+    first round's from-scratch liveness and graph build by priming the
+    context from the snapshot.  The edited routine is still renumbered
+    (tag unioning can change under payload edits); if its live-range
+    skeleton diverges from the snapshot's, [None] is returned and the
+    caller must fall back to a cold {!allocate} — reuse only happens
+    when it is provably sound, so the returned allocation is always
+    byte-identical to a cold allocation of the same routine (the
+    structured/flat A/B property bridges the rest).  On success the
+    first round performs no [Full_builds] and no [Liveness_runs]
+    (observable in [result.stats]: [Full_builds] = rounds − 1 instead of
+    rounds), and a new snapshot for the {e edited} routine is returned,
+    sharing the cached liveness/graph.  Returns [None] for modes with a
+    loop-splitting scheme (splitting rewrites the routine after
+    renumber). *)
+
 val run :
   ?mode:Mode.t ->
   ?machine:Machine.t ->

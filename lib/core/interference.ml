@@ -45,6 +45,27 @@ let edge_remove t idx =
 
 let scratch_matrix t = match t.edges with Dense m -> Some m | Sparse _ -> None
 
+(* Deep copy for snapshot reuse: coalescing mutates the graph in place,
+   so a cached build must be copied before each allocation that consumes
+   it.  [regs] is immutable after construction and safely shared. *)
+let copy t =
+  {
+    regs = t.regs;
+    n = t.n;
+    edges =
+      (match t.edges with
+      | Dense m -> Dense (Bitset.copy m)
+      | Sparse h -> Sparse (Hash_set.copy h));
+    adj = Array.map Int_vec.copy t.adj;
+    degree = Array.copy t.degree;
+    alive = Array.copy t.alive;
+    forward = Array.copy t.forward;
+    thresh = Array.copy t.thresh;
+    sig_nb = Array.copy t.sig_nb;
+    n_edges = t.n_edges;
+    n_alive = t.n_alive;
+  }
+
 let interfere t i j = i <> j && edge_mem t (tri i j)
 let neighbors t i = Int_vec.to_list t.adj.(i)
 let iter_neighbors f t i = Int_vec.iter f t.adj.(i)

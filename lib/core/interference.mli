@@ -105,6 +105,12 @@ val scratch_matrix : t -> Dataflow.Bitset.t option
 (** The dense bit matrix, for recycling into a later build's [?matrix];
     [None] when the graph is sparse. *)
 
+val copy : t -> t
+(** Independent deep copy: mutating the copy (coalescing, merges) leaves
+    the original untouched.  The immutable node index is shared.  Used
+    by the serving layer to hand each request a private graph cloned
+    from a cached build. *)
+
 val neighbors : t -> int -> int list
 (** Fresh list; prefer {!iter_neighbors}/{!fold_neighbors} on hot
     paths.  Neighbor order is unspecified (vectors use swap-removal). *)

@@ -30,6 +30,7 @@ let pop t =
   Array.unsafe_get t.data t.len
 
 let clear t = t.len <- 0
+let copy t = { data = Array.sub t.data 0 t.len; len = t.len }
 
 let iter f t =
   for i = 0 to t.len - 1 do

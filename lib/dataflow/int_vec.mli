@@ -25,6 +25,10 @@ val pop : t -> int
     empty. *)
 
 val clear : t -> unit
+
+val copy : t -> t
+(** Independent vector with the same elements; trims slack capacity. *)
+
 val iter : (int -> unit) -> t -> unit
 val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
 val exists : (int -> bool) -> t -> bool

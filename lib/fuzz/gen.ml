@@ -306,6 +306,212 @@ let emit_all ctx e stmts =
   in
   List.iter stmt stmts
 
+(* ------------------------------------------------------------------ *)
+(* Small-edit mutation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Block = Iloc.Block
+module Cfg = Iloc.Cfg
+
+(* The serving load generator's "edited routine" source: a seeded small
+   edit of an existing routine that stays Validate-clean.  Edit kinds:
+
+   - {e perturb}: nudge an [Ldi]/[Lfi]/[Addi]/[Subi]/[Muli] payload.
+     Memory-op offsets and [Ldro]/[Laddr] are never touched (they carry
+     the generator's in-bounds guarantees), and [Subi] payloads stay
+     positive so generated loop decrements keep terminating.
+   - {e swap}: exchange the two sources of a commutable instruction
+     ([Add]/[Mul]/[Fadd]/[Fmul], or a [Cmp]/[Fcmp] on [Eq]/[Ne]).
+   - {e split}: cut a ≥2-instruction block in two, joined by a [jmp]
+     through a fresh label.
+   - {e merge}: inline a single-predecessor [jmp] target into its
+     predecessor.
+
+   Kinds are drawn by weight; a kind with no applicable site falls
+   through to the next, and a routine admitting no edit at all (rare:
+   single empty block) is returned as a copy.  Structural kinds are
+   skipped on SSA-form input. *)
+
+let mutate ~seed (cfg : Cfg.t) =
+  let rng = Random.State.make [| 0x4d555441; seed |] in
+  let rand n = Random.State.int rng n in
+  let blocks = Array.to_list cfg.Cfg.blocks in
+  let structural_ok = not (Cfg.in_ssa cfg) in
+  (* Candidate sites per kind, in deterministic (block, position) order. *)
+  let body_sites pred =
+    List.concat_map
+      (fun (b : Block.t) ->
+        List.mapi (fun pos i -> (b.Block.id, pos, i)) b.Block.body
+        |> List.filter (fun (_, _, i) -> pred i))
+      blocks
+  in
+  let perturbable (i : Instr.t) =
+    match i.Instr.op with
+    | Instr.Ldi _ | Instr.Lfi _ | Instr.Addi _ | Instr.Subi _ | Instr.Muli _
+      ->
+        true
+    | _ -> false
+  in
+  let swappable (i : Instr.t) =
+    match i.Instr.op with
+    | Instr.Add | Instr.Mul | Instr.Fadd | Instr.Fmul -> true
+    | Instr.Cmp (Instr.Eq | Instr.Ne) | Instr.Fcmp (Instr.Eq | Instr.Ne) ->
+        Array.length i.Instr.srcs = 2
+    | _ -> false
+  in
+  let split_sites =
+    if structural_ok then
+      List.filter_map
+        (fun (b : Block.t) ->
+          if List.length b.Block.body >= 2 then Some b.Block.id else None)
+        blocks
+    else []
+  in
+  let merge_sites =
+    if structural_ok then
+      List.filter_map
+        (fun (b : Block.t) ->
+          match b.Block.term.Instr.op with
+          | Instr.Jmp l ->
+              let c = Cfg.find_label cfg l in
+              if
+                c <> cfg.Cfg.entry && c <> b.Block.id
+                && (match Cfg.preds cfg c with [ p ] -> p = b.Block.id | _ -> false)
+                && (Cfg.block cfg c).Block.phis = []
+              then Some (b.Block.id, c)
+              else None
+          | _ -> None)
+        blocks
+    else []
+  in
+  let rebuild f =
+    (* Rebuild through [Cfg.make]: ids renumbered densely, edges and the
+       supply watermark recomputed, labels checked. *)
+    let bs = f blocks in
+    Cfg.make ~name:cfg.Cfg.name ~symbols:cfg.Cfg.symbols
+      (List.mapi
+         (fun id (b : Block.t) ->
+           Block.make ~id ~label:b.Block.label ~phis:b.Block.phis
+             ~body:b.Block.body ~term:b.Block.term ())
+         bs)
+  in
+  let edit_body bid pos f =
+    rebuild
+      (List.map (fun (b : Block.t) ->
+           if b.Block.id <> bid then b
+           else
+             {
+               b with
+               Block.body = List.mapi (fun p i -> if p = pos then f i else i) b.Block.body;
+             }))
+  in
+  let perturb () =
+    match body_sites perturbable with
+    | [] -> None
+    | sites ->
+        let bid, pos, _ = List.nth sites (rand (List.length sites)) in
+        let delta = 1 + rand 8 in
+        let delta = if rand 2 = 0 then -delta else delta in
+        Some
+          (edit_body bid pos (fun i ->
+               let op =
+                 match i.Instr.op with
+                 | Instr.Ldi n -> Instr.Ldi (n + delta)
+                 | Instr.Lfi x -> Instr.Lfi (x +. (float_of_int delta /. 4.))
+                 | Instr.Addi n -> Instr.Addi (n + delta)
+                 | Instr.Subi n -> Instr.Subi (max 1 (n + delta))
+                 | Instr.Muli n -> Instr.Muli (n + delta)
+                 | op -> op
+               in
+               { i with Instr.op }))
+  in
+  let swap () =
+    match body_sites swappable with
+    | [] -> None
+    | sites ->
+        let bid, pos, _ = List.nth sites (rand (List.length sites)) in
+        Some
+          (edit_body bid pos (fun i ->
+               { i with Instr.srcs = [| i.Instr.srcs.(1); i.Instr.srcs.(0) |] }))
+  in
+  let fresh_split_label () =
+    let labels =
+      List.fold_left
+        (fun acc (b : Block.t) -> b.Block.label :: acc)
+        [] blocks
+    in
+    let rec go k =
+      let l = Printf.sprintf "mut%d" k in
+      if List.mem l labels then go (k + 1) else l
+    in
+    go 0
+  in
+  let split () =
+    match split_sites with
+    | [] -> None
+    | sites ->
+        let bid = List.nth sites (rand (List.length sites)) in
+        let b = Cfg.block cfg bid in
+        let len = List.length b.Block.body in
+        let cut = 1 + rand (len - 1) in
+        let label = fresh_split_label () in
+        Some
+          (rebuild (fun bs ->
+               List.concat_map
+                 (fun (x : Block.t) ->
+                   if x.Block.id <> bid then [ x ]
+                   else
+                     let head = List.filteri (fun p _ -> p < cut) x.Block.body in
+                     let tail = List.filteri (fun p _ -> p >= cut) x.Block.body in
+                     [
+                       { x with Block.body = head; term = Instr.jmp label };
+                       Block.make ~id:0 (* renumbered by rebuild *) ~label
+                         ~body:tail ~term:x.Block.term ();
+                     ])
+                 bs))
+  in
+  let merge () =
+    match merge_sites with
+    | [] -> None
+    | sites ->
+        let bid, cid = List.nth sites (rand (List.length sites)) in
+        let c = Cfg.block cfg cid in
+        Some
+          (rebuild (fun bs ->
+               List.filter_map
+                 (fun (x : Block.t) ->
+                   if x.Block.id = cid then None
+                   else if x.Block.id = bid then
+                     Some
+                       {
+                         x with
+                         Block.body = x.Block.body @ c.Block.body;
+                         term = c.Block.term;
+                       }
+                   else Some x)
+                 bs))
+  in
+  (* Weighted kind draw with fall-through past inapplicable kinds. *)
+  let kinds = [ (3, perturb); (2, swap); (1, split); (1, merge) ] in
+  let total = List.fold_left (fun a (w, _) -> a + w) 0 kinds in
+  let start =
+    let n = rand total in
+    let rec go n idx = function
+      | (w, _) :: rest -> if n < w then idx else go (n - w) (idx + 1) rest
+      | [] -> assert false
+    in
+    go n 0 kinds
+  in
+  let n_kinds = List.length kinds in
+  let rec try_from k tries =
+    if tries = 0 then rebuild (fun bs -> bs)
+    else
+      match (snd (List.nth kinds (k mod n_kinds))) () with
+      | Some cfg' -> cfg'
+      | None -> try_from (k + 1) (tries - 1)
+  in
+  try_from start n_kinds
+
 let generate ?(config = default) seed =
   let rng = Random.State.make [| 0x52454d41; seed |] in
   let builder = Builder.create (Printf.sprintf "fuzz_%d" seed) in

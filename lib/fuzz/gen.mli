@@ -53,3 +53,16 @@ val high_pressure : config
 val generate : ?config:config -> int -> Iloc.Cfg.t
 (** [generate ?config seed] builds one routine, named [fuzz_<seed>],
     deterministically from [seed]. *)
+
+val mutate : seed:int -> Iloc.Cfg.t -> Iloc.Cfg.t
+(** [mutate ~seed cfg] applies one seeded small edit — perturb an
+    immediate ([Ldi]/[Lfi]/[Addi]/[Subi]/[Muli]; never a memory offset,
+    and [Subi] payloads stay positive so generated loop decrements keep
+    terminating), swap a commutable instruction's sources, split a block
+    in two, or merge a single-predecessor [jmp] target into its
+    predecessor — and returns a fresh routine.  The input is never
+    mutated.  Deterministic in [(seed, cfg)]; the result of mutating a
+    {!Iloc.Validate}-clean non-SSA routine is Validate-clean (structural
+    edits are skipped on SSA input).  Routines admitting no edit come
+    back as plain copies.  Powers the serving load generator's
+    edit-rate mix. *)

@@ -236,6 +236,122 @@ let structural_equal a b =
   && Array.length a.blocks = Array.length b.blocks
   && Array.for_all2 block_equal a.blocks b.blocks
 
+(* Content hash: a digest of exactly the structure [structural_equal]
+   compares — name, symbols, entry, and per-block labels, φ-nodes, bodies
+   and terminators.  Supply watermark and edge caches are excluded, so a
+   parse of a printed routine hashes identically to the original.  Every
+   field is length- or tag-prefixed, making the serialization injective;
+   float payloads are keyed by their bits after the identifications
+   [Instr.equal] makes (every NaN to one canonical NaN, -0 to +0), so
+   structurally equal routines hash equally. *)
+let content_hash t =
+  let b = Buffer.create 4096 in
+  let int n =
+    Buffer.add_string b (string_of_int n);
+    Buffer.add_char b ';'
+  in
+  let str s =
+    int (String.length s);
+    Buffer.add_string b s
+  in
+  let flt x =
+    let bits =
+      if Float.is_nan x then Int64.bits_of_float Float.nan
+      else Int64.bits_of_float (x +. 0.)
+    in
+    Buffer.add_string b (Int64.to_string bits);
+    Buffer.add_char b ';'
+  in
+  let reg r = int (Reg.hash r) in
+  let rel (r : Instr.rel) =
+    int (match r with Eq -> 0 | Ne -> 1 | Lt -> 2 | Le -> 3 | Gt -> 4 | Ge -> 5)
+  in
+  let op (o : Instr.op) =
+    match o with
+    | Ldi i -> int 0; int i
+    | Lfi x -> int 1; flt x
+    | Laddr (s, off) -> int 2; str s; int off
+    | Lfp off -> int 3; int off
+    | Ldro (s, off) -> int 4; str s; int off
+    | Add -> int 5
+    | Sub -> int 6
+    | Mul -> int 7
+    | Div -> int 8
+    | Rem -> int 9
+    | Cmp r -> int 10; rel r
+    | Addi i -> int 11; int i
+    | Subi i -> int 12; int i
+    | Muli i -> int 13; int i
+    | Fadd -> int 14
+    | Fsub -> int 15
+    | Fmul -> int 16
+    | Fdiv -> int 17
+    | Fcmp r -> int 18; rel r
+    | Fneg -> int 19
+    | Fabs -> int 20
+    | Itof -> int 21
+    | Ftoi -> int 22
+    | Copy -> int 23
+    | Load -> int 24
+    | Loadx -> int 25
+    | Loadi i -> int 26; int i
+    | Store -> int 27
+    | Storex -> int 28
+    | Storei i -> int 29; int i
+    | Spill s -> int 30; int s
+    | Reload s -> int 31; int s
+    | Jmp l -> int 32; str l
+    | Cbr (l1, l2) -> int 33; str l1; str l2
+    | Ret -> int 34
+    | Print -> int 35
+    | Nop -> int 36
+  in
+  let instr (i : Instr.t) =
+    op i.op;
+    (match i.dst with None -> int (-1) | Some r -> reg r);
+    int (Array.length i.srcs);
+    Array.iter reg i.srcs
+  in
+  str t.name;
+  int t.entry;
+  int (List.length t.symbols);
+  List.iter
+    (fun (s : Symbol.t) ->
+      str s.name;
+      int s.size;
+      int (if s.readonly then 1 else 0);
+      match s.init with
+      | Symbol.Uninit -> int 0
+      | Symbol.Int_elts xs ->
+          int 1;
+          int (List.length xs);
+          List.iter int xs
+      | Symbol.Float_elts xs ->
+          int 2;
+          int (List.length xs);
+          List.iter flt xs)
+    t.symbols;
+  int (Array.length t.blocks);
+  Array.iter
+    (fun (blk : Block.t) ->
+      str blk.label;
+      int (List.length blk.phis);
+      List.iter
+        (fun (p : Phi.t) ->
+          reg p.dst;
+          int (List.length p.args);
+          List.iter
+            (fun (pred, r) ->
+              int pred;
+              reg r)
+            p.args)
+        blk.phis;
+      int (List.length blk.body);
+      List.iter instr blk.body;
+      instr blk.term)
+    t.blocks;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>routine %s@," t.name;
   List.iter (fun s -> Format.fprintf ppf "  data %a@," Symbol.pp s) t.symbols;

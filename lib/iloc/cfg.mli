@@ -71,5 +71,14 @@ val structural_equal : t -> t -> bool
     caches and the register supply are ignored — this is the equality the
     printer/parser round-trip property is stated in. *)
 
+val content_hash : t -> string
+(** Hex digest of the routine's structure — exactly what
+    {!structural_equal} compares (name, symbols, entry, labels, φ-nodes,
+    bodies, terminators; supply watermark and edge caches excluded), so
+    [structural_equal a b] implies [content_hash a = content_hash b] and
+    a print/parse round trip preserves the hash.  Float payloads are
+    canonicalized the way [Instr.equal] identifies them (NaN = NaN,
+    +0 = -0).  Keys the serving layer's memo table. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

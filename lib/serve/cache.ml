@@ -1,0 +1,111 @@
+(* A bounded LRU memo table: hash table for O(1) lookup, intrusive
+   doubly-linked list for recency order.  Inserting at capacity evicts
+   the least-recently-used entry; [find] counts hits/misses and renews
+   recency, [peek] does neither (the server's planning pass uses it to
+   inspect state without perturbing the counters the replay pass will
+   produce).  Single-domain use only: the server mutates the cache
+   exclusively from its sequential passes. *)
+
+type 'a node = {
+  key : string;
+  mutable value : 'a;
+  mutable prev : 'a node option;  (* toward MRU *)
+  mutable next : 'a node option;  (* toward LRU *)
+}
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable insertions : int;
+}
+
+type 'a t = {
+  capacity : int;
+  tbl : (string, 'a node) Hashtbl.t;
+  mutable mru : 'a node option;
+  mutable lru : 'a node option;
+  mutable size : int;
+  stats : stats;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Cache.create: capacity must be positive";
+  {
+    capacity;
+    tbl = Hashtbl.create (min capacity 1024);
+    mru = None;
+    lru = None;
+    size = 0;
+    stats = { hits = 0; misses = 0; evictions = 0; insertions = 0 };
+  }
+
+let capacity t = t.capacity
+let length t = t.size
+let stats t = t.stats
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.mru <- n.next);
+  (match n.next with Some x -> x.prev <- n.prev | None -> t.lru <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.mru;
+  n.prev <- None;
+  (match t.mru with Some m -> m.prev <- Some n | None -> t.lru <- Some n);
+  t.mru <- Some n
+
+let touch t n =
+  match t.mru with
+  | Some m when m == n -> ()
+  | _ ->
+      unlink t n;
+      push_front t n
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some n ->
+      t.stats.hits <- t.stats.hits + 1;
+      touch t n;
+      Some n.value
+  | None ->
+      t.stats.misses <- t.stats.misses + 1;
+      None
+
+let peek t key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some n -> Some n.value
+  | None -> None
+
+let mem t key = Hashtbl.mem t.tbl key
+
+let evict_lru t =
+  match t.lru with
+  | None -> ()
+  | Some n ->
+      unlink t n;
+      Hashtbl.remove t.tbl n.key;
+      t.size <- t.size - 1;
+      t.stats.evictions <- t.stats.evictions + 1
+
+let insert t key value =
+  match Hashtbl.find_opt t.tbl key with
+  | Some n ->
+      n.value <- value;
+      touch t n;
+      t.stats.insertions <- t.stats.insertions + 1
+  | None ->
+      if t.size = t.capacity then evict_lru t;
+      let n = { key; value; prev = None; next = None } in
+      Hashtbl.replace t.tbl key n;
+      push_front t n;
+      t.size <- t.size + 1;
+      t.stats.insertions <- t.stats.insertions + 1
+
+let keys_mru t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some n -> go (n.key :: acc) n.next
+  in
+  go [] t.mru

@@ -1,0 +1,41 @@
+(** LRU-bounded memo table with exact hit/miss/eviction counters.
+
+    Hash table + intrusive recency list: O(1) find, insert and evict.
+    The eviction bound is exact — the table never holds more than
+    [capacity] entries — and the counters record precisely what {!find}
+    and {!insert} did, in call order.  Not domain-safe: the server
+    touches it only from its sequential planning/replay passes. *)
+
+type 'a t
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable insertions : int;
+}
+
+val create : capacity:int -> 'a t
+(** Raises [Invalid_argument] when [capacity < 1]. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+
+val stats : 'a t -> stats
+(** Live counters (mutated by subsequent operations). *)
+
+val find : 'a t -> string -> 'a option
+(** Counts a hit (and renews recency) or a miss. *)
+
+val peek : 'a t -> string -> 'a option
+(** Lookup without touching recency or counters. *)
+
+val mem : 'a t -> string -> bool
+(** No counter or recency effect. *)
+
+val insert : 'a t -> string -> 'a -> unit
+(** Insert or overwrite (counted; an insert at capacity evicts the
+    least-recently-used entry first, also counted). *)
+
+val keys_mru : 'a t -> string list
+(** Keys from most- to least-recently used, for tests. *)

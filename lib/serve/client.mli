@@ -1,0 +1,18 @@
+(** Synchronous client for the serving protocol. *)
+
+type t
+
+val connect : string -> t
+(** Connect to a Unix-domain socket. *)
+
+val of_fds : in_fd:Unix.file_descr -> out_fd:Unix.file_descr -> t
+(** Wrap existing descriptors (e.g. a pipe pair to an in-process
+    server); {!close} then leaves them open. *)
+
+val send : t -> Protocol.request -> unit
+val receive : t -> (Protocol.response, string) result
+
+val request : t -> Protocol.request -> (Protocol.response, string) result
+(** [send] then [receive]. *)
+
+val close : t -> unit

@@ -1,0 +1,147 @@
+(* Length-prefixed framing: every message on the wire is a 4-byte
+   big-endian payload length followed by the payload bytes.  The reader
+   is defensive — the daemon faces arbitrary clients — so a length
+   prefix above the configured bound, a negative-looking prefix, or an
+   EOF in the middle of a frame all surface as [Corrupt] rather than an
+   exception, and a corrupt reader stays corrupt (framing is
+   unrecoverable once desynchronized). *)
+
+let default_max_frame = 16 * 1024 * 1024
+
+type event = Frame of string | End_of_input | Corrupt of string
+
+let encode buf payload =
+  let n = String.length payload in
+  Buffer.add_char buf (Char.chr ((n lsr 24) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (n land 0xff));
+  Buffer.add_string buf payload
+
+let to_string payload =
+  let buf = Buffer.create (String.length payload + 4) in
+  encode buf payload;
+  Buffer.contents buf
+
+type reader = {
+  fd : Unix.file_descr;
+  max_frame : int;
+  mutable buf : Bytes.t;  (* accumulated unparsed bytes *)
+  mutable len : int;  (* live bytes at the front of [buf] *)
+  mutable corrupt : string option;
+  chunk : Bytes.t;
+}
+
+let reader ?(max_frame = default_max_frame) fd =
+  {
+    fd;
+    max_frame;
+    buf = Bytes.create 4096;
+    len = 0;
+    corrupt = None;
+    chunk = Bytes.create 65536;
+  }
+
+let append r src n =
+  if r.len + n > Bytes.length r.buf then begin
+    let nb = Bytes.create (max (r.len + n) (2 * Bytes.length r.buf)) in
+    Bytes.blit r.buf 0 nb 0 r.len;
+    r.buf <- nb
+  end;
+  Bytes.blit src 0 r.buf r.len n;
+  r.len <- r.len + n
+
+(* A complete frame at the front of the buffer, if any.  [`Corrupt] when
+   the length prefix itself is unacceptable. *)
+let take_buffered r =
+  if r.len < 4 then `Need_more
+  else
+    let b i = Char.code (Bytes.get r.buf i) in
+    let n = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+    if n > r.max_frame then
+      `Corrupt (Printf.sprintf "frame length %d exceeds limit %d" n r.max_frame)
+    else if r.len < 4 + n then `Need_more
+    else begin
+      let payload = Bytes.sub_string r.buf 4 n in
+      Bytes.blit r.buf (4 + n) r.buf 0 (r.len - 4 - n);
+      r.len <- r.len - 4 - n;
+      `Frame payload
+    end
+
+let poison r msg =
+  r.corrupt <- Some msg;
+  Corrupt msg
+
+let rec next r =
+  match r.corrupt with
+  | Some msg -> Corrupt msg
+  | None -> (
+      match take_buffered r with
+      | `Frame p -> Frame p
+      | `Corrupt msg -> poison r msg
+      | `Need_more -> (
+          match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
+          | 0 ->
+              if r.len = 0 then End_of_input
+              else
+                poison r
+                  (Printf.sprintf "end of input inside a frame (%d stray bytes)"
+                     r.len)
+          | n ->
+              append r r.chunk n;
+              next r
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> next r))
+
+let rec poll r =
+  match r.corrupt with
+  | Some msg -> Some (Corrupt msg)
+  | None -> (
+      match take_buffered r with
+      | `Frame p -> Some (Frame p)
+      | `Corrupt msg -> Some (poison r msg)
+      | `Need_more -> (
+          match Unix.select [ r.fd ] [] [] 0.0 with
+          | [], _, _ -> None
+          | _ -> (
+              match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
+              | 0 ->
+                  if r.len = 0 then Some End_of_input
+                  else
+                    Some
+                      (poison r
+                         (Printf.sprintf
+                            "end of input inside a frame (%d stray bytes)" r.len))
+              | n ->
+                  append r r.chunk n;
+                  poll r
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> poll r)
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> poll r))
+
+(* Pure decoding, for tests and for peers that already hold the bytes. *)
+let decode_all ?(max_frame = default_max_frame) s =
+  let n = String.length s in
+  let rec go pos acc =
+    if pos = n then Ok (List.rev acc)
+    else if n - pos < 4 then Error "truncated length prefix"
+    else
+      let b i = Char.code s.[pos + i] in
+      let len = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+      if len > max_frame then
+        Error (Printf.sprintf "frame length %d exceeds limit %d" len max_frame)
+      else if n - pos - 4 < len then Error "truncated frame"
+      else go (pos + 4 + len) (String.sub s (pos + 4) len :: acc)
+  in
+  go 0 []
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      match Unix.write fd b off (n - off) with
+      | w -> go (off + w)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let write_frame fd payload = write_all fd (to_string payload)

@@ -1,0 +1,47 @@
+(** Length-prefixed framing for the serving protocol.
+
+    Wire format: a 4-byte big-endian payload length, then the payload.
+    The reader never lets a malformed peer escape as an exception:
+    oversized length prefixes, garbage that decodes to an oversized
+    length, and EOF in the middle of a frame all surface as {!Corrupt},
+    and a corrupt reader stays corrupt — framing cannot resynchronize
+    once the byte stream is desynchronized, so the server answers with a
+    structured error and closes the connection. *)
+
+val default_max_frame : int
+(** 16 MiB — bounds both reader buffering and accepted frame sizes. *)
+
+type event =
+  | Frame of string  (** one complete payload *)
+  | End_of_input  (** clean EOF on a frame boundary *)
+  | Corrupt of string  (** unrecoverable framing violation *)
+
+val encode : Buffer.t -> string -> unit
+(** Append one framed payload to the buffer. *)
+
+val to_string : string -> string
+(** [to_string payload] is the framed bytes of one payload. *)
+
+type reader
+(** Buffered frame reader over a file descriptor. *)
+
+val reader : ?max_frame:int -> Unix.file_descr -> reader
+
+val next : reader -> event
+(** Block until one full frame, EOF, or a framing violation. *)
+
+val poll : reader -> event option
+(** Like {!next} but never blocks: [None] when no complete frame can be
+    had without waiting (a partial frame may have been buffered — a
+    later {!next}/{!poll} continues it).  Powers the server's
+    opportunistic request batching. *)
+
+val decode_all : ?max_frame:int -> string -> (string list, string) result
+(** Split a byte string into its framed payloads ([Error] on truncation
+    or an oversized prefix) — the pure mirror of {!next}, for tests. *)
+
+val write_all : Unix.file_descr -> string -> unit
+(** Write the whole string, retrying short writes and [EINTR]. *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Frame and write one payload. *)

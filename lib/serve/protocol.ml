@@ -1,0 +1,317 @@
+(* The serving protocol's payloads: plain text, one header section and
+   an optional routine body, separated by a blank line.
+
+     ralloc/1 <op>
+     <key> <value>
+     ...
+     <blank>
+     <routine text>
+
+   Text keeps the protocol debuggable (a session is readable in a hex
+   dump) and reuses the repo's printer/parser as the routine codec.
+   Parsing is total: every malformed payload becomes [Error msg], which
+   the server turns into a structured [Err] response — nothing a client
+   sends can raise out of the decode path. *)
+
+module Mode = Remat.Mode
+module Machine = Remat.Machine
+
+let magic = "ralloc/1"
+
+type config = { mode : Mode.t; k_int : int; k_float : int }
+
+let standard_config =
+  {
+    mode = Mode.Briggs_remat;
+    k_int = Machine.standard.Machine.k_int;
+    k_float = Machine.standard.Machine.k_float;
+  }
+
+let machine_of_config c =
+  Machine.make ~name:"serve" ~k_int:c.k_int ~k_float:c.k_float
+
+type request =
+  | Alloc of { config : config; text : string }
+  | Probe of { config : config; hash : string }
+  | Edit of { config : config; base : string; text : string }
+  | Stats
+  | Shutdown
+
+type source = Cold | Hit | Incremental
+
+type alloc_stats = {
+  rounds : int;
+  full_builds : int;
+  liveness_runs : int;
+  spilled : int;
+}
+
+type cache_stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  insertions : int;
+  entries : int;
+  capacity : int;
+}
+
+type err_kind = Parse_error | Protocol_error | Alloc_error | Server_error
+
+type response =
+  | Allocated of {
+      hash : string;
+      source : source;
+      stats : alloc_stats;
+      text : string;
+    }
+  | Absent of { hash : string }
+  | Cache_stats of cache_stats
+  | Err of { kind : err_kind; msg : string }
+  | Bye
+
+let source_to_string = function
+  | Cold -> "cold"
+  | Hit -> "hit"
+  | Incremental -> "incremental"
+
+let source_of_string = function
+  | "cold" -> Some Cold
+  | "hit" -> Some Hit
+  | "incremental" -> Some Incremental
+  | _ -> None
+
+let err_kind_to_string = function
+  | Parse_error -> "parse"
+  | Protocol_error -> "protocol"
+  | Alloc_error -> "alloc"
+  | Server_error -> "server"
+
+let err_kind_of_string = function
+  | "parse" -> Some Parse_error
+  | "protocol" -> Some Protocol_error
+  | "alloc" -> Some Alloc_error
+  | "server" -> Some Server_error
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let add_header b op kvs =
+  Buffer.add_string b magic;
+  Buffer.add_char b ' ';
+  Buffer.add_string b op;
+  Buffer.add_char b '\n';
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string b k;
+      Buffer.add_char b ' ';
+      Buffer.add_string b v;
+      Buffer.add_char b '\n')
+    kvs
+
+let add_body b text =
+  Buffer.add_char b '\n';
+  Buffer.add_string b text
+
+let config_kvs c =
+  [
+    ("mode", Mode.to_string c.mode);
+    ("k-int", string_of_int c.k_int);
+    ("k-float", string_of_int c.k_float);
+  ]
+
+let encode_request r =
+  let b = Buffer.create 256 in
+  (match r with
+  | Alloc { config; text } ->
+      add_header b "alloc" (config_kvs config);
+      add_body b text
+  | Probe { config; hash } ->
+      add_header b "probe" (config_kvs config @ [ ("hash", hash) ])
+  | Edit { config; base; text } ->
+      add_header b "edit" (config_kvs config @ [ ("base", base) ]);
+      add_body b text
+  | Stats -> add_header b "stats" []
+  | Shutdown -> add_header b "shutdown" []);
+  Buffer.contents b
+
+let alloc_stats_kvs s =
+  [
+    ("rounds", string_of_int s.rounds);
+    ("full-builds", string_of_int s.full_builds);
+    ("liveness-runs", string_of_int s.liveness_runs);
+    ("spilled", string_of_int s.spilled);
+  ]
+
+let encode_response r =
+  let b = Buffer.create 256 in
+  (match r with
+  | Allocated { hash; source; stats; text } ->
+      add_header b "allocated"
+        ([ ("hash", hash); ("source", source_to_string source) ]
+        @ alloc_stats_kvs stats);
+      add_body b text
+  | Absent { hash } -> add_header b "absent" [ ("hash", hash) ]
+  | Cache_stats s ->
+      add_header b "cache-stats"
+        [
+          ("hits", string_of_int s.hits);
+          ("misses", string_of_int s.misses);
+          ("evictions", string_of_int s.evictions);
+          ("insertions", string_of_int s.insertions);
+          ("entries", string_of_int s.entries);
+          ("capacity", string_of_int s.capacity);
+        ]
+  | Err { kind; msg } ->
+      add_header b "err" [ ("kind", err_kind_to_string kind) ];
+      add_body b msg
+  | Bye -> add_header b "bye" []);
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) = Result.bind
+
+(* Split a payload into (op, key→value list, body).  The body is
+   everything after the first blank line, verbatim. *)
+let split_payload s =
+  let header, body =
+    match String.index_opt s '\n' with
+    | None -> (s, "")
+    | Some _ -> (
+        (* Find the blank line separating header from body. *)
+        let n = String.length s in
+        let rec find i =
+          if i >= n then None
+          else if s.[i] = '\n' && i + 1 < n && s.[i + 1] = '\n' then Some i
+          else find (i + 1)
+        in
+        match find 0 with
+        | Some i -> (String.sub s 0 i, String.sub s (i + 2) (n - i - 2))
+        | None ->
+            (* No blank line: all header (trailing newline trimmed). *)
+            let s =
+              if n > 0 && s.[n - 1] = '\n' then String.sub s 0 (n - 1) else s
+            in
+            (s, ""))
+  in
+  match String.split_on_char '\n' header with
+  | [] -> Error "empty payload"
+  | first :: rest -> (
+      match String.index_opt first ' ' with
+      | Some i when String.sub first 0 i = magic ->
+          let op = String.sub first (i + 1) (String.length first - i - 1) in
+          let kvs =
+            List.filter_map
+              (fun line ->
+                if line = "" then None
+                else
+                  match String.index_opt line ' ' with
+                  | None -> Some (line, "")
+                  | Some j ->
+                      Some
+                        ( String.sub line 0 j,
+                          String.sub line (j + 1) (String.length line - j - 1)
+                        ))
+              rest
+          in
+          Ok (op, kvs, body)
+      | _ -> Error (Printf.sprintf "bad magic (expected %S ...)" magic))
+
+let field kvs k =
+  match List.assoc_opt k kvs with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing header field %S" k)
+
+let int_field kvs k =
+  let* v = field kvs k in
+  match int_of_string_opt v with
+  | Some n -> Ok n
+  | None -> Error (Printf.sprintf "field %S: not an integer (%S)" k v)
+
+let config_of kvs =
+  let* m = field kvs "mode" in
+  let* mode =
+    match Mode.of_string m with
+    | Some mode -> Ok mode
+    | None -> Error (Printf.sprintf "unknown mode %S" m)
+  in
+  let* k_int = int_field kvs "k-int" in
+  let* k_float = int_field kvs "k-float" in
+  if k_int < 2 || k_float < 2 then
+    Error (Printf.sprintf "register counts too small (k_int=%d k_float=%d)" k_int k_float)
+  else Ok { mode; k_int; k_float }
+
+let parse_request s =
+  let* op, kvs, body = split_payload s in
+  match op with
+  | "alloc" ->
+      let* config = config_of kvs in
+      if body = "" then Error "alloc: empty routine body"
+      else Ok (Alloc { config; text = body })
+  | "probe" ->
+      let* config = config_of kvs in
+      let* hash = field kvs "hash" in
+      Ok (Probe { config; hash })
+  | "edit" ->
+      let* config = config_of kvs in
+      let* base = field kvs "base" in
+      if body = "" then Error "edit: empty routine body"
+      else Ok (Edit { config; base; text = body })
+  | "stats" -> Ok Stats
+  | "shutdown" -> Ok Shutdown
+  | op -> Error (Printf.sprintf "unknown request op %S" op)
+
+let parse_response s =
+  let* op, kvs, body = split_payload s in
+  match op with
+  | "allocated" ->
+      let* hash = field kvs "hash" in
+      let* src = field kvs "source" in
+      let* source =
+        match source_of_string src with
+        | Some s -> Ok s
+        | None -> Error (Printf.sprintf "unknown source %S" src)
+      in
+      let* rounds = int_field kvs "rounds" in
+      let* full_builds = int_field kvs "full-builds" in
+      let* liveness_runs = int_field kvs "liveness-runs" in
+      let* spilled = int_field kvs "spilled" in
+      Ok
+        (Allocated
+           {
+             hash;
+             source;
+             stats = { rounds; full_builds; liveness_runs; spilled };
+             text = body;
+           })
+  | "absent" ->
+      let* hash = field kvs "hash" in
+      Ok (Absent { hash })
+  | "cache-stats" ->
+      let* hits = int_field kvs "hits" in
+      let* misses = int_field kvs "misses" in
+      let* evictions = int_field kvs "evictions" in
+      let* insertions = int_field kvs "insertions" in
+      let* entries = int_field kvs "entries" in
+      let* capacity = int_field kvs "capacity" in
+      Ok (Cache_stats { hits; misses; evictions; insertions; entries; capacity })
+  | "err" ->
+      let* k = field kvs "kind" in
+      let* kind =
+        match err_kind_of_string k with
+        | Some k -> Ok k
+        | None -> Error (Printf.sprintf "unknown error kind %S" k)
+      in
+      Ok (Err { kind; msg = body })
+  | "bye" -> Ok Bye
+  | op -> Error (Printf.sprintf "unknown response op %S" op)
+
+(* The memo key: routine content hash + every allocation-relevant
+   configuration axis.  Two requests share a cache entry exactly when
+   both the routine and the (mode, k_int, k_float) triple coincide. *)
+let cache_key ~hash (c : config) =
+  Printf.sprintf "%s/%s/%d/%d" hash (Mode.to_string c.mode) c.k_int c.k_float

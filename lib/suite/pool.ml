@@ -46,3 +46,164 @@ let run ~jobs f tasks =
         | None -> assert false (* every index < n was claimed *))
       results
   end
+
+(* ------------------------------------------------------------------ *)
+(* Persistent pool.
+
+   Same claiming discipline as [run] — an Atomic per batch, results in
+   per-task slots, first-failing-exception — but the worker domains
+   outlive any one batch, so a long-lived server pays the Domain.spawn
+   cost once instead of per request wave.
+
+   A batch is a [job]: a claim counter, a completion counter, and an
+   [exec] closure that runs one task and stores its outcome (the slot
+   array lives in the closure, keeping the job type monomorphic while
+   batches stay polymorphic).  Workers pick the first claimable job in
+   FIFO order; [await] helps with its own batch's tasks before blocking,
+   so a one-job pool still makes progress in the calling domain.
+   [shutdown] drains every queued task (in the calling domain alongside
+   the workers), then stops and joins the domains — task exceptions
+   raised mid-drain stay in their slots and propagate from [await],
+   never out of [shutdown]. *)
+
+type job = {
+  jn : int;  (* task count *)
+  next : int Atomic.t;  (* next unclaimed task index *)
+  remaining : int Atomic.t;  (* tasks not yet completed *)
+  exec : int -> unit;  (* run task i; catches, never raises *)
+  mutable finished : bool;  (* set under the pool mutex *)
+}
+
+type t = {
+  pjobs : int;
+  mu : Mutex.t;
+  cond : Condition.t;
+  mutable queue : job list;  (* jobs that may still have claimable tasks *)
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+}
+
+type 'b batch = { slots : ('b, exn) result option array; bjob : job; pool : t }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let mark_finished t j =
+  locked t (fun () ->
+      j.finished <- true;
+      t.queue <- List.filter (fun x -> x != j) t.queue;
+      Condition.broadcast t.cond)
+
+(* Claim and run one task of [j]; false when [j] has nothing left to
+   claim.  Runs the task outside any lock. *)
+let try_run t j =
+  let i = Atomic.fetch_and_add j.next 1 in
+  if i < j.jn then begin
+    j.exec i;
+    if Atomic.fetch_and_add j.remaining (-1) = 1 then mark_finished t j;
+    true
+  end
+  else false
+
+let drop_exhausted t j =
+  locked t (fun () -> t.queue <- List.filter (fun x -> x != j) t.queue)
+
+let claimable j = Atomic.get j.next < j.jn
+
+let worker t () =
+  let rec loop () =
+    let action =
+      locked t (fun () ->
+          let rec pick () =
+            match List.find_opt claimable t.queue with
+            | Some j -> Some j
+            | None ->
+                if t.stop then None
+                else begin
+                  Condition.wait t.cond t.mu;
+                  pick ()
+                end
+          in
+          pick ())
+    in
+    match action with
+    | None -> ()
+    | Some j ->
+        if not (try_run t j) then drop_exhausted t j;
+        loop ()
+  in
+  loop ()
+
+let create ?jobs () =
+  let jobs = max 1 (match jobs with Some j -> j | None -> default_jobs ()) in
+  let t =
+    {
+      pjobs = jobs;
+      mu = Mutex.create ();
+      cond = Condition.create ();
+      queue = [];
+      stop = false;
+      domains = [];
+    }
+  in
+  t.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (worker t));
+  t
+
+let jobs t = t.pjobs
+
+let submit t f tasks =
+  let n = Array.length tasks in
+  let slots = Array.make n None in
+  let job =
+    {
+      jn = n;
+      next = Atomic.make 0;
+      remaining = Atomic.make n;
+      exec =
+        (fun i ->
+          slots.(i) <-
+            Some (match f tasks.(i) with v -> Ok v | exception e -> Error e));
+      finished = n = 0;
+    }
+  in
+  locked t (fun () ->
+      if t.stop then invalid_arg "Pool.submit: pool is shut down";
+      if n > 0 then begin
+        t.queue <- t.queue @ [ job ];
+        Condition.broadcast t.cond
+      end);
+  { slots; bjob = job; pool = t }
+
+let await b =
+  let t = b.pool and j = b.bjob in
+  while try_run t j do
+    ()
+  done;
+  locked t (fun () ->
+      while not j.finished do
+        Condition.wait t.cond t.mu
+      done);
+  (match
+     Array.find_map (function Some (Error e) -> Some e | _ -> None) b.slots
+   with
+  | Some e -> raise e
+  | None -> ());
+  Array.map
+    (function Some (Ok v) -> v | _ -> assert false (* finished *))
+    b.slots
+
+let shutdown t =
+  let rec drain () =
+    match locked t (fun () -> List.find_opt claimable t.queue) with
+    | Some j ->
+        if not (try_run t j) then drop_exhausted t j;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  locked t (fun () ->
+      t.stop <- true;
+      Condition.broadcast t.cond);
+  List.iter Domain.join t.domains;
+  t.domains <- []

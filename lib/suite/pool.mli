@@ -17,3 +17,40 @@ val run : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
     returns the results {e in task order}, independent of scheduling.
     If any task raises, the exception of the lowest-indexed failing task
     is re-raised after all domains have been joined. *)
+
+(** {1 Persistent pool}
+
+    The same claiming discipline as {!run}, over worker domains that
+    outlive any single batch — the serving daemon's request waves pay
+    the [Domain.spawn] cost once, not per wave. *)
+
+type t
+(** A running pool: [jobs − 1] spawned worker domains (the caller's
+    domain contributes during {!await}). *)
+
+type 'b batch
+(** A submitted batch: claim its results with {!await}. *)
+
+val create : ?jobs:int -> unit -> t
+(** [jobs] defaults to {!default_jobs}; it is clamped to ≥ 1. *)
+
+val jobs : t -> int
+
+val submit : t -> ('a -> 'b) -> 'a array -> 'b batch
+(** Enqueue a batch.  Task functions must be domain-safe (as for
+    {!run}).  Raises [Invalid_argument] after {!shutdown}. *)
+
+val await : 'b batch -> 'b array
+(** Help execute the batch's remaining tasks in the calling domain, wait
+    for stragglers on other domains, and return the results {e in task
+    order} (independent of [jobs], like {!run}).  If any task raised,
+    the exception of the lowest-indexed failing task is re-raised — the
+    other results are still computed first, so the pool is never wedged
+    by a failure.  Each batch should be awaited exactly once. *)
+
+val shutdown : t -> unit
+(** Graceful shutdown: drain every still-queued task (helping in the
+    calling domain), then stop and join the worker domains.  Exceptions
+    raised by tasks during the drain stay in their batch and propagate
+    from that batch's {!await}, never from [shutdown].  Idempotent;
+    {!submit} afterwards raises. *)

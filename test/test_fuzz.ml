@@ -52,6 +52,73 @@ let gen_tests =
 
 (* --- oracle --- *)
 
+(* --- the small-edit mutator behind the serving load generator --- *)
+
+let mutate_prop =
+  QCheck.Test.make ~count:150
+    ~name:"mutate is deterministic and Validate-clean"
+    QCheck.(pair Testutil.Gen_prog.arbitrary_cfg small_nat)
+    (fun (cfg, seed) ->
+      let a = Fuzz.Gen.mutate ~seed cfg in
+      let b = Fuzz.Gen.mutate ~seed cfg in
+      (* Deterministic in (seed, cfg)... *)
+      Cfg.structural_equal a b
+      && String.equal
+           (Iloc.Printer.routine_to_string a)
+           (Iloc.Printer.routine_to_string b)
+      (* ...and as clean as its input: generated routines validate, so
+         every mutant must too. *)
+      &&
+      match Iloc.Validate.routine a with
+      | Ok () -> true
+      | Error es ->
+          QCheck.Test.fail_reportf "mutant of seed invalid: %s"
+            (String.concat "; " (List.map Iloc.Validate.error_to_string es)))
+
+let mutate_tests =
+  [
+    tc "mutation leaves the input routine untouched" (fun () ->
+        for seed = 0 to 9 do
+          let cfg = Fuzz.Gen.generate seed in
+          let before = Iloc.Printer.routine_to_string cfg in
+          ignore (Fuzz.Gen.mutate ~seed:(seed * 7 + 1) cfg);
+          check Alcotest.string
+            (Printf.sprintf "seed %d" seed)
+            before
+            (Iloc.Printer.routine_to_string cfg)
+        done);
+    tc "mutation actually edits most routines" (fun () ->
+        let changed = ref 0 in
+        for seed = 0 to 19 do
+          let cfg = Fuzz.Gen.generate seed in
+          let m = Fuzz.Gen.mutate ~seed:(100 + seed) cfg in
+          if
+            not
+              (String.equal
+                 (Iloc.Printer.routine_to_string cfg)
+                 (Iloc.Printer.routine_to_string m))
+          then incr changed
+        done;
+        check Alcotest.bool
+          (Printf.sprintf "%d/20 routines changed" !changed)
+          true (!changed >= 15));
+    tc "different seeds reach different edits" (fun () ->
+        let cfg = Fuzz.Gen.generate 5 in
+        let texts =
+          List.init 12 (fun s ->
+              Iloc.Printer.routine_to_string (Fuzz.Gen.mutate ~seed:s cfg))
+        in
+        check Alcotest.bool "at least three distinct mutants" true
+          (List.length (List.sort_uniq String.compare texts) >= 3));
+    tc "mutants still run under the reference interpreter" (fun () ->
+        for seed = 0 to 14 do
+          let m = Fuzz.Gen.mutate ~seed:(seed * 13 + 3) (Fuzz.Gen.generate seed) in
+          match Fuzz.Oracle.reference m with
+          | Ok _ -> ()
+          | Error msg -> Alcotest.failf "seed %d mutant does not run: %s" seed msg
+        done);
+  ]
+
 let oracle_tests =
   [
     tc "fixed fixtures are clean across the matrix" (fun () ->
@@ -213,6 +280,7 @@ let () =
   Alcotest.run "fuzz"
     [
       ("gen", gen_tests);
+      ("mutate", mutate_tests @ [ QCheck_alcotest.to_alcotest mutate_prop ]);
       ("oracle", oracle_tests);
       ("reduce", reduce_tests);
       ("campaign", campaign_tests);

@@ -387,6 +387,74 @@ let validate_tests =
 
 (* --- builder --- *)
 
+(* --- content hash (the serving cache's memo key) --- *)
+
+let hash_of text = Cfg.content_hash (Iloc.Parser.routine text)
+
+let tiny_routine =
+  "routine tiny\nentry:\n  r1 <- ldi 5\n  r2 <- addi r1 3\n  jmp out\nout:\n\
+  \  ret\n"
+
+let content_hash_tests =
+  [
+    tc "structurally equal routines hash equal" (fun () ->
+        let cfg = Iloc.Parser.routine sample_routine in
+        let cfg2 = Iloc.Parser.routine sample_routine in
+        check Alcotest.bool "sanity" true (Cfg.structural_equal cfg cfg2);
+        check Alcotest.string "hash" (Cfg.content_hash cfg)
+          (Cfg.content_hash cfg2));
+    tc "hash survives a print/parse round trip" (fun () ->
+        List.iter
+          (fun text ->
+            let cfg = Iloc.Parser.routine text in
+            let reparsed =
+              Iloc.Parser.routine (Iloc.Printer.routine_to_string cfg)
+            in
+            check Alcotest.string "stable" (Cfg.content_hash cfg)
+              (Cfg.content_hash reparsed))
+          [ sample_routine; tiny_routine ]);
+    tc "hash separates payload, register, label and name edits" (fun () ->
+        (* replace every occurrence of [pat] in the tiny routine *)
+        let edited pat repl =
+          let buf = Buffer.create (String.length tiny_routine) in
+          let plen = String.length pat in
+          let n = String.length tiny_routine in
+          let i = ref 0 in
+          while !i < n do
+            if
+              !i + plen <= n
+              && String.equal (String.sub tiny_routine !i plen) pat
+            then begin
+              Buffer.add_string buf repl;
+              i := !i + plen
+            end
+            else begin
+              Buffer.add_char buf tiny_routine.[!i];
+              incr i
+            end
+          done;
+          Buffer.contents buf
+        in
+        let base = hash_of tiny_routine in
+        List.iter
+          (fun (what, pat, repl) ->
+            check Alcotest.bool what true
+              (hash_of (edited pat repl) <> base))
+          [
+            ("payload", "ldi 5", "ldi 6");
+            ("register", "r1 <- ldi 5", "r3 <- ldi 5");
+            ("label", "jmp out\nout:", "jmp fin\nfin:");
+            ("name", "routine tiny", "routine big");
+          ]);
+    tc "hash separates float payloads by bits, identifying -0. with 0."
+      (fun () ->
+        let f x =
+          hash_of (Printf.sprintf "routine f\nentry:\n  f1 <- lfi %s\n  ret\n" x)
+        in
+        check Alcotest.bool "different floats differ" true (f "1.5" <> f "2.5");
+        check Alcotest.string "negative zero is zero" (f "0.") (f "-0."));
+  ]
+
 let builder_tests =
   [
     tc "duplicate block label rejected" (fun () ->
@@ -451,6 +519,7 @@ let () =
       ("routine", routine_tests);
       ("critical-edges", critical_edge_tests);
       ("validate", validate_tests);
+      ("content-hash", content_hash_tests);
       ("builder", builder_tests);
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
