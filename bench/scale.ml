@@ -111,6 +111,9 @@ type row = {
   alloc : (Remat.Stats.phase * float * float * float) list;
       (** full-allocator per-phase (seconds, minor words, major words),
           summed over rounds *)
+  counters : (string * int) list;
+      (** graph-build volume counters of the instrumented allocation
+          (pairs emitted, duplicates dropped, overlay edges) *)
 }
 
 (* At and above [big_threshold] sizes run as this row instead: the flat
@@ -129,6 +132,7 @@ type big_row = {
   balloc : (Remat.Stats.phase * float * float * float) list;
       (** end-to-end flat allocation, per-phase (seconds, minor words,
           major words) summed over rounds *)
+  bcounters : (string * int) list;  (** see {!row.counters} *)
 }
 
 exception Divergence of string
@@ -158,6 +162,16 @@ let alloc_stats (res : Remat.Allocator.result) =
       let s, w, mj = Hashtbl.find acc p in
       (p, s, w, mj))
     !order
+
+(* The batched graph build's volume counters — deterministic per input,
+   so the --check gate can treat them like heap words. *)
+let build_counters (res : Remat.Allocator.result) =
+  List.map
+    (fun c ->
+      ( Remat.Stats.counter_to_string c,
+        Remat.Stats.counter_total res.Remat.Allocator.stats c ))
+    [ Remat.Stats.Build_pairs; Remat.Stats.Build_dupes;
+      Remat.Stats.Build_overlay ]
 
 let measure ~repeats ~target seed =
   let stmts = stmts_for ~target seed in
@@ -235,6 +249,15 @@ let measure ~repeats ~target seed =
     (String.equal
        (Cfg.to_string res.Remat.Allocator.cfg)
        (Cfg.to_string res_struct.Remat.Allocator.cfg));
+  (* Small sizes default to the incremental builder; forcing the batched
+     pipeline on the same input must not move a byte of the output. *)
+  let res_batched =
+    Remat.Allocator.allocate ~mode ~machine ~batch_build:true (cfg ())
+  in
+  check_equal "batched vs incremental allocations"
+    (String.equal
+       (Cfg.to_string res.Remat.Allocator.cfg)
+       (Cfg.to_string res_batched.Remat.Allocator.cfg));
   let alloc = alloc_stats res in
   {
     target;
@@ -246,6 +269,7 @@ let measure ~repeats ~target seed =
     new_t =
       { simplify = new_simplify; select = new_select; coalesce = new_coalesce };
     alloc;
+    counters = build_counters res_batched;
   }
 
 (* Dense liveness keeps |blocks| x |regs|-bit rows per family; at 100k
@@ -286,6 +310,22 @@ let measure_big ~repeats ~target seed =
      renumber were never meant for this tier; output identity is proven
      by the small tier's byte-compare and the A/B property tests. *)
   let res = Remat.Allocator.run ~mode ~machine cfg in
+  (* Up to the dense cutoff, re-run with the batched builder forced off
+     and byte-compare: the CI smoke size (100k) then proves batched ≡
+     incremental at a five-digit node count on every bench run.  Above
+     the cutoff the incremental rebuild is the minutes-long baseline
+     this PR retired, so identity at the top size rests on the one-off
+     A/B recorded in DESIGN.md plus the property tests. *)
+  if target <= dense_cutoff then begin
+    let res_inc =
+      Remat.Allocator.allocate ~mode ~machine ~batch_build:false
+        (Gen.generate ~config:(mk ~stmts) seed)
+    in
+    check_equal "batched vs incremental allocations"
+      (String.equal
+         (Cfg.to_string res.Remat.Allocator.cfg)
+         (Cfg.to_string res_inc.Remat.Allocator.cfg))
+  end;
   {
     btarget = target;
     binstrs = instrs;
@@ -294,12 +334,29 @@ let measure_big ~repeats ~target seed =
     u = Dataflow.Reg_index.count bl.Dataflow.Liveness.Boundary.uindex;
     bphases = List.rev !phases;
     balloc = alloc_stats res;
+    bcounters = build_counters res;
   }
 
 (* ------------------------------------------------------------------ *)
 (* Reporting                                                           *)
 
 let speedup o n = if n > 0. then o /. n else 0.
+
+(* One allocation's phase line: seconds with each phase's share of the
+   end-to-end total, then heap words — the share is what makes a 1M-row
+   readable (a phase at 0.8s means nothing until it says 2% vs 60%). *)
+let pp_alloc ppf alloc counters =
+  let total = List.fold_left (fun a (_, s, _, _) -> a +. s) 0. alloc in
+  Format.fprintf ppf " total %.4fs |" total;
+  List.iter
+    (fun (p, s, w, mj) ->
+      Format.fprintf ppf " %s %.4fs(%.0f%%)/%.0fkw/%.0fkW"
+        (Remat.Stats.phase_to_string p)
+        s
+        (if total > 0. then 100. *. s /. total else 0.)
+        (w /. 1000.) (mj /. 1000.))
+    alloc;
+  List.iter (fun (name, v) -> Format.fprintf ppf " %s=%d" name v) counters
 
 let pp ppf rows =
   Format.fprintf ppf
@@ -321,16 +378,12 @@ let pp ppf rows =
         (cell r.old_t.coalesce r.new_t.coalesce))
     rows;
   Format.fprintf ppf
-    "@.full allocator (new), per-phase seconds, minor/major kwords:@.";
+    "@.full allocator (new), per-phase seconds (share of total), \
+     minor/major kwords:@.";
   List.iter
     (fun r ->
       Format.fprintf ppf "%8d |" r.target;
-      List.iter
-        (fun (p, s, w, mj) ->
-          Format.fprintf ppf " %s %.4fs/%.0fkw/%.0fkW"
-            (Remat.Stats.phase_to_string p)
-            s (w /. 1000.) (mj /. 1000.))
-        r.alloc;
+      pp_alloc ppf r.alloc r.counters;
       Format.fprintf ppf "@.")
     rows;
   Format.fprintf ppf "@."
@@ -354,16 +407,12 @@ let pp_big ppf rows =
       Format.fprintf ppf "@.")
     rows;
   Format.fprintf ppf
-    "@.end-to-end flat allocation, per-phase seconds, minor/major kwords:@.";
+    "@.end-to-end flat allocation, per-phase seconds (share of total), \
+     minor/major kwords:@.";
   List.iter
     (fun r ->
       Format.fprintf ppf "%8d |" r.btarget;
-      List.iter
-        (fun (p, s, w, mj) ->
-          Format.fprintf ppf " %s %.4fs/%.0fkw/%.0fkW"
-            (Remat.Stats.phase_to_string p)
-            s (w /. 1000.) (mj /. 1000.))
-        r.balloc;
+      pp_alloc ppf r.balloc r.bcounters;
       Format.fprintf ppf "@.")
     rows;
   Format.fprintf ppf "@."
@@ -378,6 +427,15 @@ let alloc_json b alloc =
            (Remat.Stats.phase_to_string p)
            s w mj))
     alloc
+
+let counters_json b counters =
+  Buffer.add_string b ",\"counters\":{";
+  List.iteri
+    (fun j (name, v) ->
+      if j > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\"%s\":%d" name v))
+    counters;
+  Buffer.add_char b '}'
 
 let json ~repeats rows big_rows =
   let b = Buffer.create 1024 in
@@ -401,7 +459,9 @@ let json ~repeats rows big_rows =
            (speedup r.old_t.select r.new_t.select)
            (speedup r.old_t.coalesce r.new_t.coalesce));
       alloc_json b r.alloc;
-      Buffer.add_string b "]}")
+      Buffer.add_char b ']';
+      counters_json b r.counters;
+      Buffer.add_char b '}')
     rows;
   Buffer.add_string b "],\"big\":[";
   (* Same "target":N,..."new":{...},"alloc":[...] shape as the small
@@ -421,7 +481,9 @@ let json ~repeats rows big_rows =
         r.bphases;
       Buffer.add_string b "},\"alloc\":[";
       alloc_json b r.balloc;
-      Buffer.add_string b "]}")
+      Buffer.add_char b ']';
+      counters_json b r.bcounters;
+      Buffer.add_char b '}')
     big_rows;
   Buffer.add_string b "]}";
   Buffer.contents b
@@ -471,6 +533,14 @@ let scan_alloc text ~target ~phase key =
   let* p = scan_find text (Printf.sprintf "\"%s\":" key) p in
   scan_float text p
 
+(* One build counter from a size entry's "counters" object. *)
+let scan_counter text ~target name =
+  let ( let* ) = Option.bind in
+  let* p = scan_find text (Printf.sprintf "\"target\":%d," target) 0 in
+  let* p = scan_find text "\"counters\":{" p in
+  let* p = scan_find text (Printf.sprintf "\"%s\":" name) p in
+  scan_float text p
+
 (* A phase regresses when it runs more than [factor] slower than the
    checked-in baseline.  Sub-millisecond baselines are pure noise at CI
    smoke sizes, so they are reported but never failed on.  Allocation
@@ -507,6 +577,33 @@ let check ~baseline rows big_rows ppf =
           [ ("minor_words", w); ("major_words", mj) ])
       alloc
   in
+  (* Build counters are deterministic per (seed, size), so like heap
+     words a >2x jump means graph construction changed shape — e.g. the
+     sweep started emitting candidates it used to filter, or coalescing
+     began routing edges through the overlay. *)
+  let check_counters target counters =
+    let floor_c = 1_000. in
+    List.iter
+      (fun (name, v) ->
+        let now = float_of_int v in
+        match scan_counter baseline ~target name with
+        | None ->
+            Format.fprintf ppf "check: %d/%s: no baseline entry, skipped@."
+              target name
+        | Some base when base < floor_c && now < floor_c -> ()
+        | Some base ->
+            let ratio = if base > 0. then now /. base else infinity in
+            if now > factor *. base then begin
+              incr failures;
+              Format.fprintf ppf
+                "check: %d/%s: REGRESSION %.0f vs baseline %.0f (%.1fx)@."
+                target name now base ratio
+            end
+            else
+              Format.fprintf ppf "check: %d/%s: ok %.0f vs %.0f (%.1fx)@."
+                target name now base ratio)
+      counters
+  in
   let check_one target (name, now) =
     match scan_baseline baseline ~target name with
     | None ->
@@ -536,12 +633,14 @@ let check ~baseline rows big_rows ppf =
           ("select", r.new_t.select);
           ("coalesce", r.new_t.coalesce);
         ];
-      check_alloc r.target r.alloc)
+      check_alloc r.target r.alloc;
+      check_counters r.target r.counters)
     rows;
   List.iter
     (fun r ->
       List.iter (check_one r.btarget) r.bphases;
-      check_alloc r.btarget r.balloc)
+      check_alloc r.btarget r.balloc;
+      check_counters r.btarget r.bcounters)
     big_rows;
   !failures = 0
 

@@ -37,7 +37,12 @@ let build_coalesce (ctx : Context.t) =
           loop ()
       | Coalesce.Unrestricted | Coalesce.Conservative -> ()
   in
-  loop ()
+  loop ();
+  (* The graph object is this round's build, mutated in place by the
+     sweeps above; how many union edges fell outside a frozen CSR build
+     is this round's overlay pressure. *)
+  Context.count ctx Stats.Build_overlay
+    (Interference.overlay_edges (Context.graph ctx))
 
 let rewrite_physical (cfg : Cfg.t) (g : Interference.t)
     (colors : int option array) =
@@ -213,7 +218,7 @@ let verify_output ~input ~output ~(machine : Machine.t) =
 
 let allocate ?(verify = false) ?(mode = Mode.Briggs_remat)
     ?(machine = Machine.standard) ?(max_rounds = 64) ?(use_flat = true)
-    (input : Cfg.t) =
+    ?batch_build (input : Cfg.t) =
   validate_input input;
   let stats = Stats.create () in
   let cfg0 = Cfg.split_critical_edges input in
@@ -246,8 +251,9 @@ let allocate ?(verify = false) ?(mode = Mode.Briggs_remat)
         else Renumber.run mode cfg0)
   in
   let ctx =
-    Context.create ~use_flat ~mode ~machine ~loops ~tags:rn.Renumber.tags
-      ~split_pairs:rn.Renumber.split_pairs ~stats rn.Renumber.cfg
+    Context.create ~use_flat ?batch_build ~mode ~machine ~loops
+      ~tags:rn.Renumber.tags ~split_pairs:rn.Renumber.split_pairs ~stats
+      rn.Renumber.cfg
   in
   (* The renamed arena equals an encode of the bridged routine, so prime
      the context's cache with it and skip one re-encoding.  Splitting

@@ -55,6 +55,7 @@ val allocate :
   ?machine:Machine.t ->
   ?max_rounds:int ->
   ?use_flat:bool ->
+  ?batch_build:bool ->
   Iloc.Cfg.t ->
   result
 (** [mode] defaults to {!Mode.Briggs_remat}, [machine] to
@@ -64,6 +65,10 @@ val allocate :
     The two settings produce {e identical} output — same allocation,
     same statistics — differing only in allocation behavior of the
     phases themselves (checked by test_flat's A/B property).
+    [batch_build] forces the flat path's graph construction strategy
+    (batched vs. incremental — see
+    {!Interference.build_flat_boundary}); unset, the node count
+    decides.  Output is byte-identical either way.
     The input routine must pass
     {!Iloc.Validate.routine}; it is not mutated (allocation works on a
     critical-edge-split copy).  Raises {!Allocation_error} when the input

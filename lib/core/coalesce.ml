@@ -119,6 +119,10 @@ let pass phase (ctx : Context.t) =
       let coalesced = ref 0 in
       let interfering = ref 0 in
       let survivors = ref [] in
+      (* Registers merged away by this sweep: the only names [rename]
+         below moves, so the rewrite can skip every instruction that
+         mentions none of them. *)
+      let dropped = Reg.Tbl.create 16 in
       List.iter
         (fun ((d, s) as e) ->
           match (Interference.index_opt g d, Interference.index_opt g s) with
@@ -139,6 +143,7 @@ let pass phase (ctx : Context.t) =
                   | Conservative -> is_split d s && briggs_ok di si
                 in
                 if ok then begin
+                  Reg.Tbl.replace dropped (Interference.reg g si) ();
                   merge_into ctx g ~keep:di ~drop:si;
                   incr coalesced
                 end
@@ -157,18 +162,36 @@ let pass phase (ctx : Context.t) =
           | None -> r
           | Some i -> Interference.reg g (Interference.find g i)
         in
+        (* [rename] moves only the registers merged away this sweep: the
+           text entering the sweep names only previous-sweep
+           representatives, and a representative r has [find r <> r]
+           exactly when some merge of this sweep dropped it.  So an
+           instruction mentioning no member of [dropped] maps to itself
+           — skip it (and its block when every instruction is clean)
+           instead of re-allocating the whole routine each sweep. *)
+        let touched (i : Instr.t) =
+          (match i.Instr.dst with
+          | Some d -> Reg.Tbl.mem dropped d
+          | None -> false)
+          || Array.exists (fun s -> Reg.Tbl.mem dropped s) i.Instr.srcs
+        in
         Iloc.Cfg.iter_blocks
           (fun b ->
-            b.Iloc.Block.body <-
-              List.filter_map
-                (fun i ->
-                  let i = Instr.map_regs rename i in
-                  match (i.Instr.op, i.Instr.dst) with
-                  | Instr.Copy, Some d when Reg.equal d i.Instr.srcs.(0) ->
-                      None
-                  | _ -> Some i)
-                b.Iloc.Block.body;
-            b.Iloc.Block.term <- Instr.map_regs rename b.Iloc.Block.term)
+            if List.exists touched b.Iloc.Block.body then
+              b.Iloc.Block.body <-
+                List.filter_map
+                  (fun i ->
+                    if not (touched i) then Some i
+                    else
+                      let i = Instr.map_regs rename i in
+                      match (i.Instr.op, i.Instr.dst) with
+                      | Instr.Copy, Some d
+                        when Reg.equal d i.Instr.srcs.(0) ->
+                          None
+                      | _ -> Some i)
+                  b.Iloc.Block.body;
+            if touched b.Iloc.Block.term then
+              b.Iloc.Block.term <- Instr.map_regs rename b.Iloc.Block.term)
           cfg;
         ctx.Context.split_pairs <-
           List.filter_map

@@ -10,6 +10,7 @@ type t = {
   loops : Dataflow.Loops.t;
   stats : Stats.t;
   use_flat : bool;
+  batch_build : bool option;  (* force the build strategy; None = auto *)
   mutable round : int;
   mutable split_pairs : (Reg.t * Reg.t) list;
   mutable coalesced : int;
@@ -23,10 +24,16 @@ type t = {
   mutable flat : Iloc.Flat.t option;
   mutable mark : int array;
   mutable mark_epoch : int;
+  (* Cross-round scratch for the per-round recomputations: the batched
+     build's pair buffer and the boundary solver's working buffers.
+     Both survive every invalidation — their previous contents are dead
+     by then. *)
+  mutable pair_scratch : Dataflow.Pair_buf.t option;
+  mutable boundary_scratch : Dataflow.Liveness.Boundary.scratch option;
 }
 
-let create ?(use_flat = true) ~mode ~machine ~loops ~tags ~split_pairs ~stats
-    cfg =
+let create ?(use_flat = true) ?batch_build ~mode ~machine ~loops ~tags
+    ~split_pairs ~stats cfg =
   {
     cfg;
     mode;
@@ -37,6 +44,7 @@ let create ?(use_flat = true) ~mode ~machine ~loops ~tags ~split_pairs ~stats
     loops;
     stats;
     use_flat;
+    batch_build;
     round = 0;
     split_pairs;
     coalesced = 0;
@@ -50,6 +58,8 @@ let create ?(use_flat = true) ~mode ~machine ~loops ~tags ~split_pairs ~stats
     flat = None;
     mark = [||];
     mark_epoch = 0;
+    pair_scratch = None;
+    boundary_scratch = None;
   }
 
 let set_round t r = t.round <- r
@@ -94,9 +104,17 @@ let boundary t =
   | None ->
       let order = block_order t in
       let fl = flat t in
+      let scratch =
+        match t.boundary_scratch with
+        | Some s -> s
+        | None ->
+            let s = Dataflow.Liveness.Boundary.scratch () in
+            t.boundary_scratch <- Some s;
+            s
+      in
       let bl =
         time t Stats.Liveness (fun () ->
-            Dataflow.Liveness.Boundary.compute ~order fl)
+            Dataflow.Liveness.Boundary.compute ~order ~scratch fl)
       in
       count t Stats.Liveness_runs 1;
       t.boundary <- Some bl;
@@ -126,9 +144,21 @@ let graph t =
           let regs = lr_index t in
           let fl = flat t in
           let bl = boundary t in
+          let pairs =
+            match t.pair_scratch with
+            | Some b -> b
+            | None ->
+                let b = Dataflow.Pair_buf.create () in
+                t.pair_scratch <- Some b;
+                b
+          in
+          let on_pairs ~emitted ~dropped =
+            count t Stats.Build_pairs emitted;
+            count t Stats.Build_dupes dropped
+          in
           time t Stats.Build (fun () ->
               Interference.build_flat_boundary ?matrix:t.matrix_scratch
-                ~k:t.k regs fl bl)
+                ~pairs ?batch:t.batch_build ~on_pairs ~k:t.k regs fl bl)
         end
         else
           let l = liveness t in

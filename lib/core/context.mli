@@ -36,6 +36,9 @@ type t = {
       (** run liveness, graph construction and spill insertion on the
           flat arena form (the default); [false] keeps every phase on
           the structured view — the A/B baseline *)
+  batch_build : bool option;
+      (** forces {!Interference.build_flat_boundary}'s [?batch] choice;
+          [None] (the default) lets the node count decide *)
   mutable round : int;
   mutable split_pairs : (Iloc.Reg.t * Iloc.Reg.t) list;
   mutable coalesced : int;  (** copies removed by coalescing, total *)
@@ -56,10 +59,15 @@ type t = {
           entry points (any instruction rewrite stales it) *)
   mutable mark : int array;  (** see {!fresh_marks} *)
   mutable mark_epoch : int;
+  mutable pair_scratch : Dataflow.Pair_buf.t option;
+      (** the batched build's pair buffer, recycled across rounds *)
+  mutable boundary_scratch : Dataflow.Liveness.Boundary.scratch option;
+      (** boundary liveness working buffers, recycled across rounds *)
 }
 
 val create :
   ?use_flat:bool ->
+  ?batch_build:bool ->
   mode:Mode.t ->
   machine:Machine.t ->
   loops:Dataflow.Loops.t ->

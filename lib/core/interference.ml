@@ -1,11 +1,30 @@
 module Bitset = Dataflow.Bitset
 module Hash_set = Dataflow.Hash_set
+module Hier_set = Dataflow.Hier_set
 module Int_vec = Dataflow.Int_vec
+module Pair_buf = Dataflow.Pair_buf
 module Reg_index = Dataflow.Reg_index
 module Reg = Iloc.Reg
 module Instr = Iloc.Instr
 
-type edges = Dense of Bitset.t | Sparse of Hash_set.t
+(* The batched builder's frozen edge set: one sorted CSR adjacency
+   (cols ascending within each row, both directions materialized) built
+   in two passes from the deduplicated pair buffer.  Post-build
+   mutation never reshapes the arrays — removal tombstones the two
+   directed entries in [dead], re-addition of a tombstoned pair clears
+   them again, and a pair the build never saw goes to the [overlay]
+   hash set of triangular indices.  Invariant: a pair present in the
+   CSR (dead or not) is never in the overlay, so membership is one
+   binary search plus, on miss, one overlay probe. *)
+type csr = {
+  row_start : int array;  (* n + 1 *)
+  cols : int array;  (* 2 * n_edges directed entries *)
+  dead : Bitset.t;  (* per directed entry *)
+  overlay : Hash_set.t;
+  mutable overlay_adds : int;  (* total overlay insertions, for stats *)
+}
+
+type edges = Dense of Bitset.t | Sparse of Hash_set.t | Csr of csr
 
 type t = {
   regs : Reg_index.t;
@@ -28,22 +47,69 @@ let tri i j =
   let hi, lo = if i > j then (i, j) else (j, i) in
   (hi * (hi - 1) / 2) + lo
 
-let edge_mem t idx =
-  match t.edges with
-  | Dense m -> Bitset.unsafe_mem m idx
-  | Sparse h -> Hash_set.mem h idx
+(* Index of [j] in row [i] of the CSR, or -1: rows are sorted, so one
+   binary search.  A hit says nothing about liveness — callers check
+   [dead]. *)
+let csr_find c i j =
+  let lo = ref (Array.unsafe_get c.row_start i)
+  and hi = ref (Array.unsafe_get c.row_start (i + 1)) in
+  let res = ref (-1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) lsr 1 in
+    let v = Array.unsafe_get c.cols mid in
+    if v = j then begin
+      res := mid;
+      lo := !hi
+    end
+    else if v < j then lo := mid + 1
+    else hi := mid
+  done;
+  !res
 
-let edge_add t idx =
+let edge_mem t i j =
   match t.edges with
-  | Dense m -> Bitset.unsafe_add m idx
-  | Sparse h -> Hash_set.add h idx
+  | Dense m -> Bitset.unsafe_mem m (tri i j)
+  | Sparse h -> Hash_set.mem h (tri i j)
+  | Csr c ->
+      let p = csr_find c i j in
+      if p >= 0 then not (Bitset.unsafe_mem c.dead p)
+      else Hash_set.mem c.overlay (tri i j)
 
-let edge_remove t idx =
+(* Only called when the edge is absent ([edge_mem] false). *)
+let edge_add t i j =
   match t.edges with
-  | Dense m -> Bitset.unsafe_remove m idx
-  | Sparse h -> Hash_set.remove h idx
+  | Dense m -> Bitset.unsafe_add m (tri i j)
+  | Sparse h -> Hash_set.add h (tri i j)
+  | Csr c ->
+      let p = csr_find c i j in
+      if p >= 0 then begin
+        (* Tombstoned in the frozen CSR: resurrect both directions. *)
+        Bitset.unsafe_remove c.dead p;
+        Bitset.unsafe_remove c.dead (csr_find c j i)
+      end
+      else begin
+        Hash_set.add c.overlay (tri i j);
+        c.overlay_adds <- c.overlay_adds + 1
+      end
 
-let scratch_matrix t = match t.edges with Dense m -> Some m | Sparse _ -> None
+(* Only called when the edge is present ([edge_mem] true). *)
+let edge_remove t i j =
+  match t.edges with
+  | Dense m -> Bitset.unsafe_remove m (tri i j)
+  | Sparse h -> Hash_set.remove h (tri i j)
+  | Csr c ->
+      let p = csr_find c i j in
+      if p >= 0 && not (Bitset.unsafe_mem c.dead p) then begin
+        Bitset.unsafe_add c.dead p;
+        Bitset.unsafe_add c.dead (csr_find c j i)
+      end
+      else Hash_set.remove c.overlay (tri i j)
+
+let scratch_matrix t =
+  match t.edges with Dense m -> Some m | Sparse _ | Csr _ -> None
+
+let overlay_edges t =
+  match t.edges with Csr c -> c.overlay_adds | Dense _ | Sparse _ -> 0
 
 (* Deep copy for snapshot reuse: coalescing mutates the graph in place,
    so a cached build must be copied before each allocation that consumes
@@ -55,7 +121,18 @@ let copy t =
     edges =
       (match t.edges with
       | Dense m -> Dense (Bitset.copy m)
-      | Sparse h -> Sparse (Hash_set.copy h));
+      | Sparse h -> Sparse (Hash_set.copy h)
+      | Csr c ->
+          (* The frozen arrays are immutable after the build; only the
+             mutation state is private to the copy. *)
+          Csr
+            {
+              row_start = c.row_start;
+              cols = c.cols;
+              dead = Bitset.copy c.dead;
+              overlay = Hash_set.copy c.overlay;
+              overlay_adds = c.overlay_adds;
+            });
     adj = Array.map Int_vec.copy t.adj;
     degree = Array.copy t.degree;
     alive = Array.copy t.alive;
@@ -66,7 +143,7 @@ let copy t =
     n_alive = t.n_alive;
   }
 
-let interfere t i j = i <> j && edge_mem t (tri i j)
+let interfere t i j = i <> j && edge_mem t i j
 let neighbors t i = Int_vec.to_list t.adj.(i)
 let iter_neighbors f t i = Int_vec.iter f t.adj.(i)
 let fold_neighbors f t i init = Int_vec.fold f t.adj.(i) init
@@ -102,8 +179,8 @@ let rec find t i =
    by one per edge operation, so at most one flip per endpoint per
    operation. *)
 let add_edge t i j =
-  if i <> j && not (edge_mem t (tri i j)) then begin
-    edge_add t (tri i j);
+  if i <> j && not (edge_mem t i j) then begin
+    edge_add t i j;
     let was_i = significant t i and was_j = significant t j in
     Int_vec.push t.adj.(i) j;
     Int_vec.push t.adj.(j) i;
@@ -123,8 +200,8 @@ let add_edge t i j =
   end
 
 let remove_edge t i j =
-  if i <> j && edge_mem t (tri i j) then begin
-    edge_remove t (tri i j);
+  if i <> j && edge_mem t i j then begin
+    edge_remove t i j;
     let was_i = significant t i and was_j = significant t j in
     Int_vec.remove_value t.adj.(i) j;
     Int_vec.remove_value t.adj.(j) i;
@@ -159,7 +236,7 @@ let merge t ~keep ~drop =
   let drop_was_sig = significant t drop in
   Int_vec.iter
     (fun x ->
-      edge_remove t (tri drop x);
+      edge_remove t drop x;
       Int_vec.remove_value t.adj.(x) drop;
       let was_x = significant t x in
       t.degree.(x) <- t.degree.(x) - 1;
@@ -282,9 +359,200 @@ let build ?matrix ?k (cfg : Iloc.Cfg.t) (live : Dataflow.Liveness.t) =
     cfg;
   t
 
-let build_flat ?matrix ?k (fl : Iloc.Flat.t) (live : Dataflow.Liveness.t) =
+(* -------------------------------------------------------------------
+   Batched construction (the sparse-regime build path).
+
+   The incremental builders above pay two per-definition costs that go
+   quadratic at the million-instruction tier: an O(n/64) word scan to
+   mask the live set down to the defining class, and one edge-set
+   membership probe per candidate pair.  The batched builder removes
+   both.  Phase one sweeps the blocks exactly like the incremental
+   pass, but keeps live-now in a {!Hier_set} (iteration O(members),
+   not O(n/64)) and emits every candidate pair into a {!Pair_buf} with
+   no membership check at all.  Phase two sorts the buffer by packed
+   pair key, drops duplicate pairs keeping the first occurrence, and
+   materializes the frozen CSR plus exact degrees and significant-
+   neighbor counts; a final sort by emission sequence number replays
+   the unique pairs in chronological order so every adjacency vector
+   receives its neighbors in exactly the order the incremental
+   builder's [add_edge] would have pushed them.
+
+   Ordering argument: the incremental pass inserts an edge (and pushes
+   both adjacency entries) at the {e first} emission of its pair, and
+   within one definition enumerates candidates in ascending node index
+   — which is also {!Hier_set.iter}'s order.  The key sort is stable,
+   so first-of-run deduplication keeps precisely the first emission,
+   and the sequence-number replay restores the global chronological
+   order of those first emissions.  The two graphs are therefore
+   byte-identical: same edge set, same per-node neighbor order. *)
+
+let bits_needed v =
+  let rec go b x = if x = 0 then b else go (b + 1) (x lsr 1) in
+  go 0 v
+
+(* Phase one.  [seed live b] loads block [b]'s live-out into [live];
+   the sweep clears it again before the next block (O(members), via
+   the summaries).  Pair keys pack (hi, lo) with lo in the low
+   [shift] bits; payloads carry (emission sequence << 1) | dir with
+   dir = 1 iff the defining node is the pair's hi end. *)
+let batched_sweep n pmap (fl : Iloc.Flat.t) buf ~cls ~seed =
+  let shift = bits_needed (max (n - 1) 0) in
+  let live = Hier_set.create n in
+  let code = fl.Iloc.Flat.code in
+  let stride = Iloc.Flat.stride in
+  for b = 0 to Iloc.Flat.n_blocks fl - 1 do
+    seed live b;
+    for slot = Iloc.Flat.block_term fl b downto Iloc.Flat.block_first fl b do
+      let o = slot * stride in
+      let d = Array.unsafe_get code (o + Iloc.Flat.f_dst) in
+      if d >= 0 then begin
+        let di = Array.unsafe_get pmap d in
+        let skip =
+          if Iloc.Flat.Tag.is_copy (Array.unsafe_get code (o + Iloc.Flat.f_tag))
+          then Array.unsafe_get pmap (Array.unsafe_get code (o + Iloc.Flat.f_s0))
+          else -1
+        in
+        let dc = Char.unsafe_chr (d land 1) in
+        Hier_set.iter
+          (fun l ->
+            if Bytes.unsafe_get cls l = dc && l <> di && l <> skip then begin
+              let key, dir =
+                if l < di then (((di lsl shift) lor l), 1)
+                else (((l lsl shift) lor di), 0)
+              in
+              Pair_buf.push buf ~key ~pay:((Pair_buf.length buf lsl 1) lor dir)
+            end)
+          live;
+        Hier_set.remove live di
+      end;
+      for sk = Iloc.Flat.f_s0 to Iloc.Flat.f_s2 do
+        let p = Array.unsafe_get code (o + sk) in
+        if p >= 0 then Hier_set.add live (Array.unsafe_get pmap p)
+      done
+    done;
+    Hier_set.clear live
+  done;
+  shift
+
+(* Phase two: sort, dedupe, freeze. *)
+let finish_batched ?on_pairs ?k regs n buf shift =
+  Pair_buf.sort_by_key buf;
+  let dupes = Pair_buf.dedupe_by_key buf in
+  let e = Pair_buf.length buf in
+  (match on_pairs with
+  | Some f -> f ~emitted:(e + dupes) ~dropped:dupes
+  | None -> ());
+  let degree = Array.make n 0 in
+  let mask = (1 lsl shift) - 1 in
+  for i = 0 to e - 1 do
+    let key = Pair_buf.unsafe_key buf i in
+    let hi = key lsr shift and lo = key land mask in
+    Array.unsafe_set degree hi (Array.unsafe_get degree hi + 1);
+    Array.unsafe_set degree lo (Array.unsafe_get degree lo + 1)
+  done;
+  let row_start = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    row_start.(i + 1) <- row_start.(i) + Array.unsafe_get degree i
+  done;
+  (* Filling from the key-sorted pairs leaves every row sorted: node r
+     first receives its lo-partners (keys with hi = r, lo ascending,
+     all < r), then its hi-partners (keys with lo = r, hi ascending,
+     all > r). *)
+  let cursor = Array.sub row_start 0 n in
+  let cols = Array.make (2 * e) 0 in
+  for i = 0 to e - 1 do
+    let key = Pair_buf.unsafe_key buf i in
+    let hi = key lsr shift and lo = key land mask in
+    let ch = Array.unsafe_get cursor hi in
+    Array.unsafe_set cols ch lo;
+    Array.unsafe_set cursor hi (ch + 1);
+    let cl = Array.unsafe_get cursor lo in
+    Array.unsafe_set cols cl hi;
+    Array.unsafe_set cursor lo (cl + 1)
+  done;
+  (* Chronological replay: adjacency vectors in incremental insertion
+     order, each sized exactly. *)
+  Pair_buf.sort_by_pay buf;
+  let adj =
+    Array.init n (fun i -> Int_vec.create ~cap:(Array.unsafe_get degree i) ())
+  in
+  for i = 0 to e - 1 do
+    let key = Pair_buf.unsafe_key buf i in
+    let hi = key lsr shift and lo = key land mask in
+    let di, l =
+      if Pair_buf.unsafe_pay buf i land 1 = 1 then (hi, lo) else (lo, hi)
+    in
+    Int_vec.push (Array.unsafe_get adj di) l;
+    Int_vec.push (Array.unsafe_get adj l) di
+  done;
+  let thresh =
+    match k with
+    | Some k -> Array.init n (fun i -> k (Reg.cls (Reg_index.reg regs i)))
+    | None -> Array.make n max_int
+  in
+  let sig_nb = Array.make n 0 in
+  (match k with
+  | None -> ()  (* thresholds are max_int: no node is ever significant *)
+  | Some _ ->
+      let s = Bytes.make (max n 1) '\000' in
+      for i = 0 to n - 1 do
+        if Array.unsafe_get degree i >= Array.unsafe_get thresh i then
+          Bytes.unsafe_set s i '\001'
+      done;
+      for i = 0 to n - 1 do
+        let acc = ref 0 in
+        for p = Array.unsafe_get row_start i to row_start.(i + 1) - 1 do
+          if Bytes.unsafe_get s (Array.unsafe_get cols p) <> '\000' then
+            incr acc
+        done;
+        Array.unsafe_set sig_nb i !acc
+      done);
+  {
+    regs;
+    n;
+    edges =
+      Csr
+        {
+          row_start;
+          cols;
+          dead = Bitset.create (2 * e);
+          overlay = Hash_set.create ();
+          overlay_adds = 0;
+        };
+    adj;
+    degree;
+    alive = Array.make n true;
+    forward = Array.init n (fun i -> i);
+    thresh;
+    sig_nb;
+    n_edges = e;
+    n_alive = n;
+  }
+
+(* Per-node register class as a byte (the packed encoding's parity),
+   for the batched sweep's inline class filter. *)
+let class_bytes regs n =
+  let cls = Bytes.make (max n 1) '\000' in
+  Reg_index.iter
+    (fun i r -> Bytes.unsafe_set cls i (Char.unsafe_chr (Reg.hash r land 1)))
+    regs;
+  cls
+
+let build_flat ?matrix ?batch ?k (fl : Iloc.Flat.t)
+    (live : Dataflow.Liveness.t) =
   let regs = live.Dataflow.Liveness.regs in
   let n = Reg_index.count regs in
+  let batch = match batch with Some b -> b | None -> n > dense_node_limit in
+  if batch then begin
+    let pmap = Reg_index.packed_map regs in
+    let buf = Pair_buf.create () in
+    let seed hl b =
+      Bitset.iter (Hier_set.add hl) live.Dataflow.Liveness.live_out.(b)
+    in
+    let shift = batched_sweep n pmap fl buf ~cls:(class_bytes regs n) ~seed in
+    finish_batched ?k regs n buf shift
+  end
+  else begin
   let t = make ?matrix ?k regs n in
   let pmap = Reg_index.packed_map regs in
   let int_mask = Bitset.create n and float_mask = Bitset.create n in
@@ -327,12 +595,37 @@ let build_flat ?matrix ?k (fl : Iloc.Flat.t) (live : Dataflow.Liveness.t) =
     done
   done;
   t
+  end
 
-let build_flat_boundary ?matrix ?k regs (fl : Iloc.Flat.t)
-    (bl : Dataflow.Liveness.Boundary.t) =
+let build_flat_boundary ?matrix ?pairs ?batch ?on_pairs ?k regs
+    (fl : Iloc.Flat.t) (bl : Dataflow.Liveness.Boundary.t) =
   let n = Reg_index.count regs in
-  let t = make ?matrix ?k regs n in
+  let batch = match batch with Some b -> b | None -> n > dense_node_limit in
   let pmap = Reg_index.packed_map regs in
+  if batch then begin
+    let uindex = bl.Dataflow.Liveness.Boundary.uindex in
+    let unode =
+      Array.init (Reg_index.count uindex) (fun u ->
+          Array.unsafe_get pmap (Reg.hash (Reg_index.reg uindex u)))
+    in
+    let buf =
+      match pairs with
+      | Some b ->
+          Pair_buf.clear b;
+          b
+      | None -> Pair_buf.create ()
+    in
+    let seed hl b =
+      Bitset.iter
+        (fun u -> Hier_set.add hl (Array.unsafe_get unode u))
+        bl.Dataflow.Liveness.Boundary.live_out.(b)
+    in
+    let shift = batched_sweep n pmap fl buf ~cls:(class_bytes regs n) ~seed in
+    finish_batched ?on_pairs ?k regs n buf shift
+  end
+  else begin
+  let t = make ?matrix ?k regs n in
+  let emitted = ref 0 in
   let int_mask = Bitset.create n and float_mask = Bitset.create n in
   Reg_index.iter
     (fun i r ->
@@ -377,7 +670,11 @@ let build_flat_boundary ?matrix ?k regs (fl : Iloc.Flat.t)
           (Bitset.inter_into ~dst:candidates
              (if d land 1 = 0 then int_mask else float_mask));
         Bitset.iter
-          (fun l -> if l <> di && l <> skip then add_edge t di l)
+          (fun l ->
+            if l <> di && l <> skip then begin
+              incr emitted;
+              add_edge t di l
+            end)
           candidates;
         Bitset.unsafe_remove live_now di
       end;
@@ -400,4 +697,10 @@ let build_flat_boundary ?matrix ?k regs (fl : Iloc.Flat.t)
       (fun u -> Bitset.unsafe_remove live_now (Array.unsafe_get unode u))
       lout
   done;
+  (match on_pairs with
+  | Some f ->
+      (* [add_edge] deduplicated at insertion: unique pairs = n_edges. *)
+      f ~emitted:!emitted ~dropped:(!emitted - t.n_edges)
+  | None -> ());
   t
+  end

@@ -26,9 +26,27 @@
     [n_edges] is maintained as a counter under both {!add_edge} and
     {!merge}. *)
 
+type csr = {
+  row_start : int array;  (** [n + 1] row offsets into [cols] *)
+  cols : int array;
+      (** both directions of every built edge, ascending within a row *)
+  dead : Dataflow.Bitset.t;
+      (** per directed entry; a removed built edge tombstones both of
+          its entries, re-adding it clears them again *)
+  overlay : Dataflow.Hash_set.t;
+      (** triangular indices of post-build additions the frozen arrays
+          never held; disjoint from the CSR by invariant *)
+  mutable overlay_adds : int;  (** see {!overlay_edges} *)
+}
+(** The batched builder's frozen edge set: membership is a binary
+    search of the sorted row plus, on miss, one overlay probe.
+    Coalescing and spill rounds mutate through [dead]/[overlay] only —
+    the arrays themselves are immutable and shared by {!copy}. *)
+
 type edges =
   | Dense of Dataflow.Bitset.t  (** triangular bit matrix *)
   | Sparse of Dataflow.Hash_set.t  (** set of triangular indices *)
+  | Csr of csr  (** frozen sorted adjacency, from the batched builder *)
 
 type t = {
   regs : Dataflow.Reg_index.t;
@@ -48,8 +66,9 @@ type t = {
 }
 
 val dense_node_limit : int
-(** Node count above which {!build}/{!build_flat}/{!build_flat_boundary}
-    switch the edge set from [Dense] to [Sparse]. *)
+(** Node count above which {!build} switches the edge set from [Dense]
+    to [Sparse], and {!build_flat}/{!build_flat_boundary} default
+    [?batch] to true (producing [Csr] edges). *)
 
 val build :
   ?matrix:Dataflow.Bitset.t ->
@@ -67,6 +86,7 @@ val build :
 
 val build_flat :
   ?matrix:Dataflow.Bitset.t ->
+  ?batch:bool ->
   ?k:(Iloc.Reg.cls -> int) ->
   Iloc.Flat.t ->
   Dataflow.Liveness.t ->
@@ -75,25 +95,40 @@ val build_flat :
     no per-instruction allocation.  [live] must come from
     {!Dataflow.Liveness.compute_flat} on the same arena (the register
     numbering is shared); the resulting graph is identical — same edges,
-    inserted in the same order — to {!build} on the bridged routine. *)
+    inserted in the same order — to {!build} on the bridged routine.
+    [batch] (default: node count > {!dense_node_limit}) selects the
+    batched two-phase builder; see {!build_flat_boundary}. *)
 
 val build_flat_boundary :
   ?matrix:Dataflow.Bitset.t ->
+  ?pairs:Dataflow.Pair_buf.t ->
+  ?batch:bool ->
+  ?on_pairs:(emitted:int -> dropped:int -> unit) ->
   ?k:(Iloc.Reg.cls -> int) ->
   Dataflow.Reg_index.t ->
   Iloc.Flat.t ->
   Dataflow.Liveness.Boundary.t ->
   t
 (** The flat pass fed by |U|-compressed boundary liveness instead of
-    dense rows: per block, the live-now row is seeded from the boundary
-    live-out (translated u-index → node index) and cleared again in
-    O(block size) by re-sweeping what the block could have set, so no
-    structure wider than [|U|] per block is ever materialized.  The node
-    index must be [Dataflow.Reg_index.of_flat] of the same arena —
-    precisely what {!Dataflow.Liveness.compute_flat} would build — and
-    the boundary must come from {!Dataflow.Liveness.Boundary.compute} on
-    it; the graph is then identical, edge order included, to
-    {!build_flat} with dense liveness. *)
+    dense rows: per block, the live-now set is seeded from the boundary
+    live-out (translated u-index → node index), so no structure wider
+    than [|U|] per block is ever materialized.  The node index must be
+    [Dataflow.Reg_index.of_flat] of the same arena — precisely what
+    {!Dataflow.Liveness.compute_flat} would build — and the boundary
+    must come from {!Dataflow.Liveness.Boundary.compute} on it; the
+    graph is then identical, edge order included, to {!build_flat} with
+    dense liveness.
+
+    [batch] (default: node count > {!dense_node_limit}) selects the
+    batched two-phase builder: one sweep emits every candidate pair
+    into a {!Dataflow.Pair_buf} with no membership checks, then a
+    radix sort + stable first-occurrence dedupe freezes the edge set as
+    [Csr].  The result is byte-identical to the incremental build —
+    same edges {e and} same per-node neighbor order — with membership
+    probes and O(n/64) live-set scans gone from the sweep.  [pairs]
+    recycles a pair buffer across builds (ignored when incremental);
+    [on_pairs] reports how many candidate pairs the sweep emitted and
+    how many were duplicates (both paths report it). *)
 
 val of_edges : ?k:(Iloc.Reg.cls -> int) -> int -> (int * int) list -> t
 (** A graph over [n] fresh integer-class nodes with the given edges
@@ -103,7 +138,13 @@ val interfere : t -> int -> int -> bool
 
 val scratch_matrix : t -> Dataflow.Bitset.t option
 (** The dense bit matrix, for recycling into a later build's [?matrix];
-    [None] when the graph is sparse. *)
+    [None] when the graph is sparse or frozen CSR. *)
+
+val overlay_edges : t -> int
+(** Total number of post-build edge insertions that landed in the
+    [Csr] overlay (0 for the other representations, and for edges that
+    merely resurrected a tombstoned built pair) — the measure of how
+    far coalescing pushed the graph beyond its frozen build. *)
 
 val copy : t -> t
 (** Independent deep copy: mutating the copy (coalescing, merges) leaves

@@ -23,6 +23,9 @@ type counter =
   | Select_partner_hits
   | Select_lookahead_hits
   | Select_fallbacks
+  | Build_pairs
+  | Build_dupes
+  | Build_overlay
 
 type row = {
   round : int;
@@ -117,6 +120,9 @@ let counter_to_string = function
   | Select_partner_hits -> "select-partner"
   | Select_lookahead_hits -> "select-lookahead"
   | Select_fallbacks -> "select-fallback"
+  | Build_pairs -> "build-pairs-emitted"
+  | Build_dupes -> "build-dupes-dropped"
+  | Build_overlay -> "build-overlay-edges"
 
 let by_phase t =
   let tbl = Hashtbl.create 16 in

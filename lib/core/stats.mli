@@ -42,6 +42,14 @@ type counter =
   | Select_lookahead_hits
       (** nodes colored via the uncolored-partner lookahead *)
   | Select_fallbacks  (** nodes colored with the plain lowest color *)
+  | Build_pairs
+      (** candidate interference pairs emitted by the graph build's
+          sweep (before deduplication) *)
+  | Build_dupes
+      (** emitted pairs dropped as duplicates of an earlier emission *)
+  | Build_overlay
+      (** post-build edge insertions that fell outside a frozen [Csr]
+          build into its overlay set (coalescing's union edges) *)
 
 type row = {
   round : int;

@@ -35,11 +35,26 @@ let create capacity =
 
 (* One backing buffer for [rows] sets of [capacity] bits each.  Large
    liveness problems allocate rows*used_bytes bytes here in a single
-   major-heap block instead of [rows] separate minor-heap Bytes. *)
-let slab ~rows ~capacity =
+   major-heap block instead of [rows] separate minor-heap Bytes.
+   [buf], when given, is an earlier slab whose rows are no longer in
+   use: its backing buffer is cleared and recycled when large enough,
+   so a per-round recomputation stops churning the major heap once the
+   problem size plateaus. *)
+let slab ?buf ~rows ~capacity () =
   if rows < 0 || capacity < 0 then invalid_arg "Bitset.slab";
   let nb = used_bytes capacity in
-  let words = Bytes.make (rows * nb) '\000' in
+  let need = rows * nb in
+  let words =
+    match buf with
+    | Some prev
+      when Array.length prev > 0
+           && prev.(0).off = 0
+           && Bytes.length prev.(0).words >= need ->
+        let w = prev.(0).words in
+        Bytes.fill w 0 need '\000';
+        w
+    | _ -> Bytes.make need '\000'
+  in
   Array.init rows (fun r -> { words; off = r * nb; capacity })
 
 let capacity t = t.capacity

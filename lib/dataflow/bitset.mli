@@ -16,12 +16,15 @@ type t
 val create : int -> t
 (** All bits clear. *)
 
-val slab : rows:int -> capacity:int -> t array
-(** [slab ~rows ~capacity] is [rows] independent cleared bitsets of the
-    given capacity packed back-to-back in {e one} shared byte buffer.
+val slab : ?buf:t array -> rows:int -> capacity:int -> unit -> t array
+(** [slab ~rows ~capacity ()] is [rows] independent cleared bitsets of
+    the given capacity packed back-to-back in {e one} shared byte buffer.
     Semantically each row behaves exactly like a [create]d set; the point
     is allocation: a liveness problem with thousands of rows costs one
-    large major-heap block instead of thousands of minor-heap ones. *)
+    large major-heap block instead of thousands of minor-heap ones.
+    [buf], when given, is a previous [slab] result whose rows {e must no
+    longer be in use}: if its backing buffer is large enough it is
+    cleared and recycled instead of allocating fresh. *)
 
 val capacity : t -> int
 

@@ -122,7 +122,7 @@ let frontiers (cfg : Iloc.Cfg.t) t =
   (* One shared buffer for all n rows: frontier sets are consumed en
      masse right after construction (φ insertion), so per-row minor
      blocks would be pure churn. *)
-  let df = Bitset.slab ~rows:n ~capacity:n in
+  let df = Bitset.slab ~rows:n ~capacity:n () in
   for b = 0 to n - 1 do
     let preds = Iloc.Cfg.preds cfg b in
     if List.length preds >= 2 && t.idom.(b) <> -1 then
@@ -141,7 +141,7 @@ let frontiers (cfg : Iloc.Cfg.t) t =
 
 let frontiers_flat (fl : Iloc.Flat.t) t =
   let n = Iloc.Flat.n_blocks fl in
-  let df = Bitset.slab ~rows:n ~capacity:n in
+  let df = Bitset.slab ~rows:n ~capacity:n () in
   let pred_idx = fl.Iloc.Flat.pred_idx and pred = fl.Iloc.Flat.pred in
   for b = 0 to n - 1 do
     let lo = pred_idx.(b) and hi = pred_idx.(b + 1) in

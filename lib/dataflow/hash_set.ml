@@ -26,6 +26,8 @@ let create ?(cap = 16) () =
   { slots = Array.make c 0; mask = c - 1; live = 0; used = 0 }
 
 let cardinal t = t.live
+let capacity t = t.mask + 1
+let tombstones t = t.used - t.live
 
 let mem t k =
   if k < 0 then invalid_arg "Hash_set.mem: negative key";

@@ -17,6 +17,20 @@ val mem : t -> int -> bool
 val add : t -> int -> unit
 val remove : t -> int -> unit
 val cardinal : t -> int
+
+val capacity : t -> int
+(** Current slot-array size (a power of two).  Together with
+    {!tombstones} this makes the rehash policy observable: [add] keeps
+    [cardinal + tombstones] under 3/4 of capacity, growing only while
+    at least half the slots hold live keys and otherwise purging
+    tombstones in place — so add/remove churn at a steady cardinality
+    rehashes periodically instead of decaying probe lengths, and
+    capacity stays bounded by the high-water cardinality, not by the
+    operation count. *)
+
+val tombstones : t -> int
+(** Deleted slots awaiting the next rehash. *)
+
 val clear : t -> unit
 
 val copy : t -> t

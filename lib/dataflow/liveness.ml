@@ -104,8 +104,8 @@ let compute_flat ?order (fl : Iloc.Flat.t) =
   let nr = Reg_index.count regs in
   let nb = Iloc.Flat.n_blocks fl in
   let pmap = Reg_index.packed_map regs in
-  let ue = Bitset.slab ~rows:nb ~capacity:nr in
-  let kill = Bitset.slab ~rows:nb ~capacity:nr in
+  let ue = Bitset.slab ~rows:nb ~capacity:nr () in
+  let kill = Bitset.slab ~rows:nb ~capacity:nr () in
   let code = fl.Iloc.Flat.code in
   let stride = Iloc.Flat.stride in
   for b = 0 to nb - 1 do
@@ -126,8 +126,8 @@ let compute_flat ?order (fl : Iloc.Flat.t) =
       if d >= 0 then Bitset.unsafe_add kill_b (Array.unsafe_get pmap d)
     done
   done;
-  let live_in = Bitset.slab ~rows:nb ~capacity:nr in
-  let live_out = Bitset.slab ~rows:nb ~capacity:nr in
+  let live_in = Bitset.slab ~rows:nb ~capacity:nr () in
+  let live_out = Bitset.slab ~rows:nb ~capacity:nr () in
   let po = match order with Some o -> o | None -> Order.postorder_flat fl in
   solve ~nb ~nr ~po ~succs_iter:(flat_succs_iter fl)
     ~preds_iter:(flat_preds_iter fl) ~live_in ~live_out ~ue ~kill;
@@ -169,7 +169,24 @@ module Boundary = struct
     kill : Bitset.t array;  (** per-block kills restricted to [U] *)
   }
 
-  let compute ?order (fl : Iloc.Flat.t) =
+  (* Cross-round scratch: spill rounds recompute the boundary from
+     scratch, and every working buffer here scales with the routine
+     (packed-id-width arrays, |blocks| x |U| slabs).  The previous
+     round's buffers are dead the moment the caller recomputes, so a
+     [scratch] handed back on each call recycles all of them — the
+     [s_prev] result's slabs through [Bitset.slab ?buf].  The rows of
+     [s_prev] must no longer be in use when [compute] is called. *)
+  type scratch = {
+    mutable s_defined : int array;
+    mutable s_in_u : Bytes.t;
+    mutable s_umap : int array;
+    mutable s_prev : t option;
+  }
+
+  let scratch () =
+    { s_defined = [||]; s_in_u = Bytes.empty; s_umap = [||]; s_prev = None }
+
+  let compute ?order ?scratch (fl : Iloc.Flat.t) =
     let nb = Iloc.Flat.n_blocks fl in
     let code = fl.Iloc.Flat.code in
     let stride = Iloc.Flat.stride in
@@ -184,11 +201,26 @@ module Boundary = struct
       o := !o + stride
     done;
     let cap = !maxp + 2 in
+    let int_buf prev fill =
+      match prev with
+      | Some a when Array.length a >= cap ->
+          Array.fill a 0 cap fill;
+          a
+      | _ -> Array.make cap fill
+    in
     (* Pass 1: members of U — used before any same-block definition.
        [defined] is an epoch array keyed by block id, so there is no
        per-block clearing. *)
-    let defined = Array.make cap (-1) in
-    let in_u = Bytes.make cap '\000' in
+    let defined =
+      int_buf (Option.map (fun s -> s.s_defined) scratch) (-1)
+    in
+    let in_u =
+      match scratch with
+      | Some s when Bytes.length s.s_in_u >= cap ->
+          Bytes.fill s.s_in_u 0 cap '\000';
+          s.s_in_u
+      | _ -> Bytes.make cap '\000'
+    in
     let nu = ref 0 in
     for b = 0 to nb - 1 do
       for slot = Iloc.Flat.block_first fl b to Iloc.Flat.block_term fl b do
@@ -210,7 +242,7 @@ module Boundary = struct
        [Reg.compare] order, matching every other register numbering in
        the repo — no member list, no sort. *)
     let uindex = Reg_index.of_presence in_u cap !nu in
-    let umap = Array.make cap (-1) in
+    let umap = int_buf (Option.map (fun s -> s.s_umap) scratch) (-1) in
     let next = ref 0 in
     for p = 0 to cap - 1 do
       if Bytes.unsafe_get in_u p <> '\000' then begin
@@ -219,8 +251,11 @@ module Boundary = struct
       end
     done;
     let nr = !nu in
-    let ue = Bitset.slab ~rows:nb ~capacity:nr in
-    let kill = Bitset.slab ~rows:nb ~capacity:nr in
+    let prev_slab f =
+      Option.bind scratch (fun s -> Option.map f s.s_prev)
+    in
+    let ue = Bitset.slab ?buf:(prev_slab (fun p -> p.ue)) ~rows:nb ~capacity:nr () in
+    let kill = Bitset.slab ?buf:(prev_slab (fun p -> p.kill)) ~rows:nb ~capacity:nr () in
     Array.fill defined 0 cap (-1);
     for b = 0 to nb - 1 do
       let ue_b = ue.(b) and kill_b = kill.(b) in
@@ -239,12 +274,24 @@ module Boundary = struct
         end
       done
     done;
-    let live_in = Bitset.slab ~rows:nb ~capacity:nr in
-    let live_out = Bitset.slab ~rows:nb ~capacity:nr in
+    let live_in =
+      Bitset.slab ?buf:(prev_slab (fun p -> p.live_in)) ~rows:nb ~capacity:nr ()
+    in
+    let live_out =
+      Bitset.slab ?buf:(prev_slab (fun p -> p.live_out)) ~rows:nb ~capacity:nr ()
+    in
     let po = match order with Some o -> o | None -> Order.postorder_flat fl in
     solve ~nb ~nr ~po ~succs_iter:(flat_succs_iter fl)
       ~preds_iter:(flat_preds_iter fl) ~live_in ~live_out ~ue ~kill;
-    { uindex; live_in; live_out; ue; kill }
+    let t = { uindex; live_in; live_out; ue; kill } in
+    Option.iter
+      (fun s ->
+        s.s_defined <- defined;
+        s.s_in_u <- in_u;
+        s.s_umap <- umap;
+        s.s_prev <- Some t)
+      scratch;
+    t
 
   (* A register outside U is outside every boundary set — [false] here is
      the dense computation's answer, not an approximation. *)

@@ -59,7 +59,15 @@ module Boundary : sig
     kill : Bitset.t array;
   }
 
-  val compute : ?order:int array -> Iloc.Flat.t -> t
+  type scratch
+  (** Cross-computation working buffers (packed-id-width arrays and the
+      previous result's row slabs).  A context that recomputes the
+      boundary every spill round threads one [scratch] through all
+      calls; the previous result's rows must no longer be in use. *)
+
+  val scratch : unit -> scratch
+
+  val compute : ?order:int array -> ?scratch:scratch -> Iloc.Flat.t -> t
 
   val live_in_mem : t -> int -> Iloc.Reg.t -> bool
   val live_out_mem : t -> int -> Iloc.Reg.t -> bool

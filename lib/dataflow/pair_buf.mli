@@ -1,0 +1,39 @@
+(** Growable (key, payload) pair buffer with a stable LSD radix sort.
+
+    Backs the batched interference build: candidate edges are appended
+    with zero membership checks, then sorted by key, deduplicated, and
+    replayed in payload (emission) order.  The buffer owns its sort
+    scratch, so one buffer reused across spill rounds allocates nothing
+    once it has reached the routine's high-water pair count. *)
+
+type t
+
+val create : ?cap:int -> unit -> t
+(** [cap] is an initial capacity hint; the buffer grows by doubling. *)
+
+val length : t -> int
+
+val clear : t -> unit
+(** Empties the buffer; capacity (and sort scratch) is retained. *)
+
+val push : t -> key:int -> pay:int -> unit
+(** Keys and payloads must be non-negative (the radix sort reads them as
+    unsigned 16-bit digit strings). *)
+
+val unsafe_key : t -> int -> int
+(** [unsafe_key t i] for [i < length t]; unchecked. *)
+
+val unsafe_pay : t -> int -> int
+
+val sort_by_key : t -> unit
+(** Stable ascending sort by key: pairs with equal keys keep their
+    relative push order.  LSD counting sort on 16-bit digits; the number
+    of passes is driven by the maximum key actually present. *)
+
+val sort_by_pay : t -> unit
+(** Same, keyed by payload. *)
+
+val dedupe_by_key : t -> int
+(** Requires the buffer sorted by key.  Keeps the first pair of every
+    equal-key run — by stability, the earliest-pushed one — and returns
+    the number of dropped duplicates. *)

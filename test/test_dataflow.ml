@@ -589,6 +589,30 @@ let hash_set_unit =
             ((i + 99) mod 2 <> 0)
             (Dataflow.Hash_set.mem h i)
         done);
+    tc "churn keeps capacity bounded" (fun () ->
+        (* The coalesce/spill loop's add/remove traffic leaves tombstones
+           behind; the rehash policy must convert that churn into
+           same-capacity purges, not unbounded doubling.  10k cycles at
+           a live count of at most 12 must end with a table sized by the
+           high-water cardinality, not by the total insert count. *)
+        let h = Dataflow.Hash_set.create ~cap:16 () in
+        for round = 0 to 9_999 do
+          let base = round * 13 in
+          for i = 0 to 11 do
+            Dataflow.Hash_set.add h (base + i)
+          done;
+          for i = 0 to 11 do
+            Dataflow.Hash_set.remove h (base + i)
+          done
+        done;
+        check Alcotest.int "empty after churn" 0
+          (Dataflow.Hash_set.cardinal h);
+        let cap = Dataflow.Hash_set.capacity h in
+        if cap > 64 then
+          Alcotest.failf "churn grew capacity to %d (live never exceeded 12)"
+            cap;
+        check Alcotest.bool "tombstones below capacity" true
+          (Dataflow.Hash_set.tombstones h < cap));
     tc "clear empties" (fun () ->
         let h = Dataflow.Hash_set.create () in
         Dataflow.Hash_set.add h 3;

@@ -393,6 +393,62 @@ let graph_boundary_prop (name, config) =
         QCheck.Test.fail_reportf "seed %d: graphs differ:@.%s@.vs@.%s" seed a b
       else true)
 
+(* --- batched graph build ≡ incremental ------------------------------- *)
+
+(* Same flat routine, same boundary liveness, two construction
+   strategies: the pair-buffer radix pipeline must reproduce the
+   incremental builder's graph {e including} per-node neighbor vector
+   order (the fingerprint prints adjacency in vector order, so any
+   reordering — not just a set difference — fails). *)
+let batched_vs_incremental cfg =
+  let fl = Flat.of_routine cfg in
+  let bound = Dataflow.Liveness.Boundary.compute fl in
+  let regs = Dataflow.Reg_index.of_flat fl in
+  let k =
+    Remat.Machine.k_for (Remat.Machine.make ~name:"tiny" ~k_int:6 ~k_float:4)
+  in
+  let a =
+    graph_fingerprint
+      (Remat.Interference.build_flat_boundary ~batch:false ~k regs fl bound)
+  in
+  let b =
+    graph_fingerprint
+      (Remat.Interference.build_flat_boundary ~batch:true ~k regs fl bound)
+  in
+  (a, b)
+
+let batched_graph_prop (name, config) =
+  QCheck.Test.make ~count:40
+    ~name:(Printf.sprintf "batched graph ≡ incremental (%s)" name)
+    QCheck.(make Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let cfg = Fuzz.Gen.generate ~config seed in
+      let a, b = batched_vs_incremental cfg in
+      if not (String.equal a b) then
+        QCheck.Test.fail_reportf "seed %d: batched graph differs:@.%s@.vs@.%s"
+          seed a b
+      else true)
+
+let test_batched_over_limit () =
+  (* Cross [dense_node_limit], so both strategies run on the sparse edge
+     representations (Hash_set incremental vs Csr batched) rather than
+     the shared dense bit matrix.  A window-8 dependence chain keeps the
+     edge count linear in n, so the incremental reference stays fast. *)
+  let n = Remat.Interference.dense_node_limit + 300 in
+  let r i = ri (i + 1) in
+  let body = ref [ Instr.ldi (r 0) 1 ] in
+  for i = 1 to n - 1 do
+    body := Instr.add (r i) (r (i - 1)) (r (max 0 (i - 8))) :: !body
+  done;
+  let b0 =
+    Block.make ~id:0 ~label:"entry" ~body:(List.rev !body)
+      ~term:(Instr.ret (Some (r (n - 1)))) ()
+  in
+  let cfg = Cfg.make ~name:"big" [ b0 ] in
+  let a, b = batched_vs_incremental cfg in
+  if not (String.equal a b) then
+    Alcotest.fail "batched graph differs beyond dense_node_limit"
+
 (* --- allocator A/B: flat vs structured must be byte-identical -------- *)
 
 let alloc_fingerprint ~use_flat ~mode ~machine cfg =
@@ -445,6 +501,35 @@ let allocator_ab_prop (name, config) =
         ~mode:Remat.Mode.Briggs_remat ~machine cfg;
       true)
 
+(* End-to-end: forcing the batched builder (every round, even under the
+   dense threshold where the default is incremental) must leave the
+   final allocation byte-identical — graph construction order feeds
+   simplify/select tie-breaks, so this exercises the full pipeline's
+   sensitivity to neighbor order. *)
+let batched_alloc_fingerprint ~batch ~mode ~machine cfg =
+  let res = Remat.Allocator.allocate ~mode ~machine ~batch_build:batch cfg in
+  let open Remat.Allocator in
+  Printf.sprintf "%s\nrounds=%d mem=%d remat=%d slots=%d coalesced=%d"
+    (Cfg.to_string res.cfg) res.rounds res.spilled_memory res.spilled_remat
+    res.spill_slots res.coalesced_copies
+
+let batched_alloc_prop (name, config) =
+  QCheck.Test.make ~count:25
+    ~name:(Printf.sprintf "batched allocation ≡ incremental (%s)" name)
+    QCheck.(make Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let cfg = Fuzz.Gen.generate ~config seed in
+      let machine = Remat.Machine.make ~name:"tiny" ~k_int:6 ~k_float:4 in
+      let mode = Remat.Mode.Briggs_remat in
+      let a =
+        batched_alloc_fingerprint ~batch:false ~mode ~machine (Cfg.copy cfg)
+      in
+      let b = batched_alloc_fingerprint ~batch:true ~mode ~machine cfg in
+      if not (String.equal a b) then
+        QCheck.Test.fail_reportf
+          "seed %d: batched allocation differs:@.%s@.vs@.%s" seed a b
+      else true)
+
 let qcheck_cases =
   List.map
     (fun c -> QCheck_alcotest.to_alcotest (roundtrip_prop c))
@@ -459,7 +544,13 @@ let qcheck_cases =
       (fun c -> QCheck_alcotest.to_alcotest (graph_boundary_prop c))
       gen_configs
   @ List.map
+      (fun c -> QCheck_alcotest.to_alcotest (batched_graph_prop c))
+      gen_configs
+  @ List.map
       (fun c -> QCheck_alcotest.to_alcotest (allocator_ab_prop c))
+      gen_configs
+  @ List.map
+      (fun c -> QCheck_alcotest.to_alcotest (batched_alloc_prop c))
       gen_configs
 
 let () =
@@ -478,6 +569,8 @@ let () =
             test_edges_match;
           Alcotest.test_case "splice identity" `Quick test_splice_identity;
           Alcotest.test_case "of_routine rejects SSA" `Quick test_rejects_ssa;
+          Alcotest.test_case "batched build beyond dense_node_limit" `Quick
+            test_batched_over_limit;
         ] );
       ( "instr-equal",
         [
