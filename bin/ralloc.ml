@@ -425,6 +425,7 @@ let report_cmd =
             Suite.Report.pp_table2 std
               (Suite.Report.table2 [ "repvid"; "tomcatv"; "twldrv" ])
         | "ablation" -> Suite.Report.pp_ablation std (Suite.Report.ablation ())
+        | "race" -> Suite.Report.pp_race std (Suite.Report.race ())
         | "baseline" ->
             List.iter
               (fun k ->
@@ -456,8 +457,8 @@ let report_cmd =
     Arg.(value & pos 0 string "table1"
          & info [] ~docv:"REPORT"
              ~doc:
-               "table1 | table2 | ablation | baseline | fig1 | fig2 | fig3 | \
-                fig4")
+               "table1 | table2 | ablation | race | baseline | fig1 | fig2 | \
+                fig3 | fig4")
   in
   let doc = "Regenerate one of the paper's tables or figures." in
   Cmd.v (Cmd.info "report" ~doc) Term.(const run $ what)
@@ -567,8 +568,28 @@ let bench_cmd =
               failed := true
             end;
             if !failed then exit 1
+        | "race" ->
+            let rows = Suite.Report.race ~repeats:(max 1 repeats) () in
+            Suite.Report.pp_race Format.std_formatter rows;
+            let out = Option.value out ~default:"BENCH_race.json" in
+            let oc = open_out out in
+            output_string oc (Suite.Report.race_json rows);
+            output_char oc '\n';
+            close_out oc;
+            Fmt.epr "; bench race: wrote %s@." out;
+            (* Both pipelines allocated every kernel and simulated to the
+               same outcome inside [race]; a divergence raises there. *)
+            List.iter
+              (fun r ->
+                if r.Suite.Report.ssa_cycles <= 0 || r.Suite.Report.briggs_cycles <= 0
+                then begin
+                  Fmt.epr "; bench race: FAIL: %s reported non-positive cycles@."
+                    r.Suite.Report.race_kernel.Suite.Kernels.name;
+                  exit 1
+                end)
+              rows
         | other ->
-            Fmt.epr "unknown benchmark %S (want: scale | serve)@." other;
+            Fmt.epr "unknown benchmark %S (want: scale | serve | race)@." other;
             exit 2)
   in
   let what =
@@ -580,7 +601,9 @@ let bench_cmd =
              size, retained old implementation vs current, outputs \
              byte-compared.  serve: replay a deterministic request stream \
              (repeats plus seeded edits) through the allocation server, \
-             reporting latency, throughput and cache hit rate.")
+             reporting latency, throughput and cache hit rate.  race: \
+             Chaitin\226\128\147Briggs vs the decoupled SSA pipeline on the \
+             kernel suite \226\128\148 dynamic cycles and allocation time.")
   in
   let sizes =
     Arg.(
@@ -670,7 +693,10 @@ let bench_cmd =
      repeated and edited routines and writes latency percentiles, \
      throughput and cache counters to BENCH_serve.json; exits non-zero on \
      any error response, any non-incremental rebuild on the incremental \
-     path, or a hit rate below --min-hit-rate."
+     path, or a hit rate below --min-hit-rate.  $(b,race) runs both full \
+     pipelines on every workload kernel and writes per-kernel dynamic \
+     cycles, allocation time, spills and coalesced copies to \
+     BENCH_race.json."
   in
   Cmd.v (Cmd.info "bench" ~doc)
     Term.(

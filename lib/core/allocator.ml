@@ -216,10 +216,41 @@ let verify_output ~input ~output ~(machine : Machine.t) =
   | Error errs ->
       raise (Verification_error (List.map Verify.Error.to_string errs))
 
+(* The decoupled SSA pipeline (§ Ssa_alloc): spill to MaxLive ≤ k on SSA
+   form, color the chordal graph greedily, destruct on colored code.
+   The flat-arena and batched-build machinery is specific to the
+   interference-graph pipeline and does not apply here. *)
+let allocate_ssa ~verify ~mode ~machine ~max_rounds (input : Cfg.t) =
+  let stats = Stats.create () in
+  let cfg0 = Cfg.split_critical_edges input in
+  let r =
+    try Ssa_alloc.run ~mode ~machine ~max_rounds ~stats cfg0
+    with Spill_code.Pressure_too_high msg -> raise (Allocation_error msg)
+  in
+  let cfg = r.Ssa_alloc.cfg in
+  if verify then verify_output ~input ~output:cfg ~machine;
+  {
+    cfg;
+    mode;
+    machine;
+    rounds = r.Ssa_alloc.rounds;
+    spilled_memory = r.Ssa_alloc.spilled_memory;
+    spilled_remat = r.Ssa_alloc.spilled_remat;
+    spill_slots = r.Ssa_alloc.spill_slots;
+    n_values = r.Ssa_alloc.n_values;
+    (* SSA values are never coarsened into live ranges — each value is
+       its own coloring unit. *)
+    n_live_ranges = r.Ssa_alloc.n_values;
+    coalesced_copies = r.Ssa_alloc.coalesced;
+    stats;
+  }
+
 let allocate ?(verify = false) ?(mode = Mode.Briggs_remat)
     ?(machine = Machine.standard) ?(max_rounds = 64) ?(use_flat = true)
     ?batch_build (input : Cfg.t) =
   validate_input input;
+  if Mode.is_ssa mode then allocate_ssa ~verify ~mode ~machine ~max_rounds input
+  else begin
   let stats = Stats.create () in
   let cfg0 = Cfg.split_critical_edges input in
   (* Control-flow analysis: dominators and loop structure.  Renumber and
@@ -282,6 +313,7 @@ let allocate ?(verify = false) ?(mode = Mode.Briggs_remat)
     coalesced_copies = ctx.Context.coalesced;
     stats;
   }
+  end
 
 (* Incremental re-allocation.
 
@@ -393,9 +425,10 @@ let allocate_incremental ?(verify = false) ?(max_rounds = 64)
     (snap : snapshot) (input : Cfg.t) =
   validate_input input;
   let mode = snap.snap_mode and machine = snap.snap_machine in
-  if Mode.loop_scheme mode <> None then None
+  if Mode.loop_scheme mode <> None || Mode.is_ssa mode then None
     (* Splitting schemes rewrite the routine after renumber, staling the
-       snapshot's liveness and graph before the first round. *)
+       snapshot's liveness and graph before the first round; the SSA
+       pipeline never consults an interference-graph snapshot at all. *)
   else begin
     let stats = Stats.create () in
     let cfg0 = Cfg.split_critical_edges input in

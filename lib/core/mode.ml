@@ -25,6 +25,8 @@ type t =
   | Briggs_split_all_loops
   | Briggs_split_outer_loops
   | Briggs_split_unreferenced
+  | Ssa_remat
+  | Ssa_no_remat
 
 let to_string = function
   | No_remat -> "no-remat"
@@ -34,6 +36,8 @@ let to_string = function
   | Briggs_split_all_loops -> "briggs-split-loops"
   | Briggs_split_outer_loops -> "briggs-split-outer"
   | Briggs_split_unreferenced -> "briggs-split-unref"
+  | Ssa_remat -> "ssa"
+  | Ssa_no_remat -> "ssa-no-remat"
 
 let of_string = function
   | "no-remat" -> Some No_remat
@@ -43,6 +47,8 @@ let of_string = function
   | "briggs-split-loops" -> Some Briggs_split_all_loops
   | "briggs-split-outer" -> Some Briggs_split_outer_loops
   | "briggs-split-unref" -> Some Briggs_split_unreferenced
+  | "ssa" -> Some Ssa_remat
+  | "ssa-no-remat" -> Some Ssa_no_remat
   | _ -> None
 
 let all =
@@ -54,6 +60,8 @@ let all =
     Briggs_split_all_loops;
     Briggs_split_outer_loops;
     Briggs_split_unreferenced;
+    Ssa_remat;
+    Ssa_no_remat;
   ]
 
 (* The four variants compared in the paper's evaluation proper; the loop
@@ -61,7 +69,7 @@ let all =
 let core = [ No_remat; Chaitin_remat; Briggs_remat; Briggs_remat_phi_splits ]
 
 let splits = function
-  | No_remat | Chaitin_remat -> false
+  | No_remat | Chaitin_remat | Ssa_remat | Ssa_no_remat -> false
   | Briggs_remat | Briggs_remat_phi_splits | Briggs_split_all_loops
   | Briggs_split_outer_loops | Briggs_split_unreferenced ->
       true
@@ -70,6 +78,15 @@ let loop_scheme = function
   | Briggs_split_all_loops -> Some `All_loops
   | Briggs_split_outer_loops -> Some `Outer_loops
   | Briggs_split_unreferenced -> Some `Unreferenced
-  | No_remat | Chaitin_remat | Briggs_remat | Briggs_remat_phi_splits -> None
+  | No_remat | Chaitin_remat | Briggs_remat | Briggs_remat_phi_splits
+  | Ssa_remat | Ssa_no_remat ->
+      None
+
+let is_ssa = function
+  | Ssa_remat | Ssa_no_remat -> true
+  | No_remat | Chaitin_remat | Briggs_remat | Briggs_remat_phi_splits
+  | Briggs_split_all_loops | Briggs_split_outer_loops
+  | Briggs_split_unreferenced ->
+      false
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)

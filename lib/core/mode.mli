@@ -14,7 +14,12 @@
       φ-nodes (the "Splits" column of Figure 3).
     - [Briggs_split_all_loops] / [Briggs_split_outer_loops] /
       [Briggs_split_unreferenced]: the §6 loop-boundary splitting schemes
-      1–3, layered on top of [Briggs_remat] (see {!Splitting}). *)
+      1–3, layered on top of [Briggs_remat] (see {!Splitting}).
+    - [Ssa_remat] / [Ssa_no_remat]: the decoupled pipeline (Bouchez–
+      Darte–Rastello): spill on SSA form until MaxLive ≤ k per class
+      (remat-aware resp. store/reload-only), color the chordal
+      interference graph greedily on dominator preorder, then destruct
+      SSA with parallel-copy sequentialization (see {!Ssa_alloc}). *)
 
 type t =
   | No_remat
@@ -24,6 +29,8 @@ type t =
   | Briggs_split_all_loops
   | Briggs_split_outer_loops
   | Briggs_split_unreferenced
+  | Ssa_remat
+  | Ssa_no_remat
 
 val to_string : t -> string
 val of_string : string -> t option
@@ -40,5 +47,10 @@ val splits : t -> bool
 
 val loop_scheme : t -> [ `All_loops | `Outer_loops | `Unreferenced ] option
 (** The {!Splitting} scheme to run after renumber, if any. *)
+
+val is_ssa : t -> bool
+(** Does this mode select the decoupled SSA pipeline (spill-everywhere
+    to MaxLive ≤ k, chordal coloring, SSA destruction) instead of the
+    Chaitin–Briggs build–coalesce–simplify–select loop? *)
 
 val pp : Format.formatter -> t -> unit

@@ -22,10 +22,10 @@ let run mode (cfg : Cfg.t) =
   (* Step 4: tag propagation.  No_remat forces everything heavyweight. *)
   let tags =
     match mode with
-    | Mode.No_remat -> Array.make n Tag.Bottom
+    | Mode.No_remat | Mode.Ssa_no_remat -> Array.make n Tag.Bottom
     | Mode.Chaitin_remat | Mode.Briggs_remat | Mode.Briggs_remat_phi_splits
     | Mode.Briggs_split_all_loops | Mode.Briggs_split_outer_loops
-    | Mode.Briggs_split_unreferenced ->
+    | Mode.Briggs_split_unreferenced | Mode.Ssa_remat ->
         Remat_analysis.run ssa vals
   in
   let uf = Union_find.create n in
@@ -40,7 +40,7 @@ let run mode (cfg : Cfg.t) =
   (match mode with
   | Mode.Briggs_remat | Mode.Briggs_remat_phi_splits
   | Mode.Briggs_split_all_loops | Mode.Briggs_split_outer_loops
-  | Mode.Briggs_split_unreferenced ->
+  | Mode.Briggs_split_unreferenced | Mode.Ssa_remat ->
       Cfg.iter_instrs
         (fun _ i ->
           match (i.Instr.op, i.Instr.dst) with
@@ -50,7 +50,7 @@ let run mode (cfg : Cfg.t) =
               if both_inst_equal di si then ignore (Union_find.union uf di si)
           | _ -> ())
         ssa
-  | Mode.No_remat | Mode.Chaitin_remat -> ());
+  | Mode.No_remat | Mode.Chaitin_remat | Mode.Ssa_no_remat -> ());
   (* Step 6: walk the φ-nodes; union compatible operands, record splits
      for the rest.  Split destinations/sources are resolved to
      representatives only after all unions are known. *)
@@ -65,10 +65,11 @@ let run mode (cfg : Cfg.t) =
               let va = Values.index vals arg in
               let merge =
                 match mode with
-                | Mode.No_remat | Mode.Chaitin_remat -> true
+                | Mode.No_remat | Mode.Chaitin_remat | Mode.Ssa_no_remat ->
+                    true
                 | Mode.Briggs_remat | Mode.Briggs_split_all_loops
                 | Mode.Briggs_split_outer_loops
-                | Mode.Briggs_split_unreferenced ->
+                | Mode.Briggs_split_unreferenced | Mode.Ssa_remat ->
                     (* Identical tags (including both-Bottom) merge; the
                        Minimal column of Figure 3. *)
                     Tag.equal tags.(vr) tags.(va)
@@ -401,10 +402,10 @@ let run_flat mode (fl0 : Flat.t) =
      edges), via the shared order-independent fixpoint. *)
   let tags =
     match mode with
-    | Mode.No_remat -> Array.make n Tag.Bottom
+    | Mode.No_remat | Mode.Ssa_no_remat -> Array.make n Tag.Bottom
     | Mode.Chaitin_remat | Mode.Briggs_remat | Mode.Briggs_remat_phi_splits
     | Mode.Briggs_split_all_loops | Mode.Briggs_split_outer_loops
-    | Mode.Briggs_split_unreferenced ->
+    | Mode.Briggs_split_unreferenced | Mode.Ssa_remat ->
         let tags = Array.make n Tag.Top in
         for s = 0 to ns - 1 do
           let v = slot_dst_val.(s) in
@@ -455,7 +456,7 @@ let run_flat mode (fl0 : Flat.t) =
   (match mode with
   | Mode.Briggs_remat | Mode.Briggs_remat_phi_splits
   | Mode.Briggs_split_all_loops | Mode.Briggs_split_outer_loops
-  | Mode.Briggs_split_unreferenced ->
+  | Mode.Briggs_split_unreferenced | Mode.Ssa_remat ->
       for s = 0 to ns - 1 do
         let v = slot_dst_val.(s) in
         if v >= 0 && Flat.Tag.is_copy code.((s * stride) + Flat.f_tag) then begin
@@ -463,7 +464,7 @@ let run_flat mode (fl0 : Flat.t) =
           if both_inst_equal v si then ignore (Union_find.union uf v si)
         end
       done
-  | Mode.No_remat | Mode.Chaitin_remat -> ());
+  | Mode.No_remat | Mode.Chaitin_remat | Mode.Ssa_no_remat -> ());
   (* Step 6: φ operands — blocks ascending, φs ascending original
      register, arguments ascending predecessor: the structured pass's
      canonical order. *)
@@ -476,9 +477,10 @@ let run_flat mode (fl0 : Flat.t) =
       let va = phi_args.(phi_arg_idx.(i) + j) in
       let merge =
         match mode with
-        | Mode.No_remat | Mode.Chaitin_remat -> true
+        | Mode.No_remat | Mode.Chaitin_remat | Mode.Ssa_no_remat -> true
         | Mode.Briggs_remat | Mode.Briggs_split_all_loops
-        | Mode.Briggs_split_outer_loops | Mode.Briggs_split_unreferenced ->
+        | Mode.Briggs_split_outer_loops | Mode.Briggs_split_unreferenced
+        | Mode.Ssa_remat ->
             Tag.equal tags.(vr) tags.(va)
         | Mode.Briggs_remat_phi_splits -> both_inst_equal vr va
       in

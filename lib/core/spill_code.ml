@@ -23,7 +23,7 @@ type stats = {
   new_slots : int;
 }
 
-let insert (cfg : Iloc.Cfg.t) ~tags ~infinite ~spilled ~slot_counter =
+let insert ?slots (cfg : Iloc.Cfg.t) ~tags ~infinite ~spilled ~slot_counter =
   List.iter
     (fun r ->
       if Reg.Tbl.mem infinite r then
@@ -37,7 +37,7 @@ let insert (cfg : Iloc.Cfg.t) ~tags ~infinite ~spilled ~slot_counter =
     List.fold_left (fun acc r -> Reg.Set.add r acc) Reg.Set.empty spilled
   in
   let tag_of r = Option.value (Reg.Tbl.find_opt tags r) ~default:Tag.Bottom in
-  let slots = Reg.Tbl.create 8 in
+  let slots = match slots with Some s -> s | None -> Reg.Tbl.create 8 in
   let new_slots = ref 0 in
   let slot_of r =
     match Reg.Tbl.find_opt slots r with

@@ -48,13 +48,17 @@ type stats = {
 }
 
 val insert :
+  ?slots:int Iloc.Reg.Tbl.t ->
   Iloc.Cfg.t ->
   tags:Tag.t Iloc.Reg.Tbl.t ->
   infinite:unit Iloc.Reg.Tbl.t ->
   spilled:Iloc.Reg.t list ->
   slot_counter:int ref ->
   stats
-(** Mutates the routine in place. *)
+(** Mutates the routine in place.  [slots], when given, is the
+    value-to-frame-slot table to extend (slots already present are
+    reused); the SSA pipeline shares one across its φ-edge stores and
+    the body rewrite so both agree on where a value lives. *)
 
 val insert_flat :
   Iloc.Flat.t ->

@@ -87,6 +87,119 @@ let compute ?order (cfg : Iloc.Cfg.t) =
     ~live_in ~live_out ~ue ~kill;
   { regs; live_in; live_out; ue; kill }
 
+(* φ-aware liveness over an SSA-form routine, for the decoupled
+   spill-then-color pipeline.  The equations treat a φ-node's arguments
+   as used at the end of the matching predecessor and its destination as
+   defined at the block's entry (Bouchez–Darte–Rastello):
+
+     kill(b)     = instruction defs of b ∪ φ destinations of b
+     ue(b)       = upward-exposed instruction uses of b (φ args excluded)
+     live_out(b) = ∪_{s ∈ succ(b)} (live_in(s) ∪ φ-args on edge b→s)
+     live_in(b)  = ue(b) ∪ (live_out(b) \ kill(b))
+
+   The edge-specific φ-arg term is constant, so it is folded into the
+   initial [live_out] seed and the shared worklist [solve] — which only
+   ever grows [live_out] by successors' [live_in] — computes the rest. *)
+let compute_ssa ?order (cfg : Iloc.Cfg.t) =
+  let regs = Reg_index.of_cfg cfg in
+  let nr = Reg_index.count regs in
+  let nb = Iloc.Cfg.n_blocks cfg in
+  let ue = Array.init nb (fun _ -> Bitset.create nr) in
+  let kill = Array.init nb (fun _ -> Bitset.create nr) in
+  let live_in = Array.init nb (fun _ -> Bitset.create nr) in
+  let live_out = Array.init nb (fun _ -> Bitset.create nr) in
+  Iloc.Cfg.iter_blocks
+    (fun b ->
+      let ue_b = ue.(b.Iloc.Block.id) and kill_b = kill.(b.Iloc.Block.id) in
+      List.iter
+        (fun (p : Iloc.Phi.t) ->
+          Bitset.unsafe_add kill_b (Reg_index.index regs p.Iloc.Phi.dst);
+          List.iter
+            (fun (pred, arg) ->
+              Bitset.unsafe_add live_out.(pred) (Reg_index.index regs arg))
+            p.Iloc.Phi.args)
+        b.Iloc.Block.phis;
+      Iloc.Block.iter_instrs
+        (fun i ->
+          List.iter
+            (fun u ->
+              let ui = Reg_index.index regs u in
+              if not (Bitset.unsafe_mem kill_b ui) then Bitset.unsafe_add ue_b ui)
+            (Iloc.Instr.uses i);
+          List.iter
+            (fun d -> Bitset.unsafe_add kill_b (Reg_index.index regs d))
+            (Iloc.Instr.defs i))
+        b)
+    cfg;
+  let po = match order with Some o -> o | None -> Order.postorder cfg in
+  solve ~nb ~nr ~po
+    ~succs_iter:(fun b f -> List.iter f (Iloc.Cfg.succs cfg b))
+    ~preds_iter:(fun b f -> List.iter f (Iloc.Cfg.preds cfg b))
+    ~live_in ~live_out ~ue ~kill;
+  { regs; live_in; live_out; ue; kill }
+
+(* Pointwise register pressure of an SSA routine, per block and class,
+   from the boundary rows of {!compute_ssa}: one backward walk per block
+   from [live_out] (which includes φ-args of successor edges), noting
+   the peak before/after every instruction, plus the block-entry point
+   where live-in values and all φ destinations are live at once (the
+   entry parallel copy has written every destination before any body
+   instruction runs). *)
+let max_live_ssa (cfg : Iloc.Cfg.t) (t : t) =
+  let nb = Iloc.Cfg.n_blocks cfg in
+  let mi = Array.make nb 0 and mf = Array.make nb 0 in
+  let nr = Reg_index.count t.regs in
+  let is_float = Array.make nr false in
+  for i = 0 to nr - 1 do
+    is_float.(i) <- Iloc.Reg.is_float (Reg_index.reg t.regs i)
+  done;
+  Iloc.Cfg.iter_blocks
+    (fun b ->
+      let id = b.Iloc.Block.id in
+      let live = Bitset.create nr in
+      ignore (Bitset.union_into ~dst:live t.live_out.(id));
+      let ci = ref 0 and cf = ref 0 in
+      Bitset.iter (fun i -> if is_float.(i) then incr cf else incr ci) live;
+      let note () =
+        if !ci > mi.(id) then mi.(id) <- !ci;
+        if !cf > mf.(id) then mf.(id) <- !cf
+      in
+      note ();
+      let add i =
+        if not (Bitset.mem live i) then begin
+          Bitset.add live i;
+          if is_float.(i) then incr cf else incr ci
+        end
+      in
+      let remove i =
+        if Bitset.mem live i then begin
+          Bitset.remove live i;
+          if is_float.(i) then decr cf else decr ci
+        end
+      in
+      let instr (i : Iloc.Instr.t) =
+        (* At the definition point the destination coexists with
+           everything live after the instruction (a dead definition
+           still occupies a register there). *)
+        List.iter (fun d -> add (Reg_index.index t.regs d)) (Iloc.Instr.defs i);
+        note ();
+        List.iter
+          (fun d -> remove (Reg_index.index t.regs d))
+          (Iloc.Instr.defs i);
+        List.iter (fun u -> add (Reg_index.index t.regs u)) (Iloc.Instr.uses i);
+        note ()
+      in
+      instr b.Iloc.Block.term;
+      List.iter instr (List.rev b.Iloc.Block.body);
+      (* Block entry, after the φ parallel copy: live-in ∪ φ dests. *)
+      List.iter
+        (fun (p : Iloc.Phi.t) ->
+          add (Reg_index.index t.regs p.Iloc.Phi.dst))
+        b.Iloc.Block.phis;
+      note ())
+    cfg;
+  (mi, mf)
+
 (* CSR edge iteration over a flat arena: no list cells, no closures per
    edge beyond the two allocated here per call. *)
 let[@inline] flat_succs_iter (fl : Iloc.Flat.t) b f =

@@ -37,6 +37,24 @@ val compute_flat : ?order:int array -> Iloc.Flat.t -> t
     buffer each).  The resulting sets are bit-identical to {!compute} of
     the bridged routine; [order] is {!Order.postorder_flat}. *)
 
+val compute_ssa : ?order:int array -> Iloc.Cfg.t -> t
+(** φ-aware liveness over an SSA-form routine, the decoupled pipeline's
+    pressure substrate: a φ-node's arguments are used at the end of the
+    matching predecessor (they join that predecessor's [live_out]) and
+    its destination is defined at the block's entry (it joins [kill] and
+    is in no [live_in]).  Non-SSA routines are accepted too, where the
+    equations degenerate to {!compute}'s. *)
+
+val max_live_ssa : Iloc.Cfg.t -> t -> int array * int array
+(** [max_live_ssa cfg t] — per-block MaxLive of the integer resp. float
+    class from the boundary rows of [compute_ssa cfg]: the peak number
+    of simultaneously live registers at any point of the block,
+    including the entry point where live-in values and every φ
+    destination coexist, and the block-end point where successor φ-args
+    are still live.  On SSA form this is the exact spill criterion of
+    "Spill Everywhere under SSA": the chordal interference graph is
+    colorable with [max MaxLive] colors per class. *)
+
 val live_in : t -> int -> Iloc.Reg.t list
 val live_out : t -> int -> Iloc.Reg.t list
 val live_in_mem : t -> int -> Iloc.Reg.t -> bool

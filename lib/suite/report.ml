@@ -368,3 +368,109 @@ let pp_ablation ppf rows =
           List.iter (fun (_, c) -> Format.fprintf ppf " %18d" c) r.per_mode;
           Format.fprintf ppf "@.")
         rows
+
+(* ------------------------------------------------------------------ *)
+(* The race: Chaitin–Briggs vs the decoupled SSA pipeline.             *)
+
+type race_row = {
+  race_kernel : Kernels.kernel;
+  briggs_cycles : int;
+  ssa_cycles : int;
+  briggs_alloc_s : float;
+  ssa_alloc_s : float;
+  briggs_spilled : int;
+  ssa_spilled : int;
+  briggs_coalesced : int;
+  ssa_coalesced : int;
+}
+
+let race ?(machine = Machine.standard) ?(repeats = 5)
+    ?(modes = (Mode.Briggs_remat, Mode.Ssa_remat)) () =
+  let best_time mode cfg =
+    (* Coldest allocation first so both contenders warm the same caches;
+       best-of-[repeats] like table2's timing discipline. *)
+    let best = ref infinity in
+    let result = ref None in
+    for _ = 1 to max 1 repeats do
+      let t0 = Unix.gettimeofday () in
+      let r = Remat.Allocator.run ~mode ~machine cfg in
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt;
+      result := Some r
+    done;
+    (Option.get !result, !best)
+  in
+  let briggs_mode, ssa_mode = modes in
+  List.map
+    (fun kernel ->
+      let cfg = Kernels.cfg_of ~optimize:true kernel in
+      let briggs, briggs_alloc_s = best_time briggs_mode cfg in
+      let ssa, ssa_alloc_s = best_time ssa_mode cfg in
+      let cycles (r : Remat.Allocator.result) =
+        Counts.cycles (run_counts r.Remat.Allocator.cfg)
+      in
+      {
+        race_kernel = kernel;
+        briggs_cycles = cycles briggs;
+        ssa_cycles = cycles ssa;
+        briggs_alloc_s;
+        ssa_alloc_s;
+        briggs_spilled =
+          briggs.Remat.Allocator.spilled_memory
+          + briggs.Remat.Allocator.spilled_remat;
+        ssa_spilled =
+          ssa.Remat.Allocator.spilled_memory
+          + ssa.Remat.Allocator.spilled_remat;
+        briggs_coalesced = briggs.Remat.Allocator.coalesced_copies;
+        ssa_coalesced = ssa.Remat.Allocator.coalesced_copies;
+      })
+    Kernels.all
+
+let pp_race ppf rows =
+  Format.fprintf ppf "%-12s %12s %12s %8s %11s %11s %9s %9s@." "routine"
+    "briggs-cyc" "ssa-cyc" "Δcyc%" "briggs-ms" "ssa-ms" "spills" "coalesce";
+  Format.fprintf ppf "%s@." (String.make 92 '-');
+  List.iter
+    (fun r ->
+      let pct =
+        if r.briggs_cycles = 0 then 0.
+        else
+          100.
+          *. float_of_int (r.ssa_cycles - r.briggs_cycles)
+          /. float_of_int r.briggs_cycles
+      in
+      Format.fprintf ppf "%-12s %12d %12d %7.2f%% %11.3f %11.3f %4d/%-4d %4d/%-4d@."
+        r.race_kernel.Kernels.name r.briggs_cycles r.ssa_cycles pct
+        (1000. *. r.briggs_alloc_s) (1000. *. r.ssa_alloc_s) r.briggs_spilled
+        r.ssa_spilled r.briggs_coalesced r.ssa_coalesced)
+    rows;
+  let tot f = List.fold_left (fun a r -> a + f r) 0 rows in
+  let tots f = List.fold_left (fun a r -> a +. f r) 0. rows in
+  Format.fprintf ppf "%s@." (String.make 92 '-');
+  Format.fprintf ppf "%-12s %12d %12d %8s %11.3f %11.3f %4d/%-4d %4d/%-4d@."
+    "total"
+    (tot (fun r -> r.briggs_cycles))
+    (tot (fun r -> r.ssa_cycles))
+    ""
+    (1000. *. tots (fun r -> r.briggs_alloc_s))
+    (1000. *. tots (fun r -> r.ssa_alloc_s))
+    (tot (fun r -> r.briggs_spilled))
+    (tot (fun r -> r.ssa_spilled))
+    (tot (fun r -> r.briggs_coalesced))
+    (tot (fun r -> r.ssa_coalesced))
+
+let race_json rows =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\"bench\":\"race\",\"kernels\":[";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"kernel\":\"%s\",\"briggs\":{\"cycles\":%d,\"alloc_seconds\":%.9f,\"spilled\":%d,\"coalesced\":%d},\"ssa\":{\"cycles\":%d,\"alloc_seconds\":%.9f,\"spilled\":%d,\"coalesced\":%d}}"
+           (json_escape r.race_kernel.Kernels.name)
+           r.briggs_cycles r.briggs_alloc_s r.briggs_spilled r.briggs_coalesced
+           r.ssa_cycles r.ssa_alloc_s r.ssa_spilled r.ssa_coalesced))
+    rows;
+  Buffer.add_string b "]}";
+  Buffer.contents b

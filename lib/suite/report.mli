@@ -88,3 +88,36 @@ type ablation_row = {
 
 val ablation : ?machine:Remat.Machine.t -> ?modes:Remat.Mode.t list -> unit -> ablation_row list
 val pp_ablation : Format.formatter -> ablation_row list -> unit
+
+(** The race: both full pipelines — Chaitin–Briggs ([Briggs_remat]) and
+    the decoupled SSA spill/chordal-color pipeline ([Ssa_remat]) — on
+    every workload kernel, comparing the {e quality} of the allocation
+    (dynamic weighted cycles of the allocated code under {!Sim.Interp})
+    and its {e price} (allocation wall time, best of [repeats]). *)
+type race_row = {
+  race_kernel : Kernels.kernel;
+  briggs_cycles : int;
+  ssa_cycles : int;
+  briggs_alloc_s : float;
+  ssa_alloc_s : float;
+  briggs_spilled : int;  (** memory + remat live ranges/values spilled *)
+  ssa_spilled : int;
+  briggs_coalesced : int;
+  ssa_coalesced : int;
+}
+
+val race :
+  ?machine:Remat.Machine.t ->
+  ?repeats:int ->
+  ?modes:Remat.Mode.t * Remat.Mode.t ->
+  unit ->
+  race_row list
+(** Kernels are optimized before allocation, like {!measure}.  [modes]
+    (default [(Briggs_remat, Ssa_remat)]) selects the two contenders —
+    pass [(No_remat, Ssa_no_remat)] to race the remat-blind variants. *)
+
+val pp_race : Format.formatter -> race_row list -> unit
+
+val race_json : race_row list -> string
+(** Machine-readable form; [ralloc bench race] writes it to
+    [BENCH_race.json]. *)

@@ -287,28 +287,75 @@ let check_over_k ~k_int ~k_float ~name errs (output : Cfg.t) =
         (Block.instrs b))
     output
 
-let has_spill_ops cfg =
-  let found = ref false in
-  Cfg.iter_instrs
-    (fun _ (i : Instr.t) ->
-      match i.Instr.op with
-      | Instr.Spill _ | Instr.Reload _ -> found := true
-      | _ -> ())
+(* Gate probes, precise: an unsupported rejection names the first
+   offending block (and instruction), so a caller that fed the checker a
+   pre-spilled or still-SSA routine learns exactly where — not merely
+   that — its input left the checker's domain. *)
+let first_phi cfg =
+  let found = ref None in
+  Cfg.iter_blocks
+    (fun b ->
+      if !found = None then
+        match b.Block.phis with
+        | p :: _ -> found := Some (b.Block.label, p.Phi.dst)
+        | [] -> ())
     cfg;
   !found
 
-let unsupported name what = [ Error.routine_err name Error.Unsupported what ]
+let first_spill_op cfg =
+  let found = ref None in
+  Cfg.iter_blocks
+    (fun b ->
+      if !found = None then
+        List.iteri
+          (fun idx (i : Instr.t) ->
+            if !found = None then
+              match i.Instr.op with
+              | Instr.Spill s -> found := Some (b.Block.label, idx, "spill", s)
+              | Instr.Reload s -> found := Some (b.Block.label, idx, "reload", s)
+              | _ -> ())
+          b.Block.body)
+    cfg;
+  !found
+
+let phi_gate name which cfg =
+  match first_phi cfg with
+  | None -> None
+  | Some (label, dst) ->
+      Some
+        [
+          Error.block_err name ~label Error.Unsupported
+            (Printf.sprintf
+               "%s routine is in SSA form: φ-function defining %s — destruct \
+                φs before verifying"
+               which (Reg.to_string dst));
+        ]
+
+let spill_gate name cfg =
+  match first_spill_op cfg with
+  | None -> None
+  | Some (label, idx, op, slot) ->
+      Some
+        [
+          Error.instr_err name ~label ~index:idx Error.Unsupported
+            (Printf.sprintf
+               "source routine already contains spill code: %s of frame slot \
+                %d — the checker needs a slot-free source to validate against"
+               op slot);
+        ]
 
 let routine ~(input : Cfg.t) ~(output : Cfg.t) ~k_int ~k_float =
   let name = output.Cfg.name in
-  if Cfg.in_ssa input then
-    Result.Error (unsupported name "source routine is in SSA form")
-  else if Cfg.in_ssa output then
-    Result.Error (unsupported name "allocated routine is in SSA form")
-  else if has_spill_ops input then
-    Result.Error
-      (unsupported name "source routine already contains spill/reload code")
-  else begin
+  match
+    match phi_gate name "source" input with
+    | Some _ as e -> e
+    | None -> (
+        match phi_gate name "allocated" output with
+        | Some _ as e -> e
+        | None -> spill_gate name input)
+  with
+  | Some errs -> Result.Error errs
+  | None -> begin
     let errs = ref [] in
     if not (String.equal input.Cfg.name output.Cfg.name) then
       errs :=

@@ -215,6 +215,88 @@ let reduce_tests =
               (interesting red2)));
   ]
 
+(* --- planted fault in SSA destruction --- *)
+
+(* [Destruct.fault_swap_seq = 1] swaps the first adjacent dependent pair
+   of a sequentialized parallel copy — exactly the ordering obligation
+   sequentialization exists to meet.  The differential oracle must flag
+   the miscompile, the static verifier must name the faulty block and
+   instruction, and the reducer must shrink the repro. *)
+let ssa_planted_config =
+  {
+    Fuzz.Oracle.optimize = false;
+    mode = Remat.Mode.Ssa_remat;
+    machine = Remat.Machine.make ~name:"tiny" ~k_int:4 ~k_float:4;
+  }
+
+let ssa_divergence cfg =
+  match Fuzz.Oracle.reference cfg with
+  | Error _ -> None
+  | Ok reference -> (
+      match Fuzz.Oracle.check_config ~reference cfg ssa_planted_config with
+      | Some d when Fuzz.Oracle.class_of d <> "crash" -> Some d
+      | _ -> None)
+
+let with_swap_fault f =
+  Ssa.Destruct.fault_swap_seq := 1;
+  Fun.protect ~finally:(fun () -> Ssa.Destruct.fault_swap_seq := 0) f
+
+(* First generated routine whose destruction emits a dependent pair the
+   fault can swap into a divergence (searched, so the test tracks
+   generator and pipeline changes instead of pinning one seed). *)
+let find_ssa_repro () =
+  let rec go seed =
+    if seed > 63 then Alcotest.fail "no seed trips the destruction fault"
+    else
+      let cfg = Fuzz.Gen.generate seed in
+      if ssa_divergence cfg <> None then cfg else go (seed + 1)
+  in
+  go 0
+
+let destruct_fault_tests =
+  [
+    tc "oracle catches the swapped parallel-copy step" (fun () ->
+        let cfg = with_swap_fault find_ssa_repro in
+        (* The same routine must be clean without the fault... *)
+        match ssa_divergence cfg with
+        | Some d ->
+            Alcotest.failf "diverges without the fault: %s"
+              (Fuzz.Oracle.describe d)
+        | None -> ());
+    tc "static verifier names the faulty block and instruction" (fun () ->
+        let cfg = with_swap_fault find_ssa_repro in
+        let out =
+          with_swap_fault (fun () ->
+              (Remat.Allocator.allocate ~mode:Remat.Mode.Ssa_remat
+                 ~machine:ssa_planted_config.Fuzz.Oracle.machine cfg)
+                .Remat.Allocator.cfg)
+        in
+        match Verify.Check.routine ~input:cfg ~output:out ~k_int:4 ~k_float:4 with
+        | Ok _ -> Alcotest.fail "verifier accepted the swapped copy sequence"
+        | Error es ->
+            check Alcotest.bool "an error pinpoints block and instruction" true
+              (List.exists
+                 (fun (e : Verify.Error.t) ->
+                   (not (Verify.Error.is_unsupported e))
+                   && e.Verify.Error.block <> None
+                   && e.Verify.Error.index <> None)
+                 es));
+    tc "reducer shrinks the destruction repro to <= 15 instructions"
+      (fun () ->
+        with_swap_fault (fun () ->
+            let cfg = find_ssa_repro () in
+            let interesting c = ssa_divergence c <> None in
+            let red = Fuzz.Reduce.run ~interesting cfg in
+            let n1 = Fuzz.Reduce.instr_count red in
+            if n1 > 15 then
+              Alcotest.failf
+                "reduced repro still has %d instructions (from %d):\n%s" n1
+                (Fuzz.Reduce.instr_count cfg)
+                (Iloc.Printer.routine_to_string red);
+            check Alcotest.bool "reduced repro still diverges" true
+              (interesting red)));
+  ]
+
 (* --- campaign --- *)
 
 let campaign_tests =
@@ -283,5 +365,6 @@ let () =
       ("mutate", mutate_tests @ [ QCheck_alcotest.to_alcotest mutate_prop ]);
       ("oracle", oracle_tests);
       ("reduce", reduce_tests);
+      ("destruct-fault", destruct_fault_tests);
       ("campaign", campaign_tests);
     ]

@@ -140,6 +140,151 @@ let destruct_unit =
         with Invalid_argument _ -> ());
   ]
 
+(* --- destruction on colored code (the decoupled pipeline's last phase) --- *)
+
+(* Hand-colored SSA loops exercising the two classic destruction
+   hazards.  Registers are "physical" (small ids); [run_colored] must
+   lower the φs to edge moves that preserve the observable outcome. *)
+
+let r i = Reg.make i Reg.Int
+
+let run_sim cfg =
+  match Iloc.Validate.routine cfg with
+  | Error es ->
+      Alcotest.failf "destructed routine invalid: %s"
+        (String.concat "; " (List.map Iloc.Validate.error_to_string es))
+  | Ok () -> Sim.Interp.run cfg
+
+let check_prints what expected outcome =
+  let got =
+    List.map
+      (function Sim.Interp.I n -> n | Sim.Interp.F _ -> Alcotest.fail "float")
+      outcome.Sim.Interp.prints
+  in
+  check (Alcotest.list Alcotest.int) what expected got
+
+(* entry: i0 = 0; loop: i1 = φ(entry:i0, latch:i2); i2 = i1+1;
+   exit when i2 = 3, printing i1 — the lost-copy shape: the φ
+   destination outlives the back-edge argument's redefinition.  Colors:
+   i0,i1 → r1; i2 → r2.  The entry edge's move r1 ← r1 must coalesce;
+   the latch's r1 ← r2 must land on the back edge only. *)
+let lost_copy_cfg () =
+  Cfg.make ~name:"lost_copy"
+    [
+      Iloc.Block.make ~id:0 ~label:"entry"
+        ~body:[ Instr.ldi (r 1) 0 ]
+        ~term:(Instr.jmp "loop") ();
+      Iloc.Block.make ~id:1 ~label:"loop"
+        ~phis:[ Iloc.Phi.make (r 1) [ (0, r 1); (2, r 2) ] ]
+        ~body:
+          [
+            Instr.addi (r 2) (r 1) 1;
+            Instr.ldi (r 3) 3;
+            Instr.cmp Instr.Lt (r 3) (r 2) (r 3);
+          ]
+        ~term:(Instr.cbr (r 3) "latch" "exit") ();
+      Iloc.Block.make ~id:2 ~label:"latch" ~body:[] ~term:(Instr.jmp "loop") ();
+      Iloc.Block.make ~id:3 ~label:"exit"
+        ~body:[ Instr.print_ (r 1) ]
+        ~term:(Instr.ret (Some (r 1))) ();
+    ]
+
+(* entry: a=1,b=2; loop: a,b = φ-swap(a,b) each iteration, three trips,
+   then print both — the swap shape: the back edge carries a genuine
+   cyclic parallel copy, so destruction needs a scratch. *)
+let swap_cfg () =
+  Cfg.make ~name:"swap"
+    [
+      Iloc.Block.make ~id:0 ~label:"entry"
+        ~body:[ Instr.ldi (r 1) 1; Instr.ldi (r 2) 2; Instr.ldi (r 3) 0 ]
+        ~term:(Instr.jmp "loop") ();
+      Iloc.Block.make ~id:1 ~label:"loop"
+        ~phis:
+          [
+            Iloc.Phi.make (r 1) [ (0, r 1); (2, r 2) ];
+            Iloc.Phi.make (r 2) [ (0, r 2); (2, r 1) ];
+            Iloc.Phi.make (r 3) [ (0, r 3); (2, r 4) ];
+          ]
+        ~body:
+          [
+            Instr.addi (r 4) (r 3) 1;
+            Instr.ldi (r 5) 4;
+            Instr.cmp Instr.Lt (r 5) (r 4) (r 5);
+          ]
+        ~term:(Instr.cbr (r 5) "latch" "exit") ();
+      Iloc.Block.make ~id:2 ~label:"latch" ~body:[] ~term:(Instr.jmp "loop") ();
+      Iloc.Block.make ~id:3 ~label:"exit"
+        ~body:[ Instr.print_ (r 1); Instr.print_ (r 2) ]
+        ~term:(Instr.ret None) ();
+    ]
+
+let run_colored_unit =
+  let no_temp ~pred:_ _ = None in
+  let free_temp ~pred:_ cls = Some (Reg.make 9 cls) in
+  let no_slot () = Alcotest.fail "requested a spill slot" in
+  [
+    tc "lost copy: entry move coalesces, back edge carries the copy"
+      (fun () ->
+        let cfg = lost_copy_cfg () in
+        let stats =
+          Ssa.Destruct.run_colored ~temp_for:free_temp ~fresh_slot:no_slot cfg
+        in
+        check Alcotest.int "coalesced (entry r1<-r1)" 1 stats.Ssa.Destruct.coalesced;
+        check Alcotest.int "no cycles" 0 stats.Ssa.Destruct.cycle_temps;
+        check Alcotest.int "phis gone" 0 (count_phis cfg);
+        (* i1 on exit is the value before the final increment. *)
+        check_prints "prints old φ value" [ 2 ] (run_sim cfg));
+    tc "swap: cycle broken with the scratch register" (fun () ->
+        let cfg = swap_cfg () in
+        let stats =
+          Ssa.Destruct.run_colored ~temp_for:free_temp ~fresh_slot:no_slot cfg
+        in
+        check Alcotest.int "one scratch" 1 stats.Ssa.Destruct.cycle_temps;
+        check Alcotest.int "no slots" 0 stats.Ssa.Destruct.cycle_slots;
+        (* three back edges swap (1,2) three times: (2,1). *)
+        check_prints "swapped thrice" [ 2; 1 ] (run_sim cfg));
+    tc "swap: no free color falls back to a spill slot" (fun () ->
+        let cfg = swap_cfg () in
+        let slots = ref 0 in
+        let stats =
+          Ssa.Destruct.run_colored ~temp_for:no_temp
+            ~fresh_slot:(fun () -> incr slots; !slots - 1)
+            cfg
+        in
+        check Alcotest.int "one slot cycle" 1 stats.Ssa.Destruct.cycle_slots;
+        check Alcotest.int "slot allocated" 1 !slots;
+        let has_spill = ref false in
+        Cfg.iter_instrs
+          (fun _ i ->
+            match i.Iloc.Instr.op with
+            | Instr.Spill _ -> has_spill := true
+            | _ -> ())
+          cfg;
+        check Alcotest.bool "spill emitted" true !has_spill;
+        check_prints "swapped thrice" [ 2; 1 ] (run_sim cfg));
+    tc "identity-only φs need no moves at all" (fun () ->
+        let cfg = lost_copy_cfg () in
+        (* Recolor the back-edge argument to match the destination: every
+           edge move is an identity. *)
+        Cfg.iter_blocks
+          (fun b ->
+            List.iter
+              (fun (p : Iloc.Phi.t) ->
+                p.Iloc.Phi.args <-
+                  List.map (fun (pr, _) -> (pr, p.Iloc.Phi.dst)) p.Iloc.Phi.args)
+              b.Iloc.Block.phis)
+          cfg;
+        let stats =
+          Ssa.Destruct.run_colored ~temp_for:no_temp ~fresh_slot:no_slot cfg
+        in
+        check Alcotest.int "all coalesced" 2 stats.Ssa.Destruct.coalesced;
+        let copies = ref 0 in
+        Cfg.iter_instrs
+          (fun _ i -> if Instr.is_copy i then incr copies)
+          cfg;
+        check Alcotest.int "no copies inserted" 0 !copies);
+  ]
+
 (* --- parallel copies --- *)
 
 let seq_moves moves =
@@ -286,6 +431,7 @@ let () =
       ("construct", construct_unit);
       ("values", values_unit);
       ("destruct", destruct_unit);
+      ("destruct-colored", run_colored_unit);
       ("parallel-copy", parallel_copy_unit);
       ("properties", props);
     ]

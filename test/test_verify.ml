@@ -414,10 +414,108 @@ let planted_tests =
                 | None -> Alcotest.fail "oracle missed the biased remat")));
   ]
 
+(* --- domain gate: precise unsupported errors --- *)
+
+let first_phi_label cfg =
+  let found = ref None in
+  Cfg.iter_blocks
+    (fun b ->
+      if !found = None && b.Block.phis <> [] then
+        found := Some b.Block.label)
+    cfg;
+  Option.get !found
+
+let gate_tests =
+  [
+    tc "SSA source is rejected naming the first φ block" (fun () ->
+        let plain = Testutil.diamond () in
+        let ssa = Ssa.Construct.run (Cfg.split_critical_edges plain) in
+        match verify ssa plain with
+        | Ok _ -> Alcotest.fail "accepted an SSA source"
+        | Error es ->
+            let e = List.hd es in
+            check Alcotest.bool "unsupported" true
+              (Verify.Error.is_unsupported e);
+            check
+              Alcotest.(option string)
+              "φ block named"
+              (Some (first_phi_label ssa))
+              e.Verify.Error.block);
+    tc "SSA allocated routine is rejected naming the first φ block"
+      (fun () ->
+        let plain = Testutil.diamond () in
+        let ssa = Ssa.Construct.run (Cfg.split_critical_edges plain) in
+        match verify plain ssa with
+        | Ok _ -> Alcotest.fail "accepted an SSA output"
+        | Error es ->
+            let e = List.hd es in
+            check Alcotest.bool "unsupported" true
+              (Verify.Error.is_unsupported e);
+            check
+              Alcotest.(option string)
+              "φ block named"
+              (Some (first_phi_label ssa))
+              e.Verify.Error.block);
+    tc "pre-spilled source is rejected naming block and instruction"
+      (fun () ->
+        let pre =
+          Cfg.make ~name:"pre"
+            [
+              Block.make ~id:0 ~label:"entry"
+                ~body:
+                  [
+                    Instr.ldi r0 1;
+                    Instr.spill r0 0;
+                    Instr.reload r1 0;
+                    Instr.print_ r1;
+                  ]
+                ~term:(Instr.ret (Some r1)) ();
+            ]
+        in
+        match verify pre pre with
+        | Ok _ -> Alcotest.fail "accepted a pre-spilled source"
+        | Error es ->
+            let e = List.hd es in
+            check Alcotest.bool "unsupported" true
+              (Verify.Error.is_unsupported e);
+            check
+              Alcotest.(option string)
+              "block named" (Some "entry") e.Verify.Error.block;
+            check
+              Alcotest.(option int)
+              "spill's index named" (Some 1) e.Verify.Error.index);
+    tc "allocator's verify tolerates the gate (nothing proved, nothing \
+        rejected)" (fun () ->
+        (* SSA-mode allocation of a routine the gate cannot validate —
+           input containing spill code — must not raise. *)
+        let pre =
+          Iloc.Parser.routine
+            (Iloc.Printer.routine_to_string
+               (let res = Remat.Allocator.run (Testutil.counted_loop ()) in
+                res.Remat.Allocator.cfg))
+        in
+        if
+          Cfg.fold_blocks
+            (fun acc b ->
+              acc
+              || List.exists
+                   (fun (i : Instr.t) ->
+                     match i.Instr.op with
+                     | Instr.Spill _ | Instr.Reload _ -> true
+                     | _ -> false)
+                   b.Block.body)
+            false pre
+        then
+          ignore
+            (Remat.Allocator.allocate ~verify:true ~mode:Remat.Mode.Ssa_remat
+               pre));
+  ]
+
 let () =
   Alcotest.run "verify"
     [
       ("fixtures", fixture_tests);
       ("hand", hand_tests);
       ("planted", planted_tests);
+      ("gate", gate_tests);
     ]
